@@ -1,0 +1,39 @@
+"""Shared configuration and helpers for the benchmark harnesses.
+
+Every benchmark regenerates one row or series of the paper's evaluation
+(Table I, Fig. 5, Fig. 6) or one of the reproduction's own ablations.
+Model construction is kept out of the timed region (``benchmark.pedantic``
+with a ``setup`` callable); accuracy checks and derived quantities (event
+ratios, node counts) are attached to ``benchmark.extra_info`` so they end
+up in the benchmark report next to the timings.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+#: Number of data items / symbols driven through the models in the timed runs.
+#: The paper uses 20000; the default here keeps a full benchmark session short
+#: while remaining far above the pipeline warm-up length.  Override with
+#: ``--bench-items`` for a longer, paper-scale run.
+DEFAULT_BENCH_ITEMS = 2000
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-items",
+        action="store",
+        type=int,
+        default=DEFAULT_BENCH_ITEMS,
+        help="number of data items / symbols to drive through each benchmarked model",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_items(request) -> int:
+    return request.config.getoption("--bench-items")

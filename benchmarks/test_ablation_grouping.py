@@ -1,0 +1,84 @@
+"""Ablation: influence of the number of abstracted processes.
+
+Section II of the paper: "we point out the influence of the number of
+abstracted processes on the performance of our method".  This ablation
+abstracts growing suffixes of a four-stage chain (4, 8, 12 then all 16
+functions) and times the resulting models; the event ratio attached to
+each entry grows with the group size, and so does the achieved speed-up.
+
+Groups are grown from the output side of the chain so every grouping
+stays exact (boundary inputs are always handled exactly; see
+``repro.core.equivalent``); the accuracy of each grouping is asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import didactic_stimulus
+from repro.core import EquivalentArchitectureModel, build_equivalent_spec, grouping_report
+from repro.explicit import ExplicitArchitectureModel
+from repro.generator import build_chain_architecture
+from repro.observation import compare_instants
+
+STAGES = 4
+GROUP_SIZES = (4, 8, 12, 16)
+
+_reference_outputs = {}
+
+
+def _stimulus(items):
+    return {"L1": didactic_stimulus(items, seed=2014)}
+
+
+def _reference(items):
+    if items not in _reference_outputs:
+        model = ExplicitArchitectureModel(build_chain_architecture(STAGES), _stimulus(items))
+        model.run()
+        _reference_outputs[items] = model.output_instants(f"L{STAGES + 1}")
+    return _reference_outputs[items]
+
+
+@pytest.mark.benchmark(group="ablation-grouping")
+def test_grouping_ablation_no_abstraction(benchmark, bench_items):
+    """Zero abstracted processes: the plain explicit model."""
+
+    def setup():
+        model = ExplicitArchitectureModel(build_chain_architecture(STAGES), _stimulus(bench_items))
+        return (model,), {}
+
+    model = benchmark.pedantic(lambda m: (m.run(), m)[1], setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["abstracted_functions"] = 0
+    benchmark.extra_info["event_ratio"] = 1.0
+    assert model.iteration_count() == bench_items
+
+
+@pytest.mark.parametrize("group_size", GROUP_SIZES)
+@pytest.mark.benchmark(group="ablation-grouping")
+def test_grouping_ablation_suffix_groups(benchmark, group_size, bench_items):
+    """Abstract the last ``group_size`` functions of the 16-function chain."""
+    architecture = build_chain_architecture(STAGES)
+    functions = [function.name for function in architecture.application.functions]
+    group = functions[len(functions) - group_size:]
+    report = grouping_report(build_chain_architecture(STAGES), group)
+
+    def setup():
+        fresh = build_chain_architecture(STAGES)
+        spec = build_equivalent_spec(fresh, abstract_functions=group)
+        model = EquivalentArchitectureModel(fresh, _stimulus(bench_items), spec=spec)
+        return (model,), {}
+
+    model = benchmark.pedantic(lambda m: (m.run(), m)[1], setup=setup, rounds=3, iterations=1)
+
+    comparison = compare_instants(
+        _reference(bench_items), model.output_instants(f"L{STAGES + 1}")
+    )
+    assert comparison.identical, comparison.summary()
+
+    explicit_relation_events = (5 * STAGES + 1) * bench_items
+    measured_ratio = explicit_relation_events / model.relation_event_count()
+    benchmark.extra_info["abstracted_functions"] = group_size
+    benchmark.extra_info["tdg_nodes"] = report.tdg_nodes
+    benchmark.extra_info["event_ratio"] = round(measured_ratio, 2)
+    # more abstracted processes -> more saved relations -> larger event ratio
+    assert measured_ratio > 1.0

@@ -1,0 +1,95 @@
+"""Ablation: the TLM-LT quantum baseline against the dynamic computation method.
+
+Section I of the paper motivates the work by the shortcomings of the
+loosely-timed coding style: a global quantum reduces simulation events,
+but "too large a value can lead to degraded timing accuracy because
+delays due to access conflicts to shared resources are not simulated".
+
+This ablation quantifies that statement on the didactic architecture: for
+each quantum value the loosely-timed model is timed and its maximum
+output-instant error against the accurate explicit model is attached to
+the report; the equivalent model (this paper's method) is timed in the
+same group and is exact by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import didactic_stimulus
+from repro.core import EquivalentArchitectureModel
+from repro.examples_lib import build_didactic_architecture
+from repro.explicit import ExplicitArchitectureModel, LooselyTimedArchitectureModel
+from repro.kernel.simtime import microseconds
+from repro.observation import compare_instants
+
+QUANTA_US = (1, 10, 100, 1000)
+
+_reference_outputs = {}
+
+
+def _reference(items):
+    if items not in _reference_outputs:
+        model = ExplicitArchitectureModel(
+            build_didactic_architecture(), {"M1": didactic_stimulus(items, seed=2014)}
+        )
+        model.run()
+        _reference_outputs[items] = model.output_instants("M6")
+    return _reference_outputs[items]
+
+
+@pytest.mark.benchmark(group="ablation-quantum")
+def test_quantum_ablation_explicit_reference(benchmark, bench_items):
+    """Accurate event-driven reference (quantum = 0, every event simulated)."""
+
+    def setup():
+        model = ExplicitArchitectureModel(
+            build_didactic_architecture(), {"M1": didactic_stimulus(bench_items, seed=2014)}
+        )
+        return (model,), {}
+
+    model = benchmark.pedantic(lambda m: (m.run(), m)[1], setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["max_output_error_us"] = 0.0
+    assert model.iteration_count() == bench_items
+
+
+@pytest.mark.parametrize("quantum_us", QUANTA_US)
+@pytest.mark.benchmark(group="ablation-quantum")
+def test_quantum_ablation_loosely_timed(benchmark, quantum_us, bench_items):
+    """TLM-LT temporal decoupling: faster with larger quanta, but inaccurate."""
+
+    def setup():
+        model = LooselyTimedArchitectureModel(
+            build_didactic_architecture(),
+            {"M1": didactic_stimulus(bench_items, seed=2014)},
+            quantum=microseconds(quantum_us),
+        )
+        return (model,), {}
+
+    model = benchmark.pedantic(lambda m: (m.run(), m)[1], setup=setup, rounds=3, iterations=1)
+    comparison = compare_instants(_reference(bench_items), model.output_instants("M6"))
+    benchmark.extra_info["quantum_us"] = quantum_us
+    benchmark.extra_info["mismatching_outputs"] = comparison.mismatch_count
+    benchmark.extra_info["max_output_error_us"] = round(
+        comparison.max_abs_error.microseconds, 3
+    )
+    # the whole point of the ablation: the quantum style is NOT exact here
+    assert comparison.mismatch_count > 0
+
+
+@pytest.mark.benchmark(group="ablation-quantum")
+def test_quantum_ablation_dynamic_computation(benchmark, bench_items):
+    """The paper's method: events saved *and* instants exact."""
+
+    def setup():
+        model = EquivalentArchitectureModel(
+            build_didactic_architecture(), {"M1": didactic_stimulus(bench_items, seed=2014)}
+        )
+        return (model,), {}
+
+    model = benchmark.pedantic(lambda m: (m.run(), m)[1], setup=setup, rounds=3, iterations=1)
+    comparison = compare_instants(_reference(bench_items), model.output_instants("M6"))
+    benchmark.extra_info["max_output_error_us"] = round(
+        comparison.max_abs_error.microseconds, 3
+    )
+    assert comparison.identical, comparison.summary()

@@ -1,0 +1,129 @@
+"""Fig. 5: influence of the computation-method complexity on the speed-up.
+
+The figure sweeps the number of temporal-dependency-graph nodes that
+``ComputeInstant()`` has to traverse, for several sizes of the
+intermediate-instant vector ``X(k)``, and shows the achieved speed-up
+degrading once the computation itself dominates (negligible below ~100
+nodes, slower than plain simulation past ~1000).
+
+Two benchmark groups reproduce the figure:
+
+* ``fig5-baseline`` -- the explicit model of each pipeline (one per X size),
+  the common denominator of every speed-up value;
+* ``fig5-sweep`` -- the equivalent model padded to each target node count.
+
+A final (non-timed) shape check asserts the qualitative result: padding a
+graph to ~1500 nodes erodes most of the speed-up that the ~50-node graph
+achieves.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import measure_speedup
+from repro.core import EquivalentArchitectureModel, build_equivalent_spec
+from repro.environment import RandomSizeStimulus
+from repro.explicit import ExplicitArchitectureModel
+from repro.generator import build_pipeline_architecture, pad_equivalent_spec
+from repro.kernel.simtime import microseconds
+from repro.observation import compare_instants
+
+#: Pipeline lengths giving X-vector sizes of roughly 6, 10, 20 and 30 instants
+#: (one relation per pipeline hop), as in the paper's figure.
+X_SIZES = (6, 10, 20, 30)
+
+#: Node-count axis of the sweep (log-spaced, same decades as the figure).
+NODE_COUNTS = (50, 100, 200, 500, 1000, 1500)
+
+
+def _pipeline_length(x_size: int) -> int:
+    return max(x_size - 1, 1)
+
+
+def _stimulus(length: int, items: int):
+    return {"L0": RandomSizeStimulus(microseconds(10 * length), items, seed=7)}
+
+
+def _items_for_sweep(bench_items: int) -> int:
+    # the sweep multiplies (X sizes x node counts) runs; keep each run shorter
+    return max(bench_items // 4, 200)
+
+
+@pytest.mark.parametrize("x_size", X_SIZES)
+@pytest.mark.benchmark(group="fig5-baseline")
+def test_fig5_explicit_baseline(benchmark, x_size, bench_items):
+    """Explicit model of each pipeline (denominator of every Fig. 5 point)."""
+    length = _pipeline_length(x_size)
+    items = _items_for_sweep(bench_items)
+
+    def setup():
+        model = ExplicitArchitectureModel(
+            build_pipeline_architecture(length), _stimulus(length, items)
+        )
+        return (model,), {}
+
+    def run(model):
+        model.run()
+        return model
+
+    model = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["x_size"] = x_size
+    assert len(model.output_instants(f"L{length}")) == items
+
+
+@pytest.mark.parametrize("x_size", X_SIZES)
+@pytest.mark.parametrize("nodes", NODE_COUNTS)
+@pytest.mark.benchmark(group="fig5-sweep")
+def test_fig5_equivalent_with_padded_graph(benchmark, x_size, nodes, bench_items):
+    """Equivalent model with the graph padded to ``nodes`` nodes."""
+    length = _pipeline_length(x_size)
+    items = _items_for_sweep(bench_items)
+
+    def setup():
+        architecture = build_pipeline_architecture(length)
+        spec = build_equivalent_spec(architecture)
+        if spec.graph.node_count > nodes:
+            pytest.skip(f"natural graph already has {spec.graph.node_count} nodes")
+        pad_equivalent_spec(spec, nodes)
+        model = EquivalentArchitectureModel(architecture, _stimulus(length, items), spec=spec)
+        return (model,), {}
+
+    def run(model):
+        model.run()
+        return model
+
+    model = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["x_size"] = x_size
+    benchmark.extra_info["tdg_nodes"] = nodes
+    assert len(model.output_instants(f"L{length}")) == items
+
+
+@pytest.mark.benchmark(group="fig5-shape")
+def test_fig5_speedup_degrades_with_node_count(benchmark, bench_items):
+    """Qualitative shape of Fig. 5: small graphs speed up, huge graphs do not."""
+    items = _items_for_sweep(bench_items)
+    length = _pipeline_length(10)
+
+    def measure(target_nodes):
+        measurement = measure_speedup(
+            lambda: build_pipeline_architecture(length),
+            lambda: _stimulus(length, items),
+            pad_to_nodes=target_nodes,
+            label=f"nodes={target_nodes}",
+        )
+        assert measurement.outputs_identical
+        return measurement.speedup
+
+    def run():
+        small = measure(50)
+        large = measure(1500)
+        benchmark.extra_info["speedup_at_50_nodes"] = round(small, 2)
+        benchmark.extra_info["speedup_at_1500_nodes"] = round(large, 2)
+        return small, large
+
+    small, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert small > large, "padding the graph should erode the speed-up"
+    assert small > 1.0, "a ~50-node graph should still be faster than plain simulation"

@@ -1,0 +1,113 @@
+"""Fig. 6 and the Section V measurements: the LTE receiver case study.
+
+The paper reports, for the eight-function receiver mapped onto a DSP and
+a dedicated channel decoder:
+
+* a simulation speed-up by a factor of 4 for 20000 symbols, with an
+  event ratio of 4.2 between the two models (the dependency graph has 11
+  nodes in the paper's formulation);
+* Fig. 6: the ``u(k)`` / ``y(k)`` instants of one 14-symbol frame
+  (71.42 us symbol period) over the simulation time, and the usage of
+  both resources -- a few GOPS on the DSP, 75-150 GOPS on the decoder --
+  over the observation time, reconstructed without simulation events.
+
+Benchmarks time the two models on the same symbol stream (``--bench-items``
+symbols, default 2000; pass ``--bench-items=20000`` for the paper-scale
+run) and a separate benchmark regenerates the Fig. 6 observation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.simtime import microseconds
+from repro.lte import (
+    DECODER_NAME,
+    DSP_NAME,
+    INPUT_RELATION,
+    OUTPUT_RELATION,
+    SYMBOLS_PER_FRAME,
+    build_lte_models,
+    fig6_observation,
+)
+from repro.observation import compare_instants
+
+_reference_outputs = {}
+
+
+def _symbols(bench_items: int) -> int:
+    # whole frames only
+    return max(bench_items // SYMBOLS_PER_FRAME, 2) * SYMBOLS_PER_FRAME
+
+
+@pytest.mark.benchmark(group="fig6-lte")
+def test_lte_explicit_model(benchmark, bench_items):
+    """The model 'obtained by exhibiting all relations among application functions'."""
+    symbols = _symbols(bench_items)
+
+    def setup():
+        explicit, _ = build_lte_models(symbols)
+        return (explicit,), {}
+
+    def run(model):
+        model.run()
+        _reference_outputs[symbols] = model.output_instants(OUTPUT_RELATION)
+        benchmark.extra_info["relation_events"] = model.relation_event_count()
+        benchmark.extra_info["context_switches"] = model.kernel_stats.process_activations
+        return model
+
+    model = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert len(model.output_instants(OUTPUT_RELATION)) == symbols
+
+
+@pytest.mark.benchmark(group="fig6-lte")
+def test_lte_equivalent_model(benchmark, bench_items):
+    """The model using the dynamic computation method (11-node graph in the paper)."""
+    symbols = _symbols(bench_items)
+
+    def setup():
+        _, equivalent = build_lte_models(symbols)
+        return (equivalent,), {}
+
+    def run(model):
+        model.run()
+        benchmark.extra_info["relation_events"] = model.relation_event_count()
+        benchmark.extra_info["context_switches"] = model.kernel_stats.process_activations
+        benchmark.extra_info["tdg_nodes"] = model.tdg_node_count
+        return model
+
+    model = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    reference = _reference_outputs.get(symbols)
+    if reference is None:
+        explicit, _ = build_lte_models(symbols)
+        explicit.run()
+        reference = explicit.output_instants(OUTPUT_RELATION)
+    comparison = compare_instants(reference, model.output_instants(OUTPUT_RELATION))
+    assert comparison.identical, comparison.summary()
+
+    # 9 relations simulated by the explicit model vs 2 boundary relations here
+    measured_ratio = 9 * symbols / model.relation_event_count()
+    benchmark.extra_info["event_ratio"] = round(measured_ratio, 2)
+    assert measured_ratio == pytest.approx(4.5)
+
+
+@pytest.mark.benchmark(group="fig6-observation")
+def test_fig6_frame_observation(benchmark):
+    """Regenerate the Fig. 6 series (one frame) and check their ranges."""
+
+    def run():
+        return fig6_observation(frame_count=1, bin_width=microseconds(5))
+
+    observation = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert observation.symbol_count == SYMBOLS_PER_FRAME
+    assert observation.input_instants[-1].microseconds == pytest.approx(71.42 * 13)
+    assert all(instant is not None for instant in observation.output_instants)
+
+    dsp_peak = observation.dsp_profile.peak()
+    decoder_peak = observation.decoder_profile.peak()
+    benchmark.extra_info["dsp_peak_gops"] = round(dsp_peak, 2)
+    benchmark.extra_info["decoder_peak_gops"] = round(decoder_peak, 2)
+    # Fig. 6(b): DSP usage in the 4-8 GOPS range; Fig. 6(c): decoder 75-150 GOPS
+    assert 3.0 <= dsp_peak <= 9.0
+    assert 70.0 <= decoder_peak <= 160.0

@@ -1,0 +1,101 @@
+"""Table I: simulation speed-up on distinct architecture models.
+
+The paper's Table I reports, for four architectures of increasing size
+(1 to 4 chained copies of the didactic stage): the execution time of the
+explicit model, the event ratio, the achieved speed-up and the number of
+temporal-dependency-graph nodes.
+
+Each architecture gets two benchmarks -- the explicit event-driven model
+and the equivalent model -- so the speed-up is simply the ratio of the
+two timings in the benchmark report.  The equivalent benchmark also
+verifies that the output instants are identical to the explicit model and
+attaches the event ratio / node count to ``extra_info``.
+
+Paper reference values (2.2 GHz Core2 Duo, compiled SystemC, 20000 items):
+
+======== ============ =========== ==========
+Example  event ratio  speed-up    TDG nodes
+======== ============ =========== ==========
+1        2.33         2.27        10
+2        4.66         4.47        19
+3        7.00         6.38        28
+4        9.33         8.35        37
+======== ============ =========== ==========
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import didactic_stimulus
+from repro.core import EquivalentArchitectureModel, build_equivalent_spec
+from repro.explicit import ExplicitArchitectureModel
+from repro.generator import build_chain_architecture
+from repro.observation import compare_instants
+
+STAGES = (1, 2, 3, 4)
+
+# Output instants of the explicit model, keyed by (stages, items), so the
+# equivalent benchmark can assert exact accuracy without re-running it.
+_reference_outputs = {}
+
+
+def _stimulus(items: int):
+    return {"L1": didactic_stimulus(items, seed=2014)}
+
+
+@pytest.mark.parametrize("stages", STAGES)
+@pytest.mark.benchmark(group="table1")
+def test_table1_explicit_model(benchmark, stages, bench_items):
+    """Baseline rows of Table I: the fully event-driven architecture models."""
+
+    def setup():
+        model = ExplicitArchitectureModel(build_chain_architecture(stages), _stimulus(bench_items))
+        return (model,), {}
+
+    def run(model):
+        model.run()
+        _reference_outputs[(stages, bench_items)] = model.output_instants(f"L{stages + 1}")
+        benchmark.extra_info["relation_events"] = model.relation_event_count()
+        benchmark.extra_info["context_switches"] = model.kernel_stats.process_activations
+        return model
+
+    model = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert model.iteration_count() == bench_items
+
+
+@pytest.mark.parametrize("stages", STAGES)
+@pytest.mark.benchmark(group="table1")
+def test_table1_equivalent_model(benchmark, stages, bench_items):
+    """Dynamic-computation rows of Table I, with exact-accuracy verification."""
+
+    def setup():
+        architecture = build_chain_architecture(stages)
+        spec = build_equivalent_spec(architecture)
+        model = EquivalentArchitectureModel(architecture, _stimulus(bench_items), spec=spec)
+        return (model, spec), {}
+
+    def run(model, spec):
+        model.run()
+        benchmark.extra_info["relation_events"] = model.relation_event_count()
+        benchmark.extra_info["context_switches"] = model.kernel_stats.process_activations
+        benchmark.extra_info["tdg_nodes"] = spec.graph.node_count
+        return model
+
+    model = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+    output_relation = f"L{stages + 1}"
+    reference = _reference_outputs.get((stages, bench_items))
+    if reference is None:  # explicit benchmark filtered out: rebuild the reference once
+        explicit = ExplicitArchitectureModel(build_chain_architecture(stages), _stimulus(bench_items))
+        explicit.run()
+        reference = explicit.output_instants(output_relation)
+        benchmark.extra_info["explicit_relation_events"] = explicit.relation_event_count()
+    comparison = compare_instants(reference, model.output_instants(output_relation))
+    assert comparison.identical, comparison.summary()
+
+    # the explicit model exchanges data over every relation once per iteration
+    explicit_relation_events = (5 * stages + 1) * bench_items
+    measured_ratio = explicit_relation_events / model.relation_event_count()
+    benchmark.extra_info["event_ratio"] = round(measured_ratio, 2)
+    assert measured_ratio == pytest.approx((5 * stages + 1) / 2)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Fig. 5: influence of the computation-method complexity on the speed-up.
+
+The dynamic computation method trades simulation events for a traversal
+of the temporal dependency graph at every iteration.  Fig. 5 of the
+paper sweeps the number of nodes of that graph (by considering richer
+and richer dependency descriptions) for several sizes of the
+intermediate-instant vector ``X(k)`` and shows that
+
+* below ~100 nodes the computation cost is negligible,
+* beyond that the achieved speed-up degrades,
+* past ~1000 nodes the method becomes slower than plain simulation.
+
+This example reproduces the sweep: the ``X(k)`` size is set by the
+length of a pipeline architecture, and the graph is padded with dummy
+nodes to reach each target node count.
+
+Run with ``python examples/node_complexity_sweep.py [item_count]``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import measure_speedup
+from repro.analysis import format_series
+from repro.environment import RandomSizeStimulus
+from repro.generator import (
+    DEFAULT_NODE_COUNTS,
+    DEFAULT_X_SIZES,
+    build_pipeline_architecture,
+)
+from repro.kernel.simtime import microseconds
+
+
+def pipeline_length_for_x_size(x_size: int) -> int:
+    """Pipeline length whose relation count (X size) matches the requested value."""
+    return max(x_size - 1, 1)
+
+
+def main(item_count: int = 1000) -> int:
+    print(f"# Fig. 5 reproduction: speed-up vs TDG node count ({item_count} items per point)\n")
+    for x_size in DEFAULT_X_SIZES:
+        length = pipeline_length_for_x_size(x_size)
+        natural_nodes = None
+        points = []
+        for target_nodes in DEFAULT_NODE_COUNTS:
+            def architecture_factory(length=length):
+                return build_pipeline_architecture(length)
+
+            def stimuli_factory():
+                return {
+                    "L0": RandomSizeStimulus(
+                        microseconds(10 * length), item_count, seed=42
+                    )
+                }
+
+            try:
+                measurement = measure_speedup(
+                    architecture_factory,
+                    stimuli_factory,
+                    pad_to_nodes=target_nodes,
+                    label=f"X={x_size}, nodes={target_nodes}",
+                )
+            except Exception as error:  # graph larger than the target: skip the point
+                natural_nodes = natural_nodes or str(error)
+                continue
+            points.append((target_nodes, round(measurement.speedup, 2)))
+            if not measurement.outputs_identical:
+                raise RuntimeError(f"accuracy lost at X={x_size}, nodes={target_nodes}")
+        print(format_series(f"X size: {x_size}", points, "TDG nodes", "speed-up"))
+        print()
+    print("Expected shape: flat below ~100 nodes, degrading beyond, dropping below 1 "
+          "well past 1000 nodes (the paper's Fig. 5).")
+    return 0
+
+
+if __name__ == "__main__":
+    items = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    raise SystemExit(main(items))

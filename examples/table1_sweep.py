@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Table I: simulation speed-up on increasingly large architecture models.
+
+Reproduces the paper's Table I by chaining 1..4 copies of the didactic
+stage, measuring for each chain the execution time of the explicit
+model, the event ratio, the achieved speed-up and the number of nodes
+of the temporal dependency graph -- and verifying that the output
+instants of the two models are identical.
+
+Run with ``python examples/table1_sweep.py [item_count] [max_stages]``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import didactic_stimulus, measure_speedup
+from repro.analysis import format_rows, theoretical_event_ratio
+from repro.generator import build_chain_architecture
+
+#: The paper's measurements (Table I), for side-by-side comparison.
+PAPER_TABLE1 = {
+    1: {"event ratio": 2.33, "speed-up": 2.27, "nodes": 10},
+    2: {"event ratio": 4.66, "speed-up": 4.47, "nodes": 19},
+    3: {"event ratio": 7.00, "speed-up": 6.38, "nodes": 28},
+    4: {"event ratio": 9.33, "speed-up": 8.35, "nodes": 37},
+}
+
+
+def main(item_count: int = 4000, max_stages: int = 4) -> int:
+    print(f"# Table I reproduction: {item_count} items per model, 1..{max_stages} stages\n")
+    rows = []
+    for stages in range(1, max_stages + 1):
+        measurement = measure_speedup(
+            lambda stages=stages: build_chain_architecture(stages),
+            lambda: {"L1": didactic_stimulus(item_count)},
+            label=f"Example {stages}",
+        )
+        paper = PAPER_TABLE1.get(stages, {})
+        row = measurement.as_row()
+        row["theoretical ratio"] = round(
+            theoretical_event_ratio(build_chain_architecture(stages)), 2
+        )
+        row["paper ratio"] = paper.get("event ratio", "-")
+        row["paper speed-up"] = paper.get("speed-up", "-")
+        row["paper nodes"] = paper.get("nodes", "-")
+        rows.append(row)
+        print(f"  measured {row['model']}: speed-up {row['speed-up']}, "
+              f"event ratio {row['event ratio']}, accuracy {row['accuracy']}")
+    print()
+    print(format_rows(rows))
+    print(
+        "\nNote: absolute times differ from the paper's 2.2 GHz Core2 Duo / compiled "
+        "SystemC setup; the reproduced quantities are the ratios and their trend."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    items = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    stages = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    raise SystemExit(main(items, stages))

@@ -1,0 +1,157 @@
+"""repro -- dynamic computation of evolution instants for fast, accurate performance models.
+
+Reproduction of S. Le Nours, A. Postula, N. W. Bergmann, *A Dynamic
+Computation Method for Fast and Accurate Performance Evaluation of
+Multi-Core Architectures*, DATE 2014 (DOI 10.7873/DATE.2014.302).
+
+The library provides:
+
+* a discrete-event simulation kernel with explicit event / context-switch
+  accounting (:mod:`repro.kernel`, :mod:`repro.channels`);
+* an architecture description layer -- application functions, workload
+  models, platform resources, static non-preemptive mapping
+  (:mod:`repro.archmodel`);
+* the fully event-driven reference model and a TLM-LT quantum baseline
+  (:mod:`repro.explicit`);
+* the paper's contribution: (max, +) evolution-instant equations
+  (:mod:`repro.maxplus`), temporal dependency graphs (:mod:`repro.tdg`)
+  and the equivalent model that computes instants instead of simulating
+  them (:mod:`repro.core`);
+* observation of resource usage on the observation-time axis and
+  accuracy comparisons (:mod:`repro.observation`);
+* the experiments: synthetic chains (Table I), computation-complexity
+  sweeps (Fig. 5) and the LTE receiver case study (Fig. 6)
+  (:mod:`repro.generator`, :mod:`repro.lte`, :mod:`repro.analysis`).
+
+Quickstart
+----------
+>>> from repro import build_didactic_architecture, didactic_stimulus
+>>> from repro import ExplicitArchitectureModel, EquivalentArchitectureModel
+>>> architecture = build_didactic_architecture()
+>>> explicit = ExplicitArchitectureModel(architecture, {"M1": didactic_stimulus(100)})
+>>> _ = explicit.run()
+>>> len(explicit.output_instants("M6"))
+100
+"""
+
+from .analysis import SpeedupMeasurement, measure_speedup, theoretical_event_ratio
+from .archmodel import (
+    AppFunction,
+    ApplicationModel,
+    ArchitectureModel,
+    ConstantExecutionTime,
+    DataDependentExecutionTime,
+    DataToken,
+    Mapping,
+    PerUnitExecutionTime,
+    PlatformModel,
+    ProcessingResource,
+    StochasticExecutionTime,
+    TableExecutionTime,
+)
+from .core import (
+    EquivalentArchitectureModel,
+    EquivalentProcessModel,
+    InstantComputer,
+    build_equivalent_spec,
+)
+from .environment import (
+    AlwaysReadySink,
+    DelayedSink,
+    PeriodicStimulus,
+    RandomSizeStimulus,
+    TraceStimulus,
+)
+from .examples_lib import (
+    build_didactic_architecture,
+    build_paper_equation_graph,
+    didactic_stimulus,
+    didactic_workloads,
+)
+from .explicit import ExplicitArchitectureModel, LooselyTimedArchitectureModel
+from .generator import build_chain_architecture, build_pipeline_architecture
+from .kernel import (
+    Duration,
+    Event,
+    KernelStats,
+    SimProcess,
+    Simulator,
+    Time,
+    microseconds,
+    milliseconds,
+    nanoseconds,
+    picoseconds,
+    seconds,
+)
+from .lte import build_lte_architecture, build_lte_models, fig6_observation
+from .maxplus import MaxPlus, MaxPlusMatrix, MaxPlusVector
+from .observation import ActivityTrace, compare_instants, compare_traces, complexity_profile
+from .tdg import TDGEvaluator, TemporalDependencyGraph
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # kernel
+    "Simulator",
+    "SimProcess",
+    "Event",
+    "KernelStats",
+    "Time",
+    "Duration",
+    "picoseconds",
+    "nanoseconds",
+    "microseconds",
+    "milliseconds",
+    "seconds",
+    # architecture description
+    "ApplicationModel",
+    "AppFunction",
+    "PlatformModel",
+    "ProcessingResource",
+    "Mapping",
+    "ArchitectureModel",
+    "DataToken",
+    "ConstantExecutionTime",
+    "DataDependentExecutionTime",
+    "PerUnitExecutionTime",
+    "StochasticExecutionTime",
+    "TableExecutionTime",
+    # environment
+    "PeriodicStimulus",
+    "RandomSizeStimulus",
+    "TraceStimulus",
+    "AlwaysReadySink",
+    "DelayedSink",
+    # executors
+    "ExplicitArchitectureModel",
+    "LooselyTimedArchitectureModel",
+    "EquivalentArchitectureModel",
+    "EquivalentProcessModel",
+    "InstantComputer",
+    "build_equivalent_spec",
+    # formalism
+    "MaxPlus",
+    "MaxPlusVector",
+    "MaxPlusMatrix",
+    "TemporalDependencyGraph",
+    "TDGEvaluator",
+    # observation and analysis
+    "ActivityTrace",
+    "compare_instants",
+    "compare_traces",
+    "complexity_profile",
+    "SpeedupMeasurement",
+    "measure_speedup",
+    "theoretical_event_ratio",
+    # examples and case studies
+    "build_didactic_architecture",
+    "build_paper_equation_graph",
+    "didactic_stimulus",
+    "didactic_workloads",
+    "build_chain_architecture",
+    "build_pipeline_architecture",
+    "build_lte_architecture",
+    "build_lte_models",
+    "fig6_observation",
+]

@@ -1,0 +1,20 @@
+"""Measurement and reporting utilities for the experiments."""
+
+from .events import (
+    boundary_relations_per_iteration,
+    relations_per_iteration,
+    theoretical_event_ratio,
+)
+from .report import format_rows, format_series, format_table
+from .speedup import SpeedupMeasurement, measure_speedup
+
+__all__ = [
+    "SpeedupMeasurement",
+    "measure_speedup",
+    "relations_per_iteration",
+    "boundary_relations_per_iteration",
+    "theoretical_event_ratio",
+    "format_table",
+    "format_rows",
+    "format_series",
+]

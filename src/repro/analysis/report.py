@@ -1,0 +1,57 @@
+"""Plain-text report formatting.
+
+The benchmark harnesses print the rows and series of the paper's table
+and figures; this module provides the small formatting helpers they
+share (fixed-width tables, simple ASCII series listings) so the output
+can be read directly from the benchmark logs or pasted into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_rows", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width table with one header line and a separator."""
+    columns = [list(map(_render, column)) for column in zip(headers, *rows)] if rows else [
+        [_render(header)] for header in headers
+    ]
+    widths = [max(len(value) for value in column) for column in columns]
+    lines = []
+    header_cells = [_render(header).ljust(width) for header, width in zip(headers, widths)]
+    lines.append("  ".join(header_cells).rstrip())
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        cells = [_render(value).ljust(width) for value, width in zip(row, widths)]
+        lines.append("  ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def format_rows(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render a list of homogeneous dictionaries (column order = first row's keys)."""
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    table_rows = [[row.get(header, "") for header in headers] for row in rows]
+    return format_table(headers, table_rows)
+
+
+def format_series(
+    name: str,
+    points: Iterable[Tuple[object, object]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure series as an aligned two-column listing."""
+    rows = [[x, y] for x, y in points]
+    header = f"series: {name}"
+    return header + "\n" + format_table([x_label, y_label], rows)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value == value else "nan"
+    return str(value)

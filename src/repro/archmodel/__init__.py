@@ -1,0 +1,108 @@
+"""Architecture description: application, workload, platform, mapping.
+
+This package defines *what* is simulated; the two executors
+(:mod:`repro.explicit` for the fully event-driven baseline and
+:mod:`repro.core` for the dynamic computation method) both implement
+the timing semantics below, which is the library's precise rendering of
+the paper's assumptions (statically scheduled architectures, no
+pre-emption, rendezvous communication, negligible communication
+resources).
+
+Timing semantics
+----------------
+Let ``k`` be the iteration counter of a function's cyclic behaviour and
+``completion(f, i, k)`` the completion instant of step ``i`` of
+function ``f`` at iteration ``k``.
+
+*Readiness.*  A function is ready for its first step of iteration ``k``
+when its previous iteration finished::
+
+    ready(f, 0, k)   = completion(f, last, k-1)        (time 0 for k = 0)
+    ready(f, i, k)   = completion(f, i-1, k)           for i > 0
+
+*Rendezvous relation* ``r`` written by ``p`` (step ``wp``) and read by
+``c`` (step ``rc``)::
+
+    x_r(k) = max( ready(p, wp, k), ready(c, rc, k) )
+    completion(p, wp, k) = completion(c, rc, k) = x_r(k)
+
+*FIFO relation* ``r`` with capacity ``C`` (``None`` = unbounded)::
+
+    w_r(k) = max( ready(p, wp, k), r_r(k - C) )         (second term only if C is finite)
+    r_r(k) = max( ready(c, rc, k), w_r(k) )
+    completion(p, wp, k) = w_r(k);  completion(c, rc, k) = r_r(k)
+
+*External input relation* ``r`` (producer is the environment offering
+its ``(k+1)``-th item at ``u_r(k)``)::
+
+    x_r(k) = max( u_r(k), ready(c, rc, k) )
+
+*External output relation* ``r`` (consumer is the environment)::
+
+    offer_r(k) = ready(p, wp, k)
+    x_r(k)     = max( offer_r(k), environment readiness )
+
+*Execute step* ``e`` of function ``f`` on resource ``R`` with
+concurrency ``c`` and static service order position ``p`` (``S`` slots
+per iteration, global slot index ``n = k.S + p``)::
+
+    start(e, k) = max( ready(f, e, k),
+                       start(previous slot n-1),        (service order is preserved)
+                       end(slot n-c) )                  (only c executions at a time)
+    end(e, k)   = start(e, k) + T_e(k)
+    completion(f, e, k) = end(e, k)
+
+For an unlimited-concurrency resource both resource terms disappear.
+``T_e(k)`` comes from the step's workload model evaluated on the data
+token processed at iteration ``k``.
+
+*Delay step*: ``completion = ready + D`` with no resource involvement.
+
+Every instant above is an *evolution instant* in the paper's sense: the
+explicit model realises them as simulation events, the dynamic
+computation method computes them with the temporal dependency graph.
+"""
+
+from .application import ApplicationModel, RelationKind, RelationSpec
+from .architecture import ArchitectureModel, SlotLocation
+from .function import AppFunction
+from .mapping import Mapping, ScheduleSlot
+from .platform import PlatformModel, ProcessingResource, ResourceKind
+from .primitives import BehaviourStep, DelayStep, ExecuteStep, ReadStep, WriteStep
+from .token import DataToken
+from .workload import (
+    ConstantExecutionTime,
+    CycleAccurateExecutionTime,
+    DataDependentExecutionTime,
+    ExecutionTimeModel,
+    PerUnitExecutionTime,
+    StochasticExecutionTime,
+    TableExecutionTime,
+)
+
+__all__ = [
+    "ApplicationModel",
+    "RelationKind",
+    "RelationSpec",
+    "ArchitectureModel",
+    "SlotLocation",
+    "AppFunction",
+    "Mapping",
+    "ScheduleSlot",
+    "PlatformModel",
+    "ProcessingResource",
+    "ResourceKind",
+    "BehaviourStep",
+    "DelayStep",
+    "ExecuteStep",
+    "ReadStep",
+    "WriteStep",
+    "DataToken",
+    "ExecutionTimeModel",
+    "ConstantExecutionTime",
+    "DataDependentExecutionTime",
+    "PerUnitExecutionTime",
+    "StochasticExecutionTime",
+    "TableExecutionTime",
+    "CycleAccurateExecutionTime",
+]

@@ -1,0 +1,185 @@
+"""Application model.
+
+An :class:`ApplicationModel` groups the functions of Fig. 1's
+"Application" layer and the *relations* through which they exchange
+data.  Relations are referenced by name from the functions' read/write
+steps; the application model resolves each name to
+
+* its producer (the unique function writing it) and consumer (the
+  unique function reading it),
+* its communication protocol -- rendezvous by default, or FIFO with an
+  optional capacity when declared with :meth:`declare_fifo`.
+
+Relations with a consumer but no producer inside the model are
+*external inputs* (driven by the environment, the paper's ``u(k)``);
+relations with a producer but no consumer are *external outputs*
+(observed by the environment, the paper's ``y(k)``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from .function import AppFunction
+
+__all__ = ["RelationKind", "RelationSpec", "ApplicationModel"]
+
+
+class RelationKind(enum.Enum):
+    """Communication protocol of a relation."""
+
+    RENDEZVOUS = "rendezvous"
+    FIFO = "fifo"
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """Resolved description of one relation."""
+
+    name: str
+    kind: RelationKind
+    capacity: Optional[int]
+    producer: Optional[str]
+    consumer: Optional[str]
+
+    @property
+    def is_external_input(self) -> bool:
+        """True when the environment produces the relation's data."""
+        return self.producer is None and self.consumer is not None
+
+    @property
+    def is_external_output(self) -> bool:
+        """True when the environment consumes the relation's data."""
+        return self.producer is not None and self.consumer is None
+
+    @property
+    def is_internal(self) -> bool:
+        return self.producer is not None and self.consumer is not None
+
+
+class ApplicationModel:
+    """A set of functions connected by point-to-point relations."""
+
+    def __init__(self, name: str = "application") -> None:
+        self.name = name
+        self._functions: Dict[str, AppFunction] = {}
+        self._declared_kinds: Dict[str, Tuple[RelationKind, Optional[int]]] = {}
+        self._relations: Optional[Dict[str, RelationSpec]] = None
+
+    # -- construction ------------------------------------------------------------
+    def add_function(self, function: AppFunction) -> AppFunction:
+        """Register a function; names must be unique."""
+        if not isinstance(function, AppFunction):
+            raise ModelError("add_function expects an AppFunction")
+        if function.name in self._functions:
+            raise ModelError(f"function {function.name!r} already exists")
+        self._functions[function.name] = function
+        self._relations = None
+        return function
+
+    def declare_fifo(self, relation: str, capacity: Optional[int] = None) -> None:
+        """Declare ``relation`` as a FIFO (default is rendezvous).
+
+        ``capacity=None`` means unbounded.
+        """
+        if capacity is not None and capacity < 1:
+            raise ModelError("FIFO capacity must be >= 1 or None")
+        self._declared_kinds[relation] = (RelationKind.FIFO, capacity)
+        self._relations = None
+
+    # -- resolution --------------------------------------------------------------
+    @property
+    def functions(self) -> Tuple[AppFunction, ...]:
+        return tuple(self._functions.values())
+
+    def function(self, name: str) -> AppFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise ModelError(f"unknown function {name!r}") from None
+
+    @property
+    def function_names(self) -> Tuple[str, ...]:
+        return tuple(self._functions)
+
+    def relations(self) -> Dict[str, RelationSpec]:
+        """Resolve and return every relation referenced by the functions."""
+        if self._relations is not None:
+            return dict(self._relations)
+        producers: Dict[str, str] = {}
+        consumers: Dict[str, str] = {}
+        for function in self._functions.values():
+            function.validate()
+            for relation in function.relations_written():
+                if relation in producers:
+                    raise ModelError(
+                        f"relation {relation!r} has two producers: "
+                        f"{producers[relation]!r} and {function.name!r}"
+                    )
+                producers[relation] = function.name
+            for relation in function.relations_read():
+                if relation in consumers:
+                    raise ModelError(
+                        f"relation {relation!r} has two consumers: "
+                        f"{consumers[relation]!r} and {function.name!r}"
+                    )
+                consumers[relation] = function.name
+        names = sorted(set(producers) | set(consumers) | set(self._declared_kinds))
+        resolved: Dict[str, RelationSpec] = {}
+        for name in names:
+            kind, capacity = self._declared_kinds.get(name, (RelationKind.RENDEZVOUS, None))
+            producer = producers.get(name)
+            consumer = consumers.get(name)
+            if producer is None and consumer is None:
+                raise ModelError(f"declared relation {name!r} is not used by any function")
+            resolved[name] = RelationSpec(name, kind, capacity, producer, consumer)
+        self._relations = resolved
+        return dict(resolved)
+
+    def relation(self, name: str) -> RelationSpec:
+        relations = self.relations()
+        try:
+            return relations[name]
+        except KeyError:
+            raise ModelError(f"unknown relation {name!r}") from None
+
+    def external_inputs(self) -> List[RelationSpec]:
+        """Relations driven by the environment, in name order."""
+        return [spec for spec in self.relations().values() if spec.is_external_input]
+
+    def external_outputs(self) -> List[RelationSpec]:
+        """Relations observed by the environment, in name order."""
+        return [spec for spec in self.relations().values() if spec.is_external_output]
+
+    def internal_relations(self) -> List[RelationSpec]:
+        return [spec for spec in self.relations().values() if spec.is_internal]
+
+    def validate(self) -> None:
+        """Check that the model is structurally usable."""
+        if not self._functions:
+            raise ModelError(f"application {self.name!r} has no function")
+        relations = self.relations()
+        if not any(spec.is_external_input for spec in relations.values()):
+            raise ModelError(
+                f"application {self.name!r} has no external input relation; the environment "
+                "would have nothing to drive"
+            )
+
+    def describe(self) -> str:
+        """Multi-line pseudo-code rendering of the whole application."""
+        lines = [f"Application {self.name!r}:"]
+        for function in self._functions.values():
+            lines.append(f"  {function.describe()}")
+        for spec in self.relations().values():
+            endpoints = f"{spec.producer or '<env>'} -> {spec.consumer or '<env>'}"
+            protocol = spec.kind.value
+            if spec.kind is RelationKind.FIFO:
+                protocol += f"(capacity={spec.capacity if spec.capacity is not None else 'inf'})"
+            lines.append(f"  relation {spec.name}: {endpoints} [{protocol}]")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ApplicationModel({self.name!r}, functions={len(self._functions)})"

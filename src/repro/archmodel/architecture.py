@@ -1,0 +1,129 @@
+"""Architecture model.
+
+An :class:`ArchitectureModel` bundles the three layers of Fig. 1 --
+application, platform and mapping -- and resolves the queries the two
+executors need:
+
+* :mod:`repro.explicit` builds one kernel process per function plus the
+  resource arbiters from it (the fully event-driven baseline model);
+* :mod:`repro.core.builder` compiles it into a temporal dependency
+  graph for the dynamic computation method.
+
+Both executors implement the same timing semantics, documented in
+:mod:`repro.archmodel` (package docstring); this class is purely
+descriptive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ModelError
+from .application import ApplicationModel, RelationSpec
+from .mapping import Mapping, ScheduleSlot
+from .platform import PlatformModel, ProcessingResource
+from .primitives import ExecuteStep
+
+__all__ = ["SlotLocation", "ArchitectureModel"]
+
+
+@dataclass(frozen=True)
+class SlotLocation:
+    """Where an execute step sits in its resource's static service order."""
+
+    resource: str
+    position: int
+    slots_per_iteration: int
+    concurrency: Optional[int]
+
+
+class ArchitectureModel:
+    """Application + platform + mapping, with resolved schedules."""
+
+    def __init__(
+        self,
+        name: str,
+        application: ApplicationModel,
+        platform: PlatformModel,
+        mapping: Mapping,
+    ) -> None:
+        self.name = name
+        self.application = application
+        self.platform = platform
+        self.mapping = mapping
+        self._orders: Optional[Dict[str, List[ScheduleSlot]]] = None
+
+    # -- validation / resolution --------------------------------------------------
+    def validate(self) -> None:
+        """Validate all three layers and resolve the static schedules."""
+        self.application.validate()
+        self.platform.validate()
+        self.mapping.validate(self.application, self.platform)
+        self._orders = self.mapping.resolve_orders(self.application, self.platform)
+
+    def resource_schedules(self) -> Dict[str, List[ScheduleSlot]]:
+        """Static service order of every resource (resolved lazily)."""
+        if self._orders is None:
+            self.validate()
+        return {name: list(slots) for name, slots in self._orders.items()}
+
+    # -- queries ---------------------------------------------------------------------
+    def resource_of(self, function_name: str) -> ProcessingResource:
+        """The resource the function is mapped onto."""
+        return self.platform.resource(self.mapping.resource_of(function_name))
+
+    def slot_location(self, function_name: str, step_index: int) -> SlotLocation:
+        """Locate an execute step in its resource's static order."""
+        resource = self.resource_of(function_name)
+        schedule = self.resource_schedules()[resource.name]
+        for slot in schedule:
+            if slot.function == function_name and slot.step_index == step_index:
+                return SlotLocation(
+                    resource=resource.name,
+                    position=slot.position,
+                    slots_per_iteration=len(schedule),
+                    concurrency=resource.concurrency,
+                )
+        raise ModelError(
+            f"step {step_index} of function {function_name!r} is not an execute step "
+            f"scheduled on resource {resource.name!r}"
+        )
+
+    def relations(self) -> Dict[str, RelationSpec]:
+        return self.application.relations()
+
+    def external_inputs(self) -> List[RelationSpec]:
+        return self.application.external_inputs()
+
+    def external_outputs(self) -> List[RelationSpec]:
+        return self.application.external_outputs()
+
+    def execute_steps_of(self, function_name: str) -> List[Tuple[int, ExecuteStep]]:
+        return self.application.function(function_name).execute_steps()
+
+    # -- reporting ---------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line description of the whole architecture."""
+        lines = [f"Architecture {self.name!r}"]
+        lines.append(self.application.describe())
+        lines.append(f"Platform {self.platform.name!r}:")
+        for resource in self.platform.resources:
+            functions = ", ".join(self.mapping.functions_on(resource.name)) or "<none>"
+            concurrency = "inf" if resource.concurrency is None else resource.concurrency
+            lines.append(
+                f"  {resource.name} [{resource.kind.value}, concurrency={concurrency}]: "
+                f"{functions}"
+            )
+        for resource_name, schedule in self.resource_schedules().items():
+            if not schedule:
+                continue
+            order = " -> ".join(f"{slot.function}.{slot.label}" for slot in schedule)
+            lines.append(f"  static order on {resource_name}: {order}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArchitectureModel({self.name!r}, functions={len(self.application.functions)}, "
+            f"resources={len(self.platform.resources)})"
+        )

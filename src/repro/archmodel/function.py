@@ -1,0 +1,122 @@
+"""Application functions.
+
+An :class:`AppFunction` is one of the paper's F0..Fn blocks: a named,
+cyclically repeating sequence of behaviour primitives.  The class
+offers a small fluent interface so models read like the pseudo-code of
+Fig. 1::
+
+    f1 = (AppFunction("F1")
+          .read("M1")
+          .execute("Ti1", workload_i1)
+          .write("M2")
+          .execute("Tj1", workload_j1)
+          .write("M3"))
+
+Each pass through the whole sequence is one *iteration* ``k``; the
+completion instants of the steps at iteration ``k`` are the evolution
+instants the dynamic computation method manipulates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from ..kernel.simtime import Duration
+from .primitives import BehaviourStep, DelayStep, ExecuteStep, ReadStep, WriteStep
+from .workload import ExecutionTimeModel
+
+__all__ = ["AppFunction"]
+
+
+class AppFunction:
+    """A named application function with a cyclic behaviour."""
+
+    def __init__(self, name: str, steps: Optional[Sequence[BehaviourStep]] = None) -> None:
+        if not name:
+            raise ModelError("functions must have a non-empty name")
+        self.name = name
+        self._steps: List[BehaviourStep] = list(steps or [])
+
+    # -- fluent construction -------------------------------------------------
+    def read(self, relation: str) -> "AppFunction":
+        """Append a read of ``relation``."""
+        self._steps.append(ReadStep(relation))
+        return self
+
+    def write(self, relation: str) -> "AppFunction":
+        """Append a write to ``relation``."""
+        self._steps.append(WriteStep(relation))
+        return self
+
+    def execute(self, label: str, workload: ExecutionTimeModel) -> "AppFunction":
+        """Append an execution described by ``workload``."""
+        self._steps.append(ExecuteStep(label, workload))
+        return self
+
+    def delay(self, duration: Duration) -> "AppFunction":
+        """Append a resource-free delay."""
+        self._steps.append(DelayStep(duration))
+        return self
+
+    def add_step(self, step: BehaviourStep) -> "AppFunction":
+        """Append an already-built step."""
+        if not isinstance(step, BehaviourStep):
+            raise ModelError("add_step expects a BehaviourStep")
+        self._steps.append(step)
+        return self
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def steps(self) -> Tuple[BehaviourStep, ...]:
+        return tuple(self._steps)
+
+    @property
+    def step_count(self) -> int:
+        return len(self._steps)
+
+    def execute_steps(self) -> List[Tuple[int, ExecuteStep]]:
+        """(step index, step) pairs of every execute step, in behaviour order."""
+        return [
+            (index, step)
+            for index, step in enumerate(self._steps)
+            if isinstance(step, ExecuteStep)
+        ]
+
+    def relations_read(self) -> List[str]:
+        """Names of the relations this function reads, in behaviour order."""
+        return [step.relation for step in self._steps if isinstance(step, ReadStep)]
+
+    def relations_written(self) -> List[str]:
+        """Names of the relations this function writes, in behaviour order."""
+        return [step.relation for step in self._steps if isinstance(step, WriteStep)]
+
+    def validate(self) -> None:
+        """Check the behaviour is non-empty and references each relation once per direction."""
+        if not self._steps:
+            raise ModelError(f"function {self.name!r} has an empty behaviour")
+        reads = self.relations_read()
+        writes = self.relations_written()
+        if len(set(reads)) != len(reads):
+            raise ModelError(
+                f"function {self.name!r} reads the same relation more than once per iteration; "
+                "this is not supported by the iteration-indexed semantics"
+            )
+        if len(set(writes)) != len(writes):
+            raise ModelError(
+                f"function {self.name!r} writes the same relation more than once per iteration; "
+                "this is not supported by the iteration-indexed semantics"
+            )
+        overlap = set(reads) & set(writes)
+        if overlap:
+            raise ModelError(
+                f"function {self.name!r} both reads and writes relations {sorted(overlap)}"
+            )
+
+    def describe(self) -> str:
+        """Single-line pseudo-code rendering (mirrors the notation of Fig. 1)."""
+        body = "; ".join(repr(step) for step in self._steps)
+        return f"{self.name}: while(1) {{ {body}; }}"
+
+    def __repr__(self) -> str:
+        return f"AppFunction({self.name!r}, steps={len(self._steps)})"

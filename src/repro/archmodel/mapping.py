@@ -1,0 +1,182 @@
+"""Mapping layer.
+
+"The aim of the mapping layer is to correctly manage platform resources
+when the application model executes, taking into account the
+concurrency of each platform resource and the defined arbitration and
+scheduling policies" (Section III-A).
+
+The library targets the paper's assumption of *statically scheduled
+architectures with no pre-emption*: the order in which a resource
+serves the execute steps mapped onto it is fixed before the simulation
+starts and repeats every iteration.  A :class:`Mapping` therefore
+holds:
+
+* ``allocation`` -- which resource runs each function,
+* one *static service order* per resource -- the cyclic sequence of
+  execute *slots* (function, step index) the resource serves.  By
+  default the order follows the allocation order of the functions and
+  the behaviour order of their execute steps; it can be overridden with
+  :meth:`set_static_order`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ModelError
+from .application import ApplicationModel
+from .platform import PlatformModel
+from .primitives import ExecuteStep
+
+__all__ = ["ScheduleSlot", "Mapping"]
+
+
+@dataclass(frozen=True)
+class ScheduleSlot:
+    """One execute step in a resource's static service order."""
+
+    function: str
+    step_index: int
+    label: str
+    position: int  # position within the resource's per-iteration order
+
+
+class Mapping:
+    """Allocation of application functions to platform resources."""
+
+    def __init__(self, name: str = "mapping") -> None:
+        self.name = name
+        self._allocation: Dict[str, str] = {}
+        self._explicit_orders: Dict[str, List[Tuple[str, int]]] = {}
+
+    # -- construction ----------------------------------------------------------
+    def allocate(self, function_name: str, resource_name: str) -> "Mapping":
+        """Map ``function_name`` onto ``resource_name`` (chainable)."""
+        if function_name in self._allocation:
+            raise ModelError(f"function {function_name!r} is already allocated")
+        self._allocation[function_name] = resource_name
+        return self
+
+    def set_static_order(
+        self,
+        resource_name: str,
+        order: Sequence[Union[str, Tuple[str, int]]],
+    ) -> "Mapping":
+        """Fix the per-iteration service order of ``resource_name``.
+
+        Entries are either ``(function_name, step_index)`` pairs identifying a
+        single execute step, or a bare function name standing for all of that
+        function's execute steps in behaviour order.  The order must cover
+        exactly the execute steps of the functions allocated to the resource
+        (checked by :meth:`resolve_orders`).
+        """
+        normalized: List[Tuple[str, int]] = []
+        for entry in order:
+            if isinstance(entry, str):
+                normalized.append((entry, -1))  # expanded during resolution
+            else:
+                function_name, step_index = entry
+                normalized.append((function_name, int(step_index)))
+        self._explicit_orders[resource_name] = normalized
+        return self
+
+    # -- queries -----------------------------------------------------------------
+    @property
+    def allocation(self) -> Dict[str, str]:
+        return dict(self._allocation)
+
+    def resource_of(self, function_name: str) -> str:
+        try:
+            return self._allocation[function_name]
+        except KeyError:
+            raise ModelError(f"function {function_name!r} is not allocated") from None
+
+    def functions_on(self, resource_name: str) -> List[str]:
+        """Functions allocated to ``resource_name``, in allocation order."""
+        return [
+            function
+            for function, resource in self._allocation.items()
+            if resource == resource_name
+        ]
+
+    # -- resolution -----------------------------------------------------------------
+    def resolve_orders(
+        self, application: ApplicationModel, platform: PlatformModel
+    ) -> Dict[str, List[ScheduleSlot]]:
+        """Build the static service order of every resource.
+
+        Returns a mapping ``resource name -> [ScheduleSlot, ...]`` covering
+        every execute step of every allocated function exactly once.
+        """
+        self.validate(application, platform)
+        orders: Dict[str, List[ScheduleSlot]] = {}
+        for resource in platform.resources:
+            slots = self._resolve_resource_order(resource.name, application)
+            orders[resource.name] = slots
+        return orders
+
+    def _resolve_resource_order(
+        self, resource_name: str, application: ApplicationModel
+    ) -> List[ScheduleSlot]:
+        expected: List[Tuple[str, int, str]] = []
+        for function_name in self.functions_on(resource_name):
+            function = application.function(function_name)
+            for step_index, step in function.execute_steps():
+                expected.append((function_name, step_index, step.label))
+        expected_keys = {(name, index) for name, index, _ in expected}
+
+        explicit = self._explicit_orders.get(resource_name)
+        if explicit is None:
+            ordered = expected
+        else:
+            ordered = []
+            seen = set()
+            for function_name, step_index in explicit:
+                if step_index == -1:
+                    function = application.function(function_name)
+                    entries = [
+                        (function_name, index, step.label)
+                        for index, step in function.execute_steps()
+                    ]
+                else:
+                    function = application.function(function_name)
+                    steps = dict(function.execute_steps())
+                    if step_index not in steps:
+                        raise ModelError(
+                            f"static order of {resource_name!r}: step {step_index} of "
+                            f"{function_name!r} is not an execute step"
+                        )
+                    entries = [(function_name, step_index, steps[step_index].label)]
+                for entry in entries:
+                    key = (entry[0], entry[1])
+                    if key in seen:
+                        raise ModelError(
+                            f"static order of {resource_name!r} lists {key} twice"
+                        )
+                    seen.add(key)
+                    ordered.append(entry)
+            ordered_keys = {(name, index) for name, index, _ in ordered}
+            if ordered_keys != expected_keys:
+                missing = expected_keys - ordered_keys
+                extra = ordered_keys - expected_keys
+                raise ModelError(
+                    f"static order of {resource_name!r} does not match its allocated execute "
+                    f"steps (missing {sorted(missing)}, unexpected {sorted(extra)})"
+                )
+        return [
+            ScheduleSlot(function=name, step_index=index, label=label, position=position)
+            for position, (name, index, label) in enumerate(ordered)
+        ]
+
+    def validate(self, application: ApplicationModel, platform: PlatformModel) -> None:
+        """Check the allocation is total and targets existing resources."""
+        for function in application.functions:
+            if function.name not in self._allocation:
+                raise ModelError(f"function {function.name!r} is not allocated to any resource")
+        for function_name, resource_name in self._allocation.items():
+            application.function(function_name)
+            platform.resource(resource_name)
+
+    def __repr__(self) -> str:
+        return f"Mapping({self.name!r}, allocated={len(self._allocation)})"

@@ -1,0 +1,132 @@
+"""Platform model.
+
+The platform layer of Fig. 1: a set of processing resources onto which
+application functions are mapped.  Each resource has
+
+* a ``concurrency``: the number of executions it can serve
+  simultaneously.  ``1`` models a programmable processor executing one
+  function at a time (the paper's P1); ``None`` models a set of
+  dedicated hardware resources able to compute all its functions in
+  parallel (the paper's P2).
+* an optional clock ``frequency_hz`` (used by cycle-based workload
+  models and reports),
+* a ``kind`` tag used for reporting (processor, hardware accelerator,
+  DSP, ...).
+
+Communication resources (buses, NoCs) are deliberately *not* modelled:
+the paper neglects their influence in the didactic example and the case
+study, and notes that supplementary evolution-instant equations would
+be needed to describe them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from ..errors import ModelError
+
+__all__ = ["ResourceKind", "ProcessingResource", "PlatformModel"]
+
+
+class ResourceKind(enum.Enum):
+    """Coarse classification of processing resources, used for reports."""
+
+    PROCESSOR = "processor"
+    DSP = "dsp"
+    HARDWARE = "hardware"
+    OTHER = "other"
+
+
+class ProcessingResource:
+    """One processing resource of the platform."""
+
+    def __init__(
+        self,
+        name: str,
+        concurrency: Optional[int] = 1,
+        frequency_hz: Optional[float] = None,
+        kind: ResourceKind = ResourceKind.PROCESSOR,
+    ) -> None:
+        if not name:
+            raise ModelError("resources must have a non-empty name")
+        if concurrency is not None and concurrency < 1:
+            raise ModelError(f"resource {name!r}: concurrency must be >= 1 or None (unlimited)")
+        if frequency_hz is not None and frequency_hz <= 0:
+            raise ModelError(f"resource {name!r}: frequency must be positive")
+        self.name = name
+        self.concurrency = concurrency
+        self.frequency_hz = frequency_hz
+        self.kind = kind
+
+    @property
+    def is_serialized(self) -> bool:
+        """True when the resource can only serve one execution at a time."""
+        return self.concurrency == 1
+
+    @property
+    def is_unlimited(self) -> bool:
+        """True when the resource imposes no concurrency constraint."""
+        return self.concurrency is None
+
+    def __repr__(self) -> str:
+        concurrency = "inf" if self.concurrency is None else self.concurrency
+        return (
+            f"ProcessingResource({self.name!r}, kind={self.kind.value}, "
+            f"concurrency={concurrency})"
+        )
+
+
+class PlatformModel:
+    """A named collection of processing resources."""
+
+    def __init__(self, name: str = "platform") -> None:
+        self.name = name
+        self._resources: Dict[str, ProcessingResource] = {}
+
+    def add_resource(self, resource: ProcessingResource) -> ProcessingResource:
+        """Register a resource; names must be unique."""
+        if not isinstance(resource, ProcessingResource):
+            raise ModelError("add_resource expects a ProcessingResource")
+        if resource.name in self._resources:
+            raise ModelError(f"resource {resource.name!r} already exists")
+        self._resources[resource.name] = resource
+        return resource
+
+    def add_processor(
+        self,
+        name: str,
+        frequency_hz: Optional[float] = None,
+        kind: ResourceKind = ResourceKind.PROCESSOR,
+    ) -> ProcessingResource:
+        """Convenience: add a concurrency-1 programmable processor."""
+        return self.add_resource(ProcessingResource(name, 1, frequency_hz, kind))
+
+    def add_hardware(
+        self, name: str, frequency_hz: Optional[float] = None
+    ) -> ProcessingResource:
+        """Convenience: add an unlimited-concurrency dedicated hardware resource."""
+        return self.add_resource(
+            ProcessingResource(name, None, frequency_hz, ResourceKind.HARDWARE)
+        )
+
+    def resource(self, name: str) -> ProcessingResource:
+        try:
+            return self._resources[name]
+        except KeyError:
+            raise ModelError(f"unknown resource {name!r}") from None
+
+    @property
+    def resources(self) -> Tuple[ProcessingResource, ...]:
+        return tuple(self._resources.values())
+
+    @property
+    def resource_names(self) -> Tuple[str, ...]:
+        return tuple(self._resources)
+
+    def validate(self) -> None:
+        if not self._resources:
+            raise ModelError(f"platform {self.name!r} has no resource")
+
+    def __repr__(self) -> str:
+        return f"PlatformModel({self.name!r}, resources={len(self._resources)})"

@@ -1,0 +1,115 @@
+"""Behaviour primitives.
+
+The behaviour of an application function is "given using a set of basic
+communication and computation primitives" (Section III-A): each
+function body is a cyclic, ordered sequence of steps drawn from the
+primitives below.
+
+* :class:`ReadStep` -- receive one token from a relation.
+* :class:`ExecuteStep` -- occupy the mapped processing resource for a
+  duration given by a workload model.
+* :class:`WriteStep` -- send the current token over a relation.
+* :class:`DelayStep` -- let time pass without occupying any resource
+  (e.g. a fixed protocol latency); not used by the paper's examples but
+  handy for richer scenarios.
+
+Steps are plain immutable descriptors; they do not execute anything by
+themselves.  The explicit model interprets them with kernel processes,
+the TDG builder compiles them into evolution-instant equations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import ModelError
+from ..kernel.simtime import Duration
+from .workload import ExecutionTimeModel
+
+__all__ = ["BehaviourStep", "ReadStep", "ExecuteStep", "WriteStep", "DelayStep"]
+
+
+class BehaviourStep:
+    """Base class of all behaviour primitives."""
+
+    __slots__ = ()
+
+    @property
+    def kind(self) -> str:
+        """Short lowercase identifier of the primitive ('read', 'execute', ...)."""
+        raise NotImplementedError
+
+
+class ReadStep(BehaviourStep):
+    """Receive one token from ``relation``."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation: str) -> None:
+        if not relation:
+            raise ModelError("ReadStep requires a relation name")
+        self.relation = relation
+
+    @property
+    def kind(self) -> str:
+        return "read"
+
+    def __repr__(self) -> str:
+        return f"read({self.relation})"
+
+
+class WriteStep(BehaviourStep):
+    """Send the current token over ``relation``."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation: str) -> None:
+        if not relation:
+            raise ModelError("WriteStep requires a relation name")
+        self.relation = relation
+
+    @property
+    def kind(self) -> str:
+        return "write"
+
+    def __repr__(self) -> str:
+        return f"write({self.relation})"
+
+
+class ExecuteStep(BehaviourStep):
+    """Occupy the mapped resource for a workload-defined duration."""
+
+    __slots__ = ("label", "workload")
+
+    def __init__(self, label: str, workload: ExecutionTimeModel) -> None:
+        if not label:
+            raise ModelError("ExecuteStep requires a label (e.g. 'Ti1')")
+        if not isinstance(workload, ExecutionTimeModel):
+            raise ModelError(f"ExecuteStep {label!r} requires an ExecutionTimeModel")
+        self.label = label
+        self.workload = workload
+
+    @property
+    def kind(self) -> str:
+        return "execute"
+
+    def __repr__(self) -> str:
+        return f"execute({self.label})"
+
+
+class DelayStep(BehaviourStep):
+    """Let ``duration`` of simulated time pass without using any resource."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: Duration) -> None:
+        if not isinstance(duration, Duration) or duration.is_negative():
+            raise ModelError("DelayStep requires a non-negative Duration")
+        self.duration = duration
+
+    @property
+    def kind(self) -> str:
+        return "delay"
+
+    def __repr__(self) -> str:
+        return f"delay({self.duration})"

@@ -1,0 +1,62 @@
+"""Data tokens.
+
+A :class:`DataToken` is the unit of data exchanged over relations.  For
+performance evaluation the actual payload is irrelevant; what matters
+are the *attributes* that drive data-dependent execution times (the
+paper's "execution durations are typically variable and can, for
+example, depend on data size information") -- e.g. a size in bytes, an
+LTE symbol's modulation order or allocated resource blocks.
+
+Tokens are treated as immutable by the library: application functions
+pass them through unchanged, so the explicit event-driven model and the
+equivalent model see exactly the same attribute values for iteration
+``k`` and therefore compute exactly the same durations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["DataToken"]
+
+
+class DataToken:
+    """An immutable bag of attributes flowing through the application."""
+
+    __slots__ = ("index", "_attributes", "label")
+
+    def __init__(
+        self,
+        index: int,
+        attributes: Optional[Mapping[str, Any]] = None,
+        label: str = "",
+    ) -> None:
+        if index < 0:
+            raise ValueError("token index must be non-negative")
+        self.index = index
+        self._attributes: Dict[str, Any] = dict(attributes or {})
+        self.label = label or f"token[{index}]"
+
+    @property
+    def attributes(self) -> Dict[str, Any]:
+        """A copy of the token's attributes."""
+        return dict(self._attributes)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Return one attribute (``default`` when absent)."""
+        return self._attributes.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._attributes
+
+    def __getitem__(self, name: str) -> Any:
+        return self._attributes[name]
+
+    def with_attributes(self, **updates: Any) -> "DataToken":
+        """Return a new token with updated attributes (same index and label)."""
+        merged = dict(self._attributes)
+        merged.update(updates)
+        return DataToken(self.index, merged, self.label)
+
+    def __repr__(self) -> str:
+        return f"DataToken({self.index}, {self._attributes})"

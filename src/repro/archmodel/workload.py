@@ -1,0 +1,276 @@
+"""Workload (execution-time) models.
+
+Performance models do not describe functionality; they describe the
+*computation load* a function places on a platform resource when it
+executes (Section II of the paper).  A workload model answers two
+questions for the ``(k+1)``-th execution of a function:
+
+* :meth:`ExecutionTimeModel.duration` -- how long does the execution
+  occupy its resource?
+* :meth:`ExecutionTimeModel.operations` -- how many operations does it
+  perform?  This is only used by the observation layer to plot the
+  computational complexity per time unit (GOPS) of Fig. 6; it does not
+  influence timing.
+
+Determinism contract
+--------------------
+The explicit event-driven model and the equivalent model must compute
+*identical* durations for iteration ``k``, otherwise the accuracy
+comparison is meaningless.  Every model in this module is a
+deterministic function of ``(k, token)``; the stochastic model draws
+its samples lazily from a private seeded RNG and memoises them per
+iteration, so two architecture models *sharing the same instance* see
+the same sequence.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..errors import ModelError
+from ..kernel.simtime import Duration
+from .token import DataToken
+
+__all__ = [
+    "ExecutionTimeModel",
+    "ConstantExecutionTime",
+    "DataDependentExecutionTime",
+    "PerUnitExecutionTime",
+    "TableExecutionTime",
+    "StochasticExecutionTime",
+    "CycleAccurateExecutionTime",
+]
+
+
+class ExecutionTimeModel(abc.ABC):
+    """Abstract execution-time / computation-load model."""
+
+    @abc.abstractmethod
+    def duration(self, k: int, token: Optional[DataToken]) -> Duration:
+        """Execution duration of the ``(k+1)``-th execution."""
+
+    def operations(self, k: int, token: Optional[DataToken]) -> float:
+        """Number of operations of the ``(k+1)``-th execution (default 0)."""
+        return 0.0
+
+    # Workload models are shared between architecture models, never copied.
+    def __deepcopy__(self, memo):  # pragma: no cover - defensive
+        return self
+
+
+class ConstantExecutionTime(ExecutionTimeModel):
+    """Fixed execution time (and optional fixed operation count)."""
+
+    def __init__(self, duration: Duration, operations: float = 0.0) -> None:
+        if not isinstance(duration, Duration):
+            raise ModelError("ConstantExecutionTime expects a Duration")
+        if duration.is_negative():
+            raise ModelError("execution time cannot be negative")
+        self._duration = duration
+        self._operations = float(operations)
+
+    def duration(self, k: int, token: Optional[DataToken]) -> Duration:
+        return self._duration
+
+    def operations(self, k: int, token: Optional[DataToken]) -> float:
+        return self._operations
+
+
+class DataDependentExecutionTime(ExecutionTimeModel):
+    """Execution time given by an arbitrary callable ``f(k, token) -> Duration``."""
+
+    def __init__(
+        self,
+        duration_fn: Callable[[int, Optional[DataToken]], Duration],
+        operations_fn: Optional[Callable[[int, Optional[DataToken]], float]] = None,
+        description: str = "",
+    ) -> None:
+        if not callable(duration_fn):
+            raise ModelError("duration_fn must be callable")
+        self._duration_fn = duration_fn
+        self._operations_fn = operations_fn
+        self.description = description
+
+    def duration(self, k: int, token: Optional[DataToken]) -> Duration:
+        duration = self._duration_fn(k, token)
+        if not isinstance(duration, Duration):
+            raise ModelError(
+                f"duration_fn returned {type(duration).__name__}; expected Duration"
+            )
+        if duration.is_negative():
+            raise ModelError("duration_fn returned a negative duration")
+        return duration
+
+    def operations(self, k: int, token: Optional[DataToken]) -> float:
+        if self._operations_fn is None:
+            return 0.0
+        return float(self._operations_fn(k, token))
+
+
+class PerUnitExecutionTime(ExecutionTimeModel):
+    """Affine model ``base + per_unit * token[attribute]``.
+
+    The classic "proportional to data size" workload: ``attribute`` is
+    looked up on the token (``default_units`` when missing), multiplied
+    by ``per_unit`` and added to ``base``.  ``operations_per_unit``
+    plays the same role for the operation count.
+    """
+
+    def __init__(
+        self,
+        base: Duration,
+        per_unit: Duration,
+        attribute: str = "size",
+        default_units: int = 0,
+        operations_per_unit: float = 0.0,
+        base_operations: float = 0.0,
+    ) -> None:
+        if base.is_negative() or per_unit.is_negative():
+            raise ModelError("base and per_unit durations cannot be negative")
+        self._base = base
+        self._per_unit = per_unit
+        self.attribute = attribute
+        self.default_units = default_units
+        self._operations_per_unit = float(operations_per_unit)
+        self._base_operations = float(base_operations)
+
+    def _units(self, token: Optional[DataToken]) -> int:
+        if token is None:
+            return self.default_units
+        units = token.get(self.attribute, self.default_units)
+        if not isinstance(units, int) or units < 0:
+            raise ModelError(
+                f"token attribute {self.attribute!r} must be a non-negative integer, "
+                f"got {units!r}"
+            )
+        return units
+
+    def duration(self, k: int, token: Optional[DataToken]) -> Duration:
+        return self._base + self._per_unit * self._units(token)
+
+    def operations(self, k: int, token: Optional[DataToken]) -> float:
+        return self._base_operations + self._operations_per_unit * self._units(token)
+
+
+class TableExecutionTime(ExecutionTimeModel):
+    """Execution times read from a table indexed by the iteration counter.
+
+    The table wraps around by default (``cyclic=True``); with
+    ``cyclic=False`` the last entry is repeated for iterations beyond the
+    table length.
+    """
+
+    def __init__(
+        self,
+        durations: Sequence[Duration],
+        operations: Optional[Sequence[float]] = None,
+        cyclic: bool = True,
+    ) -> None:
+        if not durations:
+            raise ModelError("TableExecutionTime requires at least one duration")
+        for duration in durations:
+            if not isinstance(duration, Duration) or duration.is_negative():
+                raise ModelError("table entries must be non-negative Durations")
+        if operations is not None and len(operations) != len(durations):
+            raise ModelError("operations table must have the same length as the durations table")
+        self._durations = list(durations)
+        self._operations = [float(value) for value in operations] if operations else None
+        self.cyclic = cyclic
+
+    def _index(self, k: int) -> int:
+        if self.cyclic:
+            return k % len(self._durations)
+        return min(k, len(self._durations) - 1)
+
+    def duration(self, k: int, token: Optional[DataToken]) -> Duration:
+        return self._durations[self._index(k)]
+
+    def operations(self, k: int, token: Optional[DataToken]) -> float:
+        if self._operations is None:
+            return 0.0
+        return self._operations[self._index(k)]
+
+
+class StochasticExecutionTime(ExecutionTimeModel):
+    """Randomly varying execution time, reproducible and memoised per iteration.
+
+    ``low``/``high`` bound a uniform distribution (in picoseconds); a
+    different distribution can be supplied through ``sampler`` which
+    receives the private :class:`random.Random` instance and returns a
+    :class:`Duration`.  The sample for iteration ``k`` is drawn the first
+    time it is requested and cached, so the explicit and equivalent models
+    sharing this instance observe identical values regardless of the order
+    in which they run.
+    """
+
+    def __init__(
+        self,
+        low: Optional[Duration] = None,
+        high: Optional[Duration] = None,
+        seed: int = 0,
+        sampler: Optional[Callable[[random.Random], Duration]] = None,
+        operations: float = 0.0,
+    ) -> None:
+        if sampler is None:
+            if low is None or high is None:
+                raise ModelError("provide either low/high bounds or a sampler")
+            if low.is_negative() or high < low:
+                raise ModelError("require 0 <= low <= high")
+            self._sampler = lambda rng: Duration(
+                rng.randint(low.picoseconds, high.picoseconds)
+            )
+        else:
+            self._sampler = sampler
+        self._rng = random.Random(seed)
+        self._cache: Dict[int, Duration] = {}
+        self._next_expected = 0
+        self._operations = float(operations)
+
+    def duration(self, k: int, token: Optional[DataToken]) -> Duration:
+        if k not in self._cache:
+            # Draw samples in iteration order so the sequence is independent of
+            # which model asks first.
+            while self._next_expected <= k:
+                sample = self._sampler(self._rng)
+                if not isinstance(sample, Duration) or sample.is_negative():
+                    raise ModelError("sampler must return a non-negative Duration")
+                self._cache[self._next_expected] = sample
+                self._next_expected += 1
+        return self._cache[k]
+
+    def operations(self, k: int, token: Optional[DataToken]) -> float:
+        return self._operations
+
+
+class CycleAccurateExecutionTime(ExecutionTimeModel):
+    """Execution time expressed in resource cycles at a given clock frequency.
+
+    ``cycles_fn(k, token)`` returns the cycle count; the duration is
+    ``cycles / frequency_hz`` rounded to the nearest picosecond.
+    ``operations_fn`` (optional) returns the operation count.
+    """
+
+    def __init__(
+        self,
+        cycles_fn: Callable[[int, Optional[DataToken]], int],
+        frequency_hz: float,
+        operations_fn: Optional[Callable[[int, Optional[DataToken]], float]] = None,
+    ) -> None:
+        if frequency_hz <= 0:
+            raise ModelError("frequency must be positive")
+        self._cycles_fn = cycles_fn
+        self.frequency_hz = float(frequency_hz)
+        self._operations_fn = operations_fn
+
+    def duration(self, k: int, token: Optional[DataToken]) -> Duration:
+        cycles = self._cycles_fn(k, token)
+        if cycles < 0:
+            raise ModelError("cycle count cannot be negative")
+        return Duration.from_seconds(cycles / self.frequency_hz)
+
+    def operations(self, k: int, token: Optional[DataToken]) -> float:
+        if self._operations_fn is None:
+            return 0.0
+        return float(self._operations_fn(k, token))

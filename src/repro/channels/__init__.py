@@ -1,0 +1,19 @@
+"""Communication channels (the application model's *relations*).
+
+Three channel flavours are provided, all instrumented with
+exchange-instant traces used for accuracy checks and event-ratio
+measurements:
+
+* :class:`~repro.channels.rendezvous.RendezvousChannel` -- synchronous
+  exchange, the paper's default relation type.
+* :class:`~repro.channels.fifo.FifoChannel` -- bounded/unbounded FIFO.
+* :class:`~repro.channels.signal.Signal` -- last-value with change
+  notification.
+"""
+
+from .base import ChannelBase
+from .fifo import FifoChannel
+from .rendezvous import RendezvousChannel
+from .signal import Signal
+
+__all__ = ["ChannelBase", "RendezvousChannel", "FifoChannel", "Signal"]

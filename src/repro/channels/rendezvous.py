@@ -1,0 +1,105 @@
+"""Rendezvous (synchronous) channel.
+
+The didactic example of the paper assumes that application functions
+"exchange data with a rendezvous communication protocol ... which
+implies they wait on each other to exchange data".  The exchange
+instant of the ``(k+1)``-th item over a relation M is therefore
+
+    xM(k) = max(instant the producer reaches the write,
+                instant the consumer reaches the read)
+
+and both sides resume from that instant.  This module implements that
+protocol on top of the kernel: the side that arrives first blocks on a
+private event; the side that arrives second completes the exchange,
+records the instant and wakes the peer with a delta notification.
+
+Usage inside simulation processes::
+
+    def producer(channel):
+        while True:
+            yield from channel.write(token)
+
+    def consumer(channel):
+        while True:
+            token = yield from channel.read()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Generator, Optional
+
+from ..errors import SimulationError
+from .base import ChannelBase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.scheduler import Simulator
+
+__all__ = ["RendezvousChannel"]
+
+
+class _PendingWrite:
+    __slots__ = ("token", "event")
+
+    def __init__(self, token, event) -> None:
+        self.token = token
+        self.event = event
+
+
+class _PendingRead:
+    __slots__ = ("token", "event")
+
+    def __init__(self, event) -> None:
+        self.token = None
+        self.event = event
+
+
+class RendezvousChannel(ChannelBase):
+    """Point-to-point synchronous channel (the paper's default relation type)."""
+
+    def __init__(self, simulator: "Simulator", name: str) -> None:
+        super().__init__(simulator, name)
+        self._pending_writes: Deque[_PendingWrite] = deque()
+        self._pending_reads: Deque[_PendingRead] = deque()
+
+    # -- protocol ------------------------------------------------------------
+    def write(self, token: object) -> Generator:
+        """Offer ``token`` and block until a reader takes it (generator; use ``yield from``)."""
+        if self._pending_reads:
+            pending = self._pending_reads.popleft()
+            pending.token = token
+            self._record_exchange(token)
+            pending.event.notify_immediate()
+            return
+        entry = _PendingWrite(token, self._simulator.create_event(f"{self.name}.write"))
+        self._pending_writes.append(entry)
+        yield entry.event
+
+    def read(self) -> Generator:
+        """Block until a writer offers a token and return it (generator; use ``yield from``)."""
+        if self._pending_writes:
+            entry = self._pending_writes.popleft()
+            self._record_exchange(entry.token)
+            entry.event.notify_immediate()
+            return entry.token
+        pending = _PendingRead(self._simulator.create_event(f"{self.name}.read"))
+        self._pending_reads.append(pending)
+        yield pending.event
+        return pending.token
+
+    def try_peek(self) -> Optional[object]:
+        """Return the token offered by a blocked writer without completing the exchange."""
+        if self._pending_writes:
+            return self._pending_writes[0].token
+        return None
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def writers_blocked(self) -> int:
+        """Number of producers currently blocked waiting for a reader."""
+        return len(self._pending_writes)
+
+    @property
+    def readers_blocked(self) -> int:
+        """Number of consumers currently blocked waiting for a writer."""
+        return len(self._pending_reads)

@@ -1,0 +1,51 @@
+"""Signal channel.
+
+A :class:`Signal` holds the last written value and notifies an event on
+every change, mirroring the SystemC ``sc_signal`` update semantics at a
+coarse (transaction) granularity.  It is not used by the paper's
+experiments directly but is provided for completeness of the channel
+library (control flags, mode changes in the LTE scenario, ...).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from .base import ChannelBase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.scheduler import Simulator
+
+__all__ = ["Signal"]
+
+
+class Signal(ChannelBase):
+    """Last-value channel with change notification."""
+
+    def __init__(self, simulator: "Simulator", name: str, initial: object = None) -> None:
+        super().__init__(simulator, name)
+        self._value = initial
+        self._changed = simulator.create_event(f"{name}.changed")
+
+    @property
+    def value(self) -> object:
+        """The most recently written value."""
+        return self._value
+
+    def write(self, value: object) -> None:
+        """Update the signal; notifies waiters only when the value actually changes."""
+        if value != self._value:
+            self._value = value
+            self._record_exchange(value)
+            self._changed.notify_immediate()
+
+    def wait_for_change(self) -> Generator:
+        """Block until the value changes and return the new value (use ``yield from``)."""
+        yield self._changed
+        return self._value
+
+    def wait_for_value(self, expected: object) -> Generator:
+        """Block until the signal equals ``expected`` (use ``yield from``)."""
+        while self._value != expected:
+            yield self._changed
+        return self._value

@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+A small front-end over the experiment harnesses so the paper's artefacts
+can be regenerated without writing any Python::
+
+    python -m repro.cli table1 --items 4000 --stages 4
+    python -m repro.cli fig5   --items 500
+    python -m repro.cli fig6   --frames 1
+    python -m repro.cli lte    --symbols 2800
+    python -m repro.cli describe didactic|lte|chain2
+
+Every sub-command prints plain-text tables/series (via
+:mod:`repro.analysis.report`), suitable for redirecting into the
+experiment log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from .analysis import format_rows, format_series, measure_speedup, theoretical_event_ratio
+from .environment import RandomSizeStimulus
+from .examples_lib import build_didactic_architecture, didactic_stimulus
+from .generator import build_chain_architecture, build_pipeline_architecture
+from .kernel.simtime import microseconds
+from .lte import (
+    OUTPUT_RELATION,
+    SYMBOLS_PER_FRAME,
+    build_lte_architecture,
+    build_lte_models,
+    fig6_observation,
+)
+from .observation import compare_instants
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of Le Nours et al., DATE 2014.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="Table I: speed-up on chained architectures")
+    table1.add_argument("--items", type=int, default=4000, help="data items per model")
+    table1.add_argument("--stages", type=int, default=4, help="largest chain length")
+
+    fig5 = subparsers.add_parser("fig5", help="Fig. 5: speed-up vs TDG node count")
+    fig5.add_argument("--items", type=int, default=500, help="data items per sweep point")
+    fig5.add_argument("--x-size", type=int, default=10, help="size of the X(k) vector")
+    fig5.add_argument(
+        "--nodes",
+        type=int,
+        nargs="+",
+        default=[50, 100, 200, 500, 1000],
+        help="target node counts",
+    )
+
+    fig6 = subparsers.add_parser("fig6", help="Fig. 6: LTE frame observation")
+    fig6.add_argument("--frames", type=int, default=1, help="number of LTE frames to observe")
+
+    lte = subparsers.add_parser("lte", help="Section V: LTE speed-up measurement")
+    lte.add_argument("--symbols", type=int, default=2800, help="number of OFDM symbols")
+
+    describe = subparsers.add_parser("describe", help="print an architecture description")
+    describe.add_argument(
+        "target",
+        choices=["didactic", "lte", "chain2"],
+        help="which architecture to describe",
+    )
+    return parser
+
+
+def _run_table1(items: int, stages: int) -> int:
+    rows = []
+    for stage_count in range(1, stages + 1):
+        measurement = measure_speedup(
+            lambda s=stage_count: build_chain_architecture(s),
+            lambda: {"L1": didactic_stimulus(items)},
+            label=f"Example {stage_count}",
+        )
+        row = measurement.as_row()
+        row["theoretical ratio"] = round(
+            theoretical_event_ratio(build_chain_architecture(stage_count)), 2
+        )
+        rows.append(row)
+    print(format_rows(rows))
+    return 0 if all(row["accuracy"] == "identical" for row in rows) else 1
+
+
+def _run_fig5(items: int, x_size: int, node_counts: Sequence[int]) -> int:
+    length = max(x_size - 1, 1)
+    points = []
+    for nodes in node_counts:
+        try:
+            measurement = measure_speedup(
+                lambda: build_pipeline_architecture(length),
+                lambda: {"L0": RandomSizeStimulus(microseconds(10 * length), items, seed=7)},
+                pad_to_nodes=nodes,
+                label=f"nodes={nodes}",
+            )
+        except Exception as error:
+            print(f"# skipping {nodes} nodes: {error}", file=sys.stderr)
+            continue
+        if not measurement.outputs_identical:
+            print(f"# accuracy lost at {nodes} nodes", file=sys.stderr)
+            return 1
+        points.append((nodes, round(measurement.speedup, 2)))
+    print(format_series(f"X size: {x_size}", points, "TDG nodes", "speed-up"))
+    return 0
+
+
+def _run_fig6(frames: int) -> int:
+    observation = fig6_observation(frame_count=frames)
+    print(f"# {observation.symbol_count} symbols, {observation.tdg_nodes}-node graph")
+    rows = [
+        {
+            "k": k,
+            "u(k) [us]": round(observation.input_instants[k].microseconds, 2),
+            "y(k) [us]": round(observation.output_instants[k].microseconds, 2)
+            if observation.output_instants[k] is not None
+            else "-",
+        }
+        for k in range(observation.symbol_count)
+    ]
+    print(format_rows(rows))
+    print(format_series("DSP GOPS", observation.dsp_profile.as_rows(), "t [us]", "GOPS"))
+    print(format_series("DECODER GOPS", observation.decoder_profile.as_rows(), "t [us]", "GOPS"))
+    return 0
+
+
+def _run_lte(symbols: int) -> int:
+    explicit, equivalent = build_lte_models(symbols)
+    start = time.perf_counter()
+    explicit.run()
+    explicit_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    equivalent.run()
+    equivalent_wall = time.perf_counter() - start
+    comparison = compare_instants(
+        explicit.output_instants(OUTPUT_RELATION), equivalent.output_instants(OUTPUT_RELATION)
+    )
+    rows = [
+        {
+            "model": "explicit",
+            "relation events": explicit.relation_event_count(),
+            "wall-clock (s)": round(explicit_wall, 3),
+        },
+        {
+            "model": "equivalent",
+            "relation events": equivalent.relation_event_count(),
+            "wall-clock (s)": round(equivalent_wall, 3),
+        },
+    ]
+    print(format_rows(rows))
+    ratio = explicit.relation_event_count() / max(equivalent.relation_event_count(), 1)
+    print(f"event ratio {ratio:.2f}, speed-up {explicit_wall / max(equivalent_wall, 1e-9):.2f}, "
+          f"outputs {comparison.summary()}")
+    return 0 if comparison.identical else 1
+
+
+def _run_describe(target: str) -> int:
+    if target == "didactic":
+        print(build_didactic_architecture().describe())
+    elif target == "lte":
+        print(build_lte_architecture().describe())
+    else:
+        print(build_chain_architecture(2).describe())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (``python -m repro.cli``)."""
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "table1":
+        return _run_table1(arguments.items, arguments.stages)
+    if arguments.command == "fig5":
+        return _run_fig5(arguments.items, arguments.x_size, arguments.nodes)
+    if arguments.command == "fig6":
+        return _run_fig6(arguments.frames)
+    if arguments.command == "lte":
+        return _run_lte(arguments.symbols)
+    if arguments.command == "describe":
+        return _run_describe(arguments.target)
+    raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""The dynamic computation method (the paper's contribution).
+
+* :func:`~repro.core.builder.build_equivalent_spec` -- derive the
+  temporal dependency graph and boundary bookkeeping directly from an
+  architecture description.
+* :class:`~repro.core.compute.InstantComputer` -- the
+  ``ComputeInstant()`` engine.
+* :class:`~repro.core.equivalent.EquivalentProcessModel` -- the
+  Reception/Emission module of Fig. 4.
+* :class:`~repro.core.model.EquivalentArchitectureModel` -- a complete
+  executable architecture model built with the method (drop-in
+  counterpart of the explicit model).
+* :class:`~repro.core.observation.ResourceUsageReconstructor` --
+  observation-time reconstruction of resource usage.
+* :mod:`~repro.core.partition` -- helpers for choosing which processes
+  to abstract.
+"""
+
+from .builder import build_equivalent_spec
+from .compute import InstantComputer
+from .equivalent import EquivalentProcessModel
+from .model import EquivalentArchitectureModel
+from .observation import ResourceUsageReconstructor
+from .partition import GroupingReport, boundary_relations, grouping_report, validate_grouping
+from .spec import BoundaryInput, BoundaryOutput, EquivalentModelSpec, ExecuteNodes
+
+__all__ = [
+    "build_equivalent_spec",
+    "InstantComputer",
+    "EquivalentProcessModel",
+    "EquivalentArchitectureModel",
+    "ResourceUsageReconstructor",
+    "GroupingReport",
+    "boundary_relations",
+    "grouping_report",
+    "validate_grouping",
+    "BoundaryInput",
+    "BoundaryOutput",
+    "EquivalentModelSpec",
+    "ExecuteNodes",
+]

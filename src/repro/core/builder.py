@@ -1,0 +1,478 @@
+"""Automatic construction of the temporal dependency graph.
+
+The paper obtains its formal model "directly from the architecture
+description and not from a prior execution" (Section II).  This module
+is that construction: given an :class:`~repro.archmodel.architecture
+.ArchitectureModel` and the subset of functions to abstract, it derives
+the evolution-instant equations of the timing semantics documented in
+:mod:`repro.archmodel` and materialises them as a
+:class:`~repro.tdg.graph.TemporalDependencyGraph`, together with the
+boundary bookkeeping collected in an
+:class:`~repro.core.spec.EquivalentModelSpec`.
+
+Node vocabulary
+---------------
+========================  =====================================================
+``x[M]``                  exchange instant of relation ``M`` (rendezvous), or
+                          the boundary-exchange instant of a boundary relation
+``w[M]`` / ``r[M]``       write / read completion instants of a FIFO relation
+``ready[M]``              readiness of the abstracted consumer of boundary
+                          input ``M`` (peeked before accepting the next item)
+``offer[M]``              instant at which the abstracted producer offers data
+                          on boundary output ``M`` (the computed ``y(k)``)
+``start[F#i:L]``          start of execute step ``i`` (label ``L``) of
+                          function ``F`` on its resource
+``end[F#i:L]``            completion of that execution
+``delay[F#i]``            completion of a resource-free delay step
+========================  =====================================================
+
+Supported groupings
+-------------------
+* The abstracted functions must not share a processing resource with a
+  function left outside the group (the graph could not know when the
+  outside function occupies the resource).
+* Each boundary-input relation must be read as the *first* step of its
+  abstracted consumer, so that the consumer's readiness only depends on
+  previous-iteration instants (this is what lets the Reception process
+  evaluate it before accepting the next item).
+* When the group has several boundary inputs they are accepted in a
+  fixed order per iteration (application declaration order); this
+  matches the statically-scheduled dataflow assumption of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..archmodel.application import RelationKind, RelationSpec
+from ..archmodel.architecture import ArchitectureModel
+from ..archmodel.primitives import DelayStep, ExecuteStep, ReadStep, WriteStep
+from ..archmodel.token import DataToken
+from ..archmodel.workload import ConstantExecutionTime, ExecutionTimeModel
+from ..errors import ModelError
+from ..kernel.simtime import Duration
+from ..tdg.graph import TemporalDependencyGraph
+from ..tdg.node import NodeKind
+from .spec import BoundaryInput, BoundaryOutput, EquivalentModelSpec, ExecuteNodes
+
+__all__ = ["build_equivalent_spec"]
+
+
+class _WorkloadWeight:
+    """Arc-weight callable evaluating a workload model on the iteration's token."""
+
+    __slots__ = ("workload",)
+
+    def __init__(self, workload: ExecutionTimeModel) -> None:
+        self.workload = workload
+
+    def __call__(self, k: int, context: Mapping[str, object]) -> Duration:
+        token = context.get("token") if context else None
+        return self.workload.duration(k, token)
+
+
+def workload_weight(workload: ExecutionTimeModel):
+    """Arc weight for an execute step's workload.
+
+    Constant workloads become constant :class:`Duration` weights (keeping the
+    graph exportable to the linear matrix form of equations (7)-(10)); every
+    other model becomes a per-iteration callable.
+    """
+    if isinstance(workload, ConstantExecutionTime):
+        return workload.duration(0, None)
+    return _WorkloadWeight(workload)
+
+
+def build_equivalent_spec(
+    architecture: ArchitectureModel,
+    abstract_functions: Optional[Iterable[str]] = None,
+    name: Optional[str] = None,
+) -> EquivalentModelSpec:
+    """Compile (part of) an architecture into an equivalent-model specification.
+
+    Parameters
+    ----------
+    architecture:
+        The validated architecture model.
+    abstract_functions:
+        Names of the functions to group into the equivalent model.  By default
+        every application function is abstracted (the whole architecture
+        becomes a single equivalent model, as in the paper's experiments).
+    name:
+        Optional name for the generated graph.
+    """
+    architecture.validate()
+    all_functions = [function.name for function in architecture.application.functions]
+    if abstract_functions is None:
+        abstracted = list(all_functions)
+    else:
+        abstracted = list(abstract_functions)
+        unknown = set(abstracted) - set(all_functions)
+        if unknown:
+            raise ModelError(f"cannot abstract unknown functions: {sorted(unknown)}")
+        if not abstracted:
+            raise ModelError("the abstracted group must contain at least one function")
+    abstracted_set: Set[str] = set(abstracted)
+
+    _check_resource_isolation(architecture, abstracted_set)
+
+    graph = TemporalDependencyGraph(name or f"{architecture.name}-tdg")
+    relations = architecture.relations()
+
+    # ------------------------------------------------------------------
+    # classify relations with respect to the abstracted group
+    # ------------------------------------------------------------------
+    internal_relations: List[RelationSpec] = []
+    input_relations: List[RelationSpec] = []
+    output_relations: List[RelationSpec] = []
+    for spec in relations.values():
+        producer_in = spec.producer in abstracted_set if spec.producer else False
+        consumer_in = spec.consumer in abstracted_set if spec.consumer else False
+        if producer_in and consumer_in:
+            internal_relations.append(spec)
+        elif consumer_in:
+            input_relations.append(spec)
+        elif producer_in:
+            output_relations.append(spec)
+
+    if not input_relations:
+        raise ModelError(
+            "the abstracted group has no boundary input relation; nothing would ever "
+            "trigger the equivalent model"
+        )
+    _check_no_intra_iteration_feedback(
+        architecture, abstracted_set, input_relations, output_relations
+    )
+
+    # ------------------------------------------------------------------
+    # pass 1: create nodes and remember each step's completion node
+    # ------------------------------------------------------------------
+    relation_nodes: Dict[str, str] = {}
+    fifo_read_nodes: Dict[str, str] = {}
+    boundary_inputs: List[BoundaryInput] = []
+    boundary_outputs: List[BoundaryOutput] = []
+    execute_nodes: List[ExecuteNodes] = []
+    # (function, step_index) -> completion node name
+    completion: Dict[Tuple[str, int], str] = {}
+
+    for spec in internal_relations:
+        if spec.kind is RelationKind.FIFO:
+            write_node = f"w[{spec.name}]"
+            read_node = f"r[{spec.name}]"
+            graph.add_internal(write_node, tags={"kind": "fifo_write", "relation": spec.name})
+            graph.add_internal(read_node, tags={"kind": "fifo_read", "relation": spec.name})
+            relation_nodes[spec.name] = write_node
+            fifo_read_nodes[spec.name] = read_node
+        else:
+            node = f"x[{spec.name}]"
+            graph.add_internal(node, tags={"kind": "exchange", "relation": spec.name})
+            relation_nodes[spec.name] = node
+
+    for spec in input_relations:
+        exchange = f"x[{spec.name}]"
+        ready = f"ready[{spec.name}]"
+        graph.add_input(exchange, tags={"kind": "boundary_input", "relation": spec.name})
+        graph.add_internal(ready, tags={"kind": "input_ready", "relation": spec.name})
+        relation_nodes[spec.name] = exchange
+        boundary_inputs.append(
+            BoundaryInput(
+                relation=spec.name,
+                exchange_node=exchange,
+                ready_node=ready,
+                consumer=spec.consumer,
+            )
+        )
+
+    for spec in output_relations:
+        offer = f"offer[{spec.name}]"
+        exchange = f"x[{spec.name}]"
+        graph.add_output(offer, tags={"kind": "boundary_offer", "relation": spec.name})
+        graph.add_internal(exchange, tags={"kind": "boundary_output", "relation": spec.name})
+        relation_nodes[spec.name] = exchange
+        boundary_outputs.append(
+            BoundaryOutput(
+                relation=spec.name,
+                offer_node=offer,
+                exchange_node=exchange,
+                producer=spec.producer,
+            )
+        )
+
+    input_relation_names = {spec.name for spec in input_relations}
+    output_relation_names = {spec.name for spec in output_relations}
+
+    for function_name in abstracted:
+        function = architecture.application.function(function_name)
+        resource = architecture.resource_of(function_name)
+        for step_index, step in enumerate(function.steps):
+            if isinstance(step, ReadStep):
+                relation = step.relation
+                if relation in fifo_read_nodes:
+                    completion[(function_name, step_index)] = fifo_read_nodes[relation]
+                else:
+                    completion[(function_name, step_index)] = relation_nodes[relation]
+            elif isinstance(step, WriteStep):
+                completion[(function_name, step_index)] = relation_nodes[step.relation]
+            elif isinstance(step, ExecuteStep):
+                start = f"start[{function_name}#{step_index}:{step.label}]"
+                end = f"end[{function_name}#{step_index}:{step.label}]"
+                tags = {
+                    "function": function_name,
+                    "label": step.label,
+                    "step_index": step_index,
+                    "resource": resource.name,
+                }
+                graph.add_internal(start, tags=dict(tags, kind="execute_start"))
+                graph.add_internal(end, tags=dict(tags, kind="execute_end"))
+                completion[(function_name, step_index)] = end
+                execute_nodes.append(
+                    ExecuteNodes(
+                        function=function_name,
+                        step_index=step_index,
+                        label=step.label,
+                        resource=resource.name,
+                        start_node=start,
+                        end_node=end,
+                        workload=step.workload,
+                    )
+                )
+            elif isinstance(step, DelayStep):
+                node = f"delay[{function_name}#{step_index}]"
+                graph.add_internal(
+                    node, tags={"kind": "delay", "function": function_name, "step_index": step_index}
+                )
+                completion[(function_name, step_index)] = node
+            else:  # pragma: no cover - new primitives must be handled explicitly
+                raise ModelError(f"unsupported behaviour step kind {step.kind!r}")
+
+    # ------------------------------------------------------------------
+    # pass 2: arcs
+    # ------------------------------------------------------------------
+    def previous_completion(function_name: str, step_index: int) -> Tuple[str, int]:
+        """Completion node and iteration delay of the step preceding ``step_index``."""
+        function = architecture.application.function(function_name)
+        if step_index > 0:
+            return completion[(function_name, step_index - 1)], 0
+        last_index = function.step_count - 1
+        return completion[(function_name, last_index)], 1
+
+    execute_node_by_slot: Dict[Tuple[str, int], ExecuteNodes] = {
+        (entry.function, entry.step_index): entry for entry in execute_nodes
+    }
+
+    for function_name in abstracted:
+        function = architecture.application.function(function_name)
+        for step_index, step in enumerate(function.steps):
+            prev_node, prev_delay = previous_completion(function_name, step_index)
+            if isinstance(step, ReadStep):
+                relation = step.relation
+                spec = relations[relation]
+                if relation in input_relation_names:
+                    ready = f"ready[{relation}]"
+                    if prev_delay == 0:
+                        raise ModelError(
+                            f"boundary input {relation!r} is read as step {step_index} of "
+                            f"{function_name!r}; the dynamic computation method requires "
+                            "boundary inputs to be read as the first step of their consumer"
+                        )
+                    graph.add_arc(prev_node, ready, delay=prev_delay, label="consumer ready")
+                elif spec.kind is RelationKind.FIFO:
+                    read_node = fifo_read_nodes[relation]
+                    graph.add_arc(prev_node, read_node, delay=prev_delay, label="consumer ready")
+                    graph.add_arc(
+                        relation_nodes[relation], read_node, delay=0, label="data available"
+                    )
+                else:
+                    graph.add_arc(
+                        prev_node, relation_nodes[relation], delay=prev_delay,
+                        label="consumer ready",
+                    )
+            elif isinstance(step, WriteStep):
+                relation = step.relation
+                spec = relations[relation]
+                if relation in output_relation_names:
+                    offer = f"offer[{relation}]"
+                    graph.add_arc(prev_node, offer, delay=prev_delay, label="producer ready")
+                    graph.add_arc(offer, relation_nodes[relation], delay=0, label="exchange")
+                elif spec.kind is RelationKind.FIFO:
+                    write_node = relation_nodes[relation]
+                    graph.add_arc(prev_node, write_node, delay=prev_delay, label="producer ready")
+                    if spec.capacity is not None:
+                        graph.add_arc(
+                            fifo_read_nodes[relation],
+                            write_node,
+                            delay=spec.capacity,
+                            label="back-pressure",
+                        )
+                else:
+                    graph.add_arc(
+                        prev_node, relation_nodes[relation], delay=prev_delay,
+                        label="producer ready",
+                    )
+            elif isinstance(step, ExecuteStep):
+                entry = execute_node_by_slot[(function_name, step_index)]
+                graph.add_arc(prev_node, entry.start_node, delay=prev_delay, label="data ready")
+                _add_resource_arcs(
+                    architecture, graph, execute_node_by_slot, function_name, step_index, entry
+                )
+                graph.add_arc(
+                    entry.start_node,
+                    entry.end_node,
+                    weight=workload_weight(step.workload),
+                    delay=0,
+                    label=step.label,
+                )
+            elif isinstance(step, DelayStep):
+                node = completion[(function_name, step_index)]
+                graph.add_arc(prev_node, node, weight=step.duration, delay=prev_delay)
+
+    graph.validate()
+
+    primary_input = boundary_inputs[0].relation if boundary_inputs else None
+    return EquivalentModelSpec(
+        architecture=architecture,
+        graph=graph,
+        abstracted_functions=tuple(abstracted),
+        boundary_inputs=_sorted_by_application_order(architecture, boundary_inputs),
+        boundary_outputs=_sorted_by_application_order(architecture, boundary_outputs),
+        execute_nodes=execute_nodes,
+        relation_nodes=relation_nodes,
+        primary_input=primary_input,
+    )
+
+
+def _check_no_intra_iteration_feedback(
+    architecture: ArchitectureModel,
+    abstracted: Set[str],
+    input_relations: List[RelationSpec],
+    output_relations: List[RelationSpec],
+) -> None:
+    """Reject groupings whose outputs feed back into their inputs through outside functions.
+
+    The Reception process accepts every boundary input of iteration ``k``
+    *before* running ``ComputeInstant()`` and emitting any output of that
+    iteration.  If a non-abstracted function needs a boundary output of
+    iteration ``k`` to produce a boundary input of the same iteration, the two
+    sides wait for each other and the model deadlocks.  The check is a
+    conservative reachability analysis over the non-abstracted functions
+    (step ordering inside those functions is ignored).
+    """
+    # Directed reachability among outside functions through outside relations.
+    outside_edges: Dict[str, Set[str]] = {}
+    for spec in architecture.relations().values():
+        producer_outside = spec.producer is not None and spec.producer not in abstracted
+        consumer_outside = spec.consumer is not None and spec.consumer not in abstracted
+        if producer_outside and consumer_outside:
+            outside_edges.setdefault(spec.producer, set()).add(spec.consumer)
+
+    def reachable_from(start: str) -> Set[str]:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for successor in outside_edges.get(current, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return seen
+
+    input_producers = {
+        spec.producer for spec in input_relations if spec.producer is not None
+    }
+    for output in output_relations:
+        if output.consumer is None:
+            continue
+        reachable = reachable_from(output.consumer)
+        blocking = reachable & input_producers
+        if blocking:
+            raise ModelError(
+                f"unsupported grouping: boundary output {output.name!r} is consumed by "
+                f"{output.consumer!r}, which (directly or indirectly) produces the boundary "
+                f"input(s) of function(s) {sorted(blocking)} within the same iteration; the "
+                "sequential Reception process would deadlock.  Extend the group so the "
+                "feedback path stays inside it, or group from the output side of the "
+                "application (see repro.core.partition)"
+            )
+
+
+def _check_resource_isolation(
+    architecture: ArchitectureModel, abstracted: Set[str]
+) -> None:
+    """A resource must be used either only inside or only outside the group."""
+    for resource in architecture.platform.resources:
+        users = architecture.mapping.functions_on(resource.name)
+        inside = [user for user in users if user in abstracted]
+        outside = [user for user in users if user not in abstracted]
+        if inside and outside:
+            raise ModelError(
+                f"resource {resource.name!r} is shared between abstracted functions "
+                f"{inside} and non-abstracted functions {outside}; the equivalent model "
+                "cannot compute instants for a resource it does not fully own"
+            )
+
+
+def _add_resource_arcs(
+    architecture: ArchitectureModel,
+    graph: TemporalDependencyGraph,
+    execute_node_by_slot: Dict[Tuple[str, int], ExecuteNodes],
+    function_name: str,
+    step_index: int,
+    entry: ExecuteNodes,
+) -> None:
+    """Add the service-order and server-availability arcs of one execute step."""
+    location = architecture.slot_location(function_name, step_index)
+    if location.concurrency is None:
+        return
+    schedule = architecture.resource_schedules()[location.resource]
+    slots = location.slots_per_iteration
+    position = location.position
+
+    def slot_at(offset: int) -> Tuple[ExecuteNodes, int]:
+        """Slot ``offset`` positions before the current one and its iteration delay."""
+        target = position - offset
+        delay = 0
+        while target < 0:
+            target += slots
+            delay += 1
+        slot = schedule[target]
+        return execute_node_by_slot[(slot.function, slot.step_index)], delay
+
+    # Service order: an execution cannot start before the previous slot started.
+    # (With a single slot per iteration this degenerates to start(k) >= start(k-1),
+    # which is redundant but harmless.)
+    previous_entry, previous_delay = slot_at(1)
+    graph.add_arc(
+        previous_entry.start_node,
+        entry.start_node,
+        delay=previous_delay,
+        label="service order",
+    )
+    # Server availability: at most `concurrency` executions in flight, so this slot
+    # cannot start before the slot `concurrency` positions earlier has completed.
+    server_entry, server_delay = slot_at(location.concurrency)
+    graph.add_arc(
+        server_entry.end_node,
+        entry.start_node,
+        delay=server_delay,
+        label="server free",
+    )
+
+
+def _sorted_by_application_order(architecture: ArchitectureModel, boundaries):
+    """Order boundary records by (function declaration order, reading/writing step index)."""
+    function_order = {
+        function.name: index
+        for index, function in enumerate(architecture.application.functions)
+    }
+
+    def sort_key(boundary) -> Tuple[int, int]:
+        owner = getattr(boundary, "consumer", None) or getattr(boundary, "producer", None)
+        function = architecture.application.function(owner)
+        step_position = 0
+        for index, step in enumerate(function.steps):
+            if getattr(step, "relation", None) == boundary.relation:
+                step_position = index
+                break
+        return (function_order[owner], step_position)
+
+    return sorted(boundaries, key=sort_key)

@@ -1,0 +1,98 @@
+"""Process grouping (which functions to abstract).
+
+The paper points out that the benefit of the method grows with the
+number of architecture processes replaced by the equivalent model
+(Section II: "we point out the influence of the number of abstracted
+processes on the performance of our method").  This module provides the
+helpers used to reason about candidate groupings:
+
+* :func:`boundary_relations` -- the relations a group would still
+  exchange over the simulator,
+* :func:`validate_grouping` -- the structural conditions a group must
+  satisfy (no resource shared with the outside, boundary inputs read as
+  first steps),
+* :func:`grouping_report` -- a summary (internal vs boundary relations,
+  estimated event ratio) used by the grouping ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..archmodel.architecture import ArchitectureModel
+from ..errors import ModelError
+from .builder import build_equivalent_spec
+
+__all__ = ["GroupingReport", "boundary_relations", "validate_grouping", "grouping_report"]
+
+
+def boundary_relations(
+    architecture: ArchitectureModel, group: Iterable[str]
+) -> Tuple[List[str], List[str], List[str]]:
+    """Classify relations relative to ``group``.
+
+    Returns ``(internal, inputs, outputs)`` relation-name lists: relations
+    fully inside the group, relations entering it and relations leaving it.
+    """
+    group_set = set(group)
+    internal: List[str] = []
+    inputs: List[str] = []
+    outputs: List[str] = []
+    for spec in architecture.relations().values():
+        producer_in = spec.producer in group_set if spec.producer else False
+        consumer_in = spec.consumer in group_set if spec.consumer else False
+        if producer_in and consumer_in:
+            internal.append(spec.name)
+        elif consumer_in:
+            inputs.append(spec.name)
+        elif producer_in:
+            outputs.append(spec.name)
+    return internal, inputs, outputs
+
+
+def validate_grouping(architecture: ArchitectureModel, group: Iterable[str]) -> None:
+    """Raise :class:`~repro.errors.ModelError` when the group cannot be abstracted."""
+    build_equivalent_spec(architecture, abstract_functions=list(group))
+
+
+@dataclass(frozen=True)
+class GroupingReport:
+    """Summary of what abstracting a group of functions would save."""
+
+    group: Tuple[str, ...]
+    internal_relations: Tuple[str, ...]
+    boundary_inputs: Tuple[str, ...]
+    boundary_outputs: Tuple[str, ...]
+    tdg_nodes: int
+    #: Exchange events per iteration in the explicit model over the relations
+    #: the group touches, divided by the boundary exchanges the equivalent
+    #: model still needs -- the paper's "ratio of events" estimate.
+    estimated_event_ratio: float
+
+    def summary(self) -> str:
+        return (
+            f"group {', '.join(self.group)}: {len(self.internal_relations)} internal / "
+            f"{len(self.boundary_inputs) + len(self.boundary_outputs)} boundary relations, "
+            f"{self.tdg_nodes} TDG nodes, estimated event ratio "
+            f"{self.estimated_event_ratio:.2f}"
+        )
+
+
+def grouping_report(architecture: ArchitectureModel, group: Iterable[str]) -> GroupingReport:
+    """Build a :class:`GroupingReport` for a candidate grouping (must be valid)."""
+    group = tuple(group)
+    spec = build_equivalent_spec(architecture, abstract_functions=list(group))
+    internal, inputs, outputs = boundary_relations(architecture, group)
+    touched = len(internal) + len(inputs) + len(outputs)
+    boundary = len(inputs) + len(outputs)
+    if boundary == 0:
+        raise ModelError("a group must keep at least one boundary relation")
+    return GroupingReport(
+        group=group,
+        internal_relations=tuple(internal),
+        boundary_inputs=tuple(inputs),
+        boundary_outputs=tuple(outputs),
+        tdg_nodes=spec.graph.node_count,
+        estimated_event_ratio=touched / boundary,
+    )

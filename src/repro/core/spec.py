@@ -1,0 +1,112 @@
+"""Equivalent-model specification.
+
+The automatic builder (:mod:`repro.core.builder`) compiles a group of
+architecture processes into a temporal dependency graph plus the
+bookkeeping the runtime needs: which nodes correspond to the boundary
+relations (where the equivalent model still talks to the simulator),
+which nodes delimit resource activity (for observation-time
+reconstruction), and which relation each computed exchange instant
+belongs to (for accuracy checks).  All of that is collected in an
+:class:`EquivalentModelSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..archmodel.architecture import ArchitectureModel
+from ..archmodel.workload import ExecutionTimeModel
+from ..tdg.graph import TemporalDependencyGraph
+
+__all__ = ["BoundaryInput", "BoundaryOutput", "ExecuteNodes", "EquivalentModelSpec"]
+
+
+@dataclass(frozen=True)
+class BoundaryInput:
+    """One relation through which the equivalent model still *receives* data.
+
+    ``exchange_node`` is the INPUT node whose value is injected with the
+    actual exchange instant observed on the simulator; ``ready_node`` is the
+    INTERNAL node giving the abstracted consumer's readiness, peeked by the
+    Reception process before accepting the next item.
+    """
+
+    relation: str
+    exchange_node: str
+    ready_node: str
+    consumer: str
+
+
+@dataclass(frozen=True)
+class BoundaryOutput:
+    """One relation through which the equivalent model still *emits* data.
+
+    ``offer_node`` is the OUTPUT node computed by ``ComputeInstant()`` (the
+    ``y(k)`` instants); ``exchange_node`` is the internal node fed back with
+    the actual exchange instant once the environment accepted the item.
+    """
+
+    relation: str
+    offer_node: str
+    exchange_node: str
+    producer: str
+
+
+@dataclass(frozen=True)
+class ExecuteNodes:
+    """Start/end instant nodes of one execute step (for usage reconstruction)."""
+
+    function: str
+    step_index: int
+    label: str
+    resource: str
+    start_node: str
+    end_node: str
+    workload: ExecutionTimeModel
+
+
+@dataclass
+class EquivalentModelSpec:
+    """Everything the equivalent model needs to run and to be observed."""
+
+    architecture: ArchitectureModel
+    graph: TemporalDependencyGraph
+    abstracted_functions: Tuple[str, ...]
+    boundary_inputs: List[BoundaryInput]
+    boundary_outputs: List[BoundaryOutput]
+    execute_nodes: List[ExecuteNodes] = field(default_factory=list)
+    #: relation name -> node name holding its exchange instants (internal
+    #: relations of the abstracted group plus boundary relations).
+    relation_nodes: Dict[str, str] = field(default_factory=dict)
+    #: the external-input relation whose token parameterises data-dependent
+    #: workloads (the 'primary' token of an iteration).
+    primary_input: Optional[str] = None
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes of the temporal dependency graph (Table I / Fig. 5 metric)."""
+        return self.graph.node_count
+
+    def observation_nodes(self) -> List[str]:
+        """Node names whose history is needed to rebuild resource usage."""
+        names: List[str] = []
+        for entry in self.execute_nodes:
+            names.append(entry.start_node)
+            names.append(entry.end_node)
+        return names
+
+    def relation_instant_nodes(self) -> List[str]:
+        """Node names holding the exchange instants of every covered relation."""
+        return list(self.relation_nodes.values())
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        lines = [
+            f"Equivalent model for {self.architecture.name!r}: "
+            f"{len(self.abstracted_functions)} abstracted functions, "
+            f"{self.graph.node_count} TDG nodes, {self.graph.arc_count} arcs",
+            f"  inputs : {', '.join(b.relation for b in self.boundary_inputs) or '<none>'}",
+            f"  outputs: {', '.join(b.relation for b in self.boundary_outputs) or '<none>'}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Environment models: stimuli for external inputs, sinks for external outputs.
+
+The environment is *always* simulated with ordinary kernel processes --
+in the explicit baseline model and in the equivalent model alike -- so
+that both observe identical input sequences and identical back-pressure
+behaviour.
+"""
+
+from .sink import AlwaysReadySink, DelayedSink, Sink
+from .stimulus import PeriodicStimulus, RandomSizeStimulus, Stimulus, TraceStimulus
+
+__all__ = [
+    "Sink",
+    "AlwaysReadySink",
+    "DelayedSink",
+    "Stimulus",
+    "PeriodicStimulus",
+    "RandomSizeStimulus",
+    "TraceStimulus",
+]

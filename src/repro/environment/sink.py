@@ -1,0 +1,57 @@
+"""Sinks (the environment's consumer side).
+
+A sink drains an external output relation of the architecture.  The
+paper's experiments use an always-ready observer (the output instant
+``y(k)`` is then exactly the instant the architecture offers the data);
+a delayed sink is provided to exercise output back-pressure in tests
+and ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ModelError
+from ..kernel.simtime import Duration, Time, ZERO_DURATION
+
+__all__ = ["Sink", "AlwaysReadySink", "DelayedSink"]
+
+
+class Sink(abc.ABC):
+    """Consumption policy for one external output relation."""
+
+    @abc.abstractmethod
+    def delay_before_read(self, k: int) -> Duration:
+        """Extra delay the environment waits before accepting item ``k``."""
+
+
+class AlwaysReadySink(Sink):
+    """Accept every output immediately (the paper's implicit observer)."""
+
+    def delay_before_read(self, k: int) -> Duration:
+        return ZERO_DURATION
+
+
+class DelayedSink(Sink):
+    """Accept item ``k`` only after an extra delay.
+
+    ``delay`` may be a constant :class:`Duration` or a callable
+    ``delay(k) -> Duration``.  Used to exercise output back-pressure.
+    """
+
+    def __init__(self, delay) -> None:
+        if isinstance(delay, Duration):
+            if delay.is_negative():
+                raise ModelError("sink delay cannot be negative")
+            self._delay_fn: Callable[[int], Duration] = lambda k: delay
+        elif callable(delay):
+            self._delay_fn = delay
+        else:
+            raise ModelError("delay must be a Duration or a callable(k) -> Duration")
+
+    def delay_before_read(self, k: int) -> Duration:
+        delay = self._delay_fn(k)
+        if not isinstance(delay, Duration) or delay.is_negative():
+            raise ModelError("sink delay callable must return a non-negative Duration")
+        return delay

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can distinguish library-level failures
+(bad model descriptions, simulation misuse, ...) from ordinary Python
+errors.  The sub-classes mirror the main subsystems:
+
+* :class:`SimulationError` -- misuse of the discrete-event kernel
+  (e.g. waiting on a duration from outside a process).
+* :class:`ModelError` -- an architecture description is malformed
+  (dangling relation, function mapped to an unknown resource, ...).
+* :class:`MaxPlusError` -- dimension mismatches and other algebraic
+  misuse in the (max, +) package.
+* :class:`GraphError` -- structural problems in a temporal dependency
+  graph (unknown node, zero-delay cycle, ...).
+* :class:`ComputationError` -- failures while evaluating evolution
+  instants (missing history, unresolved input instant, ...).
+* :class:`ObservationError` -- inconsistent activity traces or metric
+  requests (negative bin width, overlapping exclusive activities, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ModelError",
+    "MaxPlusError",
+    "GraphError",
+    "ComputationError",
+    "ObservationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event kernel is misused or reaches an invalid state."""
+
+
+class ModelError(ReproError):
+    """Raised when an application/platform/mapping description is invalid."""
+
+
+class MaxPlusError(ReproError):
+    """Raised on invalid (max, +) algebra operations such as dimension mismatches."""
+
+
+class GraphError(ReproError):
+    """Raised when a temporal dependency graph is structurally invalid."""
+
+
+class ComputationError(ReproError):
+    """Raised when evolution instants cannot be computed."""
+
+
+class ObservationError(ReproError):
+    """Raised when activity traces or observation metrics are inconsistent."""

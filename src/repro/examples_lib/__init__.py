@@ -1,0 +1,17 @@
+"""Reusable example architectures (the paper's running example)."""
+
+from .didactic import (
+    DEFAULT_PERIOD,
+    build_didactic_architecture,
+    build_paper_equation_graph,
+    didactic_stimulus,
+    didactic_workloads,
+)
+
+__all__ = [
+    "DEFAULT_PERIOD",
+    "build_didactic_architecture",
+    "build_paper_equation_graph",
+    "didactic_stimulus",
+    "didactic_workloads",
+]

@@ -1,0 +1,206 @@
+"""The didactic example of Fig. 1-4.
+
+This module keeps the paper's running example in one reusable place:
+
+* :func:`build_didactic_architecture` -- the five-function / two-resource
+  architecture of Fig. 1 expressed with the library's architecture
+  description (F1..F4 mapped onto P1/P2; F0 is the environment).
+* :func:`build_paper_equation_graph` -- the *literal* temporal
+  dependency graph of Fig. 3, i.e. equations (1)-(6) hand-written with
+  10 nodes, kept so a reader can cross-check the code against the paper
+  line by line.
+* :func:`didactic_workloads` -- the data-size-dependent execution-time
+  models ``Ti1 .. Ti4`` shared by every model of the example.
+* :func:`didactic_stimulus` -- the "20000 data produced through relation
+  M1 with varying data size" environment (item count configurable).
+
+Note on the literal equations
+-----------------------------
+Equations (1)-(6) fold the resource P1 into the relation-exchange
+instants themselves (e.g. ``xM1(k) = u(k) ⊕ xM4(k-1)`` makes the
+*exchange* over M1 wait for the processor).  The library's general
+semantics (see :mod:`repro.archmodel`) instead lets a zero-time
+communication complete as soon as both functions reach it and applies
+the resource constraint to the execute steps -- the output instants and
+resource busy intervals are the same, but some intermediate exchange
+instants differ by design.  Both views are provided: the automatically
+built graph (via :func:`repro.core.build_equivalent_spec`) is the one
+whose instants match the explicit simulation exactly; the literal graph
+reproduces the paper's equations for documentation and for the
+(max, +) linear-form examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..archmodel import (
+    AppFunction,
+    ApplicationModel,
+    ArchitectureModel,
+    DataToken,
+    Mapping,
+    PerUnitExecutionTime,
+    PlatformModel,
+)
+from ..archmodel.workload import ExecutionTimeModel
+from ..environment import RandomSizeStimulus
+from ..kernel.simtime import Duration, microseconds, nanoseconds
+from ..tdg import TemporalDependencyGraph
+
+__all__ = [
+    "didactic_workloads",
+    "build_didactic_architecture",
+    "build_paper_equation_graph",
+    "didactic_stimulus",
+    "DEFAULT_PERIOD",
+]
+
+#: Default period at which the environment (F0) offers data through M1.
+DEFAULT_PERIOD = microseconds(30)
+
+
+def didactic_workloads() -> Dict[str, ExecutionTimeModel]:
+    """Execution-time models of the six execute steps of the example.
+
+    Durations are affine in the token's ``size`` attribute, which realises
+    the paper's "execution durations are typically variable and can, for
+    example, depend on data size information".  The operation counts feed the
+    resource-usage observation.
+    """
+    def model(base_us: float, per_unit_ns: float, ops_per_unit: float) -> ExecutionTimeModel:
+        return PerUnitExecutionTime(
+            base=microseconds(base_us),
+            per_unit=nanoseconds(per_unit_ns),
+            attribute="size",
+            operations_per_unit=ops_per_unit,
+            base_operations=ops_per_unit * 10,
+        )
+
+    return {
+        "Ti1": model(5.0, 100.0, 400.0),
+        "Tj1": model(3.0, 50.0, 200.0),
+        "Ti2": model(6.0, 120.0, 900.0),
+        "Ti3": model(4.0, 80.0, 300.0),
+        "Tj3": model(2.0, 20.0, 150.0),
+        "Ti4": model(7.0, 90.0, 1100.0),
+    }
+
+
+def build_didactic_architecture(
+    workloads: Optional[Dict[str, ExecutionTimeModel]] = None,
+    name: str = "didactic",
+) -> ArchitectureModel:
+    """Build the architecture of Fig. 1.
+
+    F1 and F2 are allocated to the programmable processor P1 (one function at
+    a time); F3 and F4 are allocated to the dedicated hardware P2 (able to
+    compute both at the same time).  F0 -- the data source -- is the
+    environment and is therefore modelled by the stimulus, not by a function.
+    """
+    workloads = workloads or didactic_workloads()
+
+    application = ApplicationModel(name)
+    application.add_function(
+        AppFunction("F1")
+        .read("M1")
+        .execute("Ti1", workloads["Ti1"])
+        .write("M2")
+        .execute("Tj1", workloads["Tj1"])
+        .write("M3")
+    )
+    application.add_function(
+        AppFunction("F2")
+        .read("M2")
+        .execute("Ti3", workloads["Ti3"])
+        .read("M4")
+        .execute("Tj3", workloads["Tj3"])
+        .write("M5")
+    )
+    application.add_function(
+        AppFunction("F3").read("M3").execute("Ti2", workloads["Ti2"]).write("M4")
+    )
+    application.add_function(
+        AppFunction("F4").read("M5").execute("Ti4", workloads["Ti4"]).write("M6")
+    )
+
+    platform = PlatformModel(f"{name}-platform")
+    platform.add_processor("P1")
+    platform.add_hardware("P2")
+
+    mapping = (
+        Mapping(f"{name}-mapping")
+        .allocate("F1", "P1")
+        .allocate("F2", "P1")
+        .allocate("F3", "P2")
+        .allocate("F4", "P2")
+    )
+
+    architecture = ArchitectureModel(name, application, platform, mapping)
+    architecture.validate()
+    return architecture
+
+
+def build_paper_equation_graph(
+    workloads: Optional[Dict[str, ExecutionTimeModel]] = None,
+) -> TemporalDependencyGraph:
+    """The literal 10-node temporal dependency graph of Fig. 3 (equations (1)-(6)).
+
+    Nodes: ``u``, ``xM1`` .. ``xM6`` plus the delayed occurrences handled as
+    delayed arcs; arc weights are the example's execution durations (``e``
+    arcs carry a zero weight).
+    """
+    workloads = workloads or didactic_workloads()
+
+    def weight(label: str):
+        # constant workloads stay constant arc weights so the graph can be
+        # exported to the linear matrix form; data-dependent ones become
+        # per-iteration callables
+        from ..core.builder import workload_weight
+
+        return workload_weight(workloads[label])
+
+    graph = TemporalDependencyGraph("didactic-paper-equations")
+    graph.add_input("u")
+    for name in ("xM1", "xM2", "xM3", "xM4", "xM5"):
+        graph.add_internal(name, tags={"kind": "exchange", "relation": name[1:]})
+    graph.add_output("xM6", tags={"kind": "exchange", "relation": "M6"})
+
+    # (1) xM1(k) = u(k) ⊕ xM4(k-1)
+    graph.add_arc("u", "xM1")
+    graph.add_arc("xM4", "xM1", delay=1)
+    # (2) xM2(k) = xM1(k) ⊗ Ti1(k) ⊕ xM5(k-1)
+    graph.add_arc("xM1", "xM2", weight=weight("Ti1"), label="Ti1")
+    graph.add_arc("xM5", "xM2", delay=1)
+    # (3) xM3(k) = xM2(k) ⊗ Tj1(k) ⊕ xM4(k-1)
+    graph.add_arc("xM2", "xM3", weight=weight("Tj1"), label="Tj1")
+    graph.add_arc("xM4", "xM3", delay=1)
+    # (4) xM4(k) = xM3(k) ⊗ Ti2(k) ⊕ xM2(k) ⊗ Ti3(k) ⊕ xM5(k-1)
+    graph.add_arc("xM3", "xM4", weight=weight("Ti2"), label="Ti2")
+    graph.add_arc("xM2", "xM4", weight=weight("Ti3"), label="Ti3")
+    graph.add_arc("xM5", "xM4", delay=1)
+    # (5) xM5(k) = xM4(k) ⊗ Tj3(k) ⊕ xM6(k-1)
+    graph.add_arc("xM4", "xM5", weight=weight("Tj3"), label="Tj3")
+    graph.add_arc("xM6", "xM5", delay=1)
+    # (6) y(k) = xM6(k) = xM5(k) ⊗ Ti4(k)
+    graph.add_arc("xM5", "xM6", weight=weight("Ti4"), label="Ti4")
+
+    graph.validate()
+    return graph
+
+
+def didactic_stimulus(
+    count: int = 20000,
+    period: Duration = DEFAULT_PERIOD,
+    min_size: int = 1,
+    max_size: int = 100,
+    seed: int = 2014,
+) -> RandomSizeStimulus:
+    """The environment of the experiments: periodic items with varying data size."""
+    return RandomSizeStimulus(
+        period=period,
+        count=count,
+        min_size=min_size,
+        max_size=max_size,
+        seed=seed,
+    )

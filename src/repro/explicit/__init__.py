@@ -1,0 +1,24 @@
+"""Event-driven execution of architecture models (the baseline).
+
+* :class:`~repro.explicit.model.ExplicitArchitectureModel` -- the fully
+  event-driven reference model ("exhibiting all relations among
+  application functions").
+* :class:`~repro.explicit.quantum.LooselyTimedArchitectureModel` -- the
+  TLM-LT temporal-decoupling baseline used in ablation benchmarks.
+* :class:`~repro.explicit.arbiter.StaticOrderArbiter` -- static-order,
+  non-preemptive resource arbitration.
+"""
+
+from .arbiter import StaticOrderArbiter
+from .model import ExplicitArchitectureModel
+from .processes import SinkDriver, StimulusDriver, function_process
+from .quantum import LooselyTimedArchitectureModel
+
+__all__ = [
+    "ExplicitArchitectureModel",
+    "LooselyTimedArchitectureModel",
+    "StaticOrderArbiter",
+    "StimulusDriver",
+    "SinkDriver",
+    "function_process",
+]

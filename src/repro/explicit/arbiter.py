@@ -1,0 +1,120 @@
+"""Static-order resource arbitration for the event-driven model.
+
+The arbiter enforces the execute-step semantics of
+:mod:`repro.archmodel` on the simulation kernel: executions mapped onto
+a resource are *granted* strictly in the resource's static service
+order, at most ``concurrency`` of them run at the same time, and a
+running execution is never pre-empted.
+
+Every execute step instance is identified by its *global slot index*
+``n = k * S + p`` where ``k`` is the iteration, ``S`` the number of
+slots per iteration and ``p`` the step's position in the static order.
+``acquire`` blocks until
+
+* every earlier slot has been granted (service order preservation), and
+* slot ``n - concurrency`` has completed (a server is free).
+
+Unlimited-concurrency resources (dedicated hardware) grant immediately.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Set, Tuple
+
+from ..archmodel.mapping import ScheduleSlot
+from ..archmodel.platform import ProcessingResource
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.scheduler import Simulator
+
+__all__ = ["StaticOrderArbiter"]
+
+
+class StaticOrderArbiter:
+    """Grants execute slots of one resource in its static service order."""
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        resource: ProcessingResource,
+        schedule: List[ScheduleSlot],
+    ) -> None:
+        self.simulator = simulator
+        self.resource = resource
+        self._positions: Dict[Tuple[str, int], int] = {
+            (slot.function, slot.step_index): slot.position for slot in schedule
+        }
+        self._slots_per_iteration = len(schedule)
+        self._iteration_counters: Dict[Tuple[str, int], int] = {
+            key: 0 for key in self._positions
+        }
+        self._next_grant = 0
+        self._completed: Set[int] = set()
+        self._state_changed = simulator.create_event(f"{resource.name}.arbiter")
+
+    # ------------------------------------------------------------------
+    @property
+    def slots_per_iteration(self) -> int:
+        return self._slots_per_iteration
+
+    def slot_index(self, function: str, step_index: int, iteration: int) -> int:
+        """Global slot index of an execute step instance."""
+        position = self._require_position(function, step_index)
+        return iteration * self._slots_per_iteration + position
+
+    def _require_position(self, function: str, step_index: int) -> int:
+        try:
+            return self._positions[(function, step_index)]
+        except KeyError:
+            raise SimulationError(
+                f"step {step_index} of {function!r} is not scheduled on "
+                f"resource {self.resource.name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def acquire(self, function: str, step_index: int) -> Generator:
+        """Block until the step's next slot is granted; returns the global slot index.
+
+        Must be driven with ``yield from`` inside a simulation process.
+        """
+        key = (function, step_index)
+        position = self._require_position(function, step_index)
+        iteration = self._iteration_counters[key]
+        self._iteration_counters[key] = iteration + 1
+        n = iteration * self._slots_per_iteration + position
+
+        if self.resource.is_unlimited:
+            return n
+
+        concurrency = self.resource.concurrency
+        while True:
+            if n == self._next_grant:
+                server_slot = n - concurrency
+                if server_slot < 0 or server_slot in self._completed:
+                    break
+            yield self._state_changed
+        self._next_grant = n + 1
+        self._state_changed.notify_immediate()
+        return n
+
+    def release(self, slot: int) -> None:
+        """Mark the execution granted as ``slot`` as finished."""
+        if self.resource.is_unlimited:
+            return
+        self._completed.add(slot)
+        self._prune()
+        self._state_changed.notify_immediate()
+
+    def _prune(self) -> None:
+        concurrency = self.resource.concurrency or 0
+        if len(self._completed) <= 4 * max(concurrency, 1):
+            return
+        threshold = self._next_grant - concurrency
+        self._completed = {slot for slot in self._completed if slot >= threshold}
+
+    def __repr__(self) -> str:
+        return (
+            f"StaticOrderArbiter({self.resource.name!r}, slots={self._slots_per_iteration}, "
+            f"granted={self._next_grant})"
+        )

@@ -1,0 +1,177 @@
+"""The explicit (fully event-driven) performance model.
+
+"The first model is obtained by exhibiting all relations among
+application functions" (Section V): every relation is a simulated
+channel, every function is a kernel process and every execution start,
+execution end and data exchange is a simulation event.  This is the
+reference model of all experiments -- the accuracy yardstick and the
+denominator of every speed-up measurement.
+
+:class:`ExplicitArchitectureModel` assembles the whole executable model
+from an :class:`~repro.archmodel.architecture.ArchitectureModel`, a
+stimulus per external input and a sink per external output, runs it and
+exposes the observables the analyses need (exchange instants, activity
+trace, relation event counts, kernel statistics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..archmodel.application import RelationKind
+from ..archmodel.architecture import ArchitectureModel
+from ..channels.base import ChannelBase
+from ..channels.fifo import FifoChannel
+from ..channels.rendezvous import RendezvousChannel
+from ..environment.sink import AlwaysReadySink, Sink
+from ..environment.stimulus import Stimulus
+from ..errors import ModelError
+from ..kernel.scheduler import Simulator
+from ..kernel.simtime import Time
+from ..kernel.stats import KernelStats
+from ..observation.activity import ActivityTrace
+from .arbiter import StaticOrderArbiter
+from .processes import SinkDriver, StimulusDriver, function_process
+
+__all__ = ["ExplicitArchitectureModel"]
+
+
+class ExplicitArchitectureModel:
+    """Executable event-driven performance model of an architecture."""
+
+    def __init__(
+        self,
+        architecture: ArchitectureModel,
+        stimuli: Mapping[str, Stimulus],
+        sinks: Optional[Mapping[str, Sink]] = None,
+        record_activity: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
+        architecture.validate()
+        self.architecture = architecture
+        self.name = name or f"{architecture.name}-explicit"
+        self.simulator = Simulator(self.name)
+        self.activity_trace: Optional[ActivityTrace] = ActivityTrace() if record_activity else None
+
+        relations = architecture.relations()
+        external_inputs = {spec.name for spec in architecture.external_inputs()}
+        external_outputs = {spec.name for spec in architecture.external_outputs()}
+
+        missing = external_inputs - set(stimuli)
+        if missing:
+            raise ModelError(f"missing stimuli for external inputs: {sorted(missing)}")
+        unknown = set(stimuli) - external_inputs
+        if unknown:
+            raise ModelError(f"stimuli provided for non-input relations: {sorted(unknown)}")
+        sinks = dict(sinks or {})
+        unknown_sinks = set(sinks) - external_outputs
+        if unknown_sinks:
+            raise ModelError(f"sinks provided for non-output relations: {sorted(unknown_sinks)}")
+        for relation in external_outputs:
+            sinks.setdefault(relation, AlwaysReadySink())
+
+        # channels
+        self._channels: Dict[str, ChannelBase] = {}
+        for spec in relations.values():
+            if spec.kind is RelationKind.FIFO:
+                channel: ChannelBase = FifoChannel(self.simulator, spec.name, spec.capacity)
+            else:
+                channel = RendezvousChannel(self.simulator, spec.name)
+            self._channels[spec.name] = channel
+
+        # arbiters
+        self._arbiters: Dict[str, StaticOrderArbiter] = {}
+        schedules = architecture.resource_schedules()
+        for resource in architecture.platform.resources:
+            self._arbiters[resource.name] = StaticOrderArbiter(
+                self.simulator, resource, schedules[resource.name]
+            )
+
+        # function processes
+        for function in architecture.application.functions:
+            resource = architecture.resource_of(function.name)
+            self.simulator.spawn(
+                function_process,
+                self.simulator,
+                function,
+                self._channels,
+                self._arbiters[resource.name],
+                resource.name,
+                self.activity_trace,
+                name=f"func:{function.name}",
+            )
+
+        # environment
+        self._stimulus_drivers: Dict[str, StimulusDriver] = {}
+        for relation, stimulus in stimuli.items():
+            driver = StimulusDriver(self.simulator, self._channels[relation], stimulus)
+            self._stimulus_drivers[relation] = driver
+            self.simulator.spawn(driver.process, name=f"stimulus:{relation}")
+        self._sink_drivers: Dict[str, SinkDriver] = {}
+        for relation, sink in sinks.items():
+            driver = SinkDriver(self.simulator, self._channels[relation], sink)
+            self._sink_drivers[relation] = driver
+            self.simulator.spawn(driver.process, name=f"sink:{relation}")
+
+        self._final_stats: Optional[KernelStats] = None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until=None) -> KernelStats:
+        """Run the model (to completion by default) and return the kernel statistics."""
+        self._final_stats = self.simulator.run(until)
+        return self._final_stats
+
+    @property
+    def kernel_stats(self) -> KernelStats:
+        """Kernel statistics of the last run (current counters if not run yet)."""
+        return self._final_stats if self._final_stats is not None else self.simulator.stats()
+
+    # ------------------------------------------------------------------
+    # observables
+    # ------------------------------------------------------------------
+    def channel(self, relation: str) -> ChannelBase:
+        try:
+            return self._channels[relation]
+        except KeyError:
+            raise ModelError(f"unknown relation {relation!r}") from None
+
+    @property
+    def channels(self) -> Dict[str, ChannelBase]:
+        return dict(self._channels)
+
+    def exchange_instants(self, relation: str) -> Tuple[Time, ...]:
+        """Exchange instants of one relation (the ``xM(k)`` sequence)."""
+        return self.channel(relation).exchange_instants
+
+    def output_instants(self, relation: str) -> Tuple[Time, ...]:
+        """Output evolution instants ``y(k)`` of an external output relation."""
+        return self.exchange_instants(relation)
+
+    def offer_instants(self, relation: str) -> List[Time]:
+        """The environment's ``u(k)`` instants on an external input relation."""
+        try:
+            return self._stimulus_drivers[relation].offer_instants
+        except KeyError:
+            raise ModelError(f"relation {relation!r} has no stimulus driver") from None
+
+    def relation_event_count(self) -> int:
+        """Total number of data exchanges over all relations.
+
+        This is the quantity the paper uses to compute the *event ratio*
+        between the explicit model and the equivalent model.
+        """
+        return sum(channel.exchange_count for channel in self._channels.values())
+
+    def iteration_count(self, relation: Optional[str] = None) -> int:
+        """Number of completed iterations, measured on an external output relation."""
+        outputs = self.architecture.external_outputs()
+        if relation is None:
+            if not outputs:
+                raise ModelError("the architecture has no external output relation")
+            relation = outputs[0].name
+        return self.channel(relation).exchange_count
+
+    def __repr__(self) -> str:
+        return f"ExplicitArchitectureModel({self.architecture.name!r})"

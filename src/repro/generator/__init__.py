@@ -1,0 +1,14 @@
+"""Synthetic architecture generators and sweep helpers for the benchmarks."""
+
+from .chains import build_chain_architecture, build_pipeline_architecture, chain_relation_count
+from .sweep import DEFAULT_NODE_COUNTS, DEFAULT_X_SIZES, pad_equivalent_spec, pad_graph
+
+__all__ = [
+    "build_chain_architecture",
+    "build_pipeline_architecture",
+    "chain_relation_count",
+    "pad_equivalent_spec",
+    "pad_graph",
+    "DEFAULT_NODE_COUNTS",
+    "DEFAULT_X_SIZES",
+]

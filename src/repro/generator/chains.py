@@ -1,0 +1,157 @@
+"""Synthetic architecture generators.
+
+Table I of the paper evaluates the method on four "distinct architecture
+models with different ratio of events": progressively larger
+architectures obtained by composing the didactic stage.  This module
+generates those models:
+
+* :func:`build_chain_architecture` -- ``stages`` copies of the didactic
+  example (Fig. 1) connected in series; stage ``i``'s output relation is
+  stage ``i+1``'s input relation.  Each stage has its own pair of
+  processing resources, so abstracting everything multiplies the number
+  of saved relations (and hence the event ratio) by the number of
+  stages.
+* :func:`build_pipeline_architecture` -- a plain pipeline of ``length``
+  functions (read, execute, write), used by the Fig. 5 sweep to control
+  the size of the intermediate-instant vector ``X(k)`` independently of
+  the computation-graph padding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..archmodel import (
+    AppFunction,
+    ApplicationModel,
+    ArchitectureModel,
+    Mapping,
+    PerUnitExecutionTime,
+    PlatformModel,
+)
+from ..archmodel.workload import ExecutionTimeModel
+from ..errors import ModelError
+from ..examples_lib.didactic import didactic_workloads
+from ..kernel.simtime import microseconds, nanoseconds
+
+__all__ = ["build_chain_architecture", "build_pipeline_architecture", "chain_relation_count"]
+
+
+def chain_relation_count(stages: int) -> int:
+    """Number of relations of a ``stages``-stage chain (5 per stage plus one)."""
+    if stages < 1:
+        raise ModelError("a chain needs at least one stage")
+    return 5 * stages + 1
+
+
+def build_chain_architecture(
+    stages: int,
+    workloads: Optional[Dict[str, ExecutionTimeModel]] = None,
+    name: Optional[str] = None,
+) -> ArchitectureModel:
+    """Chain ``stages`` copies of the didactic stage of Fig. 1.
+
+    Stage ``i`` (1-based) contains functions ``F1_si .. F4_si`` mapped onto
+    resources ``P1_si`` (processor) and ``P2_si`` (dedicated hardware).  The
+    external input relation is ``L1``, the external output relation is
+    ``L{stages+1}``, and relation ``L{i+1}`` carries data from stage ``i`` to
+    stage ``i+1``.
+    """
+    if stages < 1:
+        raise ModelError("a chain needs at least one stage")
+    workloads = workloads or didactic_workloads()
+    name = name or f"chain-{stages}"
+
+    application = ApplicationModel(name)
+    platform = PlatformModel(f"{name}-platform")
+    mapping = Mapping(f"{name}-mapping")
+
+    for stage in range(1, stages + 1):
+        suffix = f"s{stage}"
+        link_in = f"L{stage}"
+        link_out = f"L{stage + 1}"
+        m2, m3, m4, m5 = (f"M{j}_{suffix}" for j in (2, 3, 4, 5))
+
+        application.add_function(
+            AppFunction(f"F1_{suffix}")
+            .read(link_in)
+            .execute("Ti1", workloads["Ti1"])
+            .write(m2)
+            .execute("Tj1", workloads["Tj1"])
+            .write(m3)
+        )
+        application.add_function(
+            AppFunction(f"F2_{suffix}")
+            .read(m2)
+            .execute("Ti3", workloads["Ti3"])
+            .read(m4)
+            .execute("Tj3", workloads["Tj3"])
+            .write(m5)
+        )
+        application.add_function(
+            AppFunction(f"F3_{suffix}").read(m3).execute("Ti2", workloads["Ti2"]).write(m4)
+        )
+        application.add_function(
+            AppFunction(f"F4_{suffix}").read(m5).execute("Ti4", workloads["Ti4"]).write(link_out)
+        )
+
+        platform.add_processor(f"P1_{suffix}")
+        platform.add_hardware(f"P2_{suffix}")
+        mapping.allocate(f"F1_{suffix}", f"P1_{suffix}")
+        mapping.allocate(f"F2_{suffix}", f"P1_{suffix}")
+        mapping.allocate(f"F3_{suffix}", f"P2_{suffix}")
+        mapping.allocate(f"F4_{suffix}", f"P2_{suffix}")
+
+    architecture = ArchitectureModel(name, application, platform, mapping)
+    architecture.validate()
+    return architecture
+
+
+def build_pipeline_architecture(
+    length: int,
+    stage_time=microseconds(5),
+    per_unit_time=nanoseconds(50),
+    processors: int = 2,
+    name: Optional[str] = None,
+) -> ArchitectureModel:
+    """A linear pipeline of ``length`` functions (read, execute, write).
+
+    Function ``S{i}`` reads relation ``L{i}``, executes a data-size-dependent
+    workload and writes relation ``L{i+1}``; functions are distributed
+    round-robin over ``processors`` concurrency-1 processors.  The number of
+    relations (and therefore of intermediate evolution instants) grows
+    linearly with ``length``, which is how the Fig. 5 sweep controls the size
+    of the ``X(k)`` vector.
+    """
+    if length < 1:
+        raise ModelError("a pipeline needs at least one function")
+    if processors < 1:
+        raise ModelError("a pipeline needs at least one processor")
+    name = name or f"pipeline-{length}"
+
+    application = ApplicationModel(name)
+    platform = PlatformModel(f"{name}-platform")
+    mapping = Mapping(f"{name}-mapping")
+
+    for index in range(processors):
+        platform.add_processor(f"CPU{index}")
+
+    workload = PerUnitExecutionTime(
+        base=stage_time,
+        per_unit=per_unit_time,
+        attribute="size",
+        operations_per_unit=100.0,
+    )
+    for index in range(length):
+        function = (
+            AppFunction(f"S{index}")
+            .read(f"L{index}")
+            .execute(f"E{index}", workload)
+            .write(f"L{index + 1}")
+        )
+        application.add_function(function)
+        mapping.allocate(f"S{index}", f"CPU{index % processors}")
+
+    architecture = ArchitectureModel(name, application, platform, mapping)
+    architecture.validate()
+    return architecture

@@ -1,0 +1,81 @@
+"""Computation-complexity sweeps (Fig. 5 support).
+
+Fig. 5 of the paper measures how the *complexity of the computation
+method itself* -- the number of nodes of the temporal dependency graph
+traversed by ``ComputeInstant()`` -- erodes the achievable simulation
+speed-up, for several sizes of the intermediate-instant vector
+``X(k)``.
+
+The experiment needs two independent knobs:
+
+* the size of ``X(k)``, i.e. how many simulated events the equivalent
+  model saves per iteration -- controlled by the architecture
+  (:func:`repro.generator.chains.build_pipeline_architecture`),
+* the number of nodes the computation has to traverse -- controlled by
+  *padding* the automatically built graph with extra internal nodes that
+  do not change any computed instant but cost evaluation time, exactly
+  like a more detailed dependency graph would.
+
+:func:`pad_equivalent_spec` implements the second knob.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.spec import EquivalentModelSpec
+from ..errors import ModelError
+from ..tdg.graph import TemporalDependencyGraph
+
+__all__ = ["pad_graph", "pad_equivalent_spec", "DEFAULT_NODE_COUNTS", "DEFAULT_X_SIZES"]
+
+#: Node-count axis used by the Fig. 5 reproduction (log-spaced 1 .. 2000).
+DEFAULT_NODE_COUNTS: Sequence[int] = (10, 20, 50, 100, 200, 500, 1000, 2000)
+
+#: Sizes of the X(k) vector used by the Fig. 5 reproduction (paper: 6, 10, 20, 30).
+DEFAULT_X_SIZES: Sequence[int] = (6, 10, 20, 30)
+
+
+def pad_graph(graph: TemporalDependencyGraph, extra_nodes: int) -> TemporalDependencyGraph:
+    """Append ``extra_nodes`` dummy internal nodes to ``graph`` (in place).
+
+    The dummy nodes form a zero-weight chain hanging off the first input
+    node: they are evaluated on every iteration (so the cost of
+    ``ComputeInstant()`` grows linearly with their number) but nothing
+    depends on them, so every original instant keeps its exact value.
+    Returns the same graph for convenience.
+    """
+    if extra_nodes < 0:
+        raise ModelError("extra_nodes must be non-negative")
+    if extra_nodes == 0:
+        return graph
+    inputs = graph.input_nodes
+    if not inputs:
+        raise ModelError("cannot pad a graph that has no input node")
+    anchor = inputs[0].name
+    previous = anchor
+    for index in range(extra_nodes):
+        name = f"pad[{index}]"
+        if graph.has_node(name):
+            raise ModelError(f"graph already contains padding node {name!r}")
+        graph.add_internal(name, tags={"kind": "padding"})
+        graph.add_arc(previous, name, delay=0, label="padding")
+        previous = name
+    graph.validate()
+    return graph
+
+
+def pad_equivalent_spec(spec: EquivalentModelSpec, target_node_count: int) -> EquivalentModelSpec:
+    """Pad the spec's graph until it has ``target_node_count`` nodes (in place).
+
+    Raises :class:`~repro.errors.ModelError` when the graph already exceeds
+    the target, so sweep points below the natural graph size are reported as
+    unreachable rather than silently mis-labelled.
+    """
+    current = spec.graph.node_count
+    if target_node_count < current:
+        raise ModelError(
+            f"the graph already has {current} nodes; cannot shrink it to {target_node_count}"
+        )
+    pad_graph(spec.graph, target_node_count - current)
+    return spec

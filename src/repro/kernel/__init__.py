@@ -1,0 +1,49 @@
+"""Discrete-event simulation kernel.
+
+This package is the reproduction's stand-in for the SystemC simulation
+kernel used by the paper: generator-based processes, events, a
+time-ordered notification queue with delta cycles, and first-class
+accounting of the number of simulation events and context switches.
+
+Public surface
+--------------
+* :class:`~repro.kernel.scheduler.Simulator` -- the kernel itself.
+* :class:`~repro.kernel.event.Event` -- SystemC-like events.
+* :class:`~repro.kernel.process.SimProcess` / :class:`~repro.kernel.process.ProcessState`.
+* :class:`~repro.kernel.stats.KernelStats` -- event/context-switch counters.
+* :class:`~repro.kernel.simtime.Time`, :class:`~repro.kernel.simtime.Duration`
+  and the unit constructors (:func:`~repro.kernel.simtime.microseconds`, ...).
+"""
+
+from .event import Event
+from .process import ProcessState, SimProcess
+from .scheduler import Simulator
+from .simtime import (
+    Duration,
+    Time,
+    ZERO_DURATION,
+    ZERO_TIME,
+    microseconds,
+    milliseconds,
+    nanoseconds,
+    picoseconds,
+    seconds,
+)
+from .stats import KernelStats
+
+__all__ = [
+    "Event",
+    "ProcessState",
+    "SimProcess",
+    "Simulator",
+    "KernelStats",
+    "Duration",
+    "Time",
+    "ZERO_DURATION",
+    "ZERO_TIME",
+    "picoseconds",
+    "nanoseconds",
+    "microseconds",
+    "milliseconds",
+    "seconds",
+]

@@ -1,0 +1,63 @@
+"""Kernel statistics.
+
+The benefit claimed by the paper's dynamic computation method is a
+reduction of the number of *simulation events* and of the *context
+switches* performed by the simulation kernel.  To make this benefit a
+measured quantity (rather than an estimate), the kernel keeps explicit
+counters which are exposed by :class:`KernelStats`:
+
+* ``timed_notifications`` -- event notifications scheduled with a
+  non-zero delay (what the paper calls "simulation events").
+* ``delta_notifications`` -- immediate (delta-cycle) notifications.
+* ``process_activations`` -- the number of times a process was resumed
+  by the scheduler, i.e. the number of context switches.
+* ``delta_cycles`` -- evaluation phases executed.
+* ``time_advances`` -- the number of distinct simulation-time steps.
+
+:class:`KernelStats` instances support subtraction, so a caller can
+snapshot the counters before and after a run and obtain the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelStats"]
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Immutable snapshot of the kernel's activity counters."""
+
+    timed_notifications: int = 0
+    delta_notifications: int = 0
+    process_activations: int = 0
+    delta_cycles: int = 0
+    time_advances: int = 0
+
+    @property
+    def total_notifications(self) -> int:
+        """Total number of event notifications handled by the kernel."""
+        return self.timed_notifications + self.delta_notifications
+
+    def __sub__(self, other: "KernelStats") -> "KernelStats":
+        if not isinstance(other, KernelStats):
+            return NotImplemented
+        return KernelStats(
+            timed_notifications=self.timed_notifications - other.timed_notifications,
+            delta_notifications=self.delta_notifications - other.delta_notifications,
+            process_activations=self.process_activations - other.process_activations,
+            delta_cycles=self.delta_cycles - other.delta_cycles,
+            time_advances=self.time_advances - other.time_advances,
+        )
+
+    def as_dict(self) -> dict:
+        """Return the counters as a plain dictionary (handy for reports)."""
+        return {
+            "timed_notifications": self.timed_notifications,
+            "delta_notifications": self.delta_notifications,
+            "total_notifications": self.total_notifications,
+            "process_activations": self.process_activations,
+            "delta_cycles": self.delta_cycles,
+            "time_advances": self.time_advances,
+        }

@@ -1,0 +1,40 @@
+"""LTE physical-layer receiver case study (Section V / Fig. 6 of the paper)."""
+
+from .parameters import (
+    SYMBOL_PERIOD,
+    SYMBOLS_PER_FRAME,
+    FrameConfig,
+    FrameSequence,
+    ModulationScheme,
+)
+from .receiver import (
+    DECODER_NAME,
+    DSP_NAME,
+    FUNCTION_ORDER,
+    INPUT_RELATION,
+    OUTPUT_RELATION,
+    build_lte_architecture,
+)
+from .scenario import Fig6Observation, build_lte_models, fig6_observation, lte_symbol_stimulus
+from .workloads import LteFunctionLoad, lte_function_loads, lte_workload_models
+
+__all__ = [
+    "SYMBOL_PERIOD",
+    "SYMBOLS_PER_FRAME",
+    "FrameConfig",
+    "FrameSequence",
+    "ModulationScheme",
+    "DECODER_NAME",
+    "DSP_NAME",
+    "FUNCTION_ORDER",
+    "INPUT_RELATION",
+    "OUTPUT_RELATION",
+    "build_lte_architecture",
+    "Fig6Observation",
+    "build_lte_models",
+    "fig6_observation",
+    "lte_symbol_stimulus",
+    "LteFunctionLoad",
+    "lte_function_loads",
+    "lte_workload_models",
+]

@@ -1,0 +1,138 @@
+"""LTE frame and symbol parameters.
+
+The case study of Section V evaluates a receiver implementing part of
+the LTE downlink physical layer.  "This protocol especially supports
+high flexibility according to transmitted frames' parameters to adapt
+to varying user demands": the computational load of every receiver
+function depends on the number of allocated resource blocks and on the
+modulation and coding scheme of the frame being received.
+
+This module defines those parameters and a seeded generator of varying
+frame configurations, mirroring the paper's environment that
+"periodically produces data frames with varying parameters".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence
+
+from ..errors import ModelError
+from ..kernel.simtime import Duration, microseconds
+
+__all__ = [
+    "SYMBOLS_PER_FRAME",
+    "SYMBOL_PERIOD",
+    "ModulationScheme",
+    "FrameConfig",
+    "FrameSequence",
+]
+
+#: Number of OFDM symbols processed per frame in the case study (Fig. 6).
+SYMBOLS_PER_FRAME = 14
+
+#: Spacing between two received symbols (Fig. 6: "spaced by a period of 71.42 us").
+SYMBOL_PERIOD: Duration = microseconds(71.42)
+
+
+@dataclass(frozen=True)
+class ModulationScheme:
+    """One LTE modulation and coding configuration."""
+
+    name: str
+    bits_per_symbol: int
+    code_rate: float
+
+    def __post_init__(self) -> None:
+        if self.bits_per_symbol not in (2, 4, 6):
+            raise ModelError("LTE modulation carries 2 (QPSK), 4 (16QAM) or 6 (64QAM) bits")
+        if not 0.0 < self.code_rate <= 1.0:
+            raise ModelError("the code rate must be in (0, 1]")
+
+
+#: The three downlink modulation schemes used by the scenario generator.
+MODULATION_SCHEMES: Sequence[ModulationScheme] = (
+    ModulationScheme("QPSK", 2, 1 / 3),
+    ModulationScheme("16QAM", 4, 1 / 2),
+    ModulationScheme("64QAM", 6, 3 / 4),
+)
+
+#: Resource-block allocations offered by the scenario generator (1.4 .. 20 MHz).
+RESOURCE_BLOCK_CHOICES: Sequence[int] = (6, 15, 25, 50, 75, 100)
+
+
+@dataclass(frozen=True)
+class FrameConfig:
+    """Parameters of one received frame (shared by its 14 symbols)."""
+
+    index: int
+    resource_blocks: int
+    modulation: ModulationScheme
+
+    @property
+    def subcarriers(self) -> int:
+        """Occupied subcarriers (12 per resource block)."""
+        return 12 * self.resource_blocks
+
+    def symbol_attributes(self, symbol_in_frame: int) -> Dict[str, object]:
+        """Attribute mapping attached to the token of one symbol of this frame."""
+        if not 0 <= symbol_in_frame < SYMBOLS_PER_FRAME:
+            raise ModelError(
+                f"symbol index {symbol_in_frame} out of range [0, {SYMBOLS_PER_FRAME})"
+            )
+        return {
+            "frame": self.index,
+            "symbol": symbol_in_frame,
+            "resource_blocks": self.resource_blocks,
+            "subcarriers": self.subcarriers,
+            "bits_per_symbol": self.modulation.bits_per_symbol,
+            "code_rate": self.modulation.code_rate,
+            "modulation": self.modulation.name,
+            "is_control": symbol_in_frame < 2,
+        }
+
+
+class FrameSequence:
+    """A reproducible sequence of frame configurations with varying parameters."""
+
+    def __init__(
+        self,
+        frame_count: int,
+        seed: int = 2014,
+        resource_block_choices: Sequence[int] = RESOURCE_BLOCK_CHOICES,
+        modulation_choices: Sequence[ModulationScheme] = MODULATION_SCHEMES,
+    ) -> None:
+        if frame_count < 1:
+            raise ModelError("a frame sequence needs at least one frame")
+        rng = random.Random(seed)
+        self._frames: List[FrameConfig] = [
+            FrameConfig(
+                index=index,
+                resource_blocks=rng.choice(list(resource_block_choices)),
+                modulation=rng.choice(list(modulation_choices)),
+            )
+            for index in range(frame_count)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __iter__(self) -> Iterator[FrameConfig]:
+        return iter(self._frames)
+
+    def frame(self, index: int) -> FrameConfig:
+        return self._frames[index]
+
+    def frame_of_symbol(self, symbol_index: int) -> FrameConfig:
+        """Frame configuration of the ``symbol_index``-th symbol of the run."""
+        return self._frames[symbol_index // SYMBOLS_PER_FRAME]
+
+    def symbol_attributes(self, symbol_index: int) -> Dict[str, object]:
+        """Attributes of the ``symbol_index``-th symbol of the run."""
+        frame = self.frame_of_symbol(symbol_index)
+        return frame.symbol_attributes(symbol_index % SYMBOLS_PER_FRAME)
+
+    @property
+    def symbol_count(self) -> int:
+        return len(self._frames) * SYMBOLS_PER_FRAME

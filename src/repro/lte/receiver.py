@@ -1,0 +1,102 @@
+"""Application and platform models of the LTE receiver case study.
+
+"The studied architecture is formed by an application made of eight
+functions and a platform based on two processing resources ...  The
+channel decoding function is considered to be implemented as a
+dedicated hardware resource whereas other application functions are
+allocated to a digital signal processor." (Section V)
+
+The eight functions form the downlink symbol-processing pipeline::
+
+    SYM_IN -> CpFft -> ChannelEstimation -> Equalization -> Demapping
+           -> Descrambling -> RateDematching -> ChannelDecoding -> CrcCheck -> BITS_OUT
+
+Each iteration processes one received OFDM symbol; execution times and
+operation counts follow :mod:`repro.lte.workloads`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..archmodel import (
+    AppFunction,
+    ApplicationModel,
+    ArchitectureModel,
+    Mapping,
+    PlatformModel,
+    ResourceKind,
+)
+from ..archmodel.workload import ExecutionTimeModel
+from .workloads import lte_workload_models
+
+__all__ = [
+    "INPUT_RELATION",
+    "OUTPUT_RELATION",
+    "DSP_NAME",
+    "DECODER_NAME",
+    "FUNCTION_ORDER",
+    "build_lte_architecture",
+]
+
+#: External input relation carrying the received OFDM symbols.
+INPUT_RELATION = "SYM_IN"
+
+#: External output relation carrying the decoded transport-block bits.
+OUTPUT_RELATION = "BITS_OUT"
+
+#: Name of the digital signal processor resource.
+DSP_NAME = "DSP"
+
+#: Name of the dedicated channel-decoder hardware resource.
+DECODER_NAME = "DECODER"
+
+#: Receiver functions in pipeline order.
+FUNCTION_ORDER = (
+    "CpFft",
+    "ChannelEstimation",
+    "Equalization",
+    "Demapping",
+    "Descrambling",
+    "RateDematching",
+    "ChannelDecoding",
+    "CrcCheck",
+)
+
+
+def build_lte_architecture(
+    workloads: Optional[Dict[str, ExecutionTimeModel]] = None,
+    name: str = "lte-receiver",
+    dsp_frequency_hz: float = 1.0e9,
+    decoder_frequency_hz: float = 500.0e6,
+) -> ArchitectureModel:
+    """Build the eight-function, two-resource receiver architecture of Section V."""
+    workloads = workloads or lte_workload_models()
+    missing = set(FUNCTION_ORDER) - set(workloads)
+    if missing:
+        raise ValueError(f"missing workload models for functions: {sorted(missing)}")
+
+    application = ApplicationModel(name)
+    relations = [INPUT_RELATION] + [f"S{i}" for i in range(1, len(FUNCTION_ORDER))] + [
+        OUTPUT_RELATION
+    ]
+    for index, function_name in enumerate(FUNCTION_ORDER):
+        application.add_function(
+            AppFunction(function_name)
+            .read(relations[index])
+            .execute(function_name, workloads[function_name])
+            .write(relations[index + 1])
+        )
+
+    platform = PlatformModel(f"{name}-platform")
+    platform.add_processor(DSP_NAME, frequency_hz=dsp_frequency_hz, kind=ResourceKind.DSP)
+    platform.add_hardware(DECODER_NAME, frequency_hz=decoder_frequency_hz)
+
+    mapping = Mapping(f"{name}-mapping")
+    for function_name in FUNCTION_ORDER:
+        target = DECODER_NAME if function_name == "ChannelDecoding" else DSP_NAME
+        mapping.allocate(function_name, target)
+
+    architecture = ArchitectureModel(name, application, platform, mapping)
+    architecture.validate()
+    return architecture

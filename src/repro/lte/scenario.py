@@ -1,0 +1,148 @@
+"""Executable scenarios of the LTE case study.
+
+This module wires the receiver architecture, the symbol stimulus and
+the two model kinds together, and produces the observations of Fig. 6:
+
+* :func:`lte_symbol_stimulus` -- the environment that "periodically
+  produces data frames with varying parameters" (one token per OFDM
+  symbol, 14 symbols per frame, 71.42 us apart);
+* :func:`build_lte_models` -- paired explicit / equivalent models for a
+  given number of symbols;
+* :func:`fig6_observation` -- the data behind Fig. 6: the ``u(k)`` /
+  ``y(k)`` instants over simulation time for one frame and the usage
+  (GOPS) profiles of the DSP and of the dedicated decoder over the
+  observation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..archmodel.architecture import ArchitectureModel
+from ..core.builder import build_equivalent_spec
+from ..core.model import EquivalentArchitectureModel
+from ..environment.stimulus import PeriodicStimulus
+from ..errors import ModelError
+from ..explicit.model import ExplicitArchitectureModel
+from ..kernel.simtime import Duration, Time, microseconds
+from ..observation.usage import UsageProfile, complexity_profile
+from .parameters import SYMBOL_PERIOD, SYMBOLS_PER_FRAME, FrameSequence
+from .receiver import (
+    DECODER_NAME,
+    DSP_NAME,
+    INPUT_RELATION,
+    OUTPUT_RELATION,
+    build_lte_architecture,
+)
+
+__all__ = [
+    "lte_symbol_stimulus",
+    "build_lte_models",
+    "Fig6Observation",
+    "fig6_observation",
+]
+
+
+def lte_symbol_stimulus(
+    symbol_count: int,
+    seed: int = 2014,
+    period: Duration = SYMBOL_PERIOD,
+) -> PeriodicStimulus:
+    """Environment producing ``symbol_count`` OFDM symbols with varying frame parameters."""
+    if symbol_count < 1:
+        raise ModelError("the stimulus needs at least one symbol")
+    frame_count = (symbol_count + SYMBOLS_PER_FRAME - 1) // SYMBOLS_PER_FRAME
+    frames = FrameSequence(frame_count, seed=seed)
+    return PeriodicStimulus(
+        period=period,
+        count=symbol_count,
+        attributes_fn=frames.symbol_attributes,
+    )
+
+
+def build_lte_models(
+    symbol_count: int,
+    seed: int = 2014,
+    record_relations: bool = False,
+    observe_resources: bool = False,
+) -> Tuple[ExplicitArchitectureModel, EquivalentArchitectureModel]:
+    """Build the two models of Section V for the same symbol sequence.
+
+    The first element is the fully event-driven model ("exhibiting all
+    relations among application functions"), the second the model using the
+    dynamic computation method.
+    """
+    explicit_architecture = build_lte_architecture()
+    explicit_model = ExplicitArchitectureModel(
+        explicit_architecture,
+        {INPUT_RELATION: lte_symbol_stimulus(symbol_count, seed)},
+    )
+    equivalent_architecture = build_lte_architecture()
+    spec = build_equivalent_spec(equivalent_architecture)
+    equivalent_model = EquivalentArchitectureModel(
+        equivalent_architecture,
+        {INPUT_RELATION: lte_symbol_stimulus(symbol_count, seed)},
+        spec=spec,
+        record_relations=record_relations,
+        observe_resources=observe_resources,
+    )
+    return explicit_model, equivalent_model
+
+
+@dataclass
+class Fig6Observation:
+    """The data plotted in Fig. 6, produced by the equivalent model alone."""
+
+    symbol_count: int
+    input_instants: List[Time]          # u(k): symbol arrivals over the simulation time
+    output_instants: List[Optional[Time]]  # y(k): computed output evolution instants
+    dsp_profile: UsageProfile           # Fig. 6(b): DSP usage over the observation time
+    decoder_profile: UsageProfile       # Fig. 6(c): dedicated hardware usage
+    tdg_nodes: int
+
+    def as_series(self) -> Dict[str, List[Tuple[float, float]]]:
+        """The three series as (time in us, value) rows, ready for printing/plotting."""
+        return {
+            "u(k) [us]": [(float(k), t.microseconds) for k, t in enumerate(self.input_instants)],
+            "y(k) [us]": [
+                (float(k), t.microseconds if t is not None else float("nan"))
+                for k, t in enumerate(self.output_instants)
+            ],
+            "DSP GOPS": self.dsp_profile.as_rows(),
+            "DECODER GOPS": self.decoder_profile.as_rows(),
+        }
+
+
+def fig6_observation(
+    frame_count: int = 1,
+    seed: int = 2014,
+    bin_width: Duration = microseconds(5),
+) -> Fig6Observation:
+    """Reproduce the observation of Fig. 6 for ``frame_count`` frames.
+
+    The equivalent model is simulated; the usage of the two processing
+    resources is then reconstructed over the observation time from the
+    computed intermediate instants, with no additional simulation events.
+    """
+    symbol_count = frame_count * SYMBOLS_PER_FRAME
+    architecture = build_lte_architecture()
+    spec = build_equivalent_spec(architecture)
+    model = EquivalentArchitectureModel(
+        architecture,
+        {INPUT_RELATION: lte_symbol_stimulus(symbol_count, seed)},
+        spec=spec,
+        record_relations=True,
+        observe_resources=True,
+    )
+    model.run()
+    trace = model.reconstructed_usage()
+    window = trace.span()
+    return Fig6Observation(
+        symbol_count=symbol_count,
+        input_instants=model.offer_instants(INPUT_RELATION),
+        output_instants=model.computer.output_instants(OUTPUT_RELATION),
+        dsp_profile=complexity_profile(trace, DSP_NAME, bin_width, window),
+        decoder_profile=complexity_profile(trace, DECODER_NAME, bin_width, window),
+        tdg_nodes=spec.graph.node_count,
+    )

@@ -1,0 +1,24 @@
+"""(max, +) algebra.
+
+The formal backbone of the dynamic computation method: scalars over
+``Z ∪ {-inf}`` with ⊕ = max and ⊗ = +, vectors, matrices and the linear
+recurrence systems of the paper's equations (7)-(10).
+"""
+
+from .linear_system import LinearMaxPlusSystem, LinearSystemSimulator
+from .matrix import MaxPlusMatrix
+from .scalar import E, EPSILON, MaxPlus, as_maxplus, oplus, otimes
+from .vector import MaxPlusVector
+
+__all__ = [
+    "MaxPlus",
+    "MaxPlusVector",
+    "MaxPlusMatrix",
+    "LinearMaxPlusSystem",
+    "LinearSystemSimulator",
+    "EPSILON",
+    "E",
+    "as_maxplus",
+    "oplus",
+    "otimes",
+]

@@ -1,0 +1,222 @@
+"""Linear (max, +) recurrence systems.
+
+This module implements the general linear evolution equations (9)-(10)
+of the paper:
+
+    X(k) = ⊕_{i=0..a} A(i) ⊗ X(k-i)  ⊕  ⊕_{j=0..b} B(j) ⊗ U(k-j)
+    Y(k) = ⊕_{l=0..c} C(l) ⊗ X(k-l)  ⊕  ⊕_{m=0..d} D(m) ⊗ U(k-m)
+
+``A(0)`` describes the zero-delay dependencies among intermediate
+instants of the *same* iteration, so the first equation is implicit.
+Its least solution is obtained with the Kleene star:
+
+    X(k) = A(0)* ⊗ ( ⊕_{i>=1} A(i) ⊗ X(k-i) ⊕ ⊕_j B(j) ⊗ U(k-j) )
+
+which requires ``A(0)`` to be nilpotent, i.e. the zero-delay dependency
+structure must be acyclic -- always true for the architectures the
+method targets (an instant cannot depend on itself within one
+iteration).
+
+Two classes are provided:
+
+* :class:`LinearMaxPlusSystem` -- the immutable description (the set of
+  matrices plus optional labels).
+* :class:`LinearSystemSimulator` -- a stateful iterator that feeds input
+  vectors ``U(k)`` one by one and produces ``(X(k), Y(k))`` pairs,
+  managing the bounded history the recurrences require.
+
+The temporal dependency graph of :mod:`repro.tdg` can be exported to
+this representation when all its arc weights are constant
+(:meth:`repro.tdg.graph.TemporalDependencyGraph.to_linear_system`),
+which is exactly the "linear expression" special case discussed in
+Section III-B of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import MaxPlusError
+from .matrix import MaxPlusMatrix
+from .vector import MaxPlusVector
+
+__all__ = ["LinearMaxPlusSystem", "LinearSystemSimulator"]
+
+
+def _validate_matrices(
+    name: str,
+    matrices: Mapping[int, MaxPlusMatrix],
+    expected_rows: Optional[int],
+    expected_cols: Optional[int],
+) -> Dict[int, MaxPlusMatrix]:
+    validated: Dict[int, MaxPlusMatrix] = {}
+    for delay, matrix in matrices.items():
+        if not isinstance(delay, int) or isinstance(delay, bool) or delay < 0:
+            raise MaxPlusError(f"{name} delays must be non-negative integers, got {delay!r}")
+        if not isinstance(matrix, MaxPlusMatrix):
+            raise MaxPlusError(f"{name}({delay}) must be a MaxPlusMatrix")
+        if expected_rows is not None and matrix.rows != expected_rows:
+            raise MaxPlusError(
+                f"{name}({delay}) has {matrix.rows} rows, expected {expected_rows}"
+            )
+        if expected_cols is not None and matrix.cols != expected_cols:
+            raise MaxPlusError(
+                f"{name}({delay}) has {matrix.cols} columns, expected {expected_cols}"
+            )
+        validated[delay] = matrix
+    return validated
+
+
+class LinearMaxPlusSystem:
+    """Immutable description of a linear (max, +) recurrence system."""
+
+    def __init__(
+        self,
+        state_size: int,
+        input_size: int,
+        output_size: int,
+        a_matrices: Mapping[int, MaxPlusMatrix],
+        b_matrices: Mapping[int, MaxPlusMatrix],
+        c_matrices: Mapping[int, MaxPlusMatrix],
+        d_matrices: Optional[Mapping[int, MaxPlusMatrix]] = None,
+        state_labels: Optional[Sequence[str]] = None,
+        input_labels: Optional[Sequence[str]] = None,
+        output_labels: Optional[Sequence[str]] = None,
+    ) -> None:
+        if min(state_size, input_size, output_size) < 1:
+            raise MaxPlusError("state, input and output sizes must all be >= 1")
+        self.state_size = state_size
+        self.input_size = input_size
+        self.output_size = output_size
+        self.a_matrices = _validate_matrices("A", a_matrices, state_size, state_size)
+        self.b_matrices = _validate_matrices("B", b_matrices, state_size, input_size)
+        self.c_matrices = _validate_matrices("C", c_matrices, output_size, state_size)
+        self.d_matrices = _validate_matrices("D", d_matrices or {}, output_size, input_size)
+        self.state_labels = self._validate_labels(state_labels, state_size, "state")
+        self.input_labels = self._validate_labels(input_labels, input_size, "input")
+        self.output_labels = self._validate_labels(output_labels, output_size, "output")
+
+        a_zero = self.a_matrices.get(0)
+        if a_zero is not None and not a_zero.is_nilpotent():
+            raise MaxPlusError(
+                "A(0) is not nilpotent: intermediate instants of one iteration depend "
+                "on themselves, which the architecture semantics forbids"
+            )
+        self._a_zero_star = (
+            a_zero.kleene_star() if a_zero is not None else MaxPlusMatrix.identity(state_size)
+        )
+
+    @staticmethod
+    def _validate_labels(
+        labels: Optional[Sequence[str]], size: int, kind: str
+    ) -> Tuple[str, ...]:
+        if labels is None:
+            return tuple(f"{kind}{i}" for i in range(size))
+        labels = tuple(labels)
+        if len(labels) != size:
+            raise MaxPlusError(f"{kind} labels must have length {size}, got {len(labels)}")
+        return labels
+
+    # -- depths -----------------------------------------------------------------
+    @property
+    def state_history_depth(self) -> int:
+        """Largest delay on X appearing in the recurrences."""
+        delays = list(self.a_matrices) + list(self.c_matrices)
+        return max(delays) if delays else 0
+
+    @property
+    def input_history_depth(self) -> int:
+        """Largest delay on U appearing in the recurrences."""
+        delays = list(self.b_matrices) + list(self.d_matrices)
+        return max(delays) if delays else 0
+
+    # -- single-step evaluation -----------------------------------------------------
+    def evaluate(
+        self,
+        past_states: Sequence[MaxPlusVector],
+        current_and_past_inputs: Sequence[MaxPlusVector],
+    ) -> Tuple[MaxPlusVector, MaxPlusVector]:
+        """Compute ``(X(k), Y(k))``.
+
+        ``past_states[i]`` must be ``X(k-1-i)`` and
+        ``current_and_past_inputs[j]`` must be ``U(k-j)`` (so index 0 is the
+        current input).  Missing history (before the first iteration) may be
+        provided as all-ε vectors; :class:`LinearSystemSimulator` does this
+        automatically.
+        """
+        accumulator = MaxPlusVector.epsilon(self.state_size)
+        for delay, matrix in self.a_matrices.items():
+            if delay == 0:
+                continue
+            state = self._history_at(past_states, delay - 1, self.state_size)
+            accumulator = accumulator.oplus(matrix.otimes_vector(state))
+        for delay, matrix in self.b_matrices.items():
+            inputs = self._history_at(current_and_past_inputs, delay, self.input_size)
+            accumulator = accumulator.oplus(matrix.otimes_vector(inputs))
+        state_k = self._a_zero_star.otimes_vector(accumulator)
+
+        output = MaxPlusVector.epsilon(self.output_size)
+        for delay, matrix in self.c_matrices.items():
+            state = state_k if delay == 0 else self._history_at(
+                past_states, delay - 1, self.state_size
+            )
+            output = output.oplus(matrix.otimes_vector(state))
+        for delay, matrix in self.d_matrices.items():
+            inputs = self._history_at(current_and_past_inputs, delay, self.input_size)
+            output = output.oplus(matrix.otimes_vector(inputs))
+        return state_k, output
+
+    @staticmethod
+    def _history_at(
+        history: Sequence[MaxPlusVector], index: int, size: int
+    ) -> MaxPlusVector:
+        if 0 <= index < len(history):
+            return history[index]
+        return MaxPlusVector.epsilon(size)
+
+    def simulator(self) -> "LinearSystemSimulator":
+        """Return a fresh stateful simulator for this system."""
+        return LinearSystemSimulator(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearMaxPlusSystem(states={self.state_size}, inputs={self.input_size}, "
+            f"outputs={self.output_size})"
+        )
+
+
+class LinearSystemSimulator:
+    """Stateful, iteration-by-iteration evaluator of a :class:`LinearMaxPlusSystem`."""
+
+    def __init__(self, system: LinearMaxPlusSystem) -> None:
+        self.system = system
+        self._past_states: Deque[MaxPlusVector] = deque(maxlen=max(system.state_history_depth, 1))
+        self._past_inputs: Deque[MaxPlusVector] = deque(
+            maxlen=max(system.input_history_depth + 1, 1)
+        )
+        self.iteration = 0
+
+    def reset(self) -> None:
+        """Forget all history and restart from iteration 0."""
+        self._past_states.clear()
+        self._past_inputs.clear()
+        self.iteration = 0
+
+    def advance(self, input_vector: MaxPlusVector) -> Tuple[MaxPlusVector, MaxPlusVector]:
+        """Feed ``U(k)`` and return ``(X(k), Y(k))`` for the current iteration ``k``."""
+        if input_vector.size != self.system.input_size:
+            raise MaxPlusError(
+                f"input vector size {input_vector.size} does not match system input size "
+                f"{self.system.input_size}"
+            )
+        self._past_inputs.appendleft(input_vector)
+        state, output = self.system.evaluate(list(self._past_states), list(self._past_inputs))
+        self._past_states.appendleft(state)
+        self.iteration += 1
+        return state, output
+
+    def run(self, inputs: Iterable[MaxPlusVector]) -> Iterator[Tuple[MaxPlusVector, MaxPlusVector]]:
+        """Yield ``(X(k), Y(k))`` for each input vector in ``inputs``."""
+        for input_vector in inputs:
+            yield self.advance(input_vector)

@@ -1,0 +1,200 @@
+"""(max, +) matrices.
+
+Matrices capture the dependency structure of equations (7)-(10) of the
+paper: ``A(k, i)`` relates intermediate instants across iterations,
+``B(k, j)`` relates inputs to intermediates, ``C`` and ``D`` produce the
+outputs.  The implementation is a dense pure-Python matrix over
+:class:`~repro.maxplus.scalar.MaxPlus`, sized for the small systems the
+method manipulates (tens of instants), with:
+
+* ⊕ (element-wise max) and ⊗ (max-plus matrix product),
+* ⊗-powers,
+* the Kleene star ``A* = I ⊕ A ⊕ A² ⊕ ...`` used to solve the implicit
+  equation ``X = A ⊗ X ⊕ B`` (least solution ``X = A* ⊗ B``) when the
+  zero-delay dependency structure is acyclic (nilpotent ``A``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import MaxPlusError
+from .scalar import EPSILON, E, MaxPlus, Numeric, as_maxplus
+from .vector import MaxPlusVector
+
+__all__ = ["MaxPlusMatrix"]
+
+
+class MaxPlusMatrix:
+    """A dense rows x cols matrix over the (max, +) semiring."""
+
+    __slots__ = ("_rows", "_cols", "_data")
+
+    def __init__(self, rows: Iterable[Iterable[Numeric]]) -> None:
+        data: List[List[MaxPlus]] = [[as_maxplus(value) for value in row] for row in rows]
+        if not data or not data[0]:
+            raise MaxPlusError("a max-plus matrix must have at least one row and one column")
+        width = len(data[0])
+        for row in data:
+            if len(row) != width:
+                raise MaxPlusError("all matrix rows must have the same length")
+        self._data = data
+        self._rows = len(data)
+        self._cols = width
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def epsilon(cls, rows: int, cols: int) -> "MaxPlusMatrix":
+        """The ⊕-neutral matrix (all ε)."""
+        if rows < 1 or cols < 1:
+            raise MaxPlusError("matrix dimensions must be >= 1")
+        return cls([[EPSILON] * cols for _ in range(rows)])
+
+    @classmethod
+    def identity(cls, size: int) -> "MaxPlusMatrix":
+        """The ⊗-neutral matrix (e on the diagonal, ε elsewhere)."""
+        if size < 1:
+            raise MaxPlusError("matrix dimensions must be >= 1")
+        rows = []
+        for i in range(size):
+            row = [EPSILON] * size
+            row[i] = E
+            rows.append(row)
+        return cls(rows)
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self._rows, self._cols)
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def cols(self) -> int:
+        return self._cols
+
+    def __getitem__(self, index: Tuple[int, int]) -> MaxPlus:
+        row, col = index
+        return self._data[row][col]
+
+    def with_entry(self, row: int, col: int, value: Numeric) -> "MaxPlusMatrix":
+        """Return a copy of the matrix with one entry replaced."""
+        if not (0 <= row < self._rows and 0 <= col < self._cols):
+            raise MaxPlusError(f"entry ({row}, {col}) out of range for shape {self.shape}")
+        data = [list(existing) for existing in self._data]
+        data[row][col] = as_maxplus(value)
+        return MaxPlusMatrix(data)
+
+    def to_lists(self) -> List[List[object]]:
+        """Return raw values (ints, -inf for ε) as nested lists."""
+        return [[value.value for value in row] for row in self._data]
+
+    # -- operations ------------------------------------------------------------------
+    def oplus(self, other: "MaxPlusMatrix") -> "MaxPlusMatrix":
+        """Element-wise ⊕."""
+        if self.shape != other.shape:
+            raise MaxPlusError(f"shape mismatch for ⊕: {self.shape} vs {other.shape}")
+        return MaxPlusMatrix(
+            [a.oplus(b) for a, b in zip(row_a, row_b)]
+            for row_a, row_b in zip(self._data, other._data)
+        )
+
+    def otimes(self, other: "MaxPlusMatrix") -> "MaxPlusMatrix":
+        """Max-plus matrix product: ``(A ⊗ B)[i][j] = ⊕_m A[i][m] ⊗ B[m][j]``."""
+        if self._cols != other._rows:
+            raise MaxPlusError(f"shape mismatch for ⊗: {self.shape} vs {other.shape}")
+        result = []
+        for i in range(self._rows):
+            row = []
+            for j in range(other._cols):
+                acc = EPSILON
+                for m in range(self._cols):
+                    acc = acc.oplus(self._data[i][m].otimes(other._data[m][j]))
+                row.append(acc)
+            result.append(row)
+        return MaxPlusMatrix(result)
+
+    def otimes_vector(self, vector: MaxPlusVector) -> MaxPlusVector:
+        """Apply the matrix to a column vector."""
+        if self._cols != vector.size:
+            raise MaxPlusError(
+                f"shape mismatch for matrix-vector ⊗: {self.shape} vs size {vector.size}"
+            )
+        results = []
+        for i in range(self._rows):
+            acc = EPSILON
+            for m in range(self._cols):
+                acc = acc.oplus(self._data[i][m].otimes(vector[m]))
+            results.append(acc)
+        return MaxPlusVector(results)
+
+    def power(self, exponent: int) -> "MaxPlusMatrix":
+        """⊗-power of a square matrix (``A⁰`` is the identity)."""
+        if self._rows != self._cols:
+            raise MaxPlusError("⊗-powers require a square matrix")
+        if not isinstance(exponent, int) or isinstance(exponent, bool) or exponent < 0:
+            raise MaxPlusError("matrix exponent must be a non-negative integer")
+        result = MaxPlusMatrix.identity(self._rows)
+        base = self
+        remaining = exponent
+        while remaining:
+            if remaining & 1:
+                result = result.otimes(base)
+            base = base.otimes(base)
+            remaining >>= 1
+        return result
+
+    def is_nilpotent(self) -> bool:
+        """True when some ⊗-power of the matrix is all-ε (acyclic zero-delay structure)."""
+        if self._rows != self._cols:
+            raise MaxPlusError("nilpotency is defined for square matrices only")
+        power = self
+        for _ in range(self._rows):
+            if power._is_all_epsilon():
+                return True
+            power = power.otimes(self)
+        return power._is_all_epsilon()
+
+    def kleene_star(self) -> "MaxPlusMatrix":
+        """Return ``A* = I ⊕ A ⊕ A² ⊕ ... ⊕ A^(n-1)``.
+
+        Only defined here for nilpotent matrices (the zero-delay dependency
+        graph must be acyclic); a cyclic zero-delay structure would mean an
+        instant depends on itself within the same iteration, which the
+        architecture semantics forbids.
+        """
+        if self._rows != self._cols:
+            raise MaxPlusError("the Kleene star requires a square matrix")
+        if not self.is_nilpotent():
+            raise MaxPlusError(
+                "Kleene star requested for a non-nilpotent matrix: the zero-delay "
+                "dependency structure contains a cycle"
+            )
+        result = MaxPlusMatrix.identity(self._rows)
+        term = MaxPlusMatrix.identity(self._rows)
+        for _ in range(self._rows):
+            term = term.otimes(self)
+            result = result.oplus(term)
+        return result
+
+    def solve_implicit(self, constant: MaxPlusVector) -> MaxPlusVector:
+        """Solve ``X = A ⊗ X ⊕ b`` for its least solution ``X = A* ⊗ b``."""
+        return self.kleene_star().otimes_vector(constant)
+
+    # -- helpers -------------------------------------------------------------------------
+    def _is_all_epsilon(self) -> bool:
+        return all(value.is_epsilon for row in self._data for value in row)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MaxPlusMatrix):
+            return NotImplemented
+        return self._data == other._data
+
+    def __hash__(self) -> int:
+        return hash(tuple(tuple(row) for row in self._data))
+
+    def __repr__(self) -> str:
+        rows = "; ".join(" ".join(str(value) for value in row) for row in self._data)
+        return f"MaxPlusMatrix({self._rows}x{self._cols}: {rows})"

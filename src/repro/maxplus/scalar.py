@@ -1,0 +1,179 @@
+"""(max, +) scalars.
+
+The paper describes evolution instants with the (max, +) algebra
+[Baccelli et al. 1992; Heidergott et al. 2005]:
+
+* ``oplus`` (⊕) is the maximum and expresses synchronisation,
+* ``otimes`` (⊗) is ordinary addition and expresses a time lag.
+
+The carrier set is ``Z ∪ {-inf}``: instants and durations are integer
+picosecond counts (see :mod:`repro.kernel.simtime`), ``-inf`` is the
+neutral element of ⊕ (written ε) and ``0`` the neutral element of ⊗
+(written e).
+
+:class:`MaxPlus` wraps one element of that semiring.  The Python
+operators ``+`` and ``*`` are deliberately mapped to ⊕ and ⊗ so that
+the usual ring-like notation of the max-plus literature reads
+naturally (``a * x + b`` means ``(a ⊗ x) ⊕ b``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from ..errors import MaxPlusError
+
+__all__ = ["MaxPlus", "EPSILON", "E", "as_maxplus", "oplus", "otimes"]
+
+_NEG_INF = float("-inf")
+
+Numeric = Union[int, float, "MaxPlus"]
+
+
+class MaxPlus:
+    """One element of the (max, +) semiring over integers ∪ {-inf}."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[int, float] = _NEG_INF) -> None:
+        if isinstance(value, bool):
+            raise TypeError("MaxPlus value must be an integer or -inf, not bool")
+        if isinstance(value, float):
+            if value == _NEG_INF:
+                self._value = _NEG_INF
+                return
+            if math.isnan(value) or math.isinf(value):
+                raise MaxPlusError("MaxPlus only supports finite integers and -inf")
+            if not value.is_integer():
+                raise MaxPlusError(
+                    f"MaxPlus values are integer picosecond counts; got non-integer {value!r}"
+                )
+            self._value = int(value)
+            return
+        if isinstance(value, int):
+            self._value = value
+            return
+        raise TypeError(f"MaxPlus value must be an int or -inf, got {type(value).__name__}")
+
+    # -- constructors / accessors -----------------------------------------
+    @classmethod
+    def epsilon(cls) -> "MaxPlus":
+        """The neutral element of ⊕ (i.e. -inf)."""
+        return EPSILON
+
+    @classmethod
+    def e(cls) -> "MaxPlus":
+        """The neutral element of ⊗ (i.e. 0)."""
+        return E
+
+    @property
+    def value(self) -> Union[int, float]:
+        """The underlying integer, or ``-inf`` for ε."""
+        return self._value
+
+    @property
+    def is_epsilon(self) -> bool:
+        """True when the element is ε = -inf."""
+        return self._value == _NEG_INF
+
+    def as_int(self) -> int:
+        """Return the finite value as an integer; raises for ε."""
+        if self.is_epsilon:
+            raise MaxPlusError("epsilon has no finite integer value")
+        return int(self._value)
+
+    # -- semiring operations -------------------------------------------------
+    def oplus(self, other: Numeric) -> "MaxPlus":
+        """⊕: maximum, modelling synchronisation."""
+        other = as_maxplus(other)
+        return MaxPlus(max(self._value, other._value))
+
+    def otimes(self, other: Numeric) -> "MaxPlus":
+        """⊗: addition, modelling a time lag."""
+        other = as_maxplus(other)
+        if self.is_epsilon or other.is_epsilon:
+            return EPSILON
+        return MaxPlus(self._value + other._value)
+
+    # Operator sugar: '+' is ⊕, '*' is ⊗ (standard max-plus notation).
+    def __add__(self, other: Numeric) -> "MaxPlus":
+        return self.oplus(other)
+
+    __radd__ = __add__
+
+    def __mul__(self, other: Numeric) -> "MaxPlus":
+        return self.otimes(other)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "MaxPlus":
+        """⊗-power: ``a ** n`` is ``a ⊗ a ⊗ ... ⊗ a`` (n times), i.e. ``n * value``."""
+        if not isinstance(exponent, int) or isinstance(exponent, bool):
+            raise TypeError("max-plus exponent must be an integer")
+        if exponent < 0:
+            raise MaxPlusError("negative ⊗-powers are not defined for this carrier set")
+        if exponent == 0:
+            return E
+        if self.is_epsilon:
+            return EPSILON
+        return MaxPlus(self._value * exponent)
+
+    # -- comparisons ------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MaxPlus):
+            return self._value == other._value
+        if isinstance(other, (int, float)) and not isinstance(other, bool):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other: Numeric) -> bool:
+        return self._value < as_maxplus(other)._value
+
+    def __le__(self, other: Numeric) -> bool:
+        return self._value <= as_maxplus(other)._value
+
+    def __gt__(self, other: Numeric) -> bool:
+        return self._value > as_maxplus(other)._value
+
+    def __ge__(self, other: Numeric) -> bool:
+        return self._value >= as_maxplus(other)._value
+
+    def __hash__(self) -> int:
+        return hash(("MaxPlus", self._value))
+
+    def __repr__(self) -> str:
+        return "MaxPlus(epsilon)" if self.is_epsilon else f"MaxPlus({self._value})"
+
+    def __str__(self) -> str:
+        return "ε" if self.is_epsilon else str(self._value)
+
+
+def as_maxplus(value: Numeric) -> MaxPlus:
+    """Coerce an int, float(-inf) or :class:`MaxPlus` into a :class:`MaxPlus`."""
+    if isinstance(value, MaxPlus):
+        return value
+    return MaxPlus(value)
+
+
+def oplus(*values: Numeric) -> MaxPlus:
+    """⊕ over any number of operands (ε for an empty argument list)."""
+    result = EPSILON
+    for value in values:
+        result = result.oplus(value)
+    return result
+
+
+def otimes(*values: Numeric) -> MaxPlus:
+    """⊗ over any number of operands (e for an empty argument list)."""
+    result = E
+    for value in values:
+        result = result.otimes(value)
+    return result
+
+
+#: ε, the neutral element of ⊕ (absorbing for ⊗).
+EPSILON = MaxPlus(_NEG_INF)
+
+#: e, the neutral element of ⊗.
+E = MaxPlus(0)

@@ -1,0 +1,103 @@
+"""(max, +) vectors.
+
+A :class:`MaxPlusVector` holds the evolution-instant vectors of the
+paper's matrix formulation -- ``U(k)`` (input instants), ``X(k)``
+(intermediate instants) and ``Y(k)`` (output instants) in equations
+(7)-(10).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from ..errors import MaxPlusError
+from .scalar import EPSILON, MaxPlus, Numeric, as_maxplus
+
+__all__ = ["MaxPlusVector"]
+
+
+class MaxPlusVector:
+    """A fixed-size column vector of :class:`MaxPlus` elements."""
+
+    __slots__ = ("_elements",)
+
+    def __init__(self, elements: Iterable[Numeric]) -> None:
+        self._elements: List[MaxPlus] = [as_maxplus(element) for element in elements]
+        if not self._elements:
+            raise MaxPlusError("a max-plus vector must have at least one element")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def epsilon(cls, size: int) -> "MaxPlusVector":
+        """Vector of ``size`` ε elements (the ⊕-neutral vector)."""
+        if size < 1:
+            raise MaxPlusError("vector size must be >= 1")
+        return cls([EPSILON] * size)
+
+    @classmethod
+    def unit(cls, size: int, index: int) -> "MaxPlusVector":
+        """Vector with e at ``index`` and ε elsewhere."""
+        if not 0 <= index < size:
+            raise MaxPlusError(f"unit index {index} out of range for size {size}")
+        elements = [EPSILON] * size
+        elements[index] = MaxPlus(0)
+        return cls(elements)
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __getitem__(self, index: int) -> MaxPlus:
+        return self._elements[index]
+
+    def __iter__(self) -> Iterator[MaxPlus]:
+        return iter(self._elements)
+
+    def to_list(self) -> List[Union[int, float]]:
+        """Return the raw values (ints, -inf for ε)."""
+        return [element.value for element in self._elements]
+
+    # -- operations ------------------------------------------------------------
+    def oplus(self, other: "MaxPlusVector") -> "MaxPlusVector":
+        """Element-wise ⊕ with a vector of the same size."""
+        self._check_size(other)
+        return MaxPlusVector(a.oplus(b) for a, b in zip(self._elements, other._elements))
+
+    def otimes_scalar(self, scalar: Numeric) -> "MaxPlusVector":
+        """⊗ every element by a scalar (shift the whole vector in time)."""
+        factor = as_maxplus(scalar)
+        return MaxPlusVector(element.otimes(factor) for element in self._elements)
+
+    def max_element(self) -> MaxPlus:
+        """⊕ of all elements (the latest instant in the vector)."""
+        result = EPSILON
+        for element in self._elements:
+            result = result.oplus(element)
+        return result
+
+    def __add__(self, other: "MaxPlusVector") -> "MaxPlusVector":
+        if isinstance(other, MaxPlusVector):
+            return self.oplus(other)
+        return NotImplemented
+
+    def _check_size(self, other: "MaxPlusVector") -> None:
+        if not isinstance(other, MaxPlusVector):
+            raise TypeError("expected a MaxPlusVector")
+        if other.size != self.size:
+            raise MaxPlusError(f"vector size mismatch: {self.size} vs {other.size}")
+
+    # -- comparisons -----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MaxPlusVector):
+            return NotImplemented
+        return self._elements == other._elements
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._elements))
+
+    def __repr__(self) -> str:
+        return f"MaxPlusVector([{', '.join(str(element) for element in self._elements)}])"

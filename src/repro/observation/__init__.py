@@ -1,0 +1,24 @@
+"""Observation of platform resource usage and accuracy comparisons.
+
+Resource usage is observed on the *observation time* axis of Fig. 2:
+activity traces (busy intervals of resources), usage profiles
+(computational complexity per time unit, busy fractions) and the
+comparison helpers that back the accuracy claims.
+"""
+
+from .activity import ActivityRecord, ActivityTrace
+from .compare import InstantComparison, TraceComparison, compare_instants, compare_traces
+from .usage import UsageProfile, UsageSample, busy_profile, complexity_profile
+
+__all__ = [
+    "ActivityRecord",
+    "ActivityTrace",
+    "InstantComparison",
+    "TraceComparison",
+    "compare_instants",
+    "compare_traces",
+    "UsageProfile",
+    "UsageSample",
+    "busy_profile",
+    "complexity_profile",
+]

@@ -1,0 +1,172 @@
+"""Resource activity traces.
+
+An :class:`ActivityRecord` is one interval during which a processing
+resource is busy executing a step of an application function ("the
+solid line represents the interval of time during which a processing
+resource is active", Fig. 2).  An :class:`ActivityTrace` collects such
+records and answers the questions the paper's observation plots ask:
+which resources were active when, for how long, at which computational
+complexity.
+
+Traces are produced in two ways:
+
+* the explicit event-driven model records an activity each time a
+  function's execute step runs on the simulator;
+* the equivalent model reconstructs the same records from the computed
+  intermediate instants on the observation-time axis
+  (:class:`repro.core.observation.ResourceUsageReconstructor`), with no
+  simulation events involved.
+
+Comparing the two traces is part of the accuracy validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ObservationError
+from ..kernel.simtime import Duration, Time
+
+__all__ = ["ActivityRecord", "ActivityTrace"]
+
+
+@dataclass(frozen=True)
+class ActivityRecord:
+    """One busy interval of a resource."""
+
+    resource: str
+    function: str
+    label: str
+    iteration: int
+    start: Time
+    end: Time
+    operations: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ObservationError(
+                f"activity {self.label!r} of {self.function!r} ends before it starts"
+            )
+
+    @property
+    def duration(self) -> Duration:
+        return self.end - self.start
+
+    def overlaps(self, start: Time, end: Time) -> bool:
+        """True when the record intersects the half-open window [start, end)."""
+        return self.start < end and start < self.end
+
+
+class ActivityTrace:
+    """An append-only collection of activity records."""
+
+    def __init__(self, records: Optional[Iterable[ActivityRecord]] = None) -> None:
+        self._records: List[ActivityRecord] = list(records or [])
+
+    # -- construction ------------------------------------------------------------
+    def add(self, record: ActivityRecord) -> None:
+        self._records.append(record)
+
+    def record(
+        self,
+        resource: str,
+        function: str,
+        label: str,
+        iteration: int,
+        start: Time,
+        end: Time,
+        operations: float = 0.0,
+    ) -> ActivityRecord:
+        """Create, store and return a record."""
+        entry = ActivityRecord(resource, function, label, iteration, start, end, operations)
+        self._records.append(entry)
+        return entry
+
+    # -- access ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ActivityRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> Tuple[ActivityRecord, ...]:
+        return tuple(self._records)
+
+    def resources(self) -> List[str]:
+        """Names of every resource appearing in the trace, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record.resource, None)
+        return list(seen)
+
+    def for_resource(self, resource: str) -> "ActivityTrace":
+        """Sub-trace restricted to one resource."""
+        return ActivityTrace(record for record in self._records if record.resource == resource)
+
+    def for_function(self, function: str) -> "ActivityTrace":
+        """Sub-trace restricted to one function."""
+        return ActivityTrace(record for record in self._records if record.function == function)
+
+    def sorted_by_start(self) -> "ActivityTrace":
+        return ActivityTrace(sorted(self._records, key=lambda r: (r.start, r.end)))
+
+    # -- aggregate metrics ----------------------------------------------------------
+    def span(self) -> Tuple[Time, Time]:
+        """Earliest start and latest end over the whole trace."""
+        if not self._records:
+            raise ObservationError("cannot compute the span of an empty trace")
+        start = min(record.start for record in self._records)
+        end = max(record.end for record in self._records)
+        return start, end
+
+    def busy_time(self, resource: Optional[str] = None) -> Duration:
+        """Sum of busy interval lengths (overlaps counted once per record)."""
+        total = 0
+        for record in self._records:
+            if resource is not None and record.resource != resource:
+                continue
+            total += record.duration.picoseconds
+        return Duration(total)
+
+    def total_operations(self, resource: Optional[str] = None) -> float:
+        """Sum of the operation counts of the selected records."""
+        return sum(
+            record.operations
+            for record in self._records
+            if resource is None or record.resource == resource
+        )
+
+    def utilization(self, resource: str, window_start: Time, window_end: Time) -> float:
+        """Fraction of [window_start, window_end) during which the resource is busy.
+
+        Overlapping records (possible on an unlimited-concurrency resource)
+        are merged before measuring, so the result is always within [0, 1].
+        """
+        if window_end <= window_start:
+            raise ObservationError("the observation window must have a positive length")
+        intervals = []
+        for record in self._records:
+            if record.resource != resource or not record.overlaps(window_start, window_end):
+                continue
+            start = max(record.start, window_start)
+            end = min(record.end, window_end)
+            intervals.append((start.picoseconds, end.picoseconds))
+        if not intervals:
+            return 0.0
+        intervals.sort()
+        merged_total = 0
+        current_start, current_end = intervals[0]
+        for start, end in intervals[1:]:
+            if start <= current_end:
+                current_end = max(current_end, end)
+            else:
+                merged_total += current_end - current_start
+                current_start, current_end = start, end
+        merged_total += current_end - current_start
+        window = (window_end - window_start).picoseconds
+        return merged_total / window
+
+    def __repr__(self) -> str:
+        return f"ActivityTrace(records={len(self._records)})"

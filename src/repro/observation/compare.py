@@ -1,0 +1,154 @@
+"""Accuracy comparisons.
+
+The paper's validation criterion is that the evolution instants of the
+model built with the dynamic computation method and of the fully
+event-driven model "remain the same".  This module provides the
+comparison utilities used by the tests and the benchmark harnesses:
+
+* :func:`compare_instants` -- element-wise comparison of two instant
+  sequences (exact, since the library computes in integer picoseconds).
+* :func:`compare_traces` -- comparison of two resource activity traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import ObservationError
+from ..kernel.simtime import Duration, Time
+from .activity import ActivityTrace
+
+__all__ = ["InstantComparison", "TraceComparison", "compare_instants", "compare_traces"]
+
+InstantLike = Union[Time, int, None]
+
+
+def _to_ps(value: InstantLike) -> Optional[int]:
+    if value is None:
+        return None
+    if isinstance(value, Time):
+        return value.picoseconds
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    raise ObservationError(f"instants must be Time, int picoseconds or None, got {value!r}")
+
+
+@dataclass
+class InstantComparison:
+    """Result of comparing two instant sequences."""
+
+    length_a: int
+    length_b: int
+    compared: int
+    mismatches: List[int] = field(default_factory=list)
+    max_abs_error: Duration = Duration(0)
+
+    @property
+    def lengths_match(self) -> bool:
+        return self.length_a == self.length_b
+
+    @property
+    def identical(self) -> bool:
+        """True when both sequences have the same length and every instant matches."""
+        return self.lengths_match and not self.mismatches
+
+    @property
+    def mismatch_count(self) -> int:
+        return len(self.mismatches)
+
+    def summary(self) -> str:
+        if self.identical:
+            return f"identical ({self.compared} instants)"
+        return (
+            f"{self.mismatch_count}/{self.compared} instants differ "
+            f"(max |error| {self.max_abs_error}), lengths {self.length_a}/{self.length_b}"
+        )
+
+
+def compare_instants(
+    reference: Sequence[InstantLike], candidate: Sequence[InstantLike]
+) -> InstantComparison:
+    """Compare two sequences of evolution instants element by element."""
+    reference_ps = [_to_ps(value) for value in reference]
+    candidate_ps = [_to_ps(value) for value in candidate]
+    compared = min(len(reference_ps), len(candidate_ps))
+    mismatches: List[int] = []
+    max_error = 0
+    for index in range(compared):
+        a, b = reference_ps[index], candidate_ps[index]
+        if a == b:
+            continue
+        mismatches.append(index)
+        if a is not None and b is not None:
+            max_error = max(max_error, abs(a - b))
+    return InstantComparison(
+        length_a=len(reference_ps),
+        length_b=len(candidate_ps),
+        compared=compared,
+        mismatches=mismatches,
+        max_abs_error=Duration(max_error),
+    )
+
+
+@dataclass
+class TraceComparison:
+    """Result of comparing two activity traces record by record."""
+
+    length_a: int
+    length_b: int
+    compared: int
+    mismatches: List[int] = field(default_factory=list)
+    max_start_error: Duration = Duration(0)
+    max_end_error: Duration = Duration(0)
+
+    @property
+    def identical(self) -> bool:
+        return self.length_a == self.length_b and not self.mismatches
+
+    def summary(self) -> str:
+        if self.identical:
+            return f"identical ({self.compared} activities)"
+        return (
+            f"{len(self.mismatches)}/{self.compared} activities differ "
+            f"(max start error {self.max_start_error}, max end error {self.max_end_error})"
+        )
+
+
+def compare_traces(reference: ActivityTrace, candidate: ActivityTrace) -> TraceComparison:
+    """Compare two activity traces after sorting them by (resource, function, label, iteration).
+
+    Two records match when resource, function, label, iteration, start and end
+    are all equal; operation counts are compared too (they come from the same
+    workload models, so a mismatch indicates a bookkeeping bug).
+    """
+
+    def key(record):
+        return (record.resource, record.function, record.label, record.iteration)
+
+    reference_records = sorted(reference.records, key=key)
+    candidate_records = sorted(candidate.records, key=key)
+    compared = min(len(reference_records), len(candidate_records))
+    mismatches: List[int] = []
+    max_start = 0
+    max_end = 0
+    for index in range(compared):
+        a = reference_records[index]
+        b = candidate_records[index]
+        same_identity = key(a) == key(b)
+        same_timing = a.start == b.start and a.end == b.end
+        same_operations = abs(a.operations - b.operations) < 1e-9
+        if same_identity and same_timing and same_operations:
+            continue
+        mismatches.append(index)
+        if same_identity:
+            max_start = max(max_start, abs(a.start.picoseconds - b.start.picoseconds))
+            max_end = max(max_end, abs(a.end.picoseconds - b.end.picoseconds))
+    return TraceComparison(
+        length_a=len(reference_records),
+        length_b=len(candidate_records),
+        compared=compared,
+        mismatches=mismatches,
+        max_start_error=Duration(max_start),
+        max_end_error=Duration(max_end),
+    )

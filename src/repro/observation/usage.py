@@ -1,0 +1,156 @@
+"""Resource-usage profiles over the observation time.
+
+Fig. 6 of the paper plots the *computational complexity per time unit*
+(in GOPS) of each processing resource over the observation time.  This
+module turns an :class:`~repro.observation.activity.ActivityTrace` into
+such a profile: the time axis is divided into fixed-width bins and each
+activity record spreads its operation count uniformly over the bins it
+overlaps.
+
+The profile is a plain list of :class:`UsageSample` points, easy to
+print as the series of a figure or feed to any plotting tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ObservationError
+from ..kernel.simtime import Duration, Time
+from .activity import ActivityTrace
+
+__all__ = ["UsageSample", "UsageProfile", "complexity_profile", "busy_profile"]
+
+_PS_PER_SECOND = 1_000_000_000_000
+
+
+@dataclass(frozen=True)
+class UsageSample:
+    """One bin of a usage profile."""
+
+    bin_start: Time
+    bin_end: Time
+    value: float
+
+    @property
+    def bin_center(self) -> Time:
+        return Time((self.bin_start.picoseconds + self.bin_end.picoseconds) // 2)
+
+
+class UsageProfile:
+    """A binned usage curve for one resource."""
+
+    def __init__(self, resource: str, unit: str, samples: Sequence[UsageSample]) -> None:
+        self.resource = resource
+        self.unit = unit
+        self._samples = list(samples)
+
+    @property
+    def samples(self) -> Tuple[UsageSample, ...]:
+        return tuple(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self):
+        return iter(self._samples)
+
+    def values(self) -> List[float]:
+        return [sample.value for sample in self._samples]
+
+    def peak(self) -> float:
+        """Largest bin value (0 for an empty profile)."""
+        return max((sample.value for sample in self._samples), default=0.0)
+
+    def mean(self) -> float:
+        """Average bin value (0 for an empty profile)."""
+        if not self._samples:
+            return 0.0
+        return sum(sample.value for sample in self._samples) / len(self._samples)
+
+    def as_rows(self) -> List[Tuple[float, float]]:
+        """(bin centre in microseconds, value) rows, ready to print or plot."""
+        return [(sample.bin_center.microseconds, sample.value) for sample in self._samples]
+
+    def __repr__(self) -> str:
+        return f"UsageProfile({self.resource!r}, bins={len(self._samples)}, unit={self.unit!r})"
+
+
+def _bins(window_start: Time, window_end: Time, bin_width: Duration) -> List[Tuple[int, int]]:
+    if bin_width.picoseconds <= 0:
+        raise ObservationError("bin width must be positive")
+    if window_end <= window_start:
+        raise ObservationError("the observation window must have a positive length")
+    edges = []
+    cursor = window_start.picoseconds
+    end = window_end.picoseconds
+    width = bin_width.picoseconds
+    while cursor < end:
+        edges.append((cursor, min(cursor + width, end)))
+        cursor += width
+    return edges
+
+
+def complexity_profile(
+    trace: ActivityTrace,
+    resource: str,
+    bin_width: Duration,
+    window: Optional[Tuple[Time, Time]] = None,
+) -> UsageProfile:
+    """Computational complexity per time unit (GOPS) of ``resource``.
+
+    Each activity record's operations are spread uniformly over its busy
+    interval; the value of a bin is the number of operations falling in it
+    divided by the bin length, expressed in giga-operations per second.
+    """
+    selected = trace.for_resource(resource)
+    if window is None:
+        if len(selected) == 0:
+            raise ObservationError(
+                f"cannot infer an observation window: no activity for resource {resource!r}"
+            )
+        window = selected.span()
+    window_start, window_end = window
+    bins = _bins(window_start, window_end, bin_width)
+    totals = [0.0] * len(bins)
+    for record in selected:
+        duration_ps = record.duration.picoseconds
+        if duration_ps == 0 or record.operations == 0.0:
+            continue
+        ops_per_ps = record.operations / duration_ps
+        for index, (bin_start, bin_end) in enumerate(bins):
+            overlap = min(bin_end, record.end.picoseconds) - max(
+                bin_start, record.start.picoseconds
+            )
+            if overlap > 0:
+                totals[index] += ops_per_ps * overlap
+    samples = []
+    for (bin_start, bin_end), total_ops in zip(bins, totals):
+        length_ps = bin_end - bin_start
+        ops_per_second = total_ops / length_ps * _PS_PER_SECOND
+        samples.append(UsageSample(Time(bin_start), Time(bin_end), ops_per_second / 1e9))
+    return UsageProfile(resource, "GOPS", samples)
+
+
+def busy_profile(
+    trace: ActivityTrace,
+    resource: str,
+    bin_width: Duration,
+    window: Optional[Tuple[Time, Time]] = None,
+) -> UsageProfile:
+    """Fraction of each bin during which ``resource`` is busy (0..1)."""
+    selected = trace.for_resource(resource)
+    if window is None:
+        if len(selected) == 0:
+            raise ObservationError(
+                f"cannot infer an observation window: no activity for resource {resource!r}"
+            )
+        window = selected.span()
+    window_start, window_end = window
+    bins = _bins(window_start, window_end, bin_width)
+    samples = []
+    for bin_start, bin_end in bins:
+        fraction = selected.utilization(resource, Time(bin_start), Time(bin_end))
+        samples.append(UsageSample(Time(bin_start), Time(bin_end), fraction))
+    return UsageProfile(resource, "busy fraction", samples)

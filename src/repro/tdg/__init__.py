@@ -1,0 +1,20 @@
+"""Temporal dependency graphs.
+
+The graph representation of the (max, +) evolution equations: nodes are
+evolution instants, arcs are time lags (execution durations) and
+synchronisations, and traversing the graph computes the instants of one
+iteration -- the paper's ``ComputeInstant()`` action.
+"""
+
+from .arc import DependencyArc
+from .evaluator import TDGEvaluator
+from .graph import TemporalDependencyGraph
+from .node import InstantNode, NodeKind
+
+__all__ = [
+    "DependencyArc",
+    "TDGEvaluator",
+    "TemporalDependencyGraph",
+    "InstantNode",
+    "NodeKind",
+]

@@ -1,0 +1,71 @@
+"""Temporal dependency graph nodes.
+
+Each node of a temporal dependency graph represents one family of
+evolution instants ``x(k)`` -- an instant at which the usage of a
+platform resource changes, indexed by the iteration counter ``k``
+(Section III-C of the paper).  Nodes come in three kinds:
+
+* ``INPUT`` -- the value is injected by the surrounding simulation
+  (e.g. the instant ``u(k)`` at which the environment actually offered
+  the ``(k+1)``-th data item, or the actual exchange instant on a
+  boundary relation).  Input nodes have no incoming arcs.
+* ``INTERNAL`` -- computed from other instants; these are the
+  intermediate instants whose events the method saves.
+* ``OUTPUT`` -- computed like internal nodes but exported by the
+  equivalent model, which schedules a real simulation event at the
+  computed value (the ``y(k)`` instants).
+
+Nodes may carry a free-form ``tags`` mapping.  The architecture-to-TDG
+builder (:mod:`repro.core.builder`) uses tags to remember which
+resource/function/step an instant belongs to so resource usage can be
+reconstructed on the observation-time axis.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["NodeKind", "InstantNode"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the temporal dependency graph."""
+
+    INPUT = "input"
+    INTERNAL = "internal"
+    OUTPUT = "output"
+
+
+class InstantNode:
+    """One evolution-instant family ``x(k)`` in a temporal dependency graph."""
+
+    __slots__ = ("name", "kind", "index", "tags")
+
+    def __init__(
+        self,
+        name: str,
+        kind: NodeKind = NodeKind.INTERNAL,
+        index: int = -1,
+        tags: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        #: Position of the node in the graph's node list (set by the graph).
+        self.index = index
+        self.tags: Dict[str, Any] = dict(tags or {})
+
+    @property
+    def is_input(self) -> bool:
+        return self.kind is NodeKind.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.kind is NodeKind.OUTPUT
+
+    @property
+    def is_internal(self) -> bool:
+        return self.kind is NodeKind.INTERNAL
+
+    def __repr__(self) -> str:
+        return f"InstantNode({self.name!r}, {self.kind.value})"

@@ -1,0 +1,75 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.archmodel import (
+    AppFunction,
+    ApplicationModel,
+    ArchitectureModel,
+    ConstantExecutionTime,
+    Mapping,
+    PerUnitExecutionTime,
+    PlatformModel,
+)
+from repro.environment import RandomSizeStimulus
+from repro.examples_lib import build_didactic_architecture, didactic_stimulus
+from repro.kernel import Simulator
+from repro.kernel.simtime import microseconds, nanoseconds
+
+
+@pytest.fixture
+def simulator():
+    """A fresh simulation kernel."""
+    return Simulator("test")
+
+
+@pytest.fixture
+def didactic_architecture():
+    """The architecture of Fig. 1 (didactic example)."""
+    return build_didactic_architecture()
+
+
+@pytest.fixture
+def small_stimulus():
+    """A short varying-data-size stimulus for M1/L1-style inputs."""
+    return didactic_stimulus(count=50, seed=123)
+
+
+def build_two_function_architecture(concurrency: int = 1) -> ArchitectureModel:
+    """Tiny two-function pipeline sharing one resource (used by several tests)."""
+    application = ApplicationModel("tiny")
+    application.add_function(
+        AppFunction("A")
+        .read("IN")
+        .execute("EA", PerUnitExecutionTime(microseconds(4), nanoseconds(10)))
+        .write("MID")
+    )
+    application.add_function(
+        AppFunction("B")
+        .read("MID")
+        .execute("EB", ConstantExecutionTime(microseconds(6), operations=600.0))
+        .write("OUT")
+    )
+    platform = PlatformModel("tiny-platform")
+    platform.add_resource(
+        __import__("repro.archmodel.platform", fromlist=["ProcessingResource"]).ProcessingResource(
+            "CPU", concurrency=concurrency
+        )
+    )
+    mapping = Mapping().allocate("A", "CPU").allocate("B", "CPU")
+    architecture = ArchitectureModel("tiny-arch", application, platform, mapping)
+    architecture.validate()
+    return architecture
+
+
+@pytest.fixture
+def tiny_architecture():
+    """Two functions sharing one concurrency-1 processor."""
+    return build_two_function_architecture()
+
+
+@pytest.fixture
+def tiny_stimulus():
+    return RandomSizeStimulus(microseconds(15), 30, min_size=1, max_size=20, seed=9)

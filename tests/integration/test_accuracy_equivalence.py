@@ -1,0 +1,281 @@
+"""Integration tests of the paper's central accuracy claim.
+
+"Evolution instants of both models have been compared and, as expected,
+remain the same" (Section IV).  These tests build the explicit
+event-driven model and the equivalent model from the same architecture
+and stimulus and require *exact* equality of
+
+* every relation exchange instant,
+* every output evolution instant,
+* every resource busy interval (observation-time reconstruction),
+
+across a range of architectures: the didactic example, chained stages,
+FIFO relations, stochastic workloads, partial groupings and
+back-pressured inputs.
+"""
+
+import pytest
+
+from repro.archmodel import (
+    AppFunction,
+    ApplicationModel,
+    ArchitectureModel,
+    ConstantExecutionTime,
+    Mapping,
+    PerUnitExecutionTime,
+    PlatformModel,
+    StochasticExecutionTime,
+)
+from repro.core import EquivalentArchitectureModel, build_equivalent_spec
+from repro.environment import DelayedSink, PeriodicStimulus, RandomSizeStimulus
+from repro.examples_lib import build_didactic_architecture, didactic_stimulus
+from repro.explicit import ExplicitArchitectureModel
+from repro.generator import build_chain_architecture, build_pipeline_architecture
+from repro.kernel.simtime import microseconds, nanoseconds
+from repro.observation import compare_instants, compare_traces
+
+
+def assert_models_equivalent(
+    architecture_factory,
+    stimuli_factory,
+    sinks=None,
+    abstract_functions=None,
+    check_usage=True,
+):
+    """Build, run and exhaustively compare the two model kinds."""
+    explicit = ExplicitArchitectureModel(architecture_factory(), stimuli_factory(), sinks=sinks)
+    explicit.run()
+
+    architecture = architecture_factory()
+    spec = build_equivalent_spec(architecture, abstract_functions)
+    equivalent = EquivalentArchitectureModel(
+        architecture,
+        stimuli_factory(),
+        sinks=sinks,
+        spec=spec,
+        record_relations=True,
+        observe_resources=check_usage,
+    )
+    equivalent.run()
+
+    # every relation covered by the group: computed instants == simulated instants
+    for relation in spec.relation_nodes:
+        reference = explicit.exchange_instants(relation)
+        candidate = equivalent.computer.relation_instants(relation)
+        comparison = compare_instants(reference, candidate)
+        assert comparison.identical, f"{relation}: {comparison.summary()}"
+
+    # relations outside the group are simulated in both models
+    for relation, channel in equivalent.channels.items():
+        comparison = compare_instants(
+            explicit.exchange_instants(relation), channel.exchange_instants
+        )
+        assert comparison.identical, f"{relation}: {comparison.summary()}"
+
+    if check_usage:
+        comparison = compare_traces(explicit.activity_trace, equivalent.reconstructed_usage())
+        assert comparison.identical, comparison.summary()
+
+    assert equivalent.computer.missed_feedback_count == 0
+    return explicit, equivalent
+
+
+class TestDidacticExample:
+    def test_every_instant_identical(self):
+        assert_models_equivalent(
+            build_didactic_architecture, lambda: {"M1": didactic_stimulus(400, seed=11)}
+        )
+
+    def test_fast_environment_saturates_the_processor(self):
+        # offering data faster than the architecture can absorb exercises the
+        # input-readiness wait of the Reception process
+        assert_models_equivalent(
+            build_didactic_architecture,
+            lambda: {"M1": RandomSizeStimulus(microseconds(1), 200, seed=3)},
+        )
+
+    def test_slow_environment_leaves_resources_idle(self):
+        assert_models_equivalent(
+            build_didactic_architecture,
+            lambda: {"M1": RandomSizeStimulus(microseconds(500), 50, seed=5)},
+        )
+
+    def test_event_reduction_matches_theory(self):
+        explicit, equivalent = assert_models_equivalent(
+            build_didactic_architecture, lambda: {"M1": didactic_stimulus(200, seed=7)}
+        )
+        assert explicit.relation_event_count() == 6 * 200
+        assert equivalent.relation_event_count() == 2 * 200
+        assert (
+            equivalent.kernel_stats.process_activations
+            < explicit.kernel_stats.process_activations
+        )
+
+
+class TestChains:
+    @pytest.mark.parametrize("stages", [2, 3])
+    def test_chained_stages_remain_exact(self, stages):
+        assert_models_equivalent(
+            lambda: build_chain_architecture(stages),
+            lambda: {"L1": didactic_stimulus(150, seed=23)},
+        )
+
+    def test_pipeline_on_shared_processors_remains_exact(self):
+        assert_models_equivalent(
+            lambda: build_pipeline_architecture(7, processors=2),
+            lambda: {"L0": RandomSizeStimulus(microseconds(20), 150, seed=2)},
+        )
+
+
+class TestPartialGrouping:
+    def test_suffix_group_is_exact(self):
+        # abstract the last stage of a two-stage chain; stage 1 stays event-driven
+        architecture = build_chain_architecture(2)
+        suffix = [f.name for f in architecture.application.functions][4:]
+        explicit, equivalent = assert_models_equivalent(
+            lambda: build_chain_architecture(2),
+            lambda: {"L1": didactic_stimulus(150, seed=31)},
+            abstract_functions=suffix,
+            check_usage=False,
+        )
+        # the boundary between the two stages is still simulated in the equivalent model
+        assert "L2" in equivalent.channels
+
+    def test_prefix_group_with_backpressure_is_documented_as_approximate(self):
+        # Abstracting the producer side while a simulated consumer back-pressures
+        # its output is only approximate (see repro.core.equivalent); this test
+        # pins down that behaviour: outputs may differ, but the model still runs
+        # to completion and produces the right number of outputs.
+        architecture = build_chain_architecture(2)
+        prefix = [f.name for f in architecture.application.functions][:4]
+        explicit = ExplicitArchitectureModel(
+            build_chain_architecture(2), {"L1": didactic_stimulus(100, seed=37)}
+        )
+        explicit.run()
+        equivalent = EquivalentArchitectureModel(
+            build_chain_architecture(2),
+            {"L1": didactic_stimulus(100, seed=37)},
+            abstract_functions=prefix,
+        )
+        equivalent.run()
+        assert len(equivalent.output_instants("L3")) == 100
+
+
+class TestRelationAndWorkloadVariants:
+    def _fifo_architecture(self, capacity):
+        application = ApplicationModel("fifo-app")
+        application.add_function(
+            AppFunction("P")
+            .read("IN")
+            .execute("EP", PerUnitExecutionTime(microseconds(3), nanoseconds(40)))
+            .write("Q")
+        )
+        application.add_function(
+            AppFunction("C")
+            .read("Q")
+            .execute("EC", ConstantExecutionTime(microseconds(9)))
+            .write("OUT")
+        )
+        application.declare_fifo("Q", capacity=capacity)
+        platform = PlatformModel("p")
+        platform.add_processor("CPU1")
+        platform.add_processor("CPU2")
+        mapping = Mapping().allocate("P", "CPU1").allocate("C", "CPU2")
+        return ArchitectureModel(f"fifo-{capacity}", application, platform, mapping)
+
+    @pytest.mark.parametrize("capacity", [1, 3, None])
+    def test_fifo_relations_remain_exact(self, capacity):
+        assert_models_equivalent(
+            lambda: self._fifo_architecture(capacity),
+            lambda: {"IN": RandomSizeStimulus(microseconds(5), 120, seed=13)},
+        )
+
+    def test_stochastic_workloads_shared_between_models_remain_exact(self):
+        shared = {
+            "EA": StochasticExecutionTime(microseconds(1), microseconds(12), seed=99),
+            "EB": StochasticExecutionTime(microseconds(2), microseconds(8), seed=7),
+        }
+
+        def build():
+            application = ApplicationModel("stochastic")
+            application.add_function(
+                AppFunction("A").read("IN").execute("EA", shared["EA"]).write("MID")
+            )
+            application.add_function(
+                AppFunction("B").read("MID").execute("EB", shared["EB"]).write("OUT")
+            )
+            platform = PlatformModel("p")
+            platform.add_processor("CPU")
+            mapping = Mapping().allocate("A", "CPU").allocate("B", "CPU")
+            return ArchitectureModel("stochastic-arch", application, platform, mapping)
+
+        assert_models_equivalent(
+            build, lambda: {"IN": PeriodicStimulus(microseconds(10), 150)}
+        )
+
+    def test_multiple_execute_steps_and_delay_steps(self):
+        def build():
+            application = ApplicationModel("multi")
+            application.add_function(
+                AppFunction("A")
+                .read("IN")
+                .execute("E1", ConstantExecutionTime(microseconds(2)))
+                .delay(microseconds(1))
+                .execute("E2", PerUnitExecutionTime(microseconds(1), nanoseconds(100)))
+                .write("MID")
+            )
+            application.add_function(
+                AppFunction("B")
+                .read("MID")
+                .execute("E3", ConstantExecutionTime(microseconds(4)))
+                .write("OUT")
+            )
+            platform = PlatformModel("p")
+            platform.add_processor("CPU")
+            mapping = Mapping().allocate("A", "CPU").allocate("B", "CPU")
+            return ArchitectureModel("multi-arch", application, platform, mapping)
+
+        assert_models_equivalent(
+            build, lambda: {"IN": RandomSizeStimulus(microseconds(6), 100, seed=17)}
+        )
+
+
+class TestEnvironmentBackpressure:
+    def test_sink_limited_output_instants_match(self):
+        # When the environment accepts outputs late, the *observed* output
+        # exchange instants stay identical (both models are limited by the
+        # sink), while internal instants become optimistic approximations --
+        # the documented limitation of the method for back-pressured boundary
+        # outputs (see repro.core.equivalent).
+        stimuli = lambda: {"M1": PeriodicStimulus(microseconds(5), 80)}
+        sinks = {"M6": DelayedSink(microseconds(40))}
+        explicit = ExplicitArchitectureModel(build_didactic_architecture(), stimuli(), sinks=sinks)
+        explicit.run()
+        equivalent = EquivalentArchitectureModel(
+            build_didactic_architecture(), stimuli(), sinks=sinks, record_relations=True
+        )
+        equivalent.run()
+        comparison = compare_instants(
+            explicit.exchange_instants("M6"), equivalent.exchange_instants("M6")
+        )
+        assert comparison.identical, comparison.summary()
+        # the computed (optimistic) internal instants never run later than reality
+        for computed, simulated in zip(
+            equivalent.computer.relation_instants("M5"), explicit.exchange_instants("M5")
+        ):
+            assert computed is not None and computed <= simulated
+
+    def test_burst_then_idle_input_pattern(self):
+        from repro.environment import TraceStimulus
+        from repro.kernel.simtime import Time
+
+        def stimuli():
+            entries = []
+            t = 0.0
+            for k in range(60):
+                gap = 1.0 if k % 10 else 300.0
+                t += gap
+                entries.append((Time.from_microseconds(t), {"size": (k * 13) % 50}))
+            return {"M1": TraceStimulus(entries)}
+
+        assert_models_equivalent(build_didactic_architecture, stimuli)

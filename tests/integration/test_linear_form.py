@@ -1,0 +1,90 @@
+"""The linear (max, +) matrix formulation of Section III-B.
+
+With constant execution durations the didactic example's evolution
+instants admit the linear form of equations (7)-(8):
+
+    X(k) = A(k,0) ⊗ X(k) ⊕ A(k,1) ⊗ X(k-1) ⊕ B(k,0) ⊗ U(k)
+    Y(k) = C(k,0) ⊗ X(k)
+
+These tests export both the literal paper-equation graph and the
+automatically generated graph to a
+:class:`~repro.maxplus.linear_system.LinearMaxPlusSystem` and verify the
+matrix recurrence produces exactly the same instants as the graph
+evaluator and as the explicit event-driven simulation.
+"""
+
+import pytest
+
+from repro.archmodel import ConstantExecutionTime
+from repro.core import build_equivalent_spec
+from repro.environment import PeriodicStimulus
+from repro.examples_lib import build_didactic_architecture, build_paper_equation_graph
+from repro.explicit import ExplicitArchitectureModel
+from repro.kernel.simtime import microseconds
+from repro.maxplus import MaxPlusVector
+from repro.tdg import TDGEvaluator
+
+
+def constant_workloads():
+    """The didactic execute steps with fixed durations (enables the linear form)."""
+    durations = {
+        "Ti1": 5, "Tj1": 3, "Ti2": 6, "Ti3": 4, "Tj3": 2, "Ti4": 7,
+    }
+    return {
+        name: ConstantExecutionTime(microseconds(value), operations=value * 100)
+        for name, value in durations.items()
+    }
+
+
+class TestPaperEquationLinearForm:
+    def test_matrix_recurrence_matches_graph_evaluation(self):
+        graph = build_paper_equation_graph(constant_workloads())
+        assert graph.is_constant_weighted()
+        system = graph.to_linear_system()
+        assert system.input_labels == ("u",)
+        assert "xM6" in system.output_labels
+
+        evaluator = TDGEvaluator(graph)
+        simulator = system.simulator()
+        for k in range(50):
+            u = k * 30_000_000  # 30 us period, in picoseconds
+            graph_outputs = evaluator.step({"u": u})
+            _, matrix_output = simulator.advance(MaxPlusVector([u]))
+            assert graph_outputs["xM6"] == matrix_output.to_list()[0]
+
+    def test_a0_is_nilpotent_for_the_didactic_example(self):
+        graph = build_paper_equation_graph(constant_workloads())
+        system = graph.to_linear_system()
+        assert system.a_matrices[0].is_nilpotent()
+        assert system.state_history_depth == 1
+
+
+class TestGeneratedGraphLinearForm:
+    def test_matrix_recurrence_matches_the_explicit_simulation(self):
+        architecture = build_didactic_architecture(constant_workloads())
+        spec = build_equivalent_spec(architecture)
+        assert spec.graph.is_constant_weighted()
+        system = spec.graph.to_linear_system()
+
+        items = 40
+        period = microseconds(30)
+        explicit = ExplicitArchitectureModel(
+            build_didactic_architecture(constant_workloads()),
+            {"M1": PeriodicStimulus(period, items)},
+        )
+        explicit.run()
+        reference = explicit.exchange_instants("M6")
+
+        simulator = system.simulator()
+        assert system.input_labels == ("x[M1]",)
+        output_index = system.output_labels.index("offer[M6]")
+        for k in range(items):
+            # the environment is strictly periodic and never back-pressured here,
+            # so the boundary-input exchange instant equals the offer instant
+            u = (period * k).picoseconds
+            _, output = simulator.advance(MaxPlusVector([u]))
+            assert output.to_list()[output_index] == reference[k].picoseconds
+
+    def test_data_dependent_workloads_cannot_be_linearised(self):
+        spec = build_equivalent_spec(build_didactic_architecture())
+        assert not spec.graph.is_constant_weighted()

@@ -1,0 +1,167 @@
+"""Integration tests for the literal paper equations (Fig. 3) and the LTE case study."""
+
+import pytest
+
+from repro.core import build_equivalent_spec
+from repro.examples_lib import (
+    build_didactic_architecture,
+    build_paper_equation_graph,
+    didactic_stimulus,
+    didactic_workloads,
+)
+from repro.kernel.simtime import microseconds
+from repro.lte import (
+    DECODER_NAME,
+    DSP_NAME,
+    INPUT_RELATION,
+    OUTPUT_RELATION,
+    SYMBOL_PERIOD,
+    SYMBOLS_PER_FRAME,
+    build_lte_models,
+    fig6_observation,
+)
+from repro.observation import compare_instants
+from repro.tdg import TDGEvaluator
+
+
+class TestPaperEquationGraph:
+    def test_graph_has_the_ten_nodes_of_figure3(self):
+        graph = build_paper_equation_graph()
+        assert graph.node_count == 7  # u, xM1..xM6 (delayed terms are arcs, not nodes)
+        assert graph.arc_count == 12  # one arc per ⊕-term of equations (1)-(6)
+        assert graph.max_delay == 1
+        # Fig. 3 additionally draws the delayed instants xM4(k-1), xM5(k-1) and
+        # xM6(k-1) as their own nodes, which is how the paper counts 10 nodes.
+        delayed_sources = {arc.source.name for arc in graph.arcs if arc.delay >= 1}
+        assert delayed_sources == {"xM4", "xM5", "xM6"}
+        assert graph.node_count + len(delayed_sources) == 10
+
+    def test_equations_reproduce_the_expected_instants(self):
+        """Evaluate equations (1)-(6) by hand for two iterations and compare."""
+        workloads = didactic_workloads()
+        graph = build_paper_equation_graph(workloads)
+        evaluator = TDGEvaluator(graph, record_all=True)
+
+        from repro.archmodel import DataToken
+
+        token = DataToken(0, {"size": 10})
+        durations = {
+            name: workloads[name].duration(0, token).picoseconds
+            for name in ("Ti1", "Tj1", "Ti2", "Ti3", "Tj3", "Ti4")
+        }
+        outputs = evaluator.step({"u": 0}, context={"token": token})
+        values = evaluator.last_values()
+        # forward substitution of equations (1)-(6) with no previous iteration
+        x1 = 0
+        x2 = x1 + durations["Ti1"]
+        x3 = x2 + durations["Tj1"]
+        x4 = max(x3 + durations["Ti2"], x2 + durations["Ti3"])
+        x5 = x4 + durations["Tj3"]
+        x6 = x5 + durations["Ti4"]
+        assert values["xM1"] == x1
+        assert values["xM2"] == x2
+        assert values["xM3"] == x3
+        assert values["xM4"] == x4
+        assert values["xM5"] == x5
+        assert outputs["xM6"] == x6
+
+        # second iteration: the k-1 terms now matter
+        token1 = DataToken(1, {"size": 40})
+        durations1 = {
+            name: workloads[name].duration(1, token1).picoseconds
+            for name in ("Ti1", "Tj1", "Ti2", "Ti3", "Tj3", "Ti4")
+        }
+        u1 = microseconds(5).picoseconds
+        outputs1 = evaluator.step({"u": u1}, context={"token": token1})
+        values1 = evaluator.last_values()
+        y1 = max(u1, x4)
+        y2 = max(y1 + durations1["Ti1"], x5)
+        y3 = max(y2 + durations1["Tj1"], x4)
+        y4 = max(y3 + durations1["Ti2"], y2 + durations1["Ti3"], x5)
+        y5 = max(y4 + durations1["Tj3"], x6)
+        y6 = y5 + durations1["Ti4"]
+        assert values1["xM1"] == y1
+        assert values1["xM2"] == y2
+        assert values1["xM3"] == y3
+        assert values1["xM4"] == y4
+        assert values1["xM5"] == y5
+        assert outputs1["xM6"] == y6
+
+    def test_paper_equations_and_general_semantics_agree_on_output_latency_when_uncontended(self):
+        """With one item in flight the two formulations give the same end-to-end latency."""
+        workloads = didactic_workloads()
+        paper = TDGEvaluator(build_paper_equation_graph(workloads))
+        spec = build_equivalent_spec(build_didactic_architecture(workloads))
+        general = TDGEvaluator(spec.graph)
+
+        from repro.archmodel import DataToken
+
+        token = DataToken(0, {"size": 25})
+        paper_output = paper.step({"u": 0}, context={"token": token})["xM6"]
+        general_output = general.step({"x[M1]": 0}, context={"token": token})["offer[M6]"]
+        assert paper_output == general_output
+
+
+class TestLteCaseStudy:
+    def test_instants_identical_and_event_ratio_matches(self):
+        symbol_count = 10 * SYMBOLS_PER_FRAME
+        explicit, equivalent = build_lte_models(symbol_count, record_relations=True)
+        explicit.run()
+        equivalent.run()
+
+        comparison = compare_instants(
+            explicit.output_instants(OUTPUT_RELATION),
+            equivalent.output_instants(OUTPUT_RELATION),
+        )
+        assert comparison.identical, comparison.summary()
+        for relation in ("S1", "S4", "S7"):
+            inner = compare_instants(
+                explicit.exchange_instants(relation),
+                equivalent.computer.relation_instants(relation),
+            )
+            assert inner.identical, f"{relation}: {inner.summary()}"
+
+        ratio = explicit.relation_event_count() / equivalent.relation_event_count()
+        # paper: 4.2 measured (9 relations vs 2 boundary relations -> 4.5 ideal)
+        assert ratio == pytest.approx(4.5)
+        assert (
+            equivalent.kernel_stats.process_activations
+            < explicit.kernel_stats.process_activations
+        )
+
+    def test_receiver_keeps_up_with_the_symbol_rate(self):
+        symbol_count = 3 * SYMBOLS_PER_FRAME
+        explicit, _ = build_lte_models(symbol_count)
+        explicit.run()
+        outputs = explicit.output_instants(OUTPUT_RELATION)
+        inputs = explicit.offer_instants(INPUT_RELATION)
+        # real-time behaviour: every symbol is fully processed within a couple of
+        # symbol periods of its arrival (no unbounded backlog builds up)
+        for arrival, completion in zip(inputs, outputs):
+            assert completion - arrival < SYMBOL_PERIOD * 2
+        # within one frame the parameters are constant, so the pipeline reaches a
+        # steady state with exactly one output per symbol period
+        second_frame_gaps = [b - a for a, b in zip(outputs[15:27], outputs[16:28])]
+        assert all(gap == SYMBOL_PERIOD for gap in second_frame_gaps)
+
+    def test_fig6_observation_shapes(self):
+        observation = fig6_observation(frame_count=1)
+        assert observation.symbol_count == 14
+        assert len(observation.input_instants) == 14
+        assert len(observation.output_instants) == 14
+        # symbol arrivals are 71.42 us apart over roughly one millisecond
+        assert observation.input_instants[-1].microseconds == pytest.approx(71.42 * 13)
+        # DSP usage lands in the few-GOPS range of Fig. 6(b)
+        assert 3.0 <= observation.dsp_profile.peak() <= 9.0
+        # the dedicated decoder usage lands in the 75-150 GOPS range of Fig. 6(c)
+        assert 70.0 <= observation.decoder_profile.peak() <= 160.0
+        # every output is produced before the next symbol arrives plus one period
+        for k in range(14):
+            assert observation.output_instants[k] is not None
+
+    def test_decoder_usage_varies_with_modulation(self):
+        # across several frames the decoder peak changes with the modulation order
+        observation = fig6_observation(frame_count=6, bin_width=microseconds(2))
+        values = [value for value in observation.decoder_profile.values() if value > 1.0]
+        assert values, "decoder never active?"
+        assert max(values) > 1.3 * min(values)

@@ -1,0 +1,142 @@
+"""Property-based equivalence: random architectures, random workloads, random stimuli.
+
+Hypothesis generates small random pipeline/fork architectures with random
+(data-size-dependent) execution times, random mappings onto one or two
+processors and random input timings; for every generated case the
+explicit event-driven model and the equivalent model must produce
+exactly the same evolution instants.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.archmodel import (
+    AppFunction,
+    ApplicationModel,
+    ArchitectureModel,
+    Mapping,
+    PerUnitExecutionTime,
+    PlatformModel,
+)
+from repro.core import EquivalentArchitectureModel, build_equivalent_spec
+from repro.environment import TraceStimulus
+from repro.explicit import ExplicitArchitectureModel
+from repro.kernel.simtime import Time, microseconds, nanoseconds
+from repro.observation import compare_instants
+
+
+@st.composite
+def pipeline_cases(draw):
+    """A random linear pipeline with random workloads, mapping and input trace."""
+    length = draw(st.integers(min_value=1, max_value=5))
+    processors = draw(st.integers(min_value=1, max_value=2))
+    base_times = [draw(st.integers(min_value=0, max_value=20)) for _ in range(length)]
+    per_unit_times = [draw(st.integers(min_value=0, max_value=500)) for _ in range(length)]
+    allocation = [draw(st.integers(min_value=0, max_value=processors - 1)) for _ in range(length)]
+    item_count = draw(st.integers(min_value=1, max_value=25))
+    gaps = [draw(st.integers(min_value=0, max_value=40)) for _ in range(item_count)]
+    sizes = [draw(st.integers(min_value=0, max_value=50)) for _ in range(item_count)]
+    use_fifo = draw(st.booleans())
+    fifo_capacity = draw(st.sampled_from([1, 2, None]))
+    return {
+        "length": length,
+        "processors": processors,
+        "base_times": base_times,
+        "per_unit_times": per_unit_times,
+        "allocation": allocation,
+        "gaps": gaps,
+        "sizes": sizes,
+        "use_fifo": use_fifo,
+        "fifo_capacity": fifo_capacity,
+    }
+
+
+def build_architecture(case) -> ArchitectureModel:
+    application = ApplicationModel("random-pipeline")
+    for index in range(case["length"]):
+        workload = PerUnitExecutionTime(
+            base=microseconds(case["base_times"][index]),
+            per_unit=nanoseconds(case["per_unit_times"][index]),
+            attribute="size",
+        )
+        application.add_function(
+            AppFunction(f"S{index}")
+            .read(f"L{index}")
+            .execute(f"E{index}", workload)
+            .write(f"L{index + 1}")
+        )
+    if case["use_fifo"] and case["length"] >= 2:
+        application.declare_fifo("L1", capacity=case["fifo_capacity"])
+    platform = PlatformModel("platform")
+    for index in range(case["processors"]):
+        platform.add_processor(f"CPU{index}")
+    mapping = Mapping()
+    for index in range(case["length"]):
+        mapping.allocate(f"S{index}", f"CPU{case['allocation'][index]}")
+    architecture = ArchitectureModel("random-arch", application, platform, mapping)
+    architecture.validate()
+    return architecture
+
+
+def build_stimulus(case) -> TraceStimulus:
+    entries = []
+    now = 0
+    for gap, size in zip(case["gaps"], case["sizes"]):
+        now += gap
+        entries.append((Time.from_microseconds(now), {"size": size}))
+    return TraceStimulus(entries)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(pipeline_cases())
+def test_random_pipelines_produce_identical_instants(case):
+    explicit = ExplicitArchitectureModel(
+        build_architecture(case), {"L0": build_stimulus(case)}
+    )
+    explicit.run()
+
+    architecture = build_architecture(case)
+    spec = build_equivalent_spec(architecture)
+    equivalent = EquivalentArchitectureModel(
+        architecture, {"L0": build_stimulus(case)}, spec=spec, record_relations=True
+    )
+    equivalent.run()
+
+    for relation in spec.relation_nodes:
+        comparison = compare_instants(
+            explicit.exchange_instants(relation),
+            equivalent.computer.relation_instants(relation),
+        )
+        assert comparison.identical, f"{relation}: {comparison.summary()}"
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(pipeline_cases(), st.integers(min_value=1, max_value=4))
+def test_random_pipelines_with_suffix_grouping(case, group_size):
+    """Abstracting only the tail of the pipeline must also be exact."""
+    length = case["length"]
+    group_size = min(group_size, length)
+    group = [f"S{i}" for i in range(length - group_size, length)]
+    # the group must own its processors exclusively; skip cases where it does not
+    owners = {case["allocation"][i] for i in range(length - group_size, length)}
+    outside = {case["allocation"][i] for i in range(0, length - group_size)}
+    if owners & outside:
+        return
+
+    explicit = ExplicitArchitectureModel(
+        build_architecture(case), {"L0": build_stimulus(case)}
+    )
+    explicit.run()
+
+    architecture = build_architecture(case)
+    equivalent = EquivalentArchitectureModel(
+        architecture, {"L0": build_stimulus(case)}, abstract_functions=group,
+        record_relations=True,
+    )
+    equivalent.run()
+
+    output_relation = f"L{length}"
+    comparison = compare_instants(
+        explicit.exchange_instants(output_relation),
+        equivalent.exchange_instants(output_relation),
+    )
+    assert comparison.identical, comparison.summary()

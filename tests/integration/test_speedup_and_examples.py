@@ -1,0 +1,111 @@
+"""Integration tests for the measurement layer, the ablations and the example scripts."""
+
+import pathlib
+import runpy
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+import pytest
+
+from repro import didactic_stimulus, measure_speedup
+from repro.examples_lib import build_didactic_architecture
+from repro.explicit import ExplicitArchitectureModel, LooselyTimedArchitectureModel
+from repro.generator import build_chain_architecture
+from repro.kernel.simtime import microseconds
+from repro.observation import compare_instants
+
+
+class TestSpeedupMeasurement:
+    def test_measurement_fields_are_consistent(self):
+        measurement = measure_speedup(
+            lambda: build_chain_architecture(1),
+            lambda: {"L1": didactic_stimulus(300, seed=5)},
+            label="example-1",
+        )
+        assert measurement.label == "example-1"
+        assert measurement.iterations == 300
+        assert measurement.outputs_identical
+        assert measurement.mismatching_outputs == 0
+        assert measurement.explicit_relation_events == 6 * 300
+        assert measurement.equivalent_relation_events == 2 * 300
+        assert measurement.event_ratio == pytest.approx(3.0)
+        assert measurement.explicit_wall_seconds > 0
+        assert measurement.equivalent_wall_seconds > 0
+        assert measurement.activation_ratio > 1.0
+        assert measurement.tdg_nodes == 20
+        row = measurement.as_row()
+        assert row["accuracy"] == "identical"
+        assert row["TDG nodes"] == 20
+
+    def test_event_ratio_and_context_switch_ratio_grow_with_stages(self):
+        measurements = [
+            measure_speedup(
+                lambda s=s: build_chain_architecture(s),
+                lambda: {"L1": didactic_stimulus(200, seed=1)},
+            )
+            for s in (1, 2, 3)
+        ]
+        ratios = [m.event_ratio for m in measurements]
+        activation_ratios = [m.activation_ratio for m in measurements]
+        assert ratios == sorted(ratios)
+        assert activation_ratios == sorted(activation_ratios)
+        assert all(m.outputs_identical for m in measurements)
+
+    def test_padded_measurement_keeps_accuracy(self):
+        measurement = measure_speedup(
+            lambda: build_chain_architecture(1),
+            lambda: {"L1": didactic_stimulus(150, seed=2)},
+            pad_to_nodes=200,
+        )
+        assert measurement.tdg_nodes == 200
+        assert measurement.outputs_identical
+
+
+class TestQuantumAblation:
+    def test_error_grows_with_the_quantum_while_events_shrink(self):
+        reference = ExplicitArchitectureModel(
+            build_didactic_architecture(), {"M1": didactic_stimulus(200, seed=3)}
+        )
+        reference.run()
+        reference_outputs = reference.output_instants("M6")
+
+        previous_error = -1
+        previous_events = None
+        for quantum_us in (10, 100, 1000):
+            model = LooselyTimedArchitectureModel(
+                build_didactic_architecture(),
+                {"M1": didactic_stimulus(200, seed=3)},
+                quantum=microseconds(quantum_us),
+            )
+            stats = model.run()
+            comparison = compare_instants(reference_outputs, model.output_instants("M6"))
+            error = comparison.max_abs_error.picoseconds
+            assert error > 0, "the loosely-timed model should not be exact here"
+            assert error >= previous_error
+            previous_error = error
+            if previous_events is not None:
+                assert stats.timed_notifications <= previous_events
+            previous_events = stats.timed_notifications
+
+
+class TestExamplesRun:
+    """Each example script must run end-to-end with a small workload."""
+
+    @pytest.mark.parametrize(
+        "script, argv",
+        [
+            ("examples/quickstart.py", ["40"]),
+            ("examples/lte_receiver.py", ["28"]),
+            ("examples/table1_sweep.py", ["60", "2"]),
+            ("examples/grouping_and_quantum.py", ["60"]),
+        ],
+    )
+    def test_example_script_runs(self, script, argv, capsys, monkeypatch):
+        path = str(REPO_ROOT / script)
+        monkeypatch.setattr(sys, "argv", [path] + argv)
+        with pytest.raises(SystemExit) as excinfo:
+            runpy.run_path(path, run_name="__main__")
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert "identical" in output

@@ -1,0 +1,265 @@
+"""Unit tests for the architecture description layer (application, platform, mapping)."""
+
+import pytest
+
+from repro.archmodel import (
+    AppFunction,
+    ApplicationModel,
+    ArchitectureModel,
+    ConstantExecutionTime,
+    Mapping,
+    PlatformModel,
+    ProcessingResource,
+    ResourceKind,
+)
+from repro.archmodel.application import RelationKind
+from repro.archmodel.primitives import DelayStep, ExecuteStep, ReadStep, WriteStep
+from repro.errors import ModelError
+from repro.examples_lib import build_didactic_architecture
+from repro.kernel.simtime import microseconds
+
+
+def constant(us: float = 1.0) -> ConstantExecutionTime:
+    return ConstantExecutionTime(microseconds(us))
+
+
+class TestPrimitives:
+    def test_kinds_and_reprs(self):
+        assert ReadStep("M").kind == "read"
+        assert WriteStep("M").kind == "write"
+        assert ExecuteStep("E", constant()).kind == "execute"
+        assert DelayStep(microseconds(1)).kind == "delay"
+        assert "M" in repr(ReadStep("M"))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ReadStep("")
+        with pytest.raises(ModelError):
+            WriteStep("")
+        with pytest.raises(ModelError):
+            ExecuteStep("", constant())
+        with pytest.raises(ModelError):
+            ExecuteStep("E", "not a workload")
+        with pytest.raises(ModelError):
+            DelayStep(microseconds(-1))
+
+
+class TestAppFunction:
+    def test_fluent_construction_preserves_order(self):
+        function = (
+            AppFunction("F")
+            .read("A")
+            .execute("E1", constant())
+            .write("B")
+            .delay(microseconds(2))
+        )
+        assert [step.kind for step in function.steps] == ["read", "execute", "write", "delay"]
+        assert function.relations_read() == ["A"]
+        assert function.relations_written() == ["B"]
+        assert [label for _, label in [(i, s.label) for i, s in function.execute_steps()]] == ["E1"]
+
+    def test_describe_matches_fig1_notation(self):
+        function = AppFunction("F1").read("M1").execute("Ti1", constant()).write("M2")
+        assert function.describe() == "F1: while(1) { read(M1); execute(Ti1); write(M2); }"
+
+    def test_validation_rejects_empty_and_duplicate_relations(self):
+        with pytest.raises(ModelError):
+            AppFunction("F").validate()
+        with pytest.raises(ModelError):
+            AppFunction("F").read("A").read("A").validate()
+        with pytest.raises(ModelError):
+            AppFunction("F").write("A").write("A").validate()
+        with pytest.raises(ModelError):
+            AppFunction("F").read("A").write("A").validate()
+        with pytest.raises(ModelError):
+            AppFunction("")
+
+    def test_add_step_type_checked(self):
+        with pytest.raises(ModelError):
+            AppFunction("F").add_step("read")
+
+
+class TestApplicationModel:
+    def build(self) -> ApplicationModel:
+        application = ApplicationModel("app")
+        application.add_function(
+            AppFunction("P").read("IN").execute("E", constant()).write("MID")
+        )
+        application.add_function(
+            AppFunction("C").read("MID").execute("E", constant()).write("OUT")
+        )
+        return application
+
+    def test_relation_resolution(self):
+        application = self.build()
+        relations = application.relations()
+        assert set(relations) == {"IN", "MID", "OUT"}
+        assert relations["MID"].producer == "P" and relations["MID"].consumer == "C"
+        assert relations["IN"].is_external_input
+        assert relations["OUT"].is_external_output
+        assert relations["MID"].is_internal
+        assert [spec.name for spec in application.external_inputs()] == ["IN"]
+        assert [spec.name for spec in application.external_outputs()] == ["OUT"]
+        assert [spec.name for spec in application.internal_relations()] == ["MID"]
+
+    def test_duplicate_function_and_endpoints_rejected(self):
+        application = self.build()
+        with pytest.raises(ModelError):
+            application.add_function(AppFunction("P").read("X").write("Y"))
+        application.add_function(AppFunction("C2").read("MID2").write("OUT2"))
+        application.add_function(AppFunction("BAD").read("MID2").write("Z"))
+        with pytest.raises(ModelError, match="two consumers"):
+            application.relations()
+
+    def test_two_producers_rejected(self):
+        application = ApplicationModel("app")
+        application.add_function(AppFunction("A").read("I1").write("X"))
+        application.add_function(AppFunction("B").read("I2").write("X"))
+        with pytest.raises(ModelError, match="two producers"):
+            application.relations()
+
+    def test_fifo_declaration(self):
+        application = self.build()
+        application.declare_fifo("MID", capacity=3)
+        spec = application.relation("MID")
+        assert spec.kind is RelationKind.FIFO
+        assert spec.capacity == 3
+        with pytest.raises(ModelError):
+            application.declare_fifo("MID", capacity=0)
+
+    def test_unused_declared_relation_rejected(self):
+        application = self.build()
+        application.declare_fifo("GHOST")
+        with pytest.raises(ModelError, match="not used"):
+            application.relations()
+
+    def test_validate_requires_functions_and_external_input(self):
+        with pytest.raises(ModelError):
+            ApplicationModel("empty").validate()
+        closed = ApplicationModel("closed")
+        closed.add_function(AppFunction("A").read("X").write("Y"))
+        closed.add_function(AppFunction("B").read("Y").write("X"))
+        with pytest.raises(ModelError, match="external input"):
+            closed.validate()
+
+    def test_unknown_lookups_raise(self):
+        application = self.build()
+        with pytest.raises(ModelError):
+            application.function("missing")
+        with pytest.raises(ModelError):
+            application.relation("missing")
+
+    def test_describe_lists_functions_and_relations(self):
+        text = self.build().describe()
+        assert "P: while(1)" in text
+        assert "relation MID: P -> C [rendezvous]" in text
+
+
+class TestPlatformModel:
+    def test_resource_kinds_and_concurrency(self):
+        platform = PlatformModel("platform")
+        cpu = platform.add_processor("CPU", frequency_hz=1e9)
+        hw = platform.add_hardware("HW")
+        assert cpu.is_serialized and not cpu.is_unlimited
+        assert hw.is_unlimited and not hw.is_serialized
+        assert hw.kind is ResourceKind.HARDWARE
+        assert set(platform.resource_names) == {"CPU", "HW"}
+        assert platform.resource("CPU") is cpu
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ProcessingResource("R", concurrency=0)
+        with pytest.raises(ModelError):
+            ProcessingResource("", concurrency=1)
+        with pytest.raises(ModelError):
+            ProcessingResource("R", frequency_hz=-1)
+        platform = PlatformModel("platform")
+        with pytest.raises(ModelError):
+            platform.validate()
+        platform.add_processor("CPU")
+        with pytest.raises(ModelError):
+            platform.add_processor("CPU")
+        with pytest.raises(ModelError):
+            platform.resource("missing")
+        with pytest.raises(ModelError):
+            platform.add_resource("not a resource")
+
+
+class TestMappingAndArchitecture:
+    def test_default_static_order_follows_declaration_order(self, didactic_architecture):
+        schedules = didactic_architecture.resource_schedules()
+        p1 = [(slot.function, slot.label) for slot in schedules["P1"]]
+        assert p1 == [("F1", "Ti1"), ("F1", "Tj1"), ("F2", "Ti3"), ("F2", "Tj3")]
+        p2 = [(slot.function, slot.label) for slot in schedules["P2"]]
+        assert p2 == [("F3", "Ti2"), ("F4", "Ti4")]
+
+    def test_explicit_static_order_override(self):
+        architecture = build_didactic_architecture()
+        architecture.mapping.set_static_order(
+            "P1", [("F2", 1), ("F2", 3), ("F1", 1), ("F1", 3)]
+        )
+        architecture._orders = None  # force re-resolution
+        schedule = architecture.resource_schedules()["P1"]
+        assert [slot.function for slot in schedule] == ["F2", "F2", "F1", "F1"]
+
+    def test_static_order_by_function_name_expands_all_steps(self):
+        architecture = build_didactic_architecture()
+        architecture.mapping.set_static_order("P1", ["F2", "F1"])
+        architecture._orders = None
+        schedule = architecture.resource_schedules()["P1"]
+        assert [slot.function for slot in schedule] == ["F2", "F2", "F1", "F1"]
+
+    def test_incomplete_or_duplicate_static_order_rejected(self):
+        architecture = build_didactic_architecture()
+        architecture.mapping.set_static_order("P1", [("F1", 1)])
+        architecture._orders = None
+        with pytest.raises(ModelError, match="does not match"):
+            architecture.resource_schedules()
+        architecture = build_didactic_architecture()
+        architecture.mapping.set_static_order("P1", ["F1", "F1", "F2"])
+        architecture._orders = None
+        with pytest.raises(ModelError, match="twice"):
+            architecture.resource_schedules()
+
+    def test_static_order_with_non_execute_step_rejected(self):
+        architecture = build_didactic_architecture()
+        architecture.mapping.set_static_order("P1", [("F1", 0), ("F1", 3), ("F2", 1), ("F2", 3)])
+        architecture._orders = None
+        with pytest.raises(ModelError, match="not an execute step"):
+            architecture.resource_schedules()
+
+    def test_allocation_validation(self):
+        application = ApplicationModel("app")
+        application.add_function(AppFunction("A").read("IN").execute("E", constant()).write("OUT"))
+        platform = PlatformModel("platform")
+        platform.add_processor("CPU")
+        unallocated = ArchitectureModel("arch", application, platform, Mapping())
+        with pytest.raises(ModelError, match="not allocated"):
+            unallocated.validate()
+        bad_resource = ArchitectureModel(
+            "arch", application, platform, Mapping().allocate("A", "GPU")
+        )
+        with pytest.raises(ModelError, match="unknown resource"):
+            bad_resource.validate()
+        with pytest.raises(ModelError):
+            Mapping().allocate("A", "CPU").allocate("A", "CPU")
+
+    def test_slot_location(self, didactic_architecture):
+        location = didactic_architecture.slot_location("F2", 1)
+        assert location.resource == "P1"
+        assert location.position == 2
+        assert location.slots_per_iteration == 4
+        assert location.concurrency == 1
+        with pytest.raises(ModelError):
+            didactic_architecture.slot_location("F2", 0)
+
+    def test_resource_of_and_queries(self, didactic_architecture):
+        assert didactic_architecture.resource_of("F3").name == "P2"
+        assert [spec.name for spec in didactic_architecture.external_inputs()] == ["M1"]
+        assert [spec.name for spec in didactic_architecture.external_outputs()] == ["M6"]
+        assert len(didactic_architecture.execute_steps_of("F1")) == 2
+
+    def test_describe_contains_mapping_and_orders(self, didactic_architecture):
+        text = didactic_architecture.describe()
+        assert "P1 [processor, concurrency=1]: F1, F2" in text
+        assert "static order on P1" in text

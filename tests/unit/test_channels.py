@@ -1,0 +1,213 @@
+"""Unit tests for rendezvous, FIFO and signal channels."""
+
+import pytest
+
+from repro.channels import FifoChannel, RendezvousChannel, Signal
+from repro.errors import SimulationError
+from repro.kernel.simtime import Time, microseconds
+
+
+class TestRendezvousChannel:
+    def test_exchange_waits_for_the_later_side(self, simulator):
+        channel = RendezvousChannel(simulator, "M")
+        received = []
+
+        def producer():
+            yield microseconds(10)
+            yield from channel.write("token")
+
+        def consumer():
+            yield microseconds(4)
+            token = yield from channel.read()
+            received.append((token, simulator.now))
+
+        simulator.spawn(producer)
+        simulator.spawn(consumer)
+        simulator.run()
+        assert received == [("token", Time.from_microseconds(10))]
+        assert channel.exchange_instants == (Time.from_microseconds(10),)
+
+    def test_reader_first_then_writer(self, simulator):
+        channel = RendezvousChannel(simulator, "M")
+        done = []
+
+        def consumer():
+            token = yield from channel.read()
+            done.append((token, simulator.now.microseconds))
+
+        def producer():
+            yield microseconds(7)
+            yield from channel.write(41)
+            done.append(("written", simulator.now.microseconds))
+
+        simulator.spawn(consumer)
+        simulator.spawn(producer)
+        simulator.run()
+        assert ("written", 7.0) in done
+        assert (41, 7.0) in done
+
+    def test_back_pressure_blocks_the_producer(self, simulator):
+        channel = RendezvousChannel(simulator, "M")
+        write_times = []
+
+        def producer():
+            for index in range(3):
+                yield from channel.write(index)
+                write_times.append(simulator.now.microseconds)
+
+        def consumer():
+            while True:
+                yield microseconds(10)
+                yield from channel.read()
+
+        simulator.spawn(producer)
+        simulator.spawn(consumer)
+        simulator.run()
+        assert write_times == [10.0, 20.0, 30.0]
+
+    def test_tokens_and_counts_recorded_in_order(self, simulator):
+        channel = RendezvousChannel(simulator, "M")
+
+        def producer():
+            for index in range(4):
+                yield from channel.write(index)
+
+        def consumer():
+            for _ in range(4):
+                yield from channel.read()
+
+        simulator.spawn(producer)
+        simulator.spawn(consumer)
+        simulator.run()
+        assert channel.exchange_count == 4
+        assert channel.exchanged_tokens == (0, 1, 2, 3)
+        assert channel.exchange_instant(0) == Time.zero()
+        assert channel.exchange_instant(10) is None
+
+    def test_try_peek_shows_blocked_writer_token(self, simulator):
+        channel = RendezvousChannel(simulator, "M")
+
+        def producer():
+            yield from channel.write("pending")
+
+        simulator.spawn(producer)
+        simulator.run()
+        assert channel.try_peek() == "pending"
+        assert channel.writers_blocked == 1
+        assert channel.readers_blocked == 0
+
+
+class TestFifoChannel:
+    def test_unbounded_fifo_never_blocks_the_writer(self, simulator):
+        fifo = FifoChannel(simulator, "F")
+        read_times = []
+
+        def producer():
+            for index in range(3):
+                yield from fifo.write(index)
+
+        def consumer():
+            for _ in range(3):
+                yield microseconds(5)
+                yield from fifo.read()
+                read_times.append(simulator.now.microseconds)
+
+        simulator.spawn(producer)
+        simulator.spawn(consumer)
+        simulator.run()
+        assert fifo.exchange_instants == (Time.zero(),) * 3
+        assert read_times == [5.0, 10.0, 15.0]
+        assert fifo.read_instants == tuple(Time.from_microseconds(t) for t in (5, 10, 15))
+
+    def test_bounded_fifo_applies_back_pressure(self, simulator):
+        fifo = FifoChannel(simulator, "F", capacity=1)
+        write_times = []
+
+        def producer():
+            for index in range(3):
+                yield from fifo.write(index)
+                write_times.append(simulator.now.microseconds)
+
+        def consumer():
+            while True:
+                yield microseconds(10)
+                yield from fifo.read()
+
+        simulator.spawn(producer)
+        simulator.spawn(consumer)
+        simulator.run()
+        assert write_times == [0.0, 10.0, 20.0]
+
+    def test_fifo_preserves_order(self, simulator):
+        fifo = FifoChannel(simulator, "F", capacity=2)
+        received = []
+
+        def producer():
+            for index in range(5):
+                yield from fifo.write(index)
+
+        def consumer():
+            for _ in range(5):
+                token = yield from fifo.read()
+                received.append(token)
+                yield microseconds(1)
+
+        simulator.spawn(producer)
+        simulator.spawn(consumer)
+        simulator.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_occupancy_and_flags(self, simulator):
+        fifo = FifoChannel(simulator, "F", capacity=2)
+
+        def producer():
+            yield from fifo.write("a")
+            yield from fifo.write("b")
+
+        simulator.spawn(producer)
+        simulator.run()
+        assert fifo.occupancy == 2
+        assert fifo.is_full
+        assert not fifo.is_empty
+
+    def test_invalid_capacity_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            FifoChannel(simulator, "F", capacity=0)
+
+
+class TestSignal:
+    def test_write_notifies_only_on_change(self, simulator):
+        signal = Signal(simulator, "S", initial=0)
+        changes = []
+
+        def observer():
+            while True:
+                value = yield from signal.wait_for_change()
+                changes.append(value)
+
+        def driver():
+            yield microseconds(1)
+            signal.write(0)  # no change, no notification
+            signal.write(5)
+            yield microseconds(1)
+            signal.write(5)  # no change
+            signal.write(7)
+
+        simulator.spawn(observer)
+        simulator.spawn(driver)
+        simulator.run()
+        assert changes == [5, 7]
+        assert signal.value == 7
+        assert signal.exchange_count == 2
+
+    def test_wait_for_value_returns_immediately_when_already_set(self, simulator):
+        signal = Signal(simulator, "S", initial="ready")
+        seen = []
+
+        def observer():
+            value = yield from signal.wait_for_value("ready")
+            seen.append((value, simulator.now))
+
+        simulator.spawn(observer)
+        simulator.run()
+        assert seen == [("ready", Time.zero())]

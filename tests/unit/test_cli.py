@@ -1,0 +1,53 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        arguments = build_parser().parse_args(["table1"])
+        assert arguments.items == 4000
+        assert arguments.stages == 4
+        arguments = build_parser().parse_args(["fig5", "--nodes", "10", "20"])
+        assert arguments.nodes == [10, 20]
+
+
+class TestCommands:
+    def test_describe_didactic(self, capsys):
+        assert main(["describe", "didactic"]) == 0
+        output = capsys.readouterr().out
+        assert "F1: while(1)" in output
+        assert "static order on P1" in output
+
+    def test_describe_lte(self, capsys):
+        assert main(["describe", "lte"]) == 0
+        assert "ChannelDecoding" in capsys.readouterr().out
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--items", "40", "--stages", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "identical" in output
+        assert "Example 1" in output
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--items", "30", "--x-size", "6", "--nodes", "50", "100"]) == 0
+        output = capsys.readouterr().out
+        assert "TDG nodes" in output
+
+    def test_fig6_one_frame(self, capsys):
+        assert main(["fig6", "--frames", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "u(k) [us]" in output
+        assert "DECODER GOPS" in output
+
+    def test_lte_small(self, capsys):
+        assert main(["lte", "--symbols", "28"]) == 0
+        output = capsys.readouterr().out
+        assert "identical" in output
+        assert "event ratio 4.50" in output

@@ -1,0 +1,238 @@
+"""Unit tests for the dynamic computation method (builder, computer, grouping, spec)."""
+
+import pytest
+
+from repro.archmodel import (
+    AppFunction,
+    ApplicationModel,
+    ArchitectureModel,
+    ConstantExecutionTime,
+    Mapping,
+    PlatformModel,
+)
+from repro.core import (
+    EquivalentArchitectureModel,
+    InstantComputer,
+    boundary_relations,
+    build_equivalent_spec,
+    grouping_report,
+    validate_grouping,
+)
+from repro.errors import ComputationError, ModelError
+from repro.examples_lib import build_didactic_architecture
+from repro.kernel.simtime import microseconds
+from repro.lte import build_lte_architecture
+
+
+def constant(us: float) -> ConstantExecutionTime:
+    return ConstantExecutionTime(microseconds(us))
+
+
+class TestBuilder:
+    def test_didactic_spec_structure(self, didactic_architecture):
+        spec = build_equivalent_spec(didactic_architecture)
+        assert spec.abstracted_functions == ("F1", "F2", "F3", "F4")
+        assert [b.relation for b in spec.boundary_inputs] == ["M1"]
+        assert [b.relation for b in spec.boundary_outputs] == ["M6"]
+        assert spec.primary_input == "M1"
+        # 4 internal relations + (ready, x) for M1 + (offer, x) for M6 + 6 execs * 2
+        assert spec.node_count == 20
+        assert len(spec.execute_nodes) == 6
+        assert set(spec.relation_nodes) == {"M1", "M2", "M3", "M4", "M5", "M6"}
+        assert len(spec.observation_nodes()) == 12
+        assert "boundary" not in spec.describe() or "inputs" in spec.describe()
+
+    def test_graph_is_structurally_valid(self, didactic_architecture):
+        spec = build_equivalent_spec(didactic_architecture)
+        spec.graph.validate()
+        ready = spec.boundary_inputs[0].ready_node
+        assert all(arc.delay >= 1 for arc in spec.graph.arcs_into(ready))
+
+    def test_lte_spec_node_count_and_boundaries(self):
+        spec = build_equivalent_spec(build_lte_architecture())
+        assert [b.relation for b in spec.boundary_inputs] == ["SYM_IN"]
+        assert [b.relation for b in spec.boundary_outputs] == ["BITS_OUT"]
+        # 7 internal relations (S1..S7) + 2 + 2 boundary nodes + 8 execs * 2
+        assert spec.node_count == 27
+
+    def test_unknown_or_empty_group_rejected(self, didactic_architecture):
+        with pytest.raises(ModelError):
+            build_equivalent_spec(didactic_architecture, ["F1", "GHOST"])
+        with pytest.raises(ModelError):
+            build_equivalent_spec(didactic_architecture, [])
+
+    def test_shared_resource_between_group_and_outside_rejected(self, didactic_architecture):
+        with pytest.raises(ModelError, match="shared"):
+            build_equivalent_spec(didactic_architecture, ["F1", "F3", "F4"])
+
+    def test_group_without_boundary_input_rejected(self):
+        application = ApplicationModel("app")
+        application.add_function(AppFunction("SRC").read("IN").execute("E", constant(1)).write("A"))
+        application.add_function(AppFunction("SNK").read("A").execute("E", constant(1)).write("OUT"))
+        platform = PlatformModel("p")
+        platform.add_processor("CPU1")
+        platform.add_processor("CPU2")
+        mapping = Mapping().allocate("SRC", "CPU1").allocate("SNK", "CPU2")
+        architecture = ArchitectureModel("arch", application, platform, mapping)
+        # abstracting only SRC is fine (boundary input IN); abstracting nothing upstream
+        build_equivalent_spec(architecture, ["SRC"])
+        build_equivalent_spec(architecture, ["SNK"])
+
+    def test_boundary_input_must_be_first_step(self):
+        application = ApplicationModel("app")
+        application.add_function(
+            AppFunction("F")
+            .read("A")
+            .execute("E1", constant(1))
+            .read("B")
+            .execute("E2", constant(1))
+            .write("OUT")
+        )
+        platform = PlatformModel("p")
+        platform.add_processor("CPU")
+        architecture = ArchitectureModel(
+            "arch", application, platform, Mapping().allocate("F", "CPU")
+        )
+        with pytest.raises(ModelError, match="first step"):
+            build_equivalent_spec(architecture)
+
+    def test_fifo_relations_get_write_and_read_nodes(self):
+        application = ApplicationModel("app")
+        application.add_function(
+            AppFunction("P").read("IN").execute("EP", constant(2)).write("Q")
+        )
+        application.add_function(
+            AppFunction("C").read("Q").execute("EC", constant(3)).write("OUT")
+        )
+        application.declare_fifo("Q", capacity=2)
+        platform = PlatformModel("p")
+        platform.add_processor("CPU1")
+        platform.add_processor("CPU2")
+        mapping = Mapping().allocate("P", "CPU1").allocate("C", "CPU2")
+        architecture = ArchitectureModel("fifo-arch", application, platform, mapping)
+        spec = build_equivalent_spec(architecture)
+        assert spec.graph.has_node("w[Q]")
+        assert spec.graph.has_node("r[Q]")
+        back_pressure = [
+            arc for arc in spec.graph.arcs_into("w[Q]") if arc.source.name == "r[Q]"
+        ]
+        assert back_pressure and back_pressure[0].delay == 2
+
+    def test_execute_node_tags_identify_resources(self, didactic_architecture):
+        spec = build_equivalent_spec(didactic_architecture)
+        for entry in spec.execute_nodes:
+            node = spec.graph.node(entry.start_node)
+            assert node.tags["resource"] == entry.resource
+            assert node.tags["kind"] == "execute_start"
+
+
+class TestInstantComputer:
+    def _computer(self, **kwargs):
+        spec = build_equivalent_spec(build_didactic_architecture())
+        return spec, InstantComputer(spec, **kwargs)
+
+    def test_compute_iteration_returns_output_offer(self):
+        spec, computer = self._computer()
+        outputs = computer.compute_iteration({"M1": 0}, {"M1": None})
+        assert set(outputs) == {"M6"}
+        assert outputs["M6"] > 0
+        assert computer.iterations_computed == 1
+        assert computer.next_iteration == 1
+
+    def test_missing_input_rejected(self):
+        _, computer = self._computer()
+        with pytest.raises(ComputationError, match="missing exchange instant"):
+            computer.compute_iteration({}, {})
+
+    def test_ready_instant_none_before_history(self):
+        _, computer = self._computer()
+        assert computer.ready_instant("M1") is None
+        computer.compute_iteration({"M1": 0}, {"M1": None})
+        assert computer.ready_instant("M1") is not None
+        with pytest.raises(ComputationError):
+            computer.ready_instant("M6")
+
+    def test_output_and_relation_instants_recorded(self):
+        _, computer = self._computer(record_relations=True)
+        computer.compute_iteration({"M1": 0}, {"M1": None})
+        assert len(computer.output_instants("M6")) == 1
+        assert len(computer.relation_instants("M2")) == 1
+        with pytest.raises(ComputationError):
+            computer.output_instants("M1")
+        with pytest.raises(ComputationError):
+            computer.relation_instants("XX")
+
+    def test_usage_instants_require_flag(self):
+        _, plain = self._computer()
+        with pytest.raises(ComputationError):
+            plain.usage_instants()
+        _, recording = self._computer(record_usage=True)
+        recording.compute_iteration({"M1": 0}, {"M1": None})
+        usage = recording.usage_instants()
+        assert len(usage) == 12
+
+    def test_feedback_applies_and_counts_missed(self):
+        _, computer = self._computer()
+        outputs = computer.compute_iteration({"M1": 0}, {"M1": None})
+        assert computer.feedback("M6", 0, outputs["M6"] + 5)
+        assert computer.missed_feedback_count == 0
+        # run far ahead so iteration 0 falls out of the ring buffer
+        for k in range(1, 6):
+            computer.compute_iteration({"M1": k}, {"M1": None})
+        assert not computer.feedback("M6", 0, 123)
+        assert computer.missed_feedback_count == 1
+        with pytest.raises(ComputationError):
+            computer.feedback("M1", 0, 1)
+
+    def test_token_access(self):
+        _, computer = self._computer()
+        from repro.archmodel import DataToken
+
+        token = DataToken(0, {"size": 3})
+        computer.compute_iteration({"M1": 0}, {"M1": token})
+        assert computer.token(0) is token
+        with pytest.raises(ComputationError):
+            computer.token(5)
+
+
+class TestGroupingHelpers:
+    def test_boundary_relations_classification(self, didactic_architecture):
+        internal, inputs, outputs = boundary_relations(didactic_architecture, ["F1", "F2"])
+        assert set(internal) == {"M2"}
+        assert set(inputs) == {"M1", "M4"}
+        assert set(outputs) == {"M3", "M5"}
+
+    def test_grouping_report_summary(self, didactic_architecture):
+        report = grouping_report(didactic_architecture, ["F1", "F2", "F3", "F4"])
+        assert report.tdg_nodes == 20
+        assert report.estimated_event_ratio == pytest.approx(3.0)
+        assert "TDG nodes" in report.summary()
+
+    def test_validate_grouping_propagates_builder_errors(self, didactic_architecture):
+        with pytest.raises(ModelError):
+            validate_grouping(didactic_architecture, ["F1", "F3", "F4"])
+        validate_grouping(didactic_architecture, ["F1", "F2", "F3", "F4"])
+
+
+class TestEquivalentModelConstruction:
+    def test_channels_exist_only_for_boundary_relations(self, small_stimulus):
+        architecture = build_didactic_architecture()
+        model = EquivalentArchitectureModel(architecture, {"M1": small_stimulus})
+        assert set(model.channels) == {"M1", "M6"}
+        with pytest.raises(ModelError):
+            model.channel("M3")
+        assert model.tdg_node_count == 20
+
+    def test_missing_stimulus_rejected(self):
+        architecture = build_didactic_architecture()
+        with pytest.raises(ModelError, match="missing stimuli"):
+            EquivalentArchitectureModel(architecture, {})
+
+    def test_observation_requires_flag(self, small_stimulus):
+        architecture = build_didactic_architecture()
+        model = EquivalentArchitectureModel(architecture, {"M1": small_stimulus})
+        model.run()
+        with pytest.raises(ModelError):
+            model.reconstructed_usage()
+        with pytest.raises(ComputationError):
+            model.computed_relation_instants("M2")

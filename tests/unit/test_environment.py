@@ -1,0 +1,127 @@
+"""Unit tests for environment stimuli and sinks."""
+
+import pytest
+
+from repro.environment import (
+    AlwaysReadySink,
+    DelayedSink,
+    PeriodicStimulus,
+    RandomSizeStimulus,
+    TraceStimulus,
+)
+from repro.errors import ModelError
+from repro.kernel.simtime import Time, ZERO_DURATION, microseconds
+
+
+class TestPeriodicStimulus:
+    def test_offer_times_and_tokens(self):
+        stimulus = PeriodicStimulus(
+            microseconds(10), 3, attributes_fn=lambda k: {"size": k * 2}
+        )
+        assert len(stimulus) == 3
+        assert stimulus.offer_time(2) == Time.from_microseconds(20)
+        assert stimulus.token(2)["size"] == 4
+        assert stimulus.token(1).index == 1
+
+    def test_start_offset(self):
+        stimulus = PeriodicStimulus(
+            microseconds(10), 2, start=Time.from_microseconds(5)
+        )
+        assert stimulus.offer_time(0) == Time.from_microseconds(5)
+        assert stimulus.offer_time(1) == Time.from_microseconds(15)
+
+    def test_items_iterates_pairs(self):
+        stimulus = PeriodicStimulus(microseconds(1), 3)
+        items = list(stimulus.items())
+        assert len(items) == 3
+        assert items[0][0] == Time.zero()
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            PeriodicStimulus(microseconds(1), 0)
+        with pytest.raises(ModelError):
+            PeriodicStimulus(microseconds(-1), 1)
+        stimulus = PeriodicStimulus(microseconds(1), 2)
+        with pytest.raises(ModelError):
+            stimulus.offer_time(5)
+        with pytest.raises(ModelError):
+            stimulus.token(-1)
+
+
+class TestTraceStimulus:
+    def test_explicit_entries(self):
+        stimulus = TraceStimulus(
+            [
+                (Time.from_microseconds(1), {"size": 4}),
+                (Time.from_microseconds(4), {"size": 9}),
+            ]
+        )
+        assert len(stimulus) == 2
+        assert stimulus.offer_time(1) == Time.from_microseconds(4)
+        assert stimulus.token(0)["size"] == 4
+
+    def test_from_intervals(self):
+        stimulus = TraceStimulus.from_intervals(
+            [microseconds(2), microseconds(3)], attributes=[{"a": 1}, {"a": 2}]
+        )
+        assert stimulus.offer_time(0) == Time.from_microseconds(2)
+        assert stimulus.offer_time(1) == Time.from_microseconds(5)
+        assert stimulus.token(1)["a"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TraceStimulus([])
+        with pytest.raises(ModelError):
+            TraceStimulus(
+                [
+                    (Time.from_microseconds(5), {}),
+                    (Time.from_microseconds(1), {}),
+                ]
+            )
+
+
+class TestRandomSizeStimulus:
+    def test_sizes_are_reproducible_and_bounded(self):
+        a = RandomSizeStimulus(microseconds(1), 50, min_size=3, max_size=9, seed=4)
+        b = RandomSizeStimulus(microseconds(1), 50, min_size=3, max_size=9, seed=4)
+        assert a.sizes == b.sizes
+        assert all(3 <= size <= 9 for size in a.sizes)
+        assert a.token(7)["size"] == a.sizes[7]
+
+    def test_different_seeds_differ(self):
+        a = RandomSizeStimulus(microseconds(1), 50, seed=1)
+        b = RandomSizeStimulus(microseconds(1), 50, seed=2)
+        assert a.sizes != b.sizes
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            RandomSizeStimulus(microseconds(1), 0)
+        with pytest.raises(ModelError):
+            RandomSizeStimulus(microseconds(1), 5, min_size=10, max_size=2)
+        stimulus = RandomSizeStimulus(microseconds(1), 5)
+        with pytest.raises(ModelError):
+            stimulus.offer_time(5)
+        with pytest.raises(ModelError):
+            stimulus.token(99)
+
+
+class TestSinks:
+    def test_always_ready_sink_has_no_delay(self):
+        sink = AlwaysReadySink()
+        assert sink.delay_before_read(0) == ZERO_DURATION
+        assert sink.delay_before_read(1000) == ZERO_DURATION
+
+    def test_delayed_sink_constant_and_callable(self):
+        constant = DelayedSink(microseconds(2))
+        assert constant.delay_before_read(5) == microseconds(2)
+        variable = DelayedSink(lambda k: microseconds(k))
+        assert variable.delay_before_read(3) == microseconds(3)
+
+    def test_delayed_sink_validation(self):
+        with pytest.raises(ModelError):
+            DelayedSink(microseconds(-1))
+        with pytest.raises(ModelError):
+            DelayedSink("nope")
+        bad = DelayedSink(lambda k: "nope")
+        with pytest.raises(ModelError):
+            bad.delay_before_read(0)

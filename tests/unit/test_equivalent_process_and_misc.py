@@ -1,0 +1,228 @@
+"""Additional robustness tests: equivalent process model, reconstruction, analysis edge cases."""
+
+import pytest
+
+from repro.analysis import measure_speedup
+from repro.archmodel import (
+    AppFunction,
+    ApplicationModel,
+    ArchitectureModel,
+    ConstantExecutionTime,
+    DataDependentExecutionTime,
+    Mapping,
+    PlatformModel,
+)
+from repro.channels import RendezvousChannel
+from repro.core import (
+    EquivalentArchitectureModel,
+    EquivalentProcessModel,
+    InstantComputer,
+    ResourceUsageReconstructor,
+    build_equivalent_spec,
+)
+from repro.environment import PeriodicStimulus, RandomSizeStimulus
+from repro.errors import ComputationError, ModelError
+from repro.examples_lib import build_didactic_architecture, didactic_stimulus
+from repro.explicit import ExplicitArchitectureModel
+from repro.kernel import Simulator
+from repro.kernel.simtime import microseconds
+
+
+class TestEquivalentProcessModel:
+    def _build(self, simulator, max_iterations=None):
+        architecture = build_didactic_architecture()
+        spec = build_equivalent_spec(architecture)
+        inputs = {"M1": RendezvousChannel(simulator, "M1")}
+        outputs = {"M6": RendezvousChannel(simulator, "M6")}
+        model = EquivalentProcessModel(
+            simulator, spec, inputs, outputs, max_iterations=max_iterations
+        )
+        return spec, inputs, outputs, model
+
+    def test_missing_channels_rejected(self, simulator):
+        architecture = build_didactic_architecture()
+        spec = build_equivalent_spec(architecture)
+        with pytest.raises(ModelError, match="missing input channels"):
+            EquivalentProcessModel(simulator, spec, {}, {"M6": RendezvousChannel(simulator, "M6")})
+        with pytest.raises(ModelError, match="missing output channels"):
+            EquivalentProcessModel(simulator, spec, {"M1": RendezvousChannel(simulator, "M1")}, {})
+
+    def test_reception_and_emission_round_trip(self, simulator):
+        from repro.archmodel import DataToken
+
+        spec, inputs, outputs, model = self._build(simulator)
+        received = []
+
+        def environment():
+            for k in range(5):
+                yield from inputs["M1"].write(DataToken(k, {"size": 10}))
+
+        def observer():
+            while True:
+                token = yield from outputs["M6"].read()
+                received.append((token.index, simulator.now))
+
+        simulator.spawn(environment)
+        simulator.spawn(observer)
+        simulator.run()
+        assert [index for index, _ in received] == [0, 1, 2, 3, 4]
+        assert model.iterations_completed == 5
+        assert model.stored_output_count("M6") == 0
+        assert len(model.computed_output_instants("M6")) == 5
+        assert "iterations=5" in repr(model)
+
+    def test_max_iterations_limits_reception(self, simulator):
+        from repro.archmodel import DataToken
+
+        spec, inputs, outputs, model = self._build(simulator, max_iterations=2)
+
+        def environment():
+            for k in range(5):
+                yield from inputs["M1"].write(DataToken(k, {"size": 1}))
+
+        def observer():
+            while True:
+                yield from outputs["M6"].read()
+
+        simulator.spawn(environment)
+        simulator.spawn(observer)
+        simulator.run()
+        assert model.iterations_completed == 2
+
+
+class TestResourceUsageReconstruction:
+    def test_partial_reconstruction_and_bounds(self, small_stimulus):
+        architecture = build_didactic_architecture()
+        model = EquivalentArchitectureModel(
+            architecture, {"M1": small_stimulus}, observe_resources=True
+        )
+        model.run()
+        reconstructor = ResourceUsageReconstructor(model.spec, model.computer)
+        partial = reconstructor.build_trace(iterations=10)
+        assert len(partial) == 6 * 10
+        full = reconstructor.build_trace()
+        assert len(full) == 6 * len(small_stimulus)
+        with pytest.raises(ComputationError):
+            reconstructor.build_trace(iterations=len(small_stimulus) + 1)
+
+    def test_feedback_grouping_rejected_instead_of_deadlocking(self, small_stimulus):
+        # {F3, F4} would need M4 (an output of the group) to produce M5 (an input
+        # of the group) within the same iteration; the builder must refuse it.
+        architecture = build_didactic_architecture()
+        with pytest.raises(ModelError, match="deadlock"):
+            EquivalentArchitectureModel(
+                architecture,
+                {"M1": small_stimulus},
+                abstract_functions=["F3", "F4"],
+                observe_resources=True,
+            )
+
+    def test_reconstructed_usage_merges_non_abstracted_activity(self, small_stimulus):
+        from repro.generator import build_chain_architecture
+        from repro.environment import RandomSizeStimulus
+
+        architecture = build_chain_architecture(2)
+        suffix = [f.name for f in architecture.application.functions][4:]
+        model = EquivalentArchitectureModel(
+            architecture,
+            {"L1": RandomSizeStimulus(microseconds(40), 30, seed=2)},
+            abstract_functions=suffix,
+            observe_resources=True,
+        )
+        model.run()
+        trace = model.reconstructed_usage()
+        resources = set(trace.resources())
+        # abstracted stage 2 resources (reconstructed) + simulated stage 1 resources
+        assert resources == {"P1_s1", "P2_s1", "P1_s2", "P2_s2"}
+
+
+class TestSpeedupMeasurementEdgeCases:
+    def test_architecture_without_external_output_rejected(self):
+        def build():
+            application = ApplicationModel("no-output")
+            application.add_function(
+                AppFunction("A").read("IN").execute("E", ConstantExecutionTime(microseconds(1)))
+            )
+            platform = PlatformModel("p")
+            platform.add_processor("CPU")
+            return ArchitectureModel(
+                "no-output-arch", application, platform, Mapping().allocate("A", "CPU")
+            )
+
+        with pytest.raises(ModelError, match="external output"):
+            measure_speedup(build, lambda: {"IN": PeriodicStimulus(microseconds(1), 5)})
+
+    def test_check_accuracy_can_be_disabled(self):
+        measurement = measure_speedup(
+            build_didactic_architecture,
+            lambda: {"M1": didactic_stimulus(30)},
+            check_accuracy=False,
+        )
+        assert measurement.outputs_identical
+        assert measurement.iterations == 30
+
+
+class TestFaultPropagation:
+    def test_workload_exception_surfaces_from_the_explicit_model(self):
+        def exploding(k, token):
+            if k == 3:
+                raise RuntimeError("injected workload failure")
+            return microseconds(1)
+
+        application = ApplicationModel("faulty")
+        application.add_function(
+            AppFunction("A")
+            .read("IN")
+            .execute("E", DataDependentExecutionTime(exploding))
+            .write("OUT")
+        )
+        platform = PlatformModel("p")
+        platform.add_processor("CPU")
+        architecture = ArchitectureModel(
+            "faulty-arch", application, platform, Mapping().allocate("A", "CPU")
+        )
+        model = ExplicitArchitectureModel(
+            architecture, {"IN": PeriodicStimulus(microseconds(1), 10)}
+        )
+        with pytest.raises(RuntimeError, match="injected workload failure"):
+            model.run()
+
+    def test_workload_exception_surfaces_from_the_equivalent_model(self):
+        def exploding(k, token):
+            if k == 2:
+                raise RuntimeError("injected workload failure")
+            return microseconds(1)
+
+        application = ApplicationModel("faulty")
+        application.add_function(
+            AppFunction("A")
+            .read("IN")
+            .execute("E", DataDependentExecutionTime(exploding))
+            .write("OUT")
+        )
+        platform = PlatformModel("p")
+        platform.add_processor("CPU")
+        architecture = ArchitectureModel(
+            "faulty-arch", application, platform, Mapping().allocate("A", "CPU")
+        )
+        model = EquivalentArchitectureModel(
+            architecture, {"IN": PeriodicStimulus(microseconds(1), 10)}
+        )
+        with pytest.raises(RuntimeError, match="injected workload failure"):
+            model.run()
+
+
+class TestSpecDescriptions:
+    def test_spec_and_graph_descriptions_are_informative(self):
+        spec = build_equivalent_spec(build_didactic_architecture())
+        text = spec.describe()
+        assert "abstracted functions" in text
+        assert "M1" in text and "M6" in text
+        graph_text = spec.graph.describe()
+        assert "start[F1#1:Ti1]" in graph_text
+
+    def test_computer_extra_recorded_nodes(self):
+        spec = build_equivalent_spec(build_didactic_architecture())
+        computer = InstantComputer(spec, extra_recorded_nodes=["x[M3]"])
+        computer.compute_iteration({"M1": 0}, {"M1": None})
+        assert len(computer.evaluator.recorded("x[M3]")) == 1

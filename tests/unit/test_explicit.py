@@ -1,0 +1,217 @@
+"""Unit tests for the explicit event-driven model (arbiter, processes, model, quantum)."""
+
+import pytest
+
+from repro.archmodel import (
+    AppFunction,
+    ApplicationModel,
+    ArchitectureModel,
+    ConstantExecutionTime,
+    Mapping,
+    PlatformModel,
+)
+from repro.archmodel.platform import ProcessingResource
+from repro.archmodel.mapping import ScheduleSlot
+from repro.environment import DelayedSink, PeriodicStimulus
+from repro.errors import ModelError, SimulationError
+from repro.explicit import ExplicitArchitectureModel, LooselyTimedArchitectureModel, StaticOrderArbiter
+from repro.kernel import Simulator
+from repro.kernel.simtime import Time, microseconds
+from tests.conftest import build_two_function_architecture
+
+
+def constant(us: float) -> ConstantExecutionTime:
+    return ConstantExecutionTime(microseconds(us), operations=us * 100)
+
+
+class TestStaticOrderArbiter:
+    def _arbiter(self, simulator, concurrency):
+        resource = ProcessingResource("R", concurrency=concurrency)
+        schedule = [
+            ScheduleSlot("A", 1, "EA", 0),
+            ScheduleSlot("B", 1, "EB", 1),
+        ]
+        return StaticOrderArbiter(simulator, resource, schedule)
+
+    def test_serialized_resource_grants_in_static_order(self, simulator):
+        arbiter = self._arbiter(simulator, concurrency=1)
+        log = []
+
+        def worker(function, duration):
+            slot = yield from arbiter.acquire(function, 1)
+            log.append((function, simulator.now.microseconds))
+            yield duration
+            arbiter.release(slot)
+
+        # B is ready first but must wait for A (static order A then B).
+        def a_process():
+            yield microseconds(5)
+            yield from worker("A", microseconds(10))
+
+        def b_process():
+            yield from worker("B", microseconds(1))
+
+        simulator.spawn(a_process)
+        simulator.spawn(b_process)
+        simulator.run()
+        assert log == [("A", 5.0), ("B", 15.0)]
+
+    def test_unlimited_resource_grants_immediately(self, simulator):
+        arbiter = self._arbiter(simulator, concurrency=None)
+        log = []
+
+        def worker(function):
+            slot = yield from arbiter.acquire(function, 1)
+            log.append((function, simulator.now.microseconds))
+            yield microseconds(5)
+            arbiter.release(slot)
+
+        simulator.spawn(worker, "B")
+        simulator.spawn(worker, "A")
+        simulator.run()
+        assert sorted(log) == [("A", 0.0), ("B", 0.0)]
+
+    def test_slot_index_and_unknown_step(self, simulator):
+        arbiter = self._arbiter(simulator, concurrency=1)
+        assert arbiter.slots_per_iteration == 2
+        assert arbiter.slot_index("B", 1, iteration=3) == 7
+        with pytest.raises(SimulationError):
+            arbiter.slot_index("A", 99, iteration=0)
+
+    def test_concurrency_two_allows_two_in_flight(self, simulator):
+        resource = ProcessingResource("R", concurrency=2)
+        schedule = [ScheduleSlot("A", 1, "EA", 0), ScheduleSlot("B", 1, "EB", 1),
+                    ScheduleSlot("C", 1, "EC", 2)]
+        arbiter = StaticOrderArbiter(simulator, resource, schedule)
+        starts = {}
+
+        def worker(function):
+            slot = yield from arbiter.acquire(function, 1)
+            starts[function] = simulator.now.microseconds
+            yield microseconds(10)
+            arbiter.release(slot)
+
+        for name in ("A", "B", "C"):
+            simulator.spawn(worker, name)
+        simulator.run()
+        assert starts["A"] == 0.0 and starts["B"] == 0.0
+        # C must wait until A (slot n-2) finished
+        assert starts["C"] == 10.0
+
+
+class TestExplicitModel:
+    def test_didactic_model_runs_and_counts(self, didactic_architecture, small_stimulus):
+        model = ExplicitArchitectureModel(didactic_architecture, {"M1": small_stimulus})
+        stats = model.run()
+        count = len(small_stimulus)
+        assert model.iteration_count() == count
+        assert len(model.output_instants("M6")) == count
+        assert model.relation_event_count() == 6 * count
+        assert len(model.activity_trace) == 6 * count
+        assert stats.process_activations > 0
+        assert len(model.offer_instants("M1")) == count
+
+    def test_output_instants_monotonically_increase(self, didactic_architecture, small_stimulus):
+        model = ExplicitArchitectureModel(didactic_architecture, {"M1": small_stimulus})
+        model.run()
+        outputs = model.output_instants("M6")
+        assert all(a < b for a, b in zip(outputs, outputs[1:]))
+
+    def test_missing_and_unknown_stimuli_rejected(self, didactic_architecture, small_stimulus):
+        with pytest.raises(ModelError, match="missing stimuli"):
+            ExplicitArchitectureModel(didactic_architecture, {})
+        with pytest.raises(ModelError, match="non-input"):
+            ExplicitArchitectureModel(
+                didactic_architecture, {"M1": small_stimulus, "M2": small_stimulus}
+            )
+        with pytest.raises(ModelError, match="non-output"):
+            ExplicitArchitectureModel(
+                didactic_architecture, {"M1": small_stimulus}, sinks={"M2": DelayedSink(microseconds(1))}
+            )
+
+    def test_unknown_relation_lookup_rejected(self, didactic_architecture, small_stimulus):
+        model = ExplicitArchitectureModel(didactic_architecture, {"M1": small_stimulus})
+        with pytest.raises(ModelError):
+            model.channel("nope")
+        with pytest.raises(ModelError):
+            model.offer_instants("M6")
+
+    def test_shared_resource_serializes_executions(self, tiny_architecture, tiny_stimulus):
+        model = ExplicitArchitectureModel(tiny_architecture, {"IN": tiny_stimulus})
+        model.run()
+        cpu_trace = model.activity_trace.for_resource("CPU").sorted_by_start()
+        records = cpu_trace.records
+        for earlier, later in zip(records, records[1:]):
+            assert earlier.end <= later.start
+
+    def test_sink_backpressure_delays_outputs(self, didactic_architecture):
+        stimulus = PeriodicStimulus(microseconds(1), 10)
+        model = ExplicitArchitectureModel(
+            didactic_architecture,
+            {"M1": stimulus},
+            sinks={"M6": DelayedSink(microseconds(500))},
+        )
+        model.run()
+        outputs = model.output_instants("M6")
+        assert len(outputs) == 10
+        # each accepted at least 500 us apart because of the sink delay
+        gaps = [b - a for a, b in zip(outputs, outputs[1:])]
+        assert all(gap >= microseconds(500) for gap in gaps)
+
+    def test_run_until_limits_progress(self, didactic_architecture, small_stimulus):
+        model = ExplicitArchitectureModel(didactic_architecture, {"M1": small_stimulus})
+        model.run(until=microseconds(100))
+        assert model.iteration_count() < len(small_stimulus)
+        assert model.simulator.now == Time.from_microseconds(100)
+
+    def test_record_activity_can_be_disabled(self, didactic_architecture, small_stimulus):
+        model = ExplicitArchitectureModel(
+            didactic_architecture, {"M1": small_stimulus}, record_activity=False
+        )
+        model.run()
+        assert model.activity_trace is None
+
+
+class TestLooselyTimedModel:
+    def test_quantum_model_saves_kernel_events(self, small_stimulus):
+        accurate = ExplicitArchitectureModel(
+            build_two_function_architecture(), {"IN": small_stimulus}
+        )
+        accurate_stats = accurate.run()
+        decoupled = LooselyTimedArchitectureModel(
+            build_two_function_architecture(), {"IN": small_stimulus},
+            quantum=microseconds(100),
+        )
+        decoupled_stats = decoupled.run()
+        assert decoupled_stats.timed_notifications < accurate_stats.timed_notifications
+        assert decoupled.relation_event_count() == accurate.relation_event_count()
+
+    def test_large_quantum_degrades_timing_accuracy(self, small_stimulus):
+        accurate = ExplicitArchitectureModel(
+            build_two_function_architecture(), {"IN": small_stimulus}
+        )
+        accurate.run()
+        decoupled = LooselyTimedArchitectureModel(
+            build_two_function_architecture(), {"IN": small_stimulus},
+            quantum=microseconds(1000),
+        )
+        decoupled.run()
+        reference = accurate.output_instants("OUT")
+        candidate = decoupled.output_instants("OUT")
+        assert len(reference) == len(candidate)
+        assert reference != list(candidate)
+
+    def test_quantum_validation(self, small_stimulus):
+        with pytest.raises(ModelError):
+            LooselyTimedArchitectureModel(
+                build_two_function_architecture(), {"IN": small_stimulus}, quantum="big"
+            )
+        with pytest.raises(ModelError, match="missing stimuli"):
+            LooselyTimedArchitectureModel(
+                build_two_function_architecture(), {}, quantum=microseconds(1)
+            )
+        model = LooselyTimedArchitectureModel(
+            build_two_function_architecture(), {"IN": small_stimulus}, quantum=microseconds(1)
+        )
+        with pytest.raises(ModelError):
+            model.exchange_instants("nope")

@@ -1,0 +1,197 @@
+"""Unit tests for the synthetic generators, the LTE case study and the analysis layer."""
+
+import pytest
+
+from repro.analysis import (
+    boundary_relations_per_iteration,
+    format_rows,
+    format_series,
+    format_table,
+    relations_per_iteration,
+    theoretical_event_ratio,
+)
+from repro.archmodel import DataToken
+from repro.core import build_equivalent_spec
+from repro.errors import ModelError
+from repro.generator import (
+    build_chain_architecture,
+    build_pipeline_architecture,
+    chain_relation_count,
+    pad_equivalent_spec,
+    pad_graph,
+)
+from repro.kernel.simtime import microseconds
+from repro.lte import (
+    SYMBOL_PERIOD,
+    SYMBOLS_PER_FRAME,
+    FrameSequence,
+    build_lte_architecture,
+    lte_function_loads,
+    lte_symbol_stimulus,
+    lte_workload_models,
+)
+from repro.lte.parameters import ModulationScheme
+from repro.tdg import TemporalDependencyGraph
+
+
+class TestChainGenerator:
+    @pytest.mark.parametrize("stages", [1, 2, 3, 4])
+    def test_chain_size_scales_with_stages(self, stages):
+        architecture = build_chain_architecture(stages)
+        assert len(architecture.application.functions) == 4 * stages
+        assert len(architecture.platform.resources) == 2 * stages
+        assert len(architecture.relations()) == chain_relation_count(stages) == 5 * stages + 1
+        assert [spec.name for spec in architecture.external_inputs()] == ["L1"]
+        assert [spec.name for spec in architecture.external_outputs()] == [f"L{stages + 1}"]
+
+    def test_chain_event_ratio_grows_with_stages(self):
+        ratios = [theoretical_event_ratio(build_chain_architecture(s)) for s in (1, 2, 3, 4)]
+        assert ratios == [pytest.approx(r) for r in (3.0, 5.5, 8.0, 10.5)]
+        assert ratios == sorted(ratios)
+
+    def test_invalid_stage_count_rejected(self):
+        with pytest.raises(ModelError):
+            build_chain_architecture(0)
+        with pytest.raises(ModelError):
+            chain_relation_count(0)
+
+
+class TestPipelineGenerator:
+    def test_pipeline_structure(self):
+        architecture = build_pipeline_architecture(5, processors=2)
+        assert len(architecture.application.functions) == 5
+        assert len(architecture.relations()) == 6
+        assert len(architecture.platform.resources) == 2
+        architecture.validate()
+
+    def test_pipeline_validation(self):
+        with pytest.raises(ModelError):
+            build_pipeline_architecture(0)
+        with pytest.raises(ModelError):
+            build_pipeline_architecture(3, processors=0)
+
+
+class TestPadding:
+    def test_pad_graph_adds_nodes_without_changing_instants(self):
+        graph = TemporalDependencyGraph("g")
+        graph.add_input("u")
+        graph.add_output("y")
+        graph.add_arc("u", "y", microseconds(3))
+        from repro.tdg import TDGEvaluator
+
+        baseline = TDGEvaluator(graph)
+        reference = baseline.step({"u": 0})
+        pad_graph(graph, 10)
+        assert graph.node_count == 12
+        padded = TDGEvaluator(graph)
+        assert padded.step({"u": 0}) == reference
+
+    def test_pad_equivalent_spec_to_target(self):
+        spec = build_equivalent_spec(build_chain_architecture(1))
+        original = spec.graph.node_count
+        pad_equivalent_spec(spec, original + 25)
+        assert spec.graph.node_count == original + 25
+        with pytest.raises(ModelError):
+            pad_equivalent_spec(spec, 5)
+
+    def test_pad_graph_validation(self):
+        graph = TemporalDependencyGraph("g")
+        graph.add_input("u")
+        graph.add_output("y")
+        graph.add_arc("u", "y")
+        with pytest.raises(ModelError):
+            pad_graph(graph, -1)
+        assert pad_graph(graph, 0) is graph
+
+
+class TestLteCaseStudy:
+    def test_architecture_structure_matches_the_paper(self):
+        architecture = build_lte_architecture()
+        functions = [function.name for function in architecture.application.functions]
+        assert len(functions) == 8
+        assert len(architecture.platform.resources) == 2
+        assert architecture.resource_of("ChannelDecoding").name == "DECODER"
+        assert architecture.resource_of("Equalization").name == "DSP"
+        dsp_functions = architecture.mapping.functions_on("DSP")
+        assert len(dsp_functions) == 7
+
+    def test_symbol_period_and_frame_length(self):
+        assert SYMBOLS_PER_FRAME == 14
+        assert SYMBOL_PERIOD == microseconds(71.42)
+
+    def test_frame_sequence_is_reproducible_and_varying(self):
+        a = FrameSequence(20, seed=3)
+        b = FrameSequence(20, seed=3)
+        assert [f.resource_blocks for f in a] == [f.resource_blocks for f in b]
+        assert len({f.resource_blocks for f in a}) > 1
+        attrs = a.symbol_attributes(17)
+        assert attrs["frame"] == 1
+        assert attrs["symbol"] == 3
+        assert a.symbol_count == 280
+
+    def test_modulation_validation(self):
+        with pytest.raises(ModelError):
+            ModulationScheme("8PSK", 3, 0.5)
+        with pytest.raises(ModelError):
+            ModulationScheme("QPSK", 2, 0.0)
+
+    def test_stimulus_carries_frame_attributes(self):
+        stimulus = lte_symbol_stimulus(30, seed=1)
+        assert len(stimulus) == 30
+        token = stimulus.token(14)
+        assert token["frame"] == 1
+        assert token["symbol"] == 0
+        assert stimulus.offer_time(1) - stimulus.offer_time(0) == SYMBOL_PERIOD
+        with pytest.raises(ModelError):
+            lte_symbol_stimulus(0)
+
+    def test_workload_durations_fit_in_the_symbol_period(self):
+        models = lte_workload_models()
+        heavy = DataToken(0, {"resource_blocks": 100, "bits_per_symbol": 6})
+        dsp_total = sum(
+            models[name].duration(0, heavy).picoseconds
+            for name in models
+            if name != "ChannelDecoding"
+        )
+        assert dsp_total < SYMBOL_PERIOD.picoseconds
+        decoder = models["ChannelDecoding"].duration(0, heavy)
+        assert microseconds(1) < decoder < SYMBOL_PERIOD
+
+    def test_workload_scales_with_parameters(self):
+        models = lte_workload_models()
+        small = DataToken(0, {"resource_blocks": 6, "bits_per_symbol": 2})
+        large = DataToken(0, {"resource_blocks": 100, "bits_per_symbol": 6})
+        for name, model in models.items():
+            assert model.duration(0, small) < model.duration(0, large)
+            assert model.operations(0, small) < model.operations(0, large)
+
+    def test_function_load_rates_fall_in_figure6_ranges(self):
+        loads = lte_function_loads()
+        for name, load in loads.items():
+            if name == "ChannelDecoding":
+                assert load.rate_ops_per_second >= 75e9
+            else:
+                assert 4e9 <= load.rate_ops_per_second <= 8e9
+
+
+class TestAnalysis:
+    def test_event_counts_per_iteration(self, didactic_architecture):
+        assert relations_per_iteration(didactic_architecture) == 6
+        assert boundary_relations_per_iteration(didactic_architecture) == 2
+        assert boundary_relations_per_iteration(didactic_architecture, ["F1", "F2"]) == 5
+        assert theoretical_event_ratio(didactic_architecture) == pytest.approx(3.0)
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert "longer" in lines[2] or "longer" in lines[3]
+
+    def test_format_rows_and_series(self):
+        rows_text = format_rows([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert "a" in rows_text and "3" in rows_text
+        assert format_rows([]) == "(no rows)"
+        series_text = format_series("s", [(1, 2.0)], "x", "y")
+        assert "series: s" in series_text and "2" in series_text

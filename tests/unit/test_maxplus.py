@@ -1,0 +1,254 @@
+"""Unit and property-based tests for the (max, +) algebra package."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MaxPlusError
+from repro.maxplus import (
+    E,
+    EPSILON,
+    LinearMaxPlusSystem,
+    MaxPlus,
+    MaxPlusMatrix,
+    MaxPlusVector,
+    as_maxplus,
+    oplus,
+    otimes,
+)
+
+finite = st.integers(min_value=-10**9, max_value=10**9)
+scalars = st.one_of(finite.map(MaxPlus), st.just(EPSILON))
+
+
+class TestScalar:
+    def test_epsilon_and_e_identities(self):
+        a = MaxPlus(42)
+        assert a.oplus(EPSILON) == a
+        assert EPSILON.oplus(a) == a
+        assert a.otimes(E) == a
+        assert E.otimes(a) == a
+
+    def test_epsilon_absorbs_otimes(self):
+        assert MaxPlus(5).otimes(EPSILON) == EPSILON
+        assert EPSILON.otimes(MaxPlus(5)).is_epsilon
+
+    def test_operator_sugar(self):
+        # '+' is ⊕ (max), '*' is ⊗ (addition)
+        assert (MaxPlus(3) + MaxPlus(7)) == MaxPlus(7)
+        assert (MaxPlus(3) * MaxPlus(7)) == MaxPlus(10)
+        assert (MaxPlus(3) + 7) == MaxPlus(7)
+        assert (2 * MaxPlus(3)) == MaxPlus(5)
+
+    def test_power_is_repeated_otimes(self):
+        assert MaxPlus(3) ** 4 == MaxPlus(12)
+        assert MaxPlus(3) ** 0 == E
+        assert EPSILON ** 3 == EPSILON
+        with pytest.raises(MaxPlusError):
+            MaxPlus(3) ** -1
+
+    def test_variadic_helpers(self):
+        assert oplus(1, 5, 3) == MaxPlus(5)
+        assert otimes(1, 5, 3) == MaxPlus(9)
+        assert oplus() == EPSILON
+        assert otimes() == E
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(MaxPlusError):
+            MaxPlus(1.5)
+        with pytest.raises(MaxPlusError):
+            MaxPlus(float("inf"))
+        with pytest.raises(MaxPlusError):
+            MaxPlus(float("nan"))
+        with pytest.raises(TypeError):
+            MaxPlus("x")
+        with pytest.raises(TypeError):
+            MaxPlus(True)
+
+    def test_as_int(self):
+        assert MaxPlus(4).as_int() == 4
+        with pytest.raises(MaxPlusError):
+            EPSILON.as_int()
+
+    def test_ordering_and_str(self):
+        assert EPSILON < MaxPlus(-100) < MaxPlus(3) <= MaxPlus(3)
+        assert str(EPSILON) == "ε"
+        assert str(MaxPlus(7)) == "7"
+
+    @given(scalars, scalars, scalars)
+    def test_semiring_laws(self, a, b, c):
+        # ⊕ commutative, associative, idempotent
+        assert a.oplus(b) == b.oplus(a)
+        assert a.oplus(b).oplus(c) == a.oplus(b.oplus(c))
+        assert a.oplus(a) == a
+        # ⊗ associative and commutative over this carrier
+        assert a.otimes(b).otimes(c) == a.otimes(b.otimes(c))
+        assert a.otimes(b) == b.otimes(a)
+        # distributivity of ⊗ over ⊕
+        assert a.otimes(b.oplus(c)) == a.otimes(b).oplus(a.otimes(c))
+
+
+class TestVector:
+    def test_construction_and_access(self):
+        vector = MaxPlusVector([1, EPSILON, 3])
+        assert vector.size == len(vector) == 3
+        assert vector[1].is_epsilon
+        assert vector.to_list() == [1, float("-inf"), 3]
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(MaxPlusError):
+            MaxPlusVector([])
+
+    def test_epsilon_and_unit_constructors(self):
+        assert all(element.is_epsilon for element in MaxPlusVector.epsilon(3))
+        unit = MaxPlusVector.unit(3, 1)
+        assert unit.to_list() == [float("-inf"), 0, float("-inf")]
+        with pytest.raises(MaxPlusError):
+            MaxPlusVector.unit(3, 5)
+
+    def test_oplus_and_scalar_otimes(self):
+        a = MaxPlusVector([1, 5])
+        b = MaxPlusVector([4, 2])
+        assert (a + b).to_list() == [4, 5]
+        assert a.otimes_scalar(10).to_list() == [11, 15]
+        assert a.max_element() == MaxPlus(5)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(MaxPlusError):
+            MaxPlusVector([1]).oplus(MaxPlusVector([1, 2]))
+
+
+class TestMatrix:
+    def test_identity_and_epsilon(self):
+        identity = MaxPlusMatrix.identity(2)
+        eps = MaxPlusMatrix.epsilon(2, 2)
+        a = MaxPlusMatrix([[1, 2], [EPSILON, 0]])
+        assert identity.otimes(a) == a
+        assert a.otimes(identity) == a
+        assert a.oplus(eps) == a
+
+    def test_matrix_product_definition(self):
+        a = MaxPlusMatrix([[1, EPSILON], [2, 3]])
+        b = MaxPlusMatrix([[0, 4], [1, EPSILON]])
+        product = a.otimes(b)
+        # (A ⊗ B)[i][j] = max over m of A[i][m] + B[m][j]
+        assert product[0, 0] == MaxPlus(1)
+        assert product[0, 1] == MaxPlus(5)
+        assert product[1, 0] == MaxPlus(4)
+        assert product[1, 1] == MaxPlus(6)
+
+    def test_matrix_vector_product(self):
+        a = MaxPlusMatrix([[1, EPSILON], [2, 3]])
+        x = MaxPlusVector([0, 10])
+        assert a.otimes_vector(x).to_list() == [1, 13]
+
+    def test_shape_validation(self):
+        with pytest.raises(MaxPlusError):
+            MaxPlusMatrix([[1, 2], [3]])
+        with pytest.raises(MaxPlusError):
+            MaxPlusMatrix([[1, 2]]).otimes(MaxPlusMatrix([[1, 2]]))
+
+    def test_power(self):
+        a = MaxPlusMatrix([[EPSILON, 2], [EPSILON, EPSILON]])
+        assert a.power(0) == MaxPlusMatrix.identity(2)
+        assert a.power(1) == a
+        assert a.power(2) == MaxPlusMatrix.epsilon(2, 2)
+        with pytest.raises(MaxPlusError):
+            a.power(-1)
+
+    def test_nilpotency_detection(self):
+        strictly_upper = MaxPlusMatrix([[EPSILON, 5], [EPSILON, EPSILON]])
+        cyclic = MaxPlusMatrix([[EPSILON, 1], [1, EPSILON]])
+        assert strictly_upper.is_nilpotent()
+        assert not cyclic.is_nilpotent()
+
+    def test_kleene_star_solves_implicit_equation(self):
+        # x0 = b0 ; x1 = x0 ⊗ 2 ⊕ b1
+        a = MaxPlusMatrix([[EPSILON, EPSILON], [2, EPSILON]])
+        b = MaxPlusVector([10, 3])
+        x = a.solve_implicit(b)
+        assert x.to_list() == [10, 12]
+
+    def test_kleene_star_rejects_cycles(self):
+        cyclic = MaxPlusMatrix([[EPSILON, 1], [1, EPSILON]])
+        with pytest.raises(MaxPlusError):
+            cyclic.kleene_star()
+
+    def test_with_entry_returns_modified_copy(self):
+        a = MaxPlusMatrix.epsilon(2, 2)
+        b = a.with_entry(0, 1, 7)
+        assert a[0, 1].is_epsilon
+        assert b[0, 1] == MaxPlus(7)
+        with pytest.raises(MaxPlusError):
+            a.with_entry(5, 0, 1)
+
+
+class TestLinearSystem:
+    def _chain_system(self):
+        # x0(k) = u(k) ⊗ 3 ⊕ x1(k-1) ⊗ 1 ; x1(k) = x0(k) ⊗ 2 ; y(k) = x1(k)
+        a0 = MaxPlusMatrix([[EPSILON, EPSILON], [2, EPSILON]])
+        a1 = MaxPlusMatrix([[EPSILON, 1], [EPSILON, EPSILON]])
+        b0 = MaxPlusMatrix([[3], [EPSILON]])
+        c0 = MaxPlusMatrix([[EPSILON, 0]])
+        return LinearMaxPlusSystem(
+            state_size=2,
+            input_size=1,
+            output_size=1,
+            a_matrices={0: a0, 1: a1},
+            b_matrices={0: b0},
+            c_matrices={0: c0},
+            state_labels=["x0", "x1"],
+            input_labels=["u"],
+            output_labels=["y"],
+        )
+
+    def test_recurrence_evaluation(self):
+        simulator = self._chain_system().simulator()
+        _, y0 = simulator.advance(MaxPlusVector([0]))
+        assert y0.to_list() == [5]
+        _, y1 = simulator.advance(MaxPlusVector([10]))
+        # x0(1) = max(10+3, x1(0)+1=6) = 13, x1(1) = 15
+        assert y1.to_list() == [15]
+
+    def test_reset_clears_history(self):
+        simulator = self._chain_system().simulator()
+        simulator.advance(MaxPlusVector([0]))
+        simulator.reset()
+        _, y = simulator.advance(MaxPlusVector([0]))
+        assert y.to_list() == [5]
+        assert simulator.iteration == 1
+
+    def test_run_consumes_an_iterable(self):
+        simulator = self._chain_system().simulator()
+        outputs = [y.to_list()[0] for _, y in simulator.run([MaxPlusVector([i]) for i in range(3)])]
+        assert outputs == sorted(outputs)
+
+    def test_dimension_checks(self):
+        system = self._chain_system()
+        with pytest.raises(MaxPlusError):
+            system.simulator().advance(MaxPlusVector([1, 2]))
+        with pytest.raises(MaxPlusError):
+            LinearMaxPlusSystem(
+                state_size=2,
+                input_size=1,
+                output_size=1,
+                a_matrices={0: MaxPlusMatrix.epsilon(3, 3)},
+                b_matrices={},
+                c_matrices={},
+            )
+
+    def test_non_nilpotent_a0_rejected(self):
+        cyclic = MaxPlusMatrix([[EPSILON, 1], [1, EPSILON]])
+        with pytest.raises(MaxPlusError):
+            LinearMaxPlusSystem(
+                state_size=2,
+                input_size=1,
+                output_size=1,
+                a_matrices={0: cyclic},
+                b_matrices={},
+                c_matrices={0: MaxPlusMatrix.epsilon(1, 2)},
+            )
+
+    def test_history_depths(self):
+        system = self._chain_system()
+        assert system.state_history_depth == 1
+        assert system.input_history_depth == 0

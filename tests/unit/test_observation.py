@@ -1,0 +1,164 @@
+"""Unit tests for activity traces, usage profiles and accuracy comparisons."""
+
+import pytest
+
+from repro.errors import ObservationError
+from repro.kernel.simtime import Duration, Time, microseconds
+from repro.observation import (
+    ActivityRecord,
+    ActivityTrace,
+    busy_profile,
+    compare_instants,
+    compare_traces,
+    complexity_profile,
+)
+
+
+def us(value: float) -> Time:
+    return Time.from_microseconds(value)
+
+
+def make_trace() -> ActivityTrace:
+    trace = ActivityTrace()
+    trace.record("P1", "F1", "Ti1", 0, us(0), us(5), operations=5_000.0)
+    trace.record("P1", "F1", "Tj1", 0, us(5), us(8), operations=3_000.0)
+    trace.record("P2", "F3", "Ti2", 0, us(8), us(14), operations=12_000.0)
+    trace.record("P1", "F2", "Ti3", 1, us(10), us(14), operations=4_000.0)
+    return trace
+
+
+class TestActivityTrace:
+    def test_record_validation(self):
+        with pytest.raises(ObservationError):
+            ActivityRecord("P", "F", "L", 0, us(5), us(1))
+
+    def test_duration_and_overlap(self):
+        record = ActivityRecord("P", "F", "L", 0, us(2), us(6))
+        assert record.duration == microseconds(4)
+        assert record.overlaps(us(0), us(3))
+        assert record.overlaps(us(5), us(10))
+        assert not record.overlaps(us(6), us(10))
+        assert not record.overlaps(us(0), us(2))
+
+    def test_filtering_and_resources(self):
+        trace = make_trace()
+        assert trace.resources() == ["P1", "P2"]
+        assert len(trace.for_resource("P1")) == 3
+        assert len(trace.for_function("F1")) == 2
+        assert len(trace.sorted_by_start().records) == 4
+
+    def test_span_and_busy_time(self):
+        trace = make_trace()
+        assert trace.span() == (us(0), us(14))
+        assert trace.busy_time("P1") == microseconds(12)
+        assert trace.busy_time() == microseconds(18)
+        assert trace.total_operations("P2") == 12_000.0
+        with pytest.raises(ObservationError):
+            ActivityTrace().span()
+
+    def test_utilization_merges_overlaps(self):
+        trace = ActivityTrace()
+        trace.record("HW", "A", "E", 0, us(0), us(6))
+        trace.record("HW", "B", "E", 0, us(4), us(10))
+        assert trace.utilization("HW", us(0), us(10)) == pytest.approx(1.0)
+        assert trace.utilization("HW", us(0), us(20)) == pytest.approx(0.5)
+        assert trace.utilization("HW", us(12), us(20)) == 0.0
+        with pytest.raises(ObservationError):
+            trace.utilization("HW", us(5), us(5))
+
+
+class TestUsageProfiles:
+    def test_complexity_profile_values(self):
+        trace = ActivityTrace()
+        # 10_000 operations spread over 10 us -> 1 GOPS while busy
+        trace.record("P", "F", "E", 0, us(0), us(10), operations=10_000.0)
+        profile = complexity_profile(trace, "P", microseconds(5), (us(0), us(20)))
+        values = profile.values()
+        assert len(values) == 4
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(1.0)
+        assert values[2] == pytest.approx(0.0)
+        assert profile.peak() == pytest.approx(1.0)
+        assert profile.mean() == pytest.approx(0.5)
+        assert profile.unit == "GOPS"
+        assert len(profile.as_rows()) == 4
+
+    def test_partial_bin_overlap(self):
+        trace = ActivityTrace()
+        trace.record("P", "F", "E", 0, us(2), us(6), operations=4_000.0)
+        profile = complexity_profile(trace, "P", microseconds(4), (us(0), us(8)))
+        # 1 GOPS during 2 of the first 4 us, 2 of the second 4 us
+        assert profile.values() == [pytest.approx(0.5), pytest.approx(0.5)]
+
+    def test_busy_profile(self):
+        trace = make_trace()
+        profile = busy_profile(trace, "P1", microseconds(7), (us(0), us(14)))
+        assert profile.values() == [pytest.approx(1.0), pytest.approx((1 + 4) / 7)]
+        assert profile.unit == "busy fraction"
+
+    def test_window_inference_and_errors(self):
+        trace = make_trace()
+        inferred = complexity_profile(trace, "P2", microseconds(3))
+        assert inferred.samples[0].bin_start == us(8)
+        with pytest.raises(ObservationError):
+            complexity_profile(trace, "UNKNOWN", microseconds(1))
+        with pytest.raises(ObservationError):
+            complexity_profile(trace, "P1", microseconds(0), (us(0), us(1)))
+        with pytest.raises(ObservationError):
+            complexity_profile(trace, "P1", microseconds(1), (us(5), us(5)))
+
+
+class TestCompareInstants:
+    def test_identical_sequences(self):
+        instants = [us(1), us(2), None]
+        comparison = compare_instants(instants, list(instants))
+        assert comparison.identical
+        assert comparison.mismatch_count == 0
+        assert "identical" in comparison.summary()
+
+    def test_mismatch_reporting(self):
+        comparison = compare_instants([us(1), us(2)], [us(1), us(5)])
+        assert not comparison.identical
+        assert comparison.mismatches == [1]
+        assert comparison.max_abs_error == microseconds(3)
+        assert "differ" in comparison.summary()
+
+    def test_length_mismatch_detected(self):
+        comparison = compare_instants([us(1), us(2)], [us(1)])
+        assert not comparison.identical
+        assert not comparison.lengths_match
+        assert comparison.compared == 1
+
+    def test_accepts_ints_and_none(self):
+        comparison = compare_instants([1_000_000, None], [us(1), None])
+        assert comparison.identical
+        with pytest.raises(ObservationError):
+            compare_instants(["bad"], [us(1)])
+
+
+class TestCompareTraces:
+    def test_identical_traces(self):
+        assert compare_traces(make_trace(), make_trace()).identical
+
+    def test_timing_difference_detected(self):
+        reference = make_trace()
+        candidate = make_trace()
+        candidate.record("P1", "F9", "X", 0, us(0), us(1))
+        comparison = compare_traces(reference, candidate)
+        assert not comparison.identical
+
+        shifted = ActivityTrace()
+        for record in reference:
+            shifted.record(
+                record.resource,
+                record.function,
+                record.label,
+                record.iteration,
+                record.start + microseconds(1),
+                record.end + microseconds(1),
+                record.operations,
+            )
+        comparison = compare_traces(reference, shifted)
+        assert not comparison.identical
+        assert comparison.max_start_error == microseconds(1)
+        assert "differ" in comparison.summary()

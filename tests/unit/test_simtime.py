@@ -1,0 +1,159 @@
+"""Unit tests for exact simulation time (Duration / Time)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.simtime import (
+    Duration,
+    Time,
+    ZERO_DURATION,
+    ZERO_TIME,
+    microseconds,
+    milliseconds,
+    nanoseconds,
+    picoseconds,
+    seconds,
+)
+
+
+class TestDurationConstruction:
+    def test_default_is_zero(self):
+        assert Duration().picoseconds == 0
+
+    def test_unit_constructors_scale_correctly(self):
+        assert picoseconds(7).picoseconds == 7
+        assert nanoseconds(3).picoseconds == 3_000
+        assert microseconds(2).picoseconds == 2_000_000
+        assert milliseconds(1).picoseconds == 1_000_000_000
+        assert seconds(1).picoseconds == 1_000_000_000_000
+
+    def test_float_values_round_to_nearest_picosecond(self):
+        assert microseconds(71.42).picoseconds == 71_420_000
+        assert nanoseconds(0.0004).picoseconds == 0
+        assert nanoseconds(0.0006).picoseconds == 1
+
+    def test_non_integer_raw_constructor_rejected(self):
+        with pytest.raises(TypeError):
+            Duration(1.5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            Duration(True)
+        with pytest.raises(TypeError):
+            picoseconds(True)
+
+    def test_zero_singletons(self):
+        assert ZERO_DURATION.is_zero()
+        assert Duration.zero() == ZERO_DURATION
+        assert Time.zero() == ZERO_TIME
+
+
+class TestDurationArithmetic:
+    def test_addition_and_subtraction(self):
+        assert microseconds(3) + microseconds(2) == microseconds(5)
+        assert microseconds(3) - microseconds(2) == microseconds(1)
+
+    def test_negative_durations_allowed_and_flagged(self):
+        negative = microseconds(1) - microseconds(3)
+        assert negative.is_negative()
+        assert (-negative) == microseconds(2)
+
+    def test_multiplication_by_integer(self):
+        assert microseconds(3) * 4 == microseconds(12)
+        assert 4 * microseconds(3) == microseconds(12)
+
+    def test_floor_division(self):
+        assert microseconds(10) // 4 == picoseconds(2_500_000)
+
+    def test_multiplication_by_float_not_supported(self):
+        with pytest.raises(TypeError):
+            microseconds(3) * 1.5  # noqa: B018
+
+    def test_bool_of_duration(self):
+        assert not Duration(0)
+        assert Duration(1)
+
+
+class TestDurationComparisons:
+    def test_total_order(self):
+        assert microseconds(1) < microseconds(2) <= microseconds(2)
+        assert microseconds(3) > microseconds(2) >= microseconds(2)
+
+    def test_equality_and_hash(self):
+        assert microseconds(1) == nanoseconds(1000)
+        assert hash(microseconds(1)) == hash(nanoseconds(1000))
+        assert microseconds(1) != Time(1_000_000)
+
+    def test_comparison_with_other_types_raises(self):
+        with pytest.raises(TypeError):
+            microseconds(1) < 5  # noqa: B015
+
+
+class TestTime:
+    def test_time_plus_duration(self):
+        assert Time.zero() + microseconds(5) == Time.from_microseconds(5)
+
+    def test_time_minus_time_is_duration(self):
+        delta = Time.from_microseconds(7) - Time.from_microseconds(2)
+        assert isinstance(delta, Duration)
+        assert delta == microseconds(5)
+
+    def test_time_minus_duration_is_time(self):
+        result = Time.from_microseconds(7) - microseconds(2)
+        assert isinstance(result, Time)
+        assert result == Time.from_microseconds(5)
+
+    def test_time_ordering(self):
+        assert Time.from_microseconds(1) < Time.from_microseconds(2)
+        assert Time.from_microseconds(3) >= Time.from_microseconds(3)
+
+    def test_time_accessors(self):
+        instant = Time.from_microseconds(71.42)
+        assert instant.picoseconds == 71_420_000
+        assert instant.nanoseconds == pytest.approx(71_420.0)
+        assert instant.microseconds == pytest.approx(71.42)
+        assert instant.milliseconds == pytest.approx(0.07142)
+        assert instant.seconds == pytest.approx(7.142e-5)
+
+    def test_time_does_not_add_to_time(self):
+        with pytest.raises(TypeError):
+            Time(1) + Time(2)  # noqa: B018
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "duration, text",
+        [
+            (picoseconds(500), "500ps"),
+            (nanoseconds(3), "3ns"),
+            (microseconds(71.42), "71.42us"),
+            (milliseconds(2), "2ms"),
+            (seconds(1), "1s"),
+            (microseconds(-5), "-5us"),
+        ],
+    )
+    def test_str_uses_largest_fitting_unit(self, duration, text):
+        assert str(duration) == text
+
+    def test_repr_is_unambiguous(self):
+        assert repr(Duration(42)) == "Duration(42)"
+        assert repr(Time(42)) == "Time(42)"
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=-10**15, max_value=10**15),
+           st.integers(min_value=-10**15, max_value=10**15))
+    def test_duration_addition_is_commutative_and_exact(self, a, b):
+        assert Duration(a) + Duration(b) == Duration(b) + Duration(a) == Duration(a + b)
+
+    @given(st.integers(min_value=0, max_value=10**15),
+           st.integers(min_value=-10**15, max_value=10**15))
+    def test_time_shift_roundtrip(self, base, offset):
+        start = Time(base)
+        shifted = start + Duration(offset)
+        assert shifted - start == Duration(offset)
+        assert shifted - Duration(offset) == start
+
+    @given(st.integers(min_value=-10**12, max_value=10**12))
+    def test_str_never_raises_and_is_nonempty(self, value):
+        assert str(Duration(value))

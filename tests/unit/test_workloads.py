@@ -1,0 +1,161 @@
+"""Unit tests for workload (execution-time) models and data tokens."""
+
+import pytest
+
+from repro.archmodel import (
+    ConstantExecutionTime,
+    CycleAccurateExecutionTime,
+    DataDependentExecutionTime,
+    DataToken,
+    PerUnitExecutionTime,
+    StochasticExecutionTime,
+    TableExecutionTime,
+)
+from repro.errors import ModelError
+from repro.kernel.simtime import Duration, microseconds, nanoseconds
+
+
+class TestDataToken:
+    def test_attributes_and_lookup(self):
+        token = DataToken(3, {"size": 12, "mod": "QPSK"})
+        assert token.index == 3
+        assert token["size"] == 12
+        assert token.get("missing", 7) == 7
+        assert "mod" in token
+        assert token.attributes == {"size": 12, "mod": "QPSK"}
+
+    def test_with_attributes_returns_updated_copy(self):
+        token = DataToken(0, {"size": 1})
+        updated = token.with_attributes(size=5, extra=True)
+        assert token["size"] == 1
+        assert updated["size"] == 5
+        assert updated["extra"] is True
+        assert updated.index == 0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            DataToken(-1)
+
+
+class TestConstantExecutionTime:
+    def test_returns_fixed_values(self):
+        model = ConstantExecutionTime(microseconds(5), operations=500.0)
+        assert model.duration(0, None) == microseconds(5)
+        assert model.duration(99, DataToken(0, {"size": 1000})) == microseconds(5)
+        assert model.operations(0, None) == 500.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ConstantExecutionTime("not a duration")
+        with pytest.raises(ModelError):
+            ConstantExecutionTime(Duration(-1))
+
+
+class TestPerUnitExecutionTime:
+    def test_affine_in_the_size_attribute(self):
+        model = PerUnitExecutionTime(
+            microseconds(1), nanoseconds(10), attribute="size",
+            operations_per_unit=2.0, base_operations=5.0,
+        )
+        token = DataToken(0, {"size": 100})
+        assert model.duration(0, token) == microseconds(2)
+        assert model.operations(0, token) == 205.0
+
+    def test_missing_attribute_uses_default(self):
+        model = PerUnitExecutionTime(microseconds(1), nanoseconds(10), default_units=4)
+        assert model.duration(0, None) == microseconds(1) + nanoseconds(40)
+        assert model.duration(0, DataToken(0)) == microseconds(1) + nanoseconds(40)
+
+    def test_invalid_attribute_value_rejected(self):
+        model = PerUnitExecutionTime(microseconds(1), nanoseconds(10))
+        with pytest.raises(ModelError):
+            model.duration(0, DataToken(0, {"size": -3}))
+        with pytest.raises(ModelError):
+            model.duration(0, DataToken(0, {"size": "big"}))
+
+
+class TestTableExecutionTime:
+    def test_cyclic_lookup(self):
+        model = TableExecutionTime([microseconds(1), microseconds(2)], operations=[10, 20])
+        assert model.duration(0, None) == microseconds(1)
+        assert model.duration(3, None) == microseconds(2)
+        assert model.operations(2, None) == 10
+
+    def test_clamped_lookup(self):
+        model = TableExecutionTime([microseconds(1), microseconds(2)], cyclic=False)
+        assert model.duration(10, None) == microseconds(2)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TableExecutionTime([])
+        with pytest.raises(ModelError):
+            TableExecutionTime([microseconds(1)], operations=[1, 2])
+        with pytest.raises(ModelError):
+            TableExecutionTime([Duration(-1)])
+
+
+class TestDataDependentExecutionTime:
+    def test_callable_drives_duration_and_operations(self):
+        model = DataDependentExecutionTime(
+            lambda k, token: microseconds(k + token.get("size", 0)),
+            operations_fn=lambda k, token: 3.0 * k,
+        )
+        assert model.duration(2, DataToken(0, {"size": 5})) == microseconds(7)
+        assert model.operations(4, None) == 12.0
+
+    def test_bad_return_values_rejected(self):
+        model = DataDependentExecutionTime(lambda k, token: 5)
+        with pytest.raises(ModelError):
+            model.duration(0, None)
+        negative = DataDependentExecutionTime(lambda k, token: Duration(-1))
+        with pytest.raises(ModelError):
+            negative.duration(0, None)
+        with pytest.raises(ModelError):
+            DataDependentExecutionTime("not callable")
+
+
+class TestStochasticExecutionTime:
+    def test_same_instance_gives_identical_sequences_to_both_models(self):
+        model = StochasticExecutionTime(microseconds(1), microseconds(10), seed=5)
+        first_pass = [model.duration(k, None) for k in range(20)]
+        second_pass = [model.duration(k, None) for k in range(20)]
+        assert first_pass == second_pass
+
+    def test_sequence_is_independent_of_query_order(self):
+        a = StochasticExecutionTime(microseconds(1), microseconds(10), seed=11)
+        b = StochasticExecutionTime(microseconds(1), microseconds(10), seed=11)
+        forward = [a.duration(k, None) for k in range(10)]
+        backward = [b.duration(k, None) for k in reversed(range(10))]
+        assert forward == list(reversed(backward))
+
+    def test_samples_stay_within_bounds(self):
+        model = StochasticExecutionTime(microseconds(2), microseconds(3), seed=1)
+        for k in range(50):
+            assert microseconds(2) <= model.duration(k, None) <= microseconds(3)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            StochasticExecutionTime()
+        with pytest.raises(ModelError):
+            StochasticExecutionTime(microseconds(5), microseconds(1))
+        bad_sampler = StochasticExecutionTime(sampler=lambda rng: 42)
+        with pytest.raises(ModelError):
+            bad_sampler.duration(0, None)
+
+
+class TestCycleAccurateExecutionTime:
+    def test_cycles_divided_by_frequency(self):
+        model = CycleAccurateExecutionTime(
+            cycles_fn=lambda k, token: 1000,
+            frequency_hz=1e9,
+            operations_fn=lambda k, token: 2000.0,
+        )
+        assert model.duration(0, None) == microseconds(1)
+        assert model.operations(0, None) == 2000.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            CycleAccurateExecutionTime(lambda k, token: 1, frequency_hz=0)
+        model = CycleAccurateExecutionTime(lambda k, token: -5, frequency_hz=1e9)
+        with pytest.raises(ModelError):
+            model.duration(0, None)
