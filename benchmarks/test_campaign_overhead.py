@@ -1,0 +1,61 @@
+"""Campaign-subsystem overhead: spec hashing, store lookups, cached re-runs.
+
+The campaign layer's value proposition is that orchestration costs
+nothing compared to simulation: hashing a spec, expanding a grid and
+serving a cached result must all be orders of magnitude cheaper than the
+job they describe.  These benchmarks pin that down:
+
+* ``digest`` -- content-hashing one scenario spec (the cache key);
+* ``expand`` -- expanding a 3-axis parameter grid into specs;
+* ``cached_rerun`` -- a full campaign run served entirely from a warm
+  in-memory store (the second-invocation path of ``campaign run``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignRunner, ResultStore, ScenarioSpec, default_registry
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_spec_digest(benchmark):
+    """Content-hashing one job spec (computed once per job per run)."""
+    spec = ScenarioSpec(
+        "table1-sweep",
+        {"items": 4000, "seed": 2014, "stages": 4},
+        replications=5,
+    )
+    digest = benchmark(lambda: spec.job(4).digest())
+    assert len(digest) == 64
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_grid_expansion(benchmark):
+    """Expanding a three-axis grid (4 x 5 x 5 = 100 points) into specs."""
+    scenario = default_registry().get("table1-sweep")
+    grid = {
+        "stages": [1, 2, 3, 4],
+        "items": [100, 200, 400, 800, 1600],
+        "seed": [1, 2, 3, 4, 5],
+    }
+    specs = benchmark(lambda: scenario.specs(grid=grid))
+    assert len(specs) == 100
+    assert len({spec.digest() for spec in specs}) == 100
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_cached_rerun(benchmark):
+    """A campaign served entirely from a warm store (no simulation at all)."""
+    store = ResultStore.in_memory()
+    specs = default_registry().get("table1-sweep").specs(overrides={"items": 50})
+    warmup = CampaignRunner(store=store, jobs=1).run(specs)
+    assert warmup.simulated == len(specs)
+
+    def rerun():
+        return CampaignRunner(store=store, jobs=1).run(specs)
+
+    report = benchmark(rerun)
+    assert report.simulated == 0
+    assert report.cache_hits == len(specs)
+    assert report.ok

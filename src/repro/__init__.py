@@ -35,6 +35,18 @@ Quickstart
 """
 
 from .analysis import SpeedupMeasurement, measure_speedup, theoretical_event_ratio
+from .campaign import (
+    CampaignReport,
+    CampaignRunner,
+    JobResult,
+    JobSpec,
+    ResultStore,
+    Scenario,
+    ScenarioRegistry,
+    ScenarioSpec,
+    aggregate_results,
+    default_registry,
+)
 from .archmodel import (
     AppFunction,
     ApplicationModel,
@@ -144,6 +156,17 @@ __all__ = [
     "SpeedupMeasurement",
     "measure_speedup",
     "theoretical_event_ratio",
+    # campaigns
+    "CampaignReport",
+    "CampaignRunner",
+    "JobResult",
+    "JobSpec",
+    "ResultStore",
+    "Scenario",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "aggregate_results",
+    "default_registry",
     # examples and case studies
     "build_didactic_architecture",
     "build_paper_equation_graph",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..archmodel.architecture import ArchitectureModel
 from ..core.builder import build_equivalent_spec
@@ -30,6 +30,7 @@ from ..explicit.model import ExplicitArchitectureModel
 from ..generator.sweep import pad_equivalent_spec
 from ..kernel.stats import KernelStats
 from ..observation.compare import compare_instants
+from .events import theoretical_event_ratio
 
 __all__ = ["SpeedupMeasurement", "measure_speedup"]
 
@@ -52,6 +53,12 @@ class SpeedupMeasurement:
     tdg_nodes: int
     outputs_identical: bool
     mismatching_outputs: int
+    #: Idealised event ratio of the measured architecture/grouping (None when
+    #: the grouping admits no theoretical prediction).
+    theoretical_ratio: Optional[float] = None
+    #: Reference output instants in integer picoseconds, captured only when
+    #: ``measure_speedup(..., capture_instants=True)`` (campaign result store).
+    output_instants: Optional[Tuple[Optional[int], ...]] = None
 
     @property
     def speedup(self) -> float:
@@ -101,6 +108,7 @@ def measure_speedup(
     label: str = "",
     check_accuracy: bool = True,
     record_activity: bool = False,
+    capture_instants: bool = False,
 ) -> SpeedupMeasurement:
     """Measure the explicit-vs-equivalent speed-up for one architecture.
 
@@ -108,7 +116,9 @@ def measure_speedup(
     architecture instance); ``stimuli_factory`` is also called twice, and must
     return stimuli that produce identical sequences (use seeded generators).
     ``pad_to_nodes`` optionally pads the equivalent model's graph to a target
-    node count (Fig. 5 sweep).
+    node count (Fig. 5 sweep).  ``capture_instants`` additionally records the
+    explicit model's output instants (in picoseconds) on the measurement, so
+    campaign workers can persist and cross-check them without re-running.
     """
     explicit_architecture = architecture_factory()
     explicit_model = ExplicitArchitectureModel(
@@ -150,6 +160,15 @@ def measure_speedup(
     else:
         identical = True
         mismatches = 0
+    try:
+        theoretical = theoretical_event_ratio(equivalent_architecture, abstract_functions)
+    except ModelError:
+        theoretical = None
+    instants: Optional[Tuple[Optional[int], ...]] = None
+    if capture_instants:
+        instants = tuple(
+            instant.picoseconds if instant is not None else None for instant in reference
+        )
 
     return SpeedupMeasurement(
         label=label or explicit_architecture.name,
@@ -163,4 +182,6 @@ def measure_speedup(
         tdg_nodes=spec.graph.node_count,
         outputs_identical=identical,
         mismatching_outputs=mismatches,
+        theoretical_ratio=theoretical,
+        output_instants=instants,
     )

@@ -1,0 +1,58 @@
+"""Parallel experiment campaigns with a persistent result store.
+
+This subsystem turns the per-figure harnesses into data: scenarios are
+declared (:mod:`repro.campaign.spec`), registered and expanded over
+parameter grids (:mod:`repro.campaign.registry`), executed across worker
+processes with deterministic per-job seeds
+(:mod:`repro.campaign.runner`), cached by content hash in a JSONL store
+(:mod:`repro.campaign.store`) and aggregated across Monte-Carlo
+replications (:mod:`repro.campaign.aggregate`).
+
+Quickstart::
+
+    from repro.campaign import CampaignRunner, ResultStore
+
+    runner = CampaignRunner(store=ResultStore("results.jsonl"), jobs=4)
+    report = runner.run_scenario("table1-sweep")
+    print(report.summary("table1-sweep"))
+
+Re-running the same campaign against the same store simulates nothing:
+every job is served from the cache, instant-for-instant identical to the
+original run.
+"""
+
+from .aggregate import Summary, aggregate_results, summarize
+from .registry import (
+    ExperimentPlan,
+    Scenario,
+    ScenarioRegistry,
+    build_default_registry,
+    default_registry,
+    expand_grid,
+)
+from .results import JobResult, instants_digest
+from .runner import CampaignReport, CampaignRunner, run_job
+from .spec import JobSpec, ScenarioSpec, canonical_json, derive_seed
+from .store import ResultStore
+
+__all__ = [
+    "ScenarioSpec",
+    "JobSpec",
+    "canonical_json",
+    "derive_seed",
+    "ExperimentPlan",
+    "Scenario",
+    "ScenarioRegistry",
+    "build_default_registry",
+    "default_registry",
+    "expand_grid",
+    "JobResult",
+    "instants_digest",
+    "CampaignRunner",
+    "CampaignReport",
+    "run_job",
+    "ResultStore",
+    "Summary",
+    "summarize",
+    "aggregate_results",
+]

@@ -1,0 +1,126 @@
+"""Aggregation of campaign results across replications.
+
+Monte-Carlo scenarios run the same experiment point several times with
+decorrelated seeds; this module folds those replications back into one
+row per point -- mean/min/max/stddev of the speed-up, mean event ratio,
+and an accuracy verdict -- in the shape
+:func:`repro.analysis.report.format_rows` expects, so campaign output
+prints with the same table machinery as the paper's figures.
+
+Grouping is content-based: results are grouped by the digest of the
+``(scenario, parameters)`` pair they were produced from, which is the
+same digest the result store uses, so aggregation is stable across
+processes and store round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from .results import JobResult
+from .spec import ScenarioSpec
+
+__all__ = ["Summary", "summarize", "aggregate_results"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary of one metric across replications."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean/min/max and *sample* standard deviation of ``values``.
+
+    Non-finite values (a zero-wall-clock run yields an infinite speed-up)
+    are dropped first; an empty or fully non-finite input summarises to
+    all-NaN so it still formats rather than raising mid-report.
+    """
+    finite = [float(value) for value in values if math.isfinite(value)]
+    if not finite:
+        nan = float("nan")
+        return Summary(count=0, mean=nan, minimum=nan, maximum=nan, stddev=nan)
+    mean = sum(finite) / len(finite)
+    if len(finite) > 1:
+        variance = sum((value - mean) ** 2 for value in finite) / (len(finite) - 1)
+        stddev = math.sqrt(variance)
+    else:
+        stddev = 0.0
+    return Summary(
+        count=len(finite),
+        mean=mean,
+        minimum=min(finite),
+        maximum=max(finite),
+        stddev=stddev,
+    )
+
+
+def aggregate_results(results: Iterable[JobResult]) -> List[Dict[str, object]]:
+    """One table row per experiment point, aggregated over its replications.
+
+    Rows keep first-seen order of the points, matching the job order of the
+    campaign that produced the results.
+    """
+    groups: Dict[str, List[JobResult]] = {}
+    order: List[str] = []
+    for result in results:
+        digest = ScenarioSpec(result.scenario, result.parameters).digest()
+        if digest not in groups:
+            groups[digest] = []
+            order.append(digest)
+        groups[digest].append(result)
+
+    rows: List[Dict[str, object]] = []
+    for digest in order:
+        group = groups[digest]
+        successes = [result for result in group if result.ok]
+        errors = len(group) - len(successes)
+        label = next(
+            (result.label for result in group if result.label), group[0].scenario
+        )
+        if not successes:
+            # Full column set with placeholders: format_rows takes its headers
+            # from the first row, so an error row must not shrink the table.
+            rows.append(
+                {
+                    "model": label,
+                    "runs": len(group),
+                    "errors": errors,
+                    "iterations": "-",
+                    "TDG nodes": "-",
+                    "speed-up mean": "-",
+                    "speed-up min": "-",
+                    "speed-up max": "-",
+                    "speed-up stddev": "-",
+                    "event ratio": "-",
+                    "accuracy": "error",
+                }
+            )
+            continue
+        speedup = summarize([result.speedup for result in successes])
+        ratio = summarize([result.event_ratio for result in successes])
+        identical = all(result.outputs_identical for result in successes)
+        mismatches = sum(result.mismatching_outputs for result in successes)
+        rows.append(
+            {
+                "model": label,
+                "runs": len(group),
+                "errors": errors,
+                "iterations": successes[0].iterations,
+                "TDG nodes": successes[0].tdg_nodes,
+                "speed-up mean": round(speedup.mean, 2),
+                "speed-up min": round(speedup.minimum, 2),
+                "speed-up max": round(speedup.maximum, 2),
+                "speed-up stddev": round(speedup.stddev, 3),
+                "event ratio": round(ratio.mean, 2),
+                "accuracy": "identical" if identical else f"{mismatches} mismatches",
+            }
+        )
+    return rows

@@ -1,0 +1,193 @@
+"""Parallel campaign execution.
+
+The :class:`CampaignRunner` expands :class:`~repro.campaign.spec.ScenarioSpec`
+points into jobs, satisfies what it can from the
+:class:`~repro.campaign.store.ResultStore`, and fans the remaining jobs
+across worker processes with :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Only JSON-safe payloads cross the process boundary: a worker receives a
+job payload (scenario name + parameters + replication), rebuilds the
+architecture and stimuli from its own copy of the scenario registry, runs
+:func:`~repro.analysis.speedup.measure_speedup`, and sends back a plain
+result record.  Per-job seeds are derived deterministically from the spec
+(see :func:`~repro.campaign.spec.derive_seed`), so a parallel campaign is
+instant-for-instant identical to a sequential one.
+
+``jobs=1`` bypasses the pool entirely and runs inline -- the reference
+execution the integration tests compare parallel runs against.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..analysis.speedup import measure_speedup
+from ..errors import CampaignError
+from .registry import ScenarioRegistry, default_registry
+from .results import JobResult
+from .spec import JobSpec, ScenarioSpec
+from .store import ResultStore
+
+__all__ = ["CampaignRunner", "CampaignReport", "run_job"]
+
+
+def run_job(
+    payload: Mapping[str, Any], registry: Optional[ScenarioRegistry] = None
+) -> Dict[str, Any]:
+    """Execute one campaign job; runs in the worker process.
+
+    Takes and returns only JSON-safe data.  Failures become error records
+    rather than exceptions so one bad sweep point never aborts the pool.
+    Worker processes resolve scenarios against their own default registry;
+    the in-process path passes the runner's ``registry`` explicitly.
+    """
+    try:
+        job = JobSpec.from_payload(payload)
+    except Exception as error:
+        scenario = payload.get("scenario") if isinstance(payload, Mapping) else None
+        return {
+            "job_digest": "",
+            "scenario": str(scenario) if scenario is not None else "?",
+            "parameters": {},
+            "replication": 0,
+            "seed": 0,
+            "error": f"{type(error).__name__}: {error}",
+        }
+    try:
+        scenario = (registry or default_registry()).get(job.spec.scenario)
+        parameters = dict(scenario.defaults)
+        parameters.update(job.spec.parameters)
+        parameters["seed"] = job.seed
+        plan = scenario.planner(parameters)
+        measurement = measure_speedup(
+            plan.architecture_factory,
+            plan.stimuli_factory,
+            abstract_functions=plan.abstract_functions,
+            pad_to_nodes=plan.pad_to_nodes,
+            label=plan.label,
+            capture_instants=True,
+        )
+    except Exception as error:
+        return JobResult.from_error(job, error).to_record()
+    return JobResult.from_measurement(
+        job, measurement, keep_instants=job.spec.record_instants
+    ).to_record()
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign run produced, in deterministic job order."""
+
+    results: List[JobResult] = field(default_factory=list)
+    cache_hits: int = 0
+    simulated: int = 0
+
+    @property
+    def errors(self) -> List[JobResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def ok(self) -> bool:
+        """True when every job succeeded and reproduced identical outputs."""
+        return all(result.ok and result.outputs_identical for result in self.results)
+
+    def summary(self, name: str = "campaign") -> str:
+        return (
+            f"{name}: {len(self.results)} jobs, {self.cache_hits} cache hits, "
+            f"{self.simulated} simulated, {len(self.errors)} errors"
+        )
+
+
+class CampaignRunner:
+    """Expand specs into jobs and execute them, in-process or across a pool."""
+
+    def __init__(
+        self,
+        registry: Optional[ScenarioRegistry] = None,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+    ) -> None:
+        if jobs < 1:
+            raise CampaignError("the runner needs at least one worker")
+        self.registry = registry if registry is not None else default_registry()
+        self.store = store
+        self.jobs = jobs
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> CampaignReport:
+        """Run every job of every spec, reusing stored results where possible."""
+        job_list: List[JobSpec] = []
+        for spec in specs:
+            # Fail fast on unknown scenarios before spawning any worker.
+            self.registry.get(spec.scenario)
+            job_list.extend(spec.jobs())
+
+        results: List[Optional[JobResult]] = [None] * len(job_list)
+        pending: List[int] = []
+        for index, job in enumerate(job_list):
+            cached = self._lookup(job)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+
+        records = self._execute([job_list[index].payload() for index in pending])
+        for index, record in zip(pending, records):
+            result = JobResult.from_record(record)
+            results[index] = result
+            if self.store is not None and result.ok:
+                self.store.put(job_list[index].digest(), record)
+
+        report = CampaignReport(
+            results=[result for result in results if result is not None],
+            cache_hits=len(job_list) - len(pending),
+            simulated=len(pending),
+        )
+        if len(report.results) != len(job_list):  # pragma: no cover - defensive
+            raise CampaignError("lost track of campaign jobs (worker returned too few records)")
+        return report
+
+    def run_scenario(
+        self,
+        name: str,
+        overrides: Optional[Mapping[str, Any]] = None,
+        grid: Optional[Mapping[str, Sequence[Any]]] = None,
+        replications: Optional[int] = None,
+        record_instants: bool = False,
+    ) -> CampaignReport:
+        """Convenience wrapper: expand a registered scenario family and run it."""
+        scenario = self.registry.get(name)
+        specs = scenario.specs(
+            overrides=overrides,
+            grid=grid,
+            replications=replications,
+            record_instants=record_instants,
+        )
+        return self.run(specs)
+
+    def _lookup(self, job: JobSpec) -> Optional[JobResult]:
+        """A usable cached result for ``job``, or None to simulate it."""
+        if self.store is None:
+            return None
+        record = self.store.get(job.digest())
+        if record is None:
+            return None
+        result = JobResult.from_record(record)
+        if not result.ok:
+            return None  # stored errors are always retried
+        if job.spec.record_instants and result.output_instants is None:
+            return None  # cached without instants, but this run needs them
+        return result.with_cached()
+
+    def _execute(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        if not payloads:
+            return []
+        # A custom registry's planners cannot be assumed to resolve inside a
+        # worker process (workers rebuild the *default* registry), so anything
+        # non-default runs in-process against the runner's own registry.
+        if self.jobs == 1 or len(payloads) == 1 or self.registry is not default_registry():
+            return [run_job(payload, self.registry) for payload in payloads]
+        workers = min(self.jobs, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_job, payloads))

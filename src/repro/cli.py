@@ -3,32 +3,38 @@
 A small front-end over the experiment harnesses so the paper's artefacts
 can be regenerated without writing any Python::
 
-    python -m repro.cli table1 --items 4000 --stages 4
-    python -m repro.cli fig5   --items 500
+    python -m repro.cli table1 --items 4000 --stages 4 --jobs 4
+    python -m repro.cli fig5   --items 500 --seed 7
     python -m repro.cli fig6   --frames 1
     python -m repro.cli lte    --symbols 2800
     python -m repro.cli describe didactic|lte|chain2
+    python -m repro.cli campaign list
+    python -m repro.cli campaign run table1-sweep --jobs 4 --store results.jsonl
 
 Every sub-command prints plain-text tables/series (via
 :mod:`repro.analysis.report`), suitable for redirecting into the
-experiment log.
+experiment log.  ``table1`` and ``fig5`` route through the campaign
+runner (:mod:`repro.campaign`), so they accept ``--jobs`` for parallel
+execution and ``--store`` for content-addressed result caching; the
+``campaign`` sub-command exposes the full subsystem (grid overrides,
+Monte-Carlo replications, aggregation).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from .analysis import format_rows, format_series, measure_speedup, theoretical_event_ratio
-from .environment import RandomSizeStimulus
-from .examples_lib import build_didactic_architecture, didactic_stimulus
-from .generator import build_chain_architecture, build_pipeline_architecture
-from .kernel.simtime import microseconds
+from .analysis import format_rows, format_series
+from .campaign import CampaignRunner, ResultStore, aggregate_results, default_registry
+from .errors import CampaignError
+from .examples_lib import build_didactic_architecture
+from .generator import build_chain_architecture
 from .lte import (
     OUTPUT_RELATION,
-    SYMBOLS_PER_FRAME,
     build_lte_architecture,
     build_lte_models,
     fig6_observation,
@@ -49,6 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
     table1 = subparsers.add_parser("table1", help="Table I: speed-up on chained architectures")
     table1.add_argument("--items", type=int, default=4000, help="data items per model")
     table1.add_argument("--stages", type=int, default=4, help="largest chain length")
+    _add_runner_arguments(table1)
 
     fig5 = subparsers.add_parser("fig5", help="Fig. 5: speed-up vs TDG node count")
     fig5.add_argument("--items", type=int, default=500, help="data items per sweep point")
@@ -60,6 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=[50, 100, 200, 500, 1000],
         help="target node counts",
     )
+    fig5.add_argument("--seed", type=int, default=7, help="stimulus seed (data sizes)")
+    _add_runner_arguments(fig5)
 
     fig6 = subparsers.add_parser("fig6", help="Fig. 6: LTE frame observation")
     fig6.add_argument("--frames", type=int, default=1, help="number of LTE frames to observe")
@@ -73,45 +82,132 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["didactic", "lte", "chain2"],
         help="which architecture to describe",
     )
+
+    campaign = subparsers.add_parser("campaign", help="parallel experiment campaigns")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    run = campaign_sub.add_parser("run", help="run a registered scenario campaign")
+    run.add_argument("scenario", help="scenario name (see 'campaign list')")
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="pin a scenario parameter (repeatable; drops the like-named grid axis)",
+    )
+    run.add_argument(
+        "--grid",
+        dest="grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="replace/add a grid axis (repeatable)",
+    )
+    run.add_argument("--replications", type=int, default=None, help="Monte-Carlo replications")
+    run.add_argument("--seed", type=int, default=None, help="override the base seed")
+    run.add_argument(
+        "--record-instants",
+        action="store_true",
+        help="persist the full output-instant sequences in the store",
+    )
+    run.add_argument("--per-job", action="store_true", help="also print one row per job")
+    _add_runner_arguments(run)
+
+    campaign_sub.add_parser("list", help="list the registered scenarios")
+
+    show = campaign_sub.add_parser("show", help="show one scenario's parameters and jobs")
+    show.add_argument("scenario", help="scenario name (see 'campaign list')")
     return parser
 
 
-def _run_table1(items: int, stages: int) -> int:
-    rows = []
-    for stage_count in range(1, stages + 1):
-        measurement = measure_speedup(
-            lambda s=stage_count: build_chain_architecture(s),
-            lambda: {"L1": didactic_stimulus(items)},
-            label=f"Example {stage_count}",
-        )
-        row = measurement.as_row()
-        row["theoretical ratio"] = round(
-            theoretical_event_ratio(build_chain_architecture(stage_count)), 2
-        )
-        rows.append(row)
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, help="parallel worker processes")
+    parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="JSONL result store (cache hits skip simulation)",
+    )
+
+
+def _make_runner(jobs: int, store_path: Optional[str]) -> CampaignRunner:
+    store = ResultStore(store_path) if store_path else None
+    return CampaignRunner(store=store, jobs=jobs)
+
+
+def _parse_value(text: str) -> Any:
+    """Parse an override value: JSON when possible, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_overrides(entries: Sequence[str]) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    for entry in entries:
+        key, separator, value = entry.partition("=")
+        if not separator or not key:
+            raise CampaignError(f"expected KEY=VALUE, got {entry!r}")
+        overrides[key] = _parse_value(value)
+    return overrides
+
+
+def _parse_grid(entries: Sequence[str]) -> Dict[str, List[Any]]:
+    grid: Dict[str, List[Any]] = {}
+    for entry in entries:
+        key, separator, values = entry.partition("=")
+        if not separator or not key:
+            raise CampaignError(f"expected KEY=V1,V2,..., got {entry!r}")
+        grid[key] = [_parse_value(value) for value in values.split(",") if value != ""]
+    return grid
+
+
+def _run_table1(items: int, stages: int, jobs: int = 1, store_path: Optional[str] = None) -> int:
+    runner = _make_runner(jobs, store_path)
+    report = runner.run_scenario(
+        "table1-sweep",
+        overrides={"items": items},
+        grid={"stages": list(range(1, stages + 1))},
+    )
+    for result in report.errors:
+        print(f"# {result.label or result.scenario} failed: {result.error}", file=sys.stderr)
+    rows = [result.as_row() for result in report.results if result.ok]
     print(format_rows(rows))
-    return 0 if all(row["accuracy"] == "identical" for row in rows) else 1
+    if store_path:
+        print(report.summary("table1"))
+    return 0 if report.ok else 1
 
 
-def _run_fig5(items: int, x_size: int, node_counts: Sequence[int]) -> int:
-    length = max(x_size - 1, 1)
+def _run_fig5(
+    items: int,
+    x_size: int,
+    node_counts: Sequence[int],
+    seed: int = 7,
+    jobs: int = 1,
+    store_path: Optional[str] = None,
+) -> int:
+    runner = _make_runner(jobs, store_path)
+    report = runner.run_scenario(
+        "fig5-sweep",
+        overrides={"items": items, "x_size": x_size, "seed": seed},
+        grid={"nodes": list(node_counts)},
+    )
     points = []
-    for nodes in node_counts:
-        try:
-            measurement = measure_speedup(
-                lambda: build_pipeline_architecture(length),
-                lambda: {"L0": RandomSizeStimulus(microseconds(10 * length), items, seed=7)},
-                pad_to_nodes=nodes,
-                label=f"nodes={nodes}",
-            )
-        except Exception as error:
-            print(f"# skipping {nodes} nodes: {error}", file=sys.stderr)
+    for result in report.results:
+        nodes = result.parameters.get("nodes")
+        if not result.ok:
+            print(f"# skipping {nodes} nodes: {result.error}", file=sys.stderr)
             continue
-        if not measurement.outputs_identical:
+        if not result.outputs_identical:
             print(f"# accuracy lost at {nodes} nodes", file=sys.stderr)
             return 1
-        points.append((nodes, round(measurement.speedup, 2)))
+        points.append((nodes, round(result.speedup, 2)))
     print(format_series(f"X size: {x_size}", points, "TDG nodes", "speed-up"))
+    if store_path:
+        print(report.summary("fig5"))
     return 0
 
 
@@ -174,19 +270,101 @@ def _run_describe(target: str) -> int:
     return 0
 
 
+def _run_campaign_run(arguments: argparse.Namespace) -> int:
+    overrides = _parse_overrides(arguments.overrides)
+    if arguments.seed is not None:
+        overrides["seed"] = arguments.seed
+    grid = _parse_grid(arguments.grid)
+    runner = _make_runner(arguments.jobs, arguments.store)
+    report = runner.run_scenario(
+        arguments.scenario,
+        overrides=overrides,
+        grid=grid,
+        replications=arguments.replications,
+        record_instants=arguments.record_instants,
+    )
+    for result in report.errors:
+        print(f"# {result.label or result.scenario} failed: {result.error}", file=sys.stderr)
+    if arguments.per_job:
+        print(format_rows([result.as_row() for result in report.results if result.ok]))
+    print(format_rows(aggregate_results(report.results)))
+    print(report.summary(f"campaign {arguments.scenario}"))
+    return 0 if report.ok else 1
+
+
+def _run_campaign_list() -> int:
+    rows = [
+        {
+            "scenario": scenario.name,
+            "jobs": scenario.job_count(),
+            "replications": scenario.replications,
+            "description": scenario.description,
+        }
+        for scenario in default_registry().scenarios()
+    ]
+    print(format_rows(rows))
+    return 0
+
+
+def _run_campaign_show(name: str) -> int:
+    scenario = default_registry().get(name)
+    print(f"scenario: {scenario.name}")
+    print(f"description: {scenario.description}")
+    print(f"replications: {scenario.replications}")
+    print("defaults:")
+    for key in sorted(scenario.defaults):
+        print(f"  {key} = {scenario.defaults[key]!r}")
+    if scenario.grid:
+        print("grid:")
+        for key in sorted(scenario.grid):
+            print(f"  {key} in {list(scenario.grid[key])!r}")
+    rows = [
+        {
+            "job": index,
+            "digest": job.digest()[:12],
+            "replication": job.replication,
+            "seed": job.seed,
+            "parameters": json.dumps(dict(job.spec.parameters), sort_keys=True),
+        }
+        for index, job in enumerate(
+            job for spec in scenario.specs() for job in spec.jobs()
+        )
+    ]
+    print(format_rows(rows))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point (``python -m repro.cli``)."""
+    """Entry point (``python -m repro.cli`` / the ``repro`` console script)."""
     arguments = build_parser().parse_args(argv)
-    if arguments.command == "table1":
-        return _run_table1(arguments.items, arguments.stages)
-    if arguments.command == "fig5":
-        return _run_fig5(arguments.items, arguments.x_size, arguments.nodes)
-    if arguments.command == "fig6":
-        return _run_fig6(arguments.frames)
-    if arguments.command == "lte":
-        return _run_lte(arguments.symbols)
-    if arguments.command == "describe":
-        return _run_describe(arguments.target)
+    try:
+        if arguments.command == "table1":
+            return _run_table1(arguments.items, arguments.stages, arguments.jobs, arguments.store)
+        if arguments.command == "fig5":
+            return _run_fig5(
+                arguments.items,
+                arguments.x_size,
+                arguments.nodes,
+                arguments.seed,
+                arguments.jobs,
+                arguments.store,
+            )
+        if arguments.command == "fig6":
+            return _run_fig6(arguments.frames)
+        if arguments.command == "lte":
+            return _run_lte(arguments.symbols)
+        if arguments.command == "describe":
+            return _run_describe(arguments.target)
+        if arguments.command == "campaign":
+            if arguments.campaign_command == "run":
+                return _run_campaign_run(arguments)
+            if arguments.campaign_command == "list":
+                return _run_campaign_list()
+            if arguments.campaign_command == "show":
+                return _run_campaign_show(arguments.scenario)
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover
 
 

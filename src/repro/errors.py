@@ -17,6 +17,9 @@ errors.  The sub-classes mirror the main subsystems:
   instants (missing history, unresolved input instant, ...).
 * :class:`ObservationError` -- inconsistent activity traces or metric
   requests (negative bin width, overlapping exclusive activities, ...).
+* :class:`CampaignError` -- invalid experiment-campaign descriptions or
+  result-store contents (unknown scenario, non-serialisable parameter,
+  malformed store record, ...).
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ __all__ = [
     "GraphError",
     "ComputationError",
     "ObservationError",
+    "CampaignError",
 ]
 
 
@@ -58,3 +62,7 @@ class ComputationError(ReproError):
 
 class ObservationError(ReproError):
     """Raised when activity traces or observation metrics are inconsistent."""
+
+
+class CampaignError(ReproError):
+    """Raised when an experiment campaign or its result store is invalid."""

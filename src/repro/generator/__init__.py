@@ -1,12 +1,18 @@
 """Synthetic architecture generators and sweep helpers for the benchmarks."""
 
-from .chains import build_chain_architecture, build_pipeline_architecture, chain_relation_count
+from .chains import (
+    build_chain_architecture,
+    build_pipeline_architecture,
+    chain_relation_count,
+    stochastic_chain_workloads,
+)
 from .sweep import DEFAULT_NODE_COUNTS, DEFAULT_X_SIZES, pad_equivalent_spec, pad_graph
 
 __all__ = [
     "build_chain_architecture",
     "build_pipeline_architecture",
     "chain_relation_count",
+    "stochastic_chain_workloads",
     "pad_equivalent_spec",
     "pad_graph",
     "DEFAULT_NODE_COUNTS",

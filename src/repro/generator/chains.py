@@ -19,7 +19,7 @@ generates those models:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 from ..archmodel import (
     AppFunction,
@@ -29,12 +29,45 @@ from ..archmodel import (
     PerUnitExecutionTime,
     PlatformModel,
 )
-from ..archmodel.workload import ExecutionTimeModel
+from ..archmodel.workload import ExecutionTimeModel, StochasticExecutionTime
 from ..errors import ModelError
 from ..examples_lib.didactic import didactic_workloads
-from ..kernel.simtime import microseconds, nanoseconds
+from ..kernel.simtime import Duration, microseconds, nanoseconds
 
-__all__ = ["build_chain_architecture", "build_pipeline_architecture", "chain_relation_count"]
+__all__ = [
+    "build_chain_architecture",
+    "build_pipeline_architecture",
+    "chain_relation_count",
+    "stochastic_chain_workloads",
+]
+
+#: Execute-step names of the didactic stage, in the order they appear in Fig. 1.
+CHAIN_WORKLOAD_NAMES = ("Ti1", "Tj1", "Ti2", "Ti3", "Tj3", "Ti4")
+
+
+def stochastic_chain_workloads(
+    seed: int,
+    stage: int = 0,
+    low: Duration = microseconds(1),
+    high: Duration = microseconds(12),
+) -> Dict[str, ExecutionTimeModel]:
+    """Randomly varying workloads for one stage of a chain architecture.
+
+    Each execute step gets its own :class:`StochasticExecutionTime` with a
+    seed derived deterministically from ``seed``, the ``stage`` index and the
+    step's position, so two calls with the same arguments produce workload
+    models that draw identical per-iteration samples -- exactly what
+    ``measure_speedup`` needs when it builds the explicit and the equivalent
+    architecture from the same factory -- while different stages stay
+    decorrelated.  Pass as ``stage_workloads`` to
+    :func:`build_chain_architecture`; used by the Monte-Carlo campaign
+    scenarios.
+    """
+    base = (seed * 1_000_003 + stage) * 1009
+    return {
+        name: StochasticExecutionTime(low=low, high=high, seed=base + index)
+        for index, name in enumerate(CHAIN_WORKLOAD_NAMES)
+    }
 
 
 def chain_relation_count(stages: int) -> int:
@@ -48,6 +81,7 @@ def build_chain_architecture(
     stages: int,
     workloads: Optional[Dict[str, ExecutionTimeModel]] = None,
     name: Optional[str] = None,
+    stage_workloads: Optional[Callable[[int], Dict[str, ExecutionTimeModel]]] = None,
 ) -> ArchitectureModel:
     """Chain ``stages`` copies of the didactic stage of Fig. 1.
 
@@ -56,10 +90,17 @@ def build_chain_architecture(
     external input relation is ``L1``, the external output relation is
     ``L{stages+1}``, and relation ``L{i+1}`` carries data from stage ``i`` to
     stage ``i+1``.
+
+    ``workloads`` is shared by every stage; ``stage_workloads`` instead maps
+    the 1-based stage index to that stage's own workload dict (needed for
+    stochastic models, where sharing one memoised instance would make all
+    stages draw identical samples).  The two options are mutually exclusive.
     """
     if stages < 1:
         raise ModelError("a chain needs at least one stage")
-    workloads = workloads or didactic_workloads()
+    if workloads is not None and stage_workloads is not None:
+        raise ModelError("pass either workloads or stage_workloads, not both")
+    shared = workloads or (didactic_workloads() if stage_workloads is None else None)
     name = name or f"chain-{stages}"
 
     application = ApplicationModel(name)
@@ -67,6 +108,7 @@ def build_chain_architecture(
     mapping = Mapping(f"{name}-mapping")
 
     for stage in range(1, stages + 1):
+        workloads = shared if shared is not None else stage_workloads(stage)
         suffix = f"s{stage}"
         link_in = f"L{stage}"
         link_out = f"L{stage + 1}"

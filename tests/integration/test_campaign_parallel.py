@@ -1,0 +1,86 @@
+"""Integration tests: parallel campaigns reproduce single-process results.
+
+The campaign runner's central promise is that fanning jobs across worker
+processes changes *nothing* about the simulated trajectories: every job
+is a pure function of its spec (architecture, stimuli and workloads are
+rebuilt from the spec inside the worker, seeds derive deterministically),
+so a ``jobs=4`` campaign is instant-for-instant identical to a ``jobs=1``
+run of the same specs, and a store populated by one run serves the other.
+"""
+
+from repro.campaign import CampaignRunner, ResultStore, default_registry
+
+
+def table1_specs(record_instants=True):
+    return default_registry().get("table1-sweep").specs(
+        overrides={"items": 60},
+        grid={"stages": [1, 2]},
+        record_instants=record_instants,
+    )
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_instant_for_instant(self):
+        serial = CampaignRunner(jobs=1).run(table1_specs())
+        parallel = CampaignRunner(jobs=4).run(table1_specs())
+        assert serial.ok and parallel.ok
+        assert len(serial.results) == len(parallel.results) == 2
+        for reference, candidate in zip(serial.results, parallel.results):
+            assert reference.output_instants is not None
+            assert candidate.output_instants == reference.output_instants
+            assert candidate.instants_digest == reference.instants_digest
+            assert candidate.job_digest == reference.job_digest
+            assert candidate.seed == reference.seed
+
+    def test_parallel_monte_carlo_matches_serial(self):
+        specs = default_registry().get("random-pipeline").specs(
+            overrides={"items": 40, "length": 3},
+            replications=4,
+            record_instants=True,
+        )
+        serial = CampaignRunner(jobs=1).run(specs)
+        parallel = CampaignRunner(jobs=3).run(specs)
+        assert serial.ok and parallel.ok
+        for reference, candidate in zip(serial.results, parallel.results):
+            assert candidate.output_instants == reference.output_instants
+        # distinct replications really explored distinct trajectories
+        assert len({result.instants_digest for result in serial.results}) == 4
+
+    def test_campaign_matches_direct_measurement(self):
+        """A worker-produced result equals an in-process measure_speedup call."""
+        from repro.analysis import measure_speedup
+        from repro.examples_lib import didactic_stimulus
+        from repro.generator import build_chain_architecture
+
+        report = CampaignRunner(jobs=2).run(table1_specs())
+        direct = measure_speedup(
+            lambda: build_chain_architecture(1),
+            lambda: {"L1": didactic_stimulus(60, seed=2014)},
+            capture_instants=True,
+        )
+        assert report.results[0].output_instants == direct.output_instants
+
+
+class TestStoreRoundTrip:
+    def test_jsonl_store_serves_second_run_completely(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        first = CampaignRunner(store=ResultStore(path), jobs=2).run(table1_specs())
+        assert (first.simulated, first.cache_hits) == (2, 0)
+
+        second = CampaignRunner(store=ResultStore(path), jobs=1).run(table1_specs())
+        assert (second.simulated, second.cache_hits) == (0, 2)
+        for reference, candidate in zip(first.results, second.results):
+            assert candidate.cached
+            assert candidate.output_instants == reference.output_instants
+
+    def test_store_is_shared_between_scenarios_without_collisions(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        runner = CampaignRunner(store=store, jobs=1)
+        runner.run(table1_specs(record_instants=False))
+        runner.run_scenario("lte", overrides={"symbols": 28})
+        assert len(ResultStore(path)) == 3  # 2 table1 points + 1 lte point
+
+        again = CampaignRunner(store=ResultStore(path), jobs=1)
+        report = again.run_scenario("lte", overrides={"symbols": 28})
+        assert (report.simulated, report.cache_hits) == (0, 1)

@@ -99,6 +99,7 @@ class TestExamplesRun:
             ("examples/lte_receiver.py", ["28"]),
             ("examples/table1_sweep.py", ["60", "2"]),
             ("examples/grouping_and_quantum.py", ["60"]),
+            ("examples/campaign_demo.py", ["2"]),
         ],
     )
     def test_example_script_runs(self, script, argv, capsys, monkeypatch):

@@ -1,0 +1,126 @@
+"""Unit tests for campaign aggregation math."""
+
+import math
+
+import pytest
+
+from repro.campaign import JobResult, ScenarioSpec, aggregate_results, summarize
+
+
+def make_result(
+    scenario="s",
+    parameters=None,
+    replication=0,
+    explicit=10.0,
+    equivalent=2.0,
+    explicit_events=60,
+    equivalent_events=10,
+    identical=True,
+    error=None,
+    label="row",
+):
+    parameters = parameters if parameters is not None else {"seed": 1}
+    spec = ScenarioSpec(scenario, parameters, replications=replication + 1)
+    return JobResult(
+        job_digest=spec.job(replication).digest(),
+        scenario=scenario,
+        parameters=parameters,
+        replication=replication,
+        seed=spec.job(replication).seed,
+        label=label,
+        error=error,
+        iterations=100,
+        explicit_wall_seconds=explicit,
+        equivalent_wall_seconds=equivalent,
+        explicit_relation_events=explicit_events,
+        equivalent_relation_events=equivalent_events,
+        tdg_nodes=20,
+        outputs_identical=identical,
+        mismatching_outputs=0 if identical else 1,
+    )
+
+
+class TestSummarize:
+    def test_exact_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.stddev == pytest.approx(1.0)  # sample stddev of 1,2,3
+
+    def test_single_value_has_zero_stddev(self):
+        summary = summarize([5.0])
+        assert summary.stddev == 0.0
+        assert summary.mean == 5.0
+
+    def test_non_finite_values_are_dropped(self):
+        summary = summarize([1.0, float("inf"), 3.0, float("nan")])
+        assert summary.count == 2
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_empty_input_summarises_to_nan(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+
+class TestAggregateResults:
+    def test_replications_fold_into_one_row(self):
+        results = [
+            make_result(replication=0, explicit=10.0, equivalent=2.0),  # speed-up 5
+            make_result(replication=1, explicit=12.0, equivalent=2.0),  # speed-up 6
+            make_result(replication=2, explicit=14.0, equivalent=2.0),  # speed-up 7
+        ]
+        rows = aggregate_results(results)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["runs"] == 3
+        assert row["errors"] == 0
+        assert row["speed-up mean"] == pytest.approx(6.0)
+        assert row["speed-up min"] == pytest.approx(5.0)
+        assert row["speed-up max"] == pytest.approx(7.0)
+        assert row["speed-up stddev"] == pytest.approx(1.0)
+        assert row["event ratio"] == pytest.approx(6.0)
+        assert row["accuracy"] == "identical"
+
+    def test_distinct_points_stay_distinct_in_first_seen_order(self):
+        results = [
+            make_result(parameters={"seed": 1, "stages": 2}, label="second"),
+            make_result(parameters={"seed": 1, "stages": 1}, label="first"),
+        ]
+        rows = aggregate_results(results)
+        assert [row["model"] for row in rows] == ["second", "first"]
+
+    def test_errors_are_counted_but_not_averaged(self):
+        results = [
+            make_result(replication=0, explicit=10.0, equivalent=2.0),
+            make_result(replication=1, error="ModelError: boom"),
+        ]
+        row = aggregate_results(results)[0]
+        assert row["runs"] == 2
+        assert row["errors"] == 1
+        assert row["speed-up mean"] == pytest.approx(5.0)
+
+    def test_all_error_group_still_produces_a_row(self):
+        rows = aggregate_results([make_result(error="ModelError: boom")])
+        assert len(rows) == 1
+        assert rows[0]["model"] == "row"
+        assert rows[0]["errors"] == 1
+        assert rows[0]["accuracy"] == "error"
+        assert rows[0]["speed-up mean"] == "-"
+
+    def test_error_first_group_does_not_shrink_the_table(self):
+        """format_rows takes headers from row one, so error rows keep all keys."""
+        failed = make_result(parameters={"seed": 1, "nodes": 2}, error="ModelError: boom")
+        succeeded = make_result(parameters={"seed": 1, "nodes": 50})
+        rows = aggregate_results([failed, succeeded])
+        assert set(rows[1]) <= set(rows[0])
+
+    def test_accuracy_loss_is_reported(self):
+        results = [
+            make_result(replication=0),
+            make_result(replication=1, identical=False),
+        ]
+        row = aggregate_results(results)[0]
+        assert row["accuracy"] == "1 mismatches"

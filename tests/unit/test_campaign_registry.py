@@ -1,0 +1,136 @@
+"""Unit tests for the scenario registry and grid expansion."""
+
+import pytest
+
+from repro.campaign import (
+    Scenario,
+    ScenarioRegistry,
+    build_default_registry,
+    default_registry,
+    expand_grid,
+)
+from repro.campaign.registry import ExperimentPlan
+from repro.errors import CampaignError
+
+BUILTIN_SCENARIOS = {
+    "table1-sweep",
+    "fig5-sweep",
+    "lte",
+    "stochastic-chain",
+    "random-pipeline",
+}
+
+
+class TestExpandGrid:
+    def test_empty_grid_is_one_point(self):
+        assert expand_grid({}) == [{}]
+
+    def test_cartesian_product(self):
+        points = expand_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert len(points) == 4
+        assert {"a": 1, "b": "x"} in points
+        assert {"a": 2, "b": "y"} in points
+
+    def test_axis_order_is_name_sorted_and_deterministic(self):
+        assert expand_grid({"b": [1, 2], "a": [3]}) == [
+            {"a": 3, "b": 1},
+            {"a": 3, "b": 2},
+        ]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(CampaignError):
+            expand_grid({"a": []})
+
+    def test_string_axis_rejected(self):
+        with pytest.raises(CampaignError):
+            expand_grid({"a": "not-a-sequence"})
+
+
+def _noop_planner(parameters):
+    return ExperimentPlan(architecture_factory=lambda: None, stimuli_factory=dict)
+
+
+class TestScenario:
+    def test_parameter_points_merge_defaults_overrides_and_grid(self):
+        scenario = Scenario(
+            name="s",
+            description="",
+            planner=_noop_planner,
+            defaults={"items": 10, "seed": 1},
+            grid={"stages": [1, 2]},
+        )
+        points = scenario.parameter_points(overrides={"items": 99})
+        assert points == [
+            {"items": 99, "seed": 1, "stages": 1},
+            {"items": 99, "seed": 1, "stages": 2},
+        ]
+
+    def test_override_pins_a_gridded_parameter(self):
+        scenario = Scenario(
+            name="s", description="", planner=_noop_planner,
+            defaults={}, grid={"stages": [1, 2, 3]},
+        )
+        points = scenario.parameter_points(overrides={"stages": 2})
+        assert points == [{"stages": 2}]
+
+    def test_grid_override_replaces_axis(self):
+        scenario = Scenario(
+            name="s", description="", planner=_noop_planner,
+            defaults={}, grid={"stages": [1, 2, 3]},
+        )
+        points = scenario.parameter_points(grid={"stages": [7]})
+        assert points == [{"stages": 7}]
+
+    def test_specs_carry_replications_and_instant_flag(self):
+        scenario = Scenario(
+            name="s", description="", planner=_noop_planner,
+            defaults={"seed": 3}, replications=4,
+        )
+        specs = scenario.specs(record_instants=True)
+        assert len(specs) == 1
+        assert specs[0].replications == 4
+        assert specs[0].record_instants is True
+        assert scenario.specs(replications=2)[0].replications == 2
+
+    def test_job_count(self):
+        scenario = Scenario(
+            name="s", description="", planner=_noop_planner,
+            defaults={}, grid={"a": [1, 2], "b": [1, 2, 3]}, replications=2,
+        )
+        assert scenario.job_count() == 12
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        assert set(default_registry().names()) == BUILTIN_SCENARIOS
+
+    def test_default_registry_is_cached(self):
+        assert default_registry() is default_registry()
+
+    def test_build_default_registry_returns_fresh_copies(self):
+        assert build_default_registry() is not build_default_registry()
+
+    def test_unknown_scenario(self):
+        with pytest.raises(CampaignError, match="unknown scenario"):
+            default_registry().get("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        registry = ScenarioRegistry()
+        scenario = Scenario(name="s", description="", planner=_noop_planner)
+        registry.register(scenario)
+        assert "s" in registry and len(registry) == 1
+        with pytest.raises(CampaignError):
+            registry.register(scenario)
+
+    @pytest.mark.parametrize("name", sorted(BUILTIN_SCENARIOS))
+    def test_builtin_planners_produce_runnable_plans(self, name):
+        scenario = default_registry().get(name)
+        parameters = scenario.parameter_points()[0]
+        plan = scenario.planner(parameters)
+        architecture = plan.architecture_factory()
+        stimuli = plan.stimuli_factory()
+        assert architecture is not None
+        assert stimuli
+        # every stimulus relation must be an external input of the architecture
+        inputs = {relation.name for relation in architecture.external_inputs()}
+        assert set(stimuli) <= inputs

@@ -1,0 +1,118 @@
+"""Unit tests for campaign specs, digests and seed derivation."""
+
+import pytest
+
+from repro.campaign import JobSpec, ScenarioSpec, canonical_json, derive_seed
+from repro.errors import CampaignError
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_tuples_normalise_to_lists(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_rejects_non_serialisable_values(self):
+        with pytest.raises(CampaignError):
+            canonical_json({"f": object()})
+
+    def test_rejects_non_finite_floats(self):
+        with pytest.raises(CampaignError):
+            canonical_json({"x": float("nan")})
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(CampaignError):
+            canonical_json({1: "x"})
+
+
+class TestDeriveSeed:
+    def test_replication_zero_is_identity(self):
+        assert derive_seed(7, 0) == 7
+        assert derive_seed(123456, 0) == 123456
+
+    def test_later_replications_are_decorrelated_and_stable(self):
+        first = derive_seed(7, 1)
+        assert first == derive_seed(7, 1)
+        assert first != 7
+        assert derive_seed(7, 1) != derive_seed(7, 2)
+        assert derive_seed(7, 1) != derive_seed(8, 1)
+
+    def test_derived_seeds_are_63_bit_non_negative(self):
+        for replication in range(1, 10):
+            seed = derive_seed(2014, replication)
+            assert 0 <= seed < 2 ** 63
+
+    def test_negative_replication_rejected(self):
+        with pytest.raises(CampaignError):
+            derive_seed(1, -1)
+
+
+class TestScenarioSpec:
+    def test_digest_stable_under_parameter_ordering(self):
+        a = ScenarioSpec("s", {"x": 1, "y": 2})
+        b = ScenarioSpec("s", {"y": 2, "x": 1})
+        assert a.digest() == b.digest()
+
+    def test_digest_sensitive_to_content(self):
+        base = ScenarioSpec("s", {"x": 1})
+        assert base.digest() != ScenarioSpec("s", {"x": 2}).digest()
+        assert base.digest() != ScenarioSpec("t", {"x": 1}).digest()
+
+    def test_digest_ignores_replications_and_record_instants(self):
+        base = ScenarioSpec("s", {"x": 1})
+        assert base.digest() == ScenarioSpec("s", {"x": 1}, replications=5).digest()
+        assert base.digest() == ScenarioSpec("s", {"x": 1}, record_instants=True).digest()
+
+    def test_seed_property(self):
+        assert ScenarioSpec("s", {"seed": 42}).seed == 42
+        assert ScenarioSpec("s", {}).seed == 0
+        with pytest.raises(CampaignError):
+            _ = ScenarioSpec("s", {"seed": "nope"}).seed
+
+    def test_jobs_expansion(self):
+        spec = ScenarioSpec("s", {"seed": 5}, replications=3)
+        jobs = spec.jobs()
+        assert [job.replication for job in jobs] == [0, 1, 2]
+        assert jobs[0].seed == 5
+        assert len({job.seed for job in jobs}) == 3
+        assert len({job.digest() for job in jobs}) == 3
+
+    def test_job_index_validation(self):
+        spec = ScenarioSpec("s", replications=2)
+        with pytest.raises(CampaignError):
+            spec.job(2)
+        with pytest.raises(CampaignError):
+            spec.job(-1)
+
+    def test_requires_name_and_replications(self):
+        with pytest.raises(CampaignError):
+            ScenarioSpec("")
+        with pytest.raises(CampaignError):
+            ScenarioSpec("s", replications=0)
+
+    def test_rejects_unserialisable_parameters(self):
+        with pytest.raises(CampaignError):
+            ScenarioSpec("s", {"fn": lambda: None})
+
+
+class TestJobSpecPayload:
+    def test_payload_round_trip(self):
+        spec = ScenarioSpec("s", {"seed": 9, "items": 10}, replications=4,
+                            record_instants=True)
+        job = spec.job(2)
+        rebuilt = JobSpec.from_payload(job.payload())
+        assert rebuilt == job
+        assert rebuilt.digest() == job.digest()
+        assert rebuilt.seed == job.seed
+        assert rebuilt.spec.record_instants is True
+
+    def test_payload_is_json_types_only(self):
+        import json
+
+        payload = ScenarioSpec("s", {"seed": 9}).job(0).payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(CampaignError):
+            JobSpec.from_payload({"scenario": "s"})

@@ -1,0 +1,100 @@
+"""Unit tests for the JSONL result store."""
+
+import json
+
+import pytest
+
+from repro.campaign import ResultStore
+from repro.errors import CampaignError
+
+
+class TestInMemory:
+    def test_put_get_contains_len(self):
+        store = ResultStore.in_memory()
+        assert store.get("d1") is None
+        store.put("d1", {"value": 1})
+        assert store.get("d1") == {"value": 1}
+        assert "d1" in store and "d2" not in store
+        assert len(store) == 1
+        assert store.path is None
+
+    def test_empty_digest_rejected(self):
+        with pytest.raises(CampaignError):
+            ResultStore.in_memory().put("", {})
+
+    def test_unserialisable_record_rejected(self):
+        with pytest.raises(CampaignError):
+            ResultStore.in_memory().put("d", {"bad": object()})
+
+    def test_compact_in_memory_is_a_no_op(self):
+        store = ResultStore.in_memory()
+        store.put("d", {"v": 1})
+        assert store.compact() == 1
+
+
+class TestPersistence:
+    def test_round_trip_across_reopen(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put("d1", {"value": 1})
+        store.put("d2", {"value": 2})
+
+        reopened = ResultStore(path)
+        assert len(reopened) == 2
+        assert reopened.get("d1") == {"value": 1}
+        assert reopened.get("d2") == {"value": 2}
+        assert reopened.digests() == ["d1", "d2"]
+
+    def test_last_write_wins(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put("d1", {"value": 1})
+        store.put("d1", {"value": 2})
+        assert ResultStore(path).get("d1") == {"value": 2}
+        # file is append-only: both lines are present until compaction
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_compact_rewrites_one_line_per_digest(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put("d1", {"value": 1})
+        store.put("d1", {"value": 2})
+        store.put("d2", {"value": 3})
+        assert store.compact() == 2
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert ResultStore(path).get("d1") == {"value": 2}
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put("d1", {"value": 1})
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"digest": "d2", "record": {"valu')  # simulated crash
+        reopened = ResultStore(path)
+        assert reopened.get("d1") == {"value": 1}
+        assert reopened.get("d2") is None
+        assert reopened.skipped_lines == 1
+
+    def test_malformed_entries_are_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    json.dumps({"digest": "good", "record": {"v": 1}}),
+                    "not json at all",
+                    json.dumps({"no_digest": True}),
+                    json.dumps({"digest": 42, "record": {}}),
+                    "",
+                ]
+            )
+        )
+        store = ResultStore(path)
+        assert store.get("good") == {"v": 1}
+        assert len(store) == 1
+        assert store.skipped_lines == 3
+
+    def test_parent_directories_are_created(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "results.jsonl"
+        ResultStore(path).put("d", {"v": 1})
+        assert ResultStore(path).get("d") == {"v": 1}

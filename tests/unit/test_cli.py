@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.campaign import runner as runner_module
 from repro.cli import build_parser, main
 
 
@@ -14,8 +15,48 @@ class TestParser:
         arguments = build_parser().parse_args(["table1"])
         assert arguments.items == 4000
         assert arguments.stages == 4
+        assert arguments.jobs == 1
+        assert arguments.store is None
         arguments = build_parser().parse_args(["fig5", "--nodes", "10", "20"])
         assert arguments.nodes == [10, 20]
+        assert arguments.seed == 7
+
+    def test_fig5_seed_round_trips(self):
+        arguments = build_parser().parse_args(["fig5", "--seed", "99"])
+        assert arguments.seed == 99
+
+    def test_runner_flags_round_trip(self):
+        arguments = build_parser().parse_args(
+            ["table1", "--jobs", "4", "--store", "/tmp/x.jsonl"]
+        )
+        assert arguments.jobs == 4
+        assert arguments.store == "/tmp/x.jsonl"
+
+    def test_campaign_run_round_trips(self):
+        arguments = build_parser().parse_args(
+            [
+                "campaign", "run", "table1-sweep",
+                "--jobs", "2", "--store", "s.jsonl",
+                "--set", "items=10", "--grid", "stages=1,2",
+                "--replications", "3", "--seed", "5", "--record-instants",
+            ]
+        )
+        assert arguments.command == "campaign"
+        assert arguments.campaign_command == "run"
+        assert arguments.scenario == "table1-sweep"
+        assert arguments.overrides == ["items=10"]
+        assert arguments.grid == ["stages=1,2"]
+        assert arguments.replications == 3
+        assert arguments.seed == 5
+        assert arguments.record_instants is True
+
+    def test_campaign_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_describe_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["describe", "unknown"])
 
 
 class TestCommands:
@@ -51,3 +92,87 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "identical" in output
         assert "event ratio 4.50" in output
+
+    def test_describe_chain2(self, capsys):
+        assert main(["describe", "chain2"]) == 0
+        assert "F1_s1" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def _force_accuracy_loss(self, monkeypatch):
+        original = runner_module.run_job
+
+        def lossy(payload, registry=None):
+            record = original(payload, registry)
+            record["outputs_identical"] = False
+            record["mismatching_outputs"] = 1
+            return record
+
+        monkeypatch.setattr(runner_module, "run_job", lossy)
+
+    def test_table1_accuracy_loss_is_nonzero(self, monkeypatch, capsys):
+        self._force_accuracy_loss(monkeypatch)
+        assert main(["table1", "--items", "20", "--stages", "1"]) == 1
+        assert "1 mismatches" in capsys.readouterr().out
+
+    def test_fig5_accuracy_loss_is_nonzero(self, monkeypatch, capsys):
+        self._force_accuracy_loss(monkeypatch)
+        assert main(["fig5", "--items", "20", "--x-size", "6", "--nodes", "50"]) == 1
+        assert "accuracy lost at 50 nodes" in capsys.readouterr().err
+
+    def test_fig5_unreachable_node_count_is_skipped(self, capsys):
+        assert main(["fig5", "--items", "20", "--x-size", "6", "--nodes", "2"]) == 0
+        assert "skipping 2 nodes" in capsys.readouterr().err
+
+    def test_campaign_run_unknown_scenario_is_nonzero(self, capsys):
+        assert main(["campaign", "run", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_campaign_run_bad_override_is_nonzero(self, capsys):
+        assert main(["campaign", "run", "table1-sweep", "--set", "items"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+
+class TestCampaignCommands:
+    def test_campaign_list(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1-sweep" in output
+        assert "stochastic-chain" in output
+
+    def test_campaign_show(self, capsys):
+        assert main(["campaign", "show", "fig5-sweep"]) == 0
+        output = capsys.readouterr().out
+        assert "scenario: fig5-sweep" in output
+        assert "nodes in [50, 100, 200, 500, 1000]" in output
+        assert "seed = 7" in output
+
+    def test_campaign_run_small(self, capsys):
+        exit_code = main(
+            ["campaign", "run", "table1-sweep",
+             "--set", "items=20", "--grid", "stages=1", "--per-job"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Example 1" in output
+        assert "identical" in output
+        assert "1 jobs, 0 cache hits, 1 simulated, 0 errors" in output
+
+    def test_campaign_run_replications(self, capsys):
+        exit_code = main(
+            ["campaign", "run", "stochastic-chain",
+             "--set", "items=15", "--set", "stages=1", "--replications", "2"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "runs" in output
+        assert "2 jobs" in output
+
+    def test_campaign_store_caches_across_invocations(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        argv = ["campaign", "run", "table1-sweep",
+                "--set", "items=20", "--grid", "stages=1,2", "--store", store]
+        assert main(argv) == 0
+        assert "2 simulated" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "2 cache hits, 0 simulated" in capsys.readouterr().out
