@@ -1,0 +1,86 @@
+"""DSE evaluator throughput: candidates scored per second.
+
+The exploration loop is only as strong as its inner evaluation, which
+builds the equivalent model for a candidate mapping and computes -- never
+simulates -- its instants.  These benchmarks pin down
+
+* ``evaluate`` -- scoring one feasible candidate end to end (graph
+  construction + instant computation + usage reconstruction);
+* ``encode`` -- candidate canonicalisation and digesting (the cache key
+  of the result store, paid once per proposed candidate);
+* ``explore`` -- a whole seeded random exploration served from a warm
+  in-memory store (the orchestration overhead with zero evaluation cost).
+
+``candidates_per_second`` lands in ``extra_info`` next to the timings.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.campaign import ResultStore
+from repro.dse import MappingExplorer, evaluate_candidate, get_problem
+
+#: Data items driven through each scored candidate; small on purpose -- the
+#: point of DSE is many cheap evaluations, not one long one.
+DSE_ITEMS = 50
+BATCH = 8
+
+
+@pytest.mark.benchmark(group="dse")
+def test_dse_evaluate_throughput(benchmark):
+    """Scoring a batch of feasible candidates with the equivalent model only."""
+    problem = get_problem("didactic")
+    parameters = {"items": DSE_ITEMS}
+    space = problem.space(parameters, explore_orders=False)
+    candidates = list(space.enumerate_candidates(limit=BATCH))
+    assert len(candidates) == BATCH
+
+    def score_batch():
+        return [evaluate_candidate(problem, candidate, parameters) for candidate in candidates]
+
+    evaluations = benchmark(score_batch)
+    assert all(evaluation.feasible for evaluation in evaluations)
+    if benchmark.stats:  # absent under --benchmark-disable (CI smoke mode)
+        mean_seconds = benchmark.stats.stats.mean
+        benchmark.extra_info["candidates_per_second"] = round(BATCH / mean_seconds, 1)
+    benchmark.extra_info["items_per_candidate"] = DSE_ITEMS
+
+
+@pytest.mark.benchmark(group="dse")
+def test_dse_candidate_encoding(benchmark):
+    """Canonicalising + digesting one random candidate (per-proposal overhead)."""
+    space = get_problem("didactic").space({"items": DSE_ITEMS})
+    rng = random.Random(7)
+
+    def encode():
+        return space.random_candidate(rng).digest()
+
+    digest = benchmark(encode)
+    assert len(digest) == 64
+
+
+@pytest.mark.benchmark(group="dse")
+def test_dse_cached_exploration(benchmark):
+    """A full random exploration re-run against a warm store (no evaluation)."""
+    store = ResultStore.in_memory()
+
+    def explore():
+        return MappingExplorer(
+            problem="didactic",
+            strategy="random",
+            budget=40,
+            seed=11,
+            parameters={"items": 10},
+            store=store,
+        ).run()
+
+    warmup = explore()
+    assert warmup.explored == 40
+
+    report = benchmark(explore)
+    assert report.evaluated == 0
+    assert report.cache_hits == warmup.explored
+    assert len(report.front) >= 2

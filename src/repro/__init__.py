@@ -21,7 +21,12 @@ The library provides:
   accuracy comparisons (:mod:`repro.observation`);
 * the experiments: synthetic chains (Table I), computation-complexity
   sweeps (Fig. 5) and the LTE receiver case study (Fig. 6)
-  (:mod:`repro.generator`, :mod:`repro.lte`, :mod:`repro.analysis`).
+  (:mod:`repro.generator`, :mod:`repro.lte`, :mod:`repro.analysis`);
+* parallel experiment campaigns with a persistent, content-addressed
+  result store (:mod:`repro.campaign`);
+* mapping design-space exploration powered by the equivalent model --
+  allocation and static-order search with Pareto reporting
+  (:mod:`repro.dse`).
 
 Quickstart
 ----------
@@ -66,6 +71,15 @@ from .core import (
     EquivalentProcessModel,
     InstantComputer,
     build_equivalent_spec,
+)
+from .dse import (
+    CandidateEvaluation,
+    DesignSpace,
+    ExplorationReport,
+    MappingCandidate,
+    MappingExplorer,
+    ParetoFront,
+    evaluate_mapping,
 )
 from .environment import (
     AlwaysReadySink,
@@ -167,6 +181,14 @@ __all__ = [
     "ScenarioSpec",
     "aggregate_results",
     "default_registry",
+    # design-space exploration
+    "CandidateEvaluation",
+    "DesignSpace",
+    "ExplorationReport",
+    "MappingCandidate",
+    "MappingExplorer",
+    "ParetoFront",
+    "evaluate_mapping",
     # examples and case studies
     "build_didactic_architecture",
     "build_paper_equation_graph",

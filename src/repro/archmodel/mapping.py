@@ -58,6 +58,39 @@ class Mapping:
         self._allocation[function_name] = resource_name
         return self
 
+    def copy(self, name: Optional[str] = None) -> "Mapping":
+        """An independent copy of this mapping (allocation and explicit orders).
+
+        Mutating the copy (e.g. via :meth:`replace_allocation`) leaves the
+        original untouched, which is what lets design-space exploration derive
+        candidate mappings from a baseline without rebuilding from scratch.
+        """
+        clone = Mapping(name if name is not None else self.name)
+        clone._allocation = dict(self._allocation)
+        clone._explicit_orders = {
+            resource: list(order) for resource, order in self._explicit_orders.items()
+        }
+        return clone
+
+    def replace_allocation(self, function_name: str, resource_name: str) -> "Mapping":
+        """Re-allocate an already-allocated function onto another resource (chainable).
+
+        The explicit static orders of both the function's previous resource and
+        of ``resource_name`` are discarded: they could no longer cover exactly
+        the execute steps allocated to those resources, so they fall back to
+        the default allocation order until :meth:`set_static_order` is called
+        again.
+        """
+        if function_name not in self._allocation:
+            raise ModelError(
+                f"function {function_name!r} is not allocated; use allocate() first"
+            )
+        previous = self._allocation[function_name]
+        self._allocation[function_name] = resource_name
+        self._explicit_orders.pop(previous, None)
+        self._explicit_orders.pop(resource_name, None)
+        return self
+
     def set_static_order(
         self,
         resource_name: str,

@@ -32,7 +32,7 @@ from ..generator.chains import (
 from ..kernel.simtime import microseconds
 from ..lte.receiver import INPUT_RELATION, build_lte_architecture
 from ..lte.scenario import lte_symbol_stimulus
-from .spec import ScenarioSpec
+from .spec import JobSpec, ScenarioSpec
 
 __all__ = [
     "ExperimentPlan",
@@ -44,6 +44,13 @@ __all__ = [
 ]
 
 Planner = Callable[[Mapping[str, Any]], "ExperimentPlan"]
+
+#: Alternative job body: takes the job and its fully-resolved parameters and
+#: returns a JSON-safe :class:`~repro.campaign.results.JobResult` record.  A
+#: scenario with an executor bypasses ``measure_speedup`` entirely -- this is
+#: how the design-space-exploration evaluator scores candidates with the
+#: equivalent model only while still riding the runner/store machinery.
+Executor = Callable[[JobSpec, Dict[str, Any]], Dict[str, Any]]
 
 
 @dataclass(frozen=True)
@@ -76,14 +83,26 @@ def expand_grid(axes: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
 
 @dataclass(frozen=True)
 class Scenario:
-    """A parameterised experiment family."""
+    """A parameterised experiment family.
+
+    Exactly one of ``planner`` (the speed-up measurement path) or
+    ``executor`` (a custom job body returning a result record) must be set;
+    both resolve inside worker processes from the scenario name alone.
+    """
 
     name: str
     description: str
-    planner: Planner
+    planner: Optional[Planner] = None
     defaults: Mapping[str, Any] = field(default_factory=dict)
     grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     replications: int = 1
+    executor: Optional[Executor] = None
+
+    def __post_init__(self) -> None:
+        if (self.planner is None) == (self.executor is None):
+            raise CampaignError(
+                f"scenario {self.name!r} needs exactly one of planner or executor"
+            )
 
     def parameter_points(
         self,
@@ -287,6 +306,11 @@ def build_default_registry() -> ScenarioRegistry:
             replications=5,
         )
     )
+    # Imported lazily: repro.dse builds on the campaign layer, so a module-level
+    # import here would be circular.  The registration itself is ordinary.
+    from ..dse.scenario import register_dse_scenario
+
+    register_dse_scenario(registry)
     return registry
 
 

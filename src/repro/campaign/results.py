@@ -17,7 +17,7 @@ sequences.  The full sequences are kept only when the spec asked for
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.speedup import SpeedupMeasurement
@@ -56,6 +56,9 @@ class JobResult:
     mismatching_outputs: int = 0
     instants_digest: Optional[str] = None
     output_instants: Optional[Tuple[Optional[int], ...]] = None
+    #: Free-form, JSON-safe metrics attached by non-speed-up executors (e.g. the
+    #: design-space-exploration evaluator's objectives).  Empty for speed-up jobs.
+    metrics: Mapping[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -138,6 +141,8 @@ class JobResult:
         }
         if self.output_instants is not None:
             record["output_instants"] = list(self.output_instants)
+        if self.metrics:
+            record["metrics"] = dict(self.metrics)
         return record
 
     @classmethod
@@ -163,6 +168,7 @@ class JobResult:
                 mismatching_outputs=record.get("mismatching_outputs", 0),
                 instants_digest=record.get("instants_digest"),
                 output_instants=tuple(instants) if instants is not None else None,
+                metrics=dict(record.get("metrics") or {}),
             )
         except KeyError as missing:
             raise CampaignError(f"result record is missing field {missing}") from None

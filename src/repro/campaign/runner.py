@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.speedup import measure_speedup
 from ..errors import CampaignError
@@ -60,6 +60,8 @@ def run_job(
         parameters = dict(scenario.defaults)
         parameters.update(job.spec.parameters)
         parameters["seed"] = job.seed
+        if scenario.executor is not None:
+            return scenario.executor(job, parameters)
         plan = scenario.planner(parameters)
         measurement = measure_speedup(
             plan.architecture_factory,
@@ -115,18 +117,28 @@ class CampaignRunner:
         self.store = store
         self.jobs = jobs
 
-    def run(self, specs: Sequence[ScenarioSpec]) -> CampaignReport:
-        """Run every job of every spec, reusing stored results where possible."""
-        job_list: List[JobSpec] = []
+    def plan(self, specs: Sequence[ScenarioSpec]) -> List[Tuple[JobSpec, Optional[JobResult]]]:
+        """Expand specs into jobs paired with their usable cached result (or None).
+
+        This is exactly the pre-execution view of :meth:`run`; the CLI's
+        ``campaign run --dry-run`` prints it without simulating anything.
+        """
+        jobs: List[Tuple[JobSpec, Optional[JobResult]]] = []
         for spec in specs:
             # Fail fast on unknown scenarios before spawning any worker.
             self.registry.get(spec.scenario)
-            job_list.extend(spec.jobs())
+            for job in spec.jobs():
+                jobs.append((job, self._lookup(job)))
+        return jobs
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> CampaignReport:
+        """Run every job of every spec, reusing stored results where possible."""
+        planned = self.plan(specs)
+        job_list: List[JobSpec] = [job for job, _ in planned]
 
         results: List[Optional[JobResult]] = [None] * len(job_list)
         pending: List[int] = []
-        for index, job in enumerate(job_list):
-            cached = self._lookup(job)
+        for index, (_, cached) in enumerate(planned):
             if cached is not None:
                 results[index] = cached
             else:

@@ -12,14 +12,15 @@ rewrites the file with one line per digest when the history is no longer
 wanted.
 
 Lines that fail to parse (e.g. a truncated final line after a crash) are
-skipped and counted in :attr:`ResultStore.skipped_lines` rather than
-failing the whole campaign.
+skipped -- counted in :attr:`ResultStore.skipped_lines` and reported with
+a :class:`RuntimeWarning` -- rather than failing the whole campaign.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
 
@@ -65,6 +66,14 @@ class ResultStore:
                     self.skipped_lines += 1
                     continue
                 self._records[digest] = record
+        if self.skipped_lines:
+            warnings.warn(
+                f"result store {self._path}: skipped {self.skipped_lines} corrupt "
+                "JSONL line(s) (truncated write or concurrent crash); the remaining "
+                "records were loaded normally",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def get(self, digest: str) -> Optional[Mapping[str, Any]]:
         """The stored record for ``digest``, or None."""

@@ -10,6 +10,8 @@ can be regenerated without writing any Python::
     python -m repro.cli describe didactic|lte|chain2
     python -m repro.cli campaign list
     python -m repro.cli campaign run table1-sweep --jobs 4 --store results.jsonl
+    python -m repro.cli dse run --problem didactic --budget 200 --store dse.jsonl
+    python -m repro.cli dse show didactic
 
 Every sub-command prints plain-text tables/series (via
 :mod:`repro.analysis.report`), suitable for redirecting into the
@@ -30,7 +32,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis import format_rows, format_series
 from .campaign import CampaignRunner, ResultStore, aggregate_results, default_registry
-from .errors import CampaignError
+from .dse import MappingExplorer, STRATEGY_NAMES, get_problem, problem_registry
+from .errors import CampaignError, ModelError
 from .examples_lib import build_didactic_architecture
 from .generator import build_chain_architecture
 from .lte import (
@@ -112,12 +115,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the full output-instant sequences in the store",
     )
     run.add_argument("--per-job", action="store_true", help="also print one row per job")
+    run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded job list (digests, seeds, cache status) without simulating",
+    )
     _add_runner_arguments(run)
 
     campaign_sub.add_parser("list", help="list the registered scenarios")
 
     show = campaign_sub.add_parser("show", help="show one scenario's parameters and jobs")
     show.add_argument("scenario", help="scenario name (see 'campaign list')")
+
+    dse = subparsers.add_parser("dse", help="mapping design-space exploration")
+    dse_sub = dse.add_subparsers(dest="dse_command", required=True)
+
+    dse_run = dse_sub.add_parser("run", help="explore candidate mappings of a design problem")
+    dse_run.add_argument("--problem", default="didactic", help="design problem (see 'dse show')")
+    dse_run.add_argument(
+        "--strategy",
+        default="random",
+        choices=list(STRATEGY_NAMES),
+        help="search strategy",
+    )
+    dse_run.add_argument("--budget", type=int, default=200, help="max candidates to score")
+    dse_run.add_argument("--seed", type=int, default=0, help="search seed (not the stimulus seed)")
+    dse_run.add_argument("--items", type=int, default=None, help="data items per evaluation")
+    dse_run.add_argument(
+        "--max-resources", type=int, default=None, help="resource-count constraint"
+    )
+    dse_run.add_argument(
+        "--no-orders",
+        action="store_true",
+        help="fix every static service order to the dependency-aware default",
+    )
+    dse_run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="pin a problem parameter (repeatable), e.g. stages=3 or seed=42",
+    )
+    dse_run.add_argument("--top", type=int, default=None, help="also print the top-N ranked table")
+    _add_runner_arguments(dse_run)
+
+    dse_show = dse_sub.add_parser("show", help="describe design problems and their spaces")
+    dse_show.add_argument(
+        "problem", nargs="?", default=None, help="problem name (omit to list all problems)"
+    )
+    dse_show.add_argument(
+        "--max-resources", type=int, default=None, help="resource-count constraint"
+    )
+    dse_show.add_argument("--no-orders", action="store_true", help="ignore service orders")
+    dse_show.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="pin a problem parameter (repeatable)",
+    )
     return parser
 
 
@@ -270,12 +328,44 @@ def _run_describe(target: str) -> int:
     return 0
 
 
+def _run_campaign_dry_run(runner: CampaignRunner, arguments: argparse.Namespace,
+                          overrides, grid) -> int:
+    scenario = runner.registry.get(arguments.scenario)
+    specs = scenario.specs(
+        overrides=overrides,
+        grid=grid,
+        replications=arguments.replications,
+        record_instants=arguments.record_instants,
+    )
+    planned = runner.plan(specs)
+    rows = [
+        {
+            "job": index,
+            "digest": job.digest()[:12],
+            "replication": job.replication,
+            "seed": job.seed,
+            "cached": "yes" if cached is not None else "no",
+            "parameters": json.dumps(dict(job.spec.parameters), sort_keys=True),
+        }
+        for index, (job, cached) in enumerate(planned)
+    ]
+    print(format_rows(rows))
+    hits = sum(1 for _, cached in planned if cached is not None)
+    print(
+        f"dry-run {arguments.scenario}: {len(planned)} jobs, {hits} cached, "
+        f"{len(planned) - hits} to simulate"
+    )
+    return 0
+
+
 def _run_campaign_run(arguments: argparse.Namespace) -> int:
     overrides = _parse_overrides(arguments.overrides)
     if arguments.seed is not None:
         overrides["seed"] = arguments.seed
     grid = _parse_grid(arguments.grid)
     runner = _make_runner(arguments.jobs, arguments.store)
+    if arguments.dry_run:
+        return _run_campaign_dry_run(runner, arguments, overrides, grid)
     report = runner.run_scenario(
         arguments.scenario,
         overrides=overrides,
@@ -334,6 +424,87 @@ def _run_campaign_show(name: str) -> int:
     return 0
 
 
+def _run_dse_run(arguments: argparse.Namespace) -> int:
+    parameters = _parse_overrides(arguments.overrides)
+    if arguments.items is not None:
+        parameters["items"] = arguments.items
+    explorer = MappingExplorer(
+        problem=arguments.problem,
+        strategy=arguments.strategy,
+        budget=arguments.budget,
+        seed=arguments.seed,
+        parameters=parameters,
+        max_resources=arguments.max_resources,
+        explore_orders=not arguments.no_orders,
+        jobs=arguments.jobs,
+        store=ResultStore(arguments.store) if arguments.store else None,
+    )
+    problem = explorer.problem
+    space = explorer.build_space()
+    print(
+        f"# problem {problem.name!r}: {len(space.functions)} functions, "
+        f"bank of {len(space.resources)} resources "
+        f"(max {space.max_resources} usable), strategy {arguments.strategy!r}, "
+        f"budget {arguments.budget}"
+    )
+    report = explorer.run()
+    print(f"Pareto front ({' vs '.join(o.label for o in report.objectives)}):")
+    print(format_rows(report.front_rows()))
+    if arguments.top is not None:
+        print(f"top {arguments.top} candidates:")
+        print(format_rows(report.ranked(top=arguments.top)))
+    best = report.best()
+    if best is not None:
+        print(
+            f"best latency: {best.metrics['latency_us']:.2f} us with "
+            f"{best.metrics['resources_used']} resource(s) -- {best.metrics['allocation']}"
+        )
+    print(report.summary())
+    return 0 if report.errors == 0 and len(report.front) > 0 else 1
+
+
+def _run_dse_show(arguments: argparse.Namespace) -> int:
+    if arguments.problem is None:
+        rows = [
+            {
+                "problem": problem.name,
+                "description": problem.description,
+                "defaults": json.dumps(dict(problem.defaults), sort_keys=True),
+            }
+            for _, problem in sorted(problem_registry().items())
+        ]
+        print(format_rows(rows))
+        return 0
+    problem = get_problem(arguments.problem)
+    parameters = _parse_overrides(arguments.overrides)
+    space = problem.space(
+        parameters,
+        max_resources=arguments.max_resources,
+        explore_orders=not arguments.no_orders,
+    )
+    resolved = problem.parameters(parameters)
+    print(f"problem: {problem.name}")
+    print(f"description: {problem.description}")
+    print("parameters:")
+    for key in sorted(resolved):
+        print(f"  {key} = {resolved[key]!r}")
+    print(f"functions: {', '.join(space.functions)}")
+    print(
+        "resource bank: "
+        + ", ".join(
+            f"{resource.name} [{resource.kind.value}]" for resource in space.resources
+        )
+        + f" (max {space.max_resources} usable)"
+    )
+    cap = 100_000
+    size = space.size(cap=cap)
+    print(f"space size: {'>= ' if size >= cap else ''}{size} candidates "
+          f"({'orders explored' if space.explore_orders else 'default orders only'})")
+    default = space.default_candidate()
+    print(f"default candidate: {default.describe()} ({default.digest()[:12]})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (``python -m repro.cli`` / the ``repro`` console script)."""
     arguments = build_parser().parse_args(argv)
@@ -362,7 +533,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return _run_campaign_list()
             if arguments.campaign_command == "show":
                 return _run_campaign_show(arguments.scenario)
-    except CampaignError as error:
+        if arguments.command == "dse":
+            if arguments.dse_command == "run":
+                return _run_dse_run(arguments)
+            if arguments.dse_command == "show":
+                return _run_dse_show(arguments)
+    except (CampaignError, ModelError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover

@@ -1,0 +1,73 @@
+"""Design-space exploration of mapping decisions (``repro.dse``).
+
+The paper makes one performance evaluation of a multi-core architecture
+cheap; this package puts that cheapness to work by *searching* over
+mapping decisions -- which resource runs each function, how many
+resources to instantiate, and in which static order a serialized
+resource serves its execute steps.  Candidates are scored with the
+equivalent model only (no explicit simulation in the inner loop),
+fan out through the campaign runner's worker pool, memoize into the
+persistent result store by content digest, and accumulate into a
+latency-vs-resources Pareto front.
+
+Layout
+------
+* :mod:`repro.dse.space` -- candidate encoding, enumeration, mutation;
+* :mod:`repro.dse.problems` -- named application + resource-bank problems;
+* :mod:`repro.dse.evaluate` -- equivalent-model-only candidate scoring;
+* :mod:`repro.dse.search` -- exhaustive / random / annealing strategies;
+* :mod:`repro.dse.pareto` -- non-dominated tracking and ranked tables;
+* :mod:`repro.dse.scenario` -- the ``dse-eval`` campaign scenario;
+* :mod:`repro.dse.explore` -- the :class:`MappingExplorer` driver.
+
+Quickstart
+----------
+>>> from repro.dse import MappingExplorer
+>>> report = MappingExplorer(problem="didactic", strategy="random",
+...                          budget=32, seed=7,
+...                          parameters={"items": 10}).run()
+>>> report.front_rows()  # doctest: +SKIP
+"""
+
+from .evaluate import CandidateEvaluation, evaluate_candidate, evaluate_mapping
+from .explore import ExplorationReport, MappingExplorer
+from .pareto import DEFAULT_OBJECTIVES, Objective, ParetoFront, dominates, ranked_rows
+from .problems import DesignProblem, get_problem, problem_names, problem_registry
+from .scenario import DSE_SCENARIO, execute_dse_job, register_dse_scenario
+from .search import (
+    STRATEGY_NAMES,
+    AnnealingSearch,
+    ExhaustiveSearch,
+    RandomSearch,
+    SearchStrategy,
+    make_strategy,
+)
+from .space import DesignSpace, MappingCandidate
+
+__all__ = [
+    "CandidateEvaluation",
+    "evaluate_candidate",
+    "evaluate_mapping",
+    "ExplorationReport",
+    "MappingExplorer",
+    "DEFAULT_OBJECTIVES",
+    "Objective",
+    "ParetoFront",
+    "dominates",
+    "ranked_rows",
+    "DesignProblem",
+    "get_problem",
+    "problem_names",
+    "problem_registry",
+    "DSE_SCENARIO",
+    "execute_dse_job",
+    "register_dse_scenario",
+    "STRATEGY_NAMES",
+    "AnnealingSearch",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "SearchStrategy",
+    "make_strategy",
+    "DesignSpace",
+    "MappingCandidate",
+]

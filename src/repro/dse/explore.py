@@ -1,0 +1,232 @@
+"""The exploration driver: strategies x campaign runner x Pareto front.
+
+:class:`MappingExplorer` wires the pieces together: a search strategy
+proposes candidate batches, the :class:`~repro.campaign.runner
+.CampaignRunner` scores each batch (in-process or across worker
+processes, served from the result store when a candidate was already
+evaluated), the scored metrics feed back into the strategy, and every
+feasible evaluation is offered to a :class:`~repro.dse.pareto
+.ParetoFront`.  The whole loop is a pure function of ``(problem
+parameters, strategy, seed)``: re-running it explores the identical
+candidate sequence, and re-running it against the same store evaluates
+zero new candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..campaign.registry import ScenarioRegistry, default_registry
+from ..campaign.results import JobResult
+from ..campaign.runner import CampaignRunner
+from ..campaign.spec import ScenarioSpec
+from ..campaign.store import ResultStore
+from ..errors import ModelError
+from .pareto import DEFAULT_OBJECTIVES, Objective, ParetoFront, ranked_rows
+from .problems import DesignProblem, get_problem
+from .scenario import DSE_SCENARIO
+from .search import SearchStrategy, make_strategy
+from .space import DesignSpace, MappingCandidate
+
+__all__ = ["ExplorationReport", "MappingExplorer"]
+
+#: Stop after this many consecutive rounds in which every proposed candidate
+#: had already been evaluated (random search saturating a small space).
+MAX_STALE_ROUNDS = 5
+
+
+@dataclass
+class ExplorationReport:
+    """Everything one exploration produced."""
+
+    problem: str
+    strategy: str
+    objectives: Tuple[Objective, ...] = DEFAULT_OBJECTIVES
+    results: List[JobResult] = field(default_factory=list)  # first-evaluation order
+    front: ParetoFront = field(default_factory=ParetoFront)
+    rounds: int = 0
+    evaluated: int = 0
+    cache_hits: int = 0
+    infeasible: int = 0
+    errors: int = 0
+
+    @property
+    def explored(self) -> int:
+        """Number of distinct candidates scored (fresh or from the store)."""
+        return len(self.results)
+
+    def entries(self) -> List[Tuple[str, Mapping[str, Any]]]:
+        """(candidate digest, metrics) pairs of every scored candidate."""
+        return [
+            (MappingCandidate.from_parameters(result.parameters).digest(), result.metrics)
+            for result in self.results
+            if result.ok
+        ]
+
+    def best(self) -> Optional[JobResult]:
+        """The feasible result with the smallest latency, or None."""
+        feasible = [
+            result
+            for result in self.results
+            if result.ok and result.metrics.get("feasible")
+        ]
+        if not feasible:
+            return None
+        # Ties on latency break toward fewer resources (matching the front's
+        # dominance rule), then toward the first-explored candidate.
+        return min(
+            feasible,
+            key=lambda result: (
+                result.metrics["latency_ps"],
+                result.metrics["resources_used"],
+            ),
+        )
+
+    def best_candidate(self) -> Optional[MappingCandidate]:
+        result = self.best()
+        if result is None:
+            return None
+        return MappingCandidate.from_parameters(result.parameters)
+
+    def front_rows(self) -> List[Dict[str, object]]:
+        return self.front.rows()
+
+    def ranked(self, top: Optional[int] = None) -> List[Dict[str, object]]:
+        return ranked_rows(self.entries(), self.objectives, top=top)
+
+    def summary(self) -> str:
+        return (
+            f"dse {self.problem}/{self.strategy}: {self.explored} candidates in "
+            f"{self.rounds} rounds, {self.evaluated} evaluated, {self.cache_hits} "
+            f"cache hits, {self.infeasible} infeasible, {self.errors} errors, "
+            f"front size {len(self.front)}"
+        )
+
+
+class MappingExplorer:
+    """Run one design-space exploration end to end.
+
+    Parameters mirror the ``repro.cli dse run`` options; ``parameters``
+    carries problem overrides (``items``, ``seed``, ``processors``,
+    ``stages``, ...).  ``jobs`` and ``store`` are handed to the campaign
+    runner unchanged.
+    """
+
+    def __init__(
+        self,
+        problem: Union[str, DesignProblem] = "didactic",
+        strategy: str = "random",
+        budget: int = 128,
+        seed: int = 0,
+        parameters: Optional[Mapping[str, Any]] = None,
+        max_resources: Optional[int] = None,
+        explore_orders: bool = True,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        record_instants: bool = False,
+        registry: Optional[ScenarioRegistry] = None,
+        objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+        strategy_options: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        if budget < 1:
+            raise ModelError("the exploration budget must be at least one candidate")
+        self.problem = get_problem(problem) if isinstance(problem, str) else problem
+        self.strategy_name = strategy
+        self.budget = budget
+        #: Seed of the *search* randomness only; the stimulus seed is a problem
+        #: parameter (``parameters={"seed": ...}``), so exploring with another
+        #: search seed still optimises the same workload.
+        self.seed = seed
+        self.parameters = dict(parameters or {})
+        self.max_resources = max_resources
+        self.explore_orders = explore_orders
+        self.record_instants = record_instants
+        self.objectives = tuple(objectives)
+        self.strategy_options = dict(strategy_options or {})
+        self.runner = CampaignRunner(registry=registry, store=store, jobs=jobs)
+
+    # ------------------------------------------------------------------
+    def build_space(self) -> DesignSpace:
+        return self.problem.space(
+            self.parameters,
+            max_resources=self.max_resources,
+            explore_orders=self.explore_orders,
+        )
+
+    def _spec(self, candidate: MappingCandidate, resolved: Mapping[str, Any]) -> ScenarioSpec:
+        parameters: Dict[str, Any] = {"problem": self.problem.name}
+        parameters.update(resolved)
+        parameters.update(candidate.to_parameters())
+        return ScenarioSpec(
+            scenario=DSE_SCENARIO,
+            parameters=parameters,
+            record_instants=self.record_instants,
+        )
+
+    def run(self) -> ExplorationReport:
+        """Explore until the budget is spent or the strategy runs dry."""
+        resolved = self.problem.parameters(self.parameters)
+        space = self.build_space()
+        strategy: SearchStrategy = make_strategy(
+            self.strategy_name, space, seed=self.seed, **self.strategy_options
+        )
+        report = ExplorationReport(
+            problem=self.problem.name,
+            strategy=self.strategy_name,
+            objectives=self.objectives,
+            front=ParetoFront(self.objectives),
+        )
+        seen: Dict[str, JobResult] = {}
+        stale_rounds = 0
+        budget_left = self.budget
+        while budget_left > 0 and not strategy.exhausted and stale_rounds < MAX_STALE_ROUNDS:
+            batch = strategy.propose(budget_left)
+            if not batch:
+                if strategy.exhausted:
+                    break
+                stale_rounds += 1
+                continue
+            # Digesting normalises + hashes the whole encoding; do it once per
+            # proposed candidate and reuse below (observe() needs it again).
+            digests = [candidate.digest() for candidate in batch]
+            fresh: List[Tuple[str, MappingCandidate]] = []
+            fresh_digests = set()
+            for digest, candidate in zip(digests, batch):
+                if digest in seen or digest in fresh_digests:
+                    continue
+                if len(fresh) >= budget_left:
+                    break
+                fresh.append((digest, candidate))
+                fresh_digests.add(digest)
+
+            if fresh:
+                campaign = self.runner.run(
+                    [self._spec(candidate, resolved) for _, candidate in fresh]
+                )
+                for (digest, candidate), result in zip(fresh, campaign.results):
+                    seen[digest] = result
+                    report.results.append(result)
+                    if not result.ok:
+                        report.errors += 1
+                        continue
+                    if not result.metrics.get("feasible"):
+                        report.infeasible += 1
+                        continue
+                    report.front.offer(digest, result.metrics, payload=candidate)
+                report.cache_hits += campaign.cache_hits
+                report.evaluated += campaign.simulated
+                budget_left -= len(fresh)
+                stale_rounds = 0
+            else:
+                stale_rounds += 1
+
+            strategy.observe(
+                [
+                    (candidate, seen[digest].metrics)
+                    for digest, candidate in zip(digests, batch)
+                    if digest in seen and seen[digest].ok
+                ]
+            )
+            report.rounds += 1
+        return report

@@ -1,0 +1,198 @@
+"""Pareto-front tracking and ranked reporting of explored candidates.
+
+Mapping DSE is inherently multi-objective: a candidate that halves
+latency by instantiating twice the resources is neither better nor worse
+than the frugal one -- it is *incomparable*.  This module keeps the set
+of non-dominated candidates as evaluations stream in, and renders ranked
+tables in the shape :func:`repro.analysis.report.format_rows` expects,
+like every other report of the library.
+
+Objectives are read from the JSON-safe ``metrics`` dict carried by
+campaign results, so the front can be rebuilt from a result store alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Objective",
+    "DEFAULT_OBJECTIVES",
+    "dominates",
+    "ParetoFront",
+    "pareto_rank",
+    "ranked_rows",
+]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One minimised objective read from a metrics dict."""
+
+    key: str
+    label: str
+
+    def value(self, metrics: Mapping[str, Any]) -> float:
+        value = metrics.get(self.key)
+        if value is None:
+            return float("inf")
+        return float(value)
+
+
+#: The default latency-vs-cost trade-off of mapping exploration.
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("latency_ps", "latency"),
+    Objective("resources_used", "resources"),
+)
+
+
+def dominates(
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better somewhere."""
+    no_worse = all(o.value(a) <= o.value(b) for o in objectives)
+    better = any(o.value(a) < o.value(b) for o in objectives)
+    return no_worse and better
+
+
+@dataclass(frozen=True)
+class FrontPoint:
+    """One non-dominated candidate: its digest, objectives and free payload."""
+
+    digest: str
+    metrics: Mapping[str, Any]
+    payload: Any = None
+
+
+class ParetoFront:
+    """Streaming non-dominated set over the chosen objectives.
+
+    Infeasible evaluations (``metrics['feasible']`` false) never enter the
+    front.  Offering a point dominated by the current front returns False;
+    offering a dominating point evicts everything it dominates.
+    """
+
+    def __init__(self, objectives: Sequence[Objective] = DEFAULT_OBJECTIVES) -> None:
+        self.objectives = tuple(objectives)
+        self._points: Dict[str, FrontPoint] = {}
+
+    def offer(self, digest: str, metrics: Mapping[str, Any], payload: Any = None) -> bool:
+        """Consider one evaluation; returns True when it joins the front."""
+        if not metrics.get("feasible", True):
+            return False
+        if digest in self._points:
+            return True  # identical candidate, already on the front
+        vector = [o.value(metrics) for o in self.objectives]
+        for point in self._points.values():
+            if dominates(point.metrics, metrics, self.objectives):
+                return False
+            if [o.value(point.metrics) for o in self.objectives] == vector:
+                return False  # objective tie: keep the first-seen representative
+        dominated = [
+            existing
+            for existing, point in self._points.items()
+            if dominates(metrics, point.metrics, self.objectives)
+        ]
+        for existing in dominated:
+            del self._points[existing]
+        self._points[digest] = FrontPoint(digest, dict(metrics), payload)
+        return True
+
+    def points(self) -> List[FrontPoint]:
+        """Front points sorted by the first objective (ascending)."""
+        return sorted(
+            self._points.values(), key=lambda p: [o.value(p.metrics) for o in self.objectives]
+        )
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._points
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Table rows of the front, ready for ``format_rows``."""
+        return [_row(index + 1, point.digest, point.metrics) for index, point in
+                enumerate(self.points())]
+
+    def __repr__(self) -> str:
+        return f"ParetoFront(points={len(self._points)}, objectives={len(self.objectives)})"
+
+
+def pareto_rank(
+    entries: Sequence[Tuple[str, Mapping[str, Any]]],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> List[Tuple[int, str, Mapping[str, Any]]]:
+    """Non-dominated sorting: rank 1 is the front, rank 2 the front without it, ...
+
+    Infeasible entries get rank 0 (reported last).  Peeling is O(n² · fronts),
+    fine for the thousands-of-candidates scale the evaluator sustains.
+    """
+    feasible = [(d, m) for d, m in entries if m.get("feasible", True)]
+    infeasible = [(d, m) for d, m in entries if not m.get("feasible", True)]
+    ranked: List[Tuple[int, str, Mapping[str, Any]]] = []
+    remaining = list(feasible)
+    rank = 1
+    while remaining:
+        front = [
+            (digest, metrics)
+            for digest, metrics in remaining
+            if not any(
+                dominates(other, metrics, objectives)
+                for _, other in remaining
+                if other is not metrics
+            )
+        ]
+        if not front:  # pragma: no cover - dominance is irreflexive, cannot happen
+            break
+        for digest, metrics in front:
+            ranked.append((rank, digest, metrics))
+        front_digests = {digest for digest, _ in front}
+        remaining = [(d, m) for d, m in remaining if d not in front_digests]
+        rank += 1
+    ranked.extend((0, digest, metrics) for digest, metrics in infeasible)
+    return ranked
+
+
+def _row(rank: object, digest: str, metrics: Mapping[str, Any]) -> Dict[str, object]:
+    if not metrics.get("feasible", True):
+        return {
+            "rank": "-",
+            "candidate": digest[:12],
+            "allocation": "-",
+            "latency (us)": "-",
+            "resources": "-",
+            "mean util": "-",
+            "TDG nodes": "-",
+            "status": metrics.get("infeasible_reason", "infeasible"),
+        }
+    return {
+        "rank": rank,
+        "candidate": digest[:12],
+        "allocation": metrics.get("allocation", "?"),
+        "latency (us)": round(float(metrics.get("latency_us", 0.0)), 2),
+        "resources": metrics.get("resources_used", "-"),
+        "mean util": metrics.get("mean_utilization", "-"),
+        "TDG nodes": metrics.get("tdg_nodes", "-"),
+        "status": "feasible",
+    }
+
+
+def ranked_rows(
+    entries: Sequence[Tuple[str, Mapping[str, Any]]],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+    top: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Ranked table over all evaluations (rank 1 = Pareto-optimal), best first."""
+    ranked = pareto_rank(entries, objectives)
+    feasible = [(r, d, m) for r, d, m in ranked if r > 0]
+    infeasible = [(r, d, m) for r, d, m in ranked if r == 0]
+    feasible.sort(key=lambda entry: (entry[0], [o.value(entry[2]) for o in objectives]))
+    rows = [_row(rank, digest, metrics) for rank, digest, metrics in feasible]
+    rows.extend(_row(rank, digest, metrics) for rank, digest, metrics in infeasible)
+    if top is not None:
+        rows = rows[:top]
+    return rows

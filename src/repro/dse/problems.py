@@ -1,0 +1,160 @@
+"""Named design problems: an application plus a bank of candidate resources.
+
+A :class:`DesignProblem` fixes the *givens* of an exploration -- which
+application is being mapped, which resources the platform could
+instantiate, and which stimulus drives the evaluation -- while the
+mapping itself is the unknown.  The shipped problems re-use the
+applications of the paper's experiments but replace their fixed
+platforms with a bank of identical processors, so that allocation
+decisions trade end-to-end latency against the number of resources
+instantiated (the classic cost axis of mapping DSE).
+
+Problems are looked up by name from worker processes, so everything
+here must be reconstructible from ``(name, parameters)`` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..archmodel.application import ApplicationModel
+from ..archmodel.platform import PlatformModel
+from ..environment.stimulus import Stimulus
+from ..errors import ModelError
+from ..examples_lib.didactic import build_didactic_architecture, didactic_stimulus
+from ..generator.chains import build_chain_architecture
+from ..kernel.simtime import microseconds
+from .space import DesignSpace
+
+__all__ = ["DesignProblem", "problem_registry", "get_problem", "problem_names"]
+
+
+@dataclass(frozen=True)
+class DesignProblem:
+    """One named mapping-exploration problem."""
+
+    name: str
+    description: str
+    #: Build the application from the problem parameters.
+    application_factory: Callable[[Mapping[str, Any]], ApplicationModel]
+    #: Build the bank of candidate resources from the problem parameters.
+    platform_factory: Callable[[Mapping[str, Any]], PlatformModel]
+    #: Build the stimuli (relation -> stimulus) from the problem parameters.
+    stimuli_factory: Callable[[Mapping[str, Any]], Dict[str, Stimulus]]
+    #: Parameter defaults merged under the caller's overrides.
+    defaults: Mapping[str, Any]
+
+    def parameters(self, overrides: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        parameters = dict(self.defaults)
+        parameters.update(overrides or {})
+        return parameters
+
+    def space(
+        self,
+        parameters: Optional[Mapping[str, Any]] = None,
+        max_resources: Optional[int] = None,
+        explore_orders: bool = True,
+    ) -> DesignSpace:
+        """The design space of this problem under ``parameters``."""
+        resolved = self.parameters(parameters)
+        return DesignSpace(
+            self.application_factory(resolved),
+            self.platform_factory(resolved),
+            max_resources=max_resources,
+            explore_orders=explore_orders,
+        )
+
+
+def _processor_bank(name: str, count: int) -> PlatformModel:
+    if count < 1:
+        raise ModelError("a processor bank needs at least one processor")
+    platform = PlatformModel(name)
+    for index in range(count):
+        platform.add_processor(f"P{index + 1}")
+    return platform
+
+
+def _didactic_application(parameters: Mapping[str, Any]) -> ApplicationModel:
+    # The didactic builder assembles application + platform + mapping; the
+    # DSE problem keeps the application and replaces the rest.
+    return build_didactic_architecture().application
+
+
+def _didactic_platform(parameters: Mapping[str, Any]) -> PlatformModel:
+    return _processor_bank("didactic-bank", int(parameters["processors"]))
+
+
+def _didactic_stimuli(parameters: Mapping[str, Any]) -> Dict[str, Stimulus]:
+    return {
+        "M1": didactic_stimulus(
+            count=int(parameters["items"]), seed=int(parameters["seed"])
+        )
+    }
+
+
+def _chain_application(parameters: Mapping[str, Any]) -> ApplicationModel:
+    return build_chain_architecture(int(parameters["stages"])).application
+
+
+def _chain_platform(parameters: Mapping[str, Any]) -> PlatformModel:
+    return _processor_bank("chain-bank", int(parameters["processors"]))
+
+
+def _chain_stimuli(parameters: Mapping[str, Any]) -> Dict[str, Stimulus]:
+    return {
+        "L1": didactic_stimulus(
+            count=int(parameters["items"]),
+            period=microseconds(30),
+            seed=int(parameters["seed"]),
+        )
+    }
+
+
+_PROBLEMS: Dict[str, DesignProblem] = {}
+
+
+def _register(problem: DesignProblem) -> DesignProblem:
+    if problem.name in _PROBLEMS:
+        raise ModelError(f"design problem {problem.name!r} is already registered")
+    _PROBLEMS[problem.name] = problem
+    return problem
+
+
+_register(
+    DesignProblem(
+        name="didactic",
+        description="Fig. 1 application (F1..F4) on a bank of identical processors",
+        application_factory=_didactic_application,
+        platform_factory=_didactic_platform,
+        stimuli_factory=_didactic_stimuli,
+        defaults={"items": 40, "seed": 2014, "processors": 4},
+    )
+)
+_register(
+    DesignProblem(
+        name="chain",
+        description="Table I chained stages on a bank of identical processors",
+        application_factory=_chain_application,
+        platform_factory=_chain_platform,
+        stimuli_factory=_chain_stimuli,
+        defaults={"items": 40, "seed": 2014, "stages": 2, "processors": 4},
+    )
+)
+
+
+def problem_registry() -> Dict[str, DesignProblem]:
+    """The registered problems, name-indexed (a copy)."""
+    return dict(_PROBLEMS)
+
+
+def problem_names() -> List[str]:
+    return sorted(_PROBLEMS)
+
+
+def get_problem(name: str) -> DesignProblem:
+    try:
+        return _PROBLEMS[name]
+    except KeyError:
+        known = ", ".join(problem_names()) or "(none)"
+        raise ModelError(f"unknown design problem {name!r}; known problems: {known}") from None

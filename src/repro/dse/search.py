@@ -1,0 +1,192 @@
+"""Search strategies over the mapping design space.
+
+Strategies are *batch* proposers: each round they propose a list of
+candidates, the explorer evaluates the batch (possibly across worker
+processes, possibly served from the result store) and feeds the scored
+metrics back through :meth:`SearchStrategy.observe`.  This shape keeps
+every strategy trivially parallelisable and -- because proposals depend
+only on the seeded RNG and on previously observed metrics, never on
+wall-clock time -- deterministic under a fixed seed.
+
+Shipped strategies:
+
+* :class:`ExhaustiveSearch` -- walk the whole space in enumeration order
+  (small spaces, ground truth for the others);
+* :class:`RandomSearch` -- seeded uniform sampling;
+* :class:`AnnealingSearch` -- greedy local search with simulated-annealing
+  acceptance over a scalarised latency-plus-resource-cost score.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from .space import DesignSpace, MappingCandidate
+
+__all__ = [
+    "SearchStrategy",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "AnnealingSearch",
+    "make_strategy",
+    "STRATEGY_NAMES",
+]
+
+
+class SearchStrategy:
+    """Base class: propose a batch, observe its scores, repeat."""
+
+    name = "base"
+
+    def __init__(self, space: DesignSpace) -> None:
+        self.space = space
+
+    def propose(self, budget_left: int) -> List[MappingCandidate]:
+        """The next batch of candidates (may repeat already-seen ones)."""
+        raise NotImplementedError
+
+    def observe(self, scored: Sequence[Tuple[MappingCandidate, Mapping[str, Any]]]) -> None:
+        """Feed back the metrics of the batch just proposed (default: ignore)."""
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the strategy has nothing left to propose."""
+        return False
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """Enumerate every candidate of the space, in deterministic order."""
+
+    name = "exhaustive"
+
+    def __init__(self, space: DesignSpace, batch_size: int = 32) -> None:
+        super().__init__(space)
+        self.batch_size = batch_size
+        self._iterator = space.enumerate_candidates()
+        self._exhausted = False
+
+    def propose(self, budget_left: int) -> List[MappingCandidate]:
+        batch: List[MappingCandidate] = []
+        want = min(self.batch_size, budget_left)
+        while len(batch) < want:
+            try:
+                batch.append(next(self._iterator))
+            except StopIteration:
+                self._exhausted = True
+                break
+        return batch
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+
+class RandomSearch(SearchStrategy):
+    """Seeded uniform sampling of the space."""
+
+    name = "random"
+
+    def __init__(self, space: DesignSpace, seed: int = 0, batch_size: int = 32) -> None:
+        super().__init__(space)
+        self.batch_size = batch_size
+        self._rng = random.Random(seed)
+
+    def propose(self, budget_left: int) -> List[MappingCandidate]:
+        want = min(self.batch_size, budget_left)
+        return [self.space.random_candidate(self._rng) for _ in range(want)]
+
+
+class AnnealingSearch(SearchStrategy):
+    """Local search with simulated-annealing acceptance.
+
+    Each round proposes ``neighbors_per_round`` single-move neighbours of the
+    current candidate.  The scalar score minimised is ``latency_us +
+    resource_weight_us * resources_used`` (infeasible candidates score
+    infinite); the best neighbour is accepted when it improves, or with the
+    Metropolis probability ``exp(-delta / temperature)`` otherwise, and the
+    temperature decays geometrically every round.
+    """
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        seed: int = 0,
+        neighbors_per_round: int = 8,
+        resource_weight_us: float = 100.0,
+        initial_temperature_us: float = 200.0,
+        cooling: float = 0.9,
+    ) -> None:
+        super().__init__(space)
+        self._rng = random.Random(seed)
+        self.neighbors_per_round = neighbors_per_round
+        self.resource_weight_us = resource_weight_us
+        self.temperature = initial_temperature_us
+        self.cooling = cooling
+        self._current: Optional[MappingCandidate] = None
+        self._current_score = math.inf
+        self._pending: List[MappingCandidate] = []
+
+    def score(self, metrics: Mapping[str, Any]) -> float:
+        """Scalarised cost of one candidate (lower is better, infeasible = inf)."""
+        if not metrics.get("feasible", True):
+            return math.inf
+        return float(metrics["latency_us"]) + self.resource_weight_us * float(
+            metrics["resources_used"]
+        )
+
+    def propose(self, budget_left: int) -> List[MappingCandidate]:
+        if self._current is None:
+            # Seed the walk with the default candidate plus random restarts.
+            batch = [self.space.default_candidate()]
+            while len(batch) < min(self.neighbors_per_round, budget_left):
+                batch.append(self.space.random_candidate(self._rng))
+        else:
+            batch = self.space.neighbors(
+                self._current, self._rng, min(self.neighbors_per_round, budget_left)
+            )
+        self._pending = batch
+        return list(batch)
+
+    def observe(self, scored: Sequence[Tuple[MappingCandidate, Mapping[str, Any]]]) -> None:
+        best: Optional[Tuple[MappingCandidate, float]] = None
+        for candidate, metrics in scored:
+            value = self.score(metrics)
+            if best is None or value < best[1]:
+                best = (candidate, value)
+        self._pending = []
+        if best is None or best[1] is math.inf:
+            self.temperature *= self.cooling
+            return
+        candidate, value = best
+        if value <= self._current_score:
+            self._current, self._current_score = candidate, value
+        else:
+            delta = value - self._current_score
+            if self.temperature > 0 and self._rng.random() < math.exp(
+                -delta / self.temperature
+            ):
+                self._current, self._current_score = candidate, value
+        self.temperature *= self.cooling
+
+
+STRATEGY_NAMES: Tuple[str, ...] = ("exhaustive", "random", "annealing")
+
+
+def make_strategy(
+    name: str, space: DesignSpace, seed: int = 0, **options: Any
+) -> SearchStrategy:
+    """Instantiate a strategy by name (the CLI's ``--strategy`` values)."""
+    if name == "exhaustive":
+        return ExhaustiveSearch(space, **options)
+    if name == "random":
+        return RandomSearch(space, seed=seed, **options)
+    if name == "annealing":
+        return AnnealingSearch(space, seed=seed, **options)
+    raise ModelError(
+        f"unknown search strategy {name!r}; known strategies: {', '.join(STRATEGY_NAMES)}"
+    )

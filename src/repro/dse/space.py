@@ -1,0 +1,527 @@
+"""The mapping design space: candidate encoding, enumeration and mutation.
+
+The paper makes one performance evaluation cheap; a design-space
+exploration needs *many* -- one per candidate mapping decision.  This
+module models the decision space itself:
+
+* **allocation moves**: which platform resource runs each application
+  function, subject to an optional resource-count constraint
+  (``max_resources``);
+* **static service orders**: for a serialized (concurrency-1) resource
+  serving several execute steps, the cyclic order in which it serves
+  them -- enumerated as interleavings that preserve each function's
+  internal step order;
+* **canonical encoding**: a :class:`MappingCandidate` is a frozen,
+  hashable value object.  Interchangeable resources (same concurrency,
+  kind and frequency) are relabelled so that two allocations differing
+  only by a renaming of identical resources collapse to one candidate --
+  the digest of the canonical JSON form keys the result-store cache.
+
+A candidate is *encoded* here and *judged* by
+:mod:`repro.dse.evaluate`: orders that contradict same-iteration data
+dependencies produce a zero-delay cycle in the temporal dependency
+graph and are reported as infeasible rather than rejected up front, so
+the space stays purely combinatorial.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..archmodel.application import ApplicationModel
+from ..archmodel.mapping import Mapping as ArchMapping
+from ..archmodel.platform import PlatformModel, ProcessingResource
+from ..archmodel.primitives import ExecuteStep, ReadStep, WriteStep
+from ..campaign.spec import canonical_json
+from ..errors import ModelError
+
+__all__ = ["MappingCandidate", "DesignSpace"]
+
+Slot = Tuple[str, int]  # (function name, step index) of one execute step
+
+
+@dataclass(frozen=True)
+class MappingCandidate:
+    """One point of the mapping design space, in canonical form.
+
+    ``allocation`` lists ``(function, resource)`` pairs in application
+    declaration order; ``orders`` lists, per serialized resource with more
+    than one execute slot, the static service order as ``(function,
+    step_index)`` pairs.  Instances are hashable and compare by value, so
+    they can key caches and dedupe sets directly.
+    """
+
+    allocation: Tuple[Tuple[str, str], ...]
+    orders: Tuple[Tuple[str, Tuple[Slot, ...]], ...] = ()
+
+    # -- queries ---------------------------------------------------------------
+    def resource_of(self, function: str) -> str:
+        for name, resource in self.allocation:
+            if name == function:
+                return resource
+        raise ModelError(f"candidate does not allocate function {function!r}")
+
+    def resources_used(self) -> Tuple[str, ...]:
+        """Distinct resources receiving at least one function, in first-use order."""
+        seen: Dict[str, None] = {}
+        for _, resource in self.allocation:
+            seen.setdefault(resource, None)
+        return tuple(seen)
+
+    # -- serialisation -----------------------------------------------------------
+    def to_parameters(self) -> Dict[str, object]:
+        """JSON-safe form, mergeable into a campaign scenario's parameters."""
+        return {
+            "allocation": {function: resource for function, resource in self.allocation},
+            "orders": {
+                resource: [[function, index] for function, index in order]
+                for resource, order in self.orders
+            },
+        }
+
+    @classmethod
+    def from_parameters(cls, parameters: Mapping[str, object]) -> "MappingCandidate":
+        """Rebuild a candidate from :meth:`to_parameters` output (worker-side)."""
+        try:
+            allocation = parameters["allocation"]
+            orders = parameters.get("orders") or {}
+        except (KeyError, TypeError):
+            raise ModelError("candidate parameters need an 'allocation' mapping") from None
+        return cls(
+            allocation=tuple(sorted((str(f), str(r)) for f, r in dict(allocation).items())),
+            orders=tuple(
+                (str(resource), tuple((str(f), int(i)) for f, i in order))
+                for resource, order in sorted(dict(orders).items())
+            ),
+        )
+
+    def digest(self) -> str:
+        """Content hash of the canonical encoding (stable across processes)."""
+        text = canonical_json(self.to_parameters())
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    # -- realisation ------------------------------------------------------------
+    def build_mapping(self, name: str = "candidate") -> ArchMapping:
+        """Materialise the candidate as an :class:`~repro.archmodel.mapping.Mapping`."""
+        mapping = ArchMapping(name)
+        for function, resource in self.allocation:
+            mapping.allocate(function, resource)
+        for resource, order in self.orders:
+            mapping.set_static_order(resource, list(order))
+        return mapping
+
+    def describe(self) -> str:
+        """One-line human-readable summary (``P1:{F1,F2} P2:{F3}``)."""
+        groups: Dict[str, List[str]] = {}
+        for function, resource in self.allocation:
+            groups.setdefault(resource, []).append(function)
+        return " ".join(
+            f"{resource}:{{{','.join(groups[resource])}}}" for resource in self.resources_used()
+        )
+
+    def __repr__(self) -> str:
+        return f"MappingCandidate({self.describe()!r})"
+
+
+def _interleavings(sequences: Sequence[Tuple[Slot, ...]]) -> Iterator[Tuple[Slot, ...]]:
+    """Every merge of ``sequences`` preserving each sequence's internal order."""
+    if all(not sequence for sequence in sequences):
+        yield ()
+        return
+    for index, sequence in enumerate(sequences):
+        if not sequence:
+            continue
+        head, rest = sequence[0], sequence[1:]
+        remaining = list(sequences)
+        remaining[index] = rest
+        for tail in _interleavings(remaining):
+            yield (head,) + tail
+
+
+class DesignSpace:
+    """Candidate mappings of one application onto one platform resource bank.
+
+    Parameters
+    ----------
+    application:
+        The application whose functions are being mapped.
+    platform:
+        The bank of available resources.  Resources with identical
+        ``(concurrency, kind, frequency)`` are interchangeable; canonical
+        candidates always use the lowest-indexed representatives first.
+    max_resources:
+        Upper bound on the number of distinct resources a candidate may use
+        (the resource-count constraint).  Default: the bank size.
+    explore_orders:
+        When True (default), static service orders of serialized resources
+        are part of the space; when False every candidate uses the
+        dependency-aware default order.
+    """
+
+    def __init__(
+        self,
+        application: ApplicationModel,
+        platform: PlatformModel,
+        max_resources: Optional[int] = None,
+        explore_orders: bool = True,
+    ) -> None:
+        application.validate()
+        platform.validate()
+        self.application = application
+        self.platform = platform
+        self.functions: Tuple[str, ...] = tuple(
+            function.name for function in application.functions
+        )
+        self.resources: Tuple[ProcessingResource, ...] = platform.resources
+        if max_resources is None:
+            max_resources = len(self.resources)
+        if not 1 <= max_resources <= len(self.resources):
+            raise ModelError(
+                f"max_resources must be in [1, {len(self.resources)}], got {max_resources}"
+            )
+        self.max_resources = max_resources
+        self.explore_orders = explore_orders
+        self._slot_topo = self._slot_topological_index()
+
+    # ------------------------------------------------------------------
+    # dependency-aware default service order
+    # ------------------------------------------------------------------
+    def _slot_topological_index(self) -> Dict[Slot, int]:
+        """Topological index of every execute slot over same-iteration dependencies.
+
+        Edges: consecutive steps within a function (step 0 of an iteration only
+        depends on the *previous* iteration, so it gets no incoming intra edge)
+        and producer-write -> consumer-read over every internal relation.
+        Ordering each resource's slots by this index yields a service order
+        consistent with one global schedule, hence free of zero-delay cycles.
+        """
+        step_nodes: List[Tuple[str, int]] = []
+        edges: Dict[Tuple[str, int], Set[Tuple[str, int]]] = {}
+        write_step: Dict[str, Tuple[str, int]] = {}
+        read_step: Dict[str, Tuple[str, int]] = {}
+        for function in self.application.functions:
+            previous: Optional[Tuple[str, int]] = None
+            for index, step in enumerate(function.steps):
+                node = (function.name, index)
+                step_nodes.append(node)
+                edges.setdefault(node, set())
+                if previous is not None:
+                    edges[previous].add(node)
+                previous = node
+                if isinstance(step, WriteStep):
+                    write_step[step.relation] = node
+                elif isinstance(step, ReadStep):
+                    read_step[step.relation] = node
+        for relation, spec in self.application.relations().items():
+            if spec.is_internal:
+                edges[write_step[relation]].add(read_step[relation])
+
+        in_degree = {node: 0 for node in step_nodes}
+        for sources in edges.values():
+            for target in sources:
+                in_degree[target] += 1
+        # Kahn's algorithm with declaration order as the tie-breaker.
+        ready = [node for node in step_nodes if in_degree[node] == 0]
+        order: List[Tuple[str, int]] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for target in sorted(edges[node], key=step_nodes.index):
+                in_degree[target] -= 1
+                if in_degree[target] == 0:
+                    ready.append(target)
+        if len(order) != len(step_nodes):
+            raise ModelError(
+                "the application has a same-iteration dependency cycle; no static "
+                "service order can schedule it"
+            )
+        topo = {node: position for position, node in enumerate(order)}
+        execute_slots = {
+            (function.name, index)
+            for function in self.application.functions
+            for index, _ in function.execute_steps()
+        }
+        return {slot: topo[slot] for slot in execute_slots}
+
+    def _slots_of(self, function: str) -> Tuple[Slot, ...]:
+        return tuple(
+            (function, index)
+            for index, _ in self.application.function(function).execute_steps()
+        )
+
+    def default_order(self, functions: Sequence[str]) -> Tuple[Slot, ...]:
+        """Feasible service order for one resource: slots by global topological index."""
+        slots = [slot for function in functions for slot in self._slots_of(function)]
+        return tuple(sorted(slots, key=self._slot_topo.__getitem__))
+
+    # ------------------------------------------------------------------
+    # canonicalisation
+    # ------------------------------------------------------------------
+    def _interchange_class(self, resource: ProcessingResource) -> Tuple:
+        return (resource.concurrency, resource.kind.value, resource.frequency_hz)
+
+    def canonical(
+        self,
+        allocation: Mapping[str, str],
+        orders: Optional[Mapping[str, Sequence[Slot]]] = None,
+    ) -> MappingCandidate:
+        """Canonicalise an allocation (+ optional explicit orders) into a candidate.
+
+        Within each class of interchangeable resources, the resources actually
+        used are relabelled onto the class's lowest-indexed members in order of
+        first use (function declaration order).  Orders follow their resource
+        through the relabelling; resources without an explicit order get the
+        dependency-aware default.
+        """
+        by_class: Dict[Tuple, List[ProcessingResource]] = {}
+        for resource in self.resources:
+            by_class.setdefault(self._interchange_class(resource), []).append(resource)
+        relabel: Dict[str, str] = {}
+        used_per_class: Dict[Tuple, int] = {}
+        for function in self.functions:
+            try:
+                resource_name = allocation[function]
+            except KeyError:
+                raise ModelError(f"allocation misses function {function!r}") from None
+            if resource_name in relabel:
+                continue
+            resource = self.platform.resource(resource_name)
+            cls = self._interchange_class(resource)
+            rank = used_per_class.get(cls, 0)
+            relabel[resource_name] = by_class[cls][rank].name
+            used_per_class[cls] = rank + 1
+
+        # Sorted by function name so the tuple form matches from_parameters()
+        # round-trips exactly (the relabelling above used declaration order).
+        new_allocation = tuple(
+            sorted((function, relabel[allocation[function]]) for function in self.functions)
+        )
+        if len({resource for _, resource in new_allocation}) > self.max_resources:
+            raise ModelError(
+                f"allocation uses more than max_resources={self.max_resources} resources"
+            )
+
+        groups: Dict[str, List[str]] = {}
+        for function, resource in new_allocation:
+            groups.setdefault(resource, []).append(function)
+        orders = dict(orders or {})
+        new_orders: List[Tuple[str, Tuple[Slot, ...]]] = []
+        for resource_name, functions in groups.items():
+            resource = self.platform.resource(resource_name)
+            slots = self.default_order(functions)
+            if resource.is_unlimited or len(slots) < 2:
+                continue  # order is irrelevant: leave it implicit
+            explicit = None
+            for old_name, new_name in relabel.items():
+                if new_name == resource_name and old_name in orders:
+                    explicit = tuple(orders[old_name])
+            new_orders.append((resource_name, explicit if explicit is not None else slots))
+        new_orders.sort()  # lexical, matching from_parameters() round-trips
+        return MappingCandidate(allocation=new_allocation, orders=tuple(new_orders))
+
+    def candidate_from_mapping(self, mapping: ArchMapping) -> MappingCandidate:
+        """Canonical candidate equivalent to an existing mapping's allocation."""
+        return self.canonical(mapping.allocation)
+
+    def default_candidate(self) -> MappingCandidate:
+        """Round-robin allocation over the first ``max_resources`` resources."""
+        bank = self.resources[: self.max_resources]
+        allocation = {
+            function: bank[index % len(bank)].name
+            for index, function in enumerate(self.functions)
+        }
+        return self.canonical(allocation)
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    def enumerate_allocations(self) -> Iterator[MappingCandidate]:
+        """Every canonical allocation (default orders), deduplicated, lazily."""
+        seen: Set[Tuple[Tuple[str, str], ...]] = set()
+        bank = [resource.name for resource in self.resources]
+
+        def assign(index: int, allocation: Dict[str, str]) -> Iterator[MappingCandidate]:
+            if index == len(self.functions):
+                candidate = self.canonical(allocation)
+                if candidate.allocation not in seen:
+                    seen.add(candidate.allocation)
+                    yield candidate
+                return
+            for resource in bank:
+                allocation[self.functions[index]] = resource
+                used = set(allocation.values())
+                if len(used) <= self.max_resources:
+                    yield from assign(index + 1, allocation)
+            del allocation[self.functions[index]]
+
+        yield from assign(0, {})
+
+    def _order_variants(self, base: MappingCandidate) -> Iterator[MappingCandidate]:
+        """Every service-order assignment of ``base``'s allocation except the default."""
+        ordered_resources = [resource for resource, _ in base.orders]
+        per_resource: List[List[Tuple[Slot, ...]]] = []
+        for resource in ordered_resources:
+            functions = [f for f, r in base.allocation if r == resource]
+            sequences = [self._slots_of(function) for function in functions]
+            per_resource.append(list(_interleavings(sequences)))
+
+        def orders_product(index: int, chosen: List[Tuple[Slot, ...]]) -> Iterator[
+            Tuple[Tuple[str, Tuple[Slot, ...]], ...]
+        ]:
+            if index == len(ordered_resources):
+                yield tuple(zip(ordered_resources, chosen))
+                return
+            for order in per_resource[index]:
+                yield from orders_product(index + 1, chosen + [order])
+
+        for orders in orders_product(0, []):
+            if orders == base.orders:
+                continue  # the default-order point was already yielded
+            yield MappingCandidate(allocation=base.allocation, orders=orders)
+
+    def enumerate_candidates(self, limit: Optional[int] = None) -> Iterator[MappingCandidate]:
+        """Every candidate: allocations crossed with service-order interleavings.
+
+        Breadth-first over decisions: every allocation is yielded once with
+        its dependency-aware default order before any order variant appears,
+        so a budget-truncated exhaustive walk still covers the whole
+        allocation space.  With ``explore_orders=False`` only the first pass
+        exists.  Enumeration order is deterministic.
+        """
+        produced = 0
+        bases = []
+        for base in self.enumerate_allocations():
+            if limit is not None and produced >= limit:
+                return
+            produced += 1
+            yield base
+            bases.append(base)
+        if not self.explore_orders:
+            return
+        for base in bases:
+            for variant in self._order_variants(base):
+                if limit is not None and produced >= limit:
+                    return
+                produced += 1
+                yield variant
+
+    def size(self, cap: int = 100_000) -> int:
+        """Number of candidates in the space, counted up to ``cap``."""
+        count = 0
+        for _ in self.enumerate_candidates(limit=cap):
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # sampling and mutation
+    # ------------------------------------------------------------------
+    def random_candidate(self, rng: random.Random) -> MappingCandidate:
+        """A seeded random candidate.
+
+        The allocation is uniform over the (canonicalised) assignments; the
+        service orders are kept at the dependency-aware default half of the
+        time and drawn as a random interleaving otherwise -- unconstrained
+        interleavings are mostly infeasible, so a pure-uniform draw would
+        waste most of a random-search budget on zero-delay cycles.
+        """
+        bank = self.resources[: self.max_resources]
+        allocation = {
+            function: bank[rng.randrange(len(bank))].name for function in self.functions
+        }
+        candidate = self.canonical(allocation)
+        if self.explore_orders and rng.random() < 0.5:
+            candidate = self._randomise_orders(candidate, rng)
+        return candidate
+
+    def _random_interleaving(
+        self, sequences: List[List[Slot]], rng: random.Random
+    ) -> Tuple[Slot, ...]:
+        pending = [list(sequence) for sequence in sequences if sequence]
+        merged: List[Slot] = []
+        while pending:
+            index = rng.randrange(len(pending))
+            merged.append(pending[index].pop(0))
+            if not pending[index]:
+                pending.pop(index)
+        return tuple(merged)
+
+    def _randomise_orders(
+        self, candidate: MappingCandidate, rng: random.Random
+    ) -> MappingCandidate:
+        new_orders = []
+        for resource, _ in candidate.orders:
+            functions = [f for f, r in candidate.allocation if r == resource]
+            sequences = [list(self._slots_of(function)) for function in functions]
+            new_orders.append((resource, self._random_interleaving(sequences, rng)))
+        return MappingCandidate(allocation=candidate.allocation, orders=tuple(new_orders))
+
+    def _orders_excluding(
+        self, candidate: MappingCandidate, affected: Set[str]
+    ) -> Dict[str, Tuple[Slot, ...]]:
+        """The candidate's explicit orders minus the resources in ``affected``.
+
+        A move/swap only invalidates the service orders of the resources whose
+        function set changed; every other resource keeps its order decision
+        (mirroring :meth:`~repro.archmodel.mapping.Mapping.replace_allocation`).
+        """
+        return {
+            resource: order
+            for resource, order in candidate.orders
+            if resource not in affected
+        }
+
+    def mutate(self, candidate: MappingCandidate, rng: random.Random) -> MappingCandidate:
+        """One random move: re-allocate a function, swap two, or reorder a resource."""
+        moves = ["move", "swap"]
+        if self.explore_orders and candidate.orders:
+            moves.append("reorder")
+        move = moves[rng.randrange(len(moves))]
+        allocation = dict(candidate.allocation)
+        if move == "move":
+            function = self.functions[rng.randrange(len(self.functions))]
+            bank = self.resources[: self.max_resources]
+            choices = [r.name for r in bank if r.name != allocation[function]]
+            if not choices:
+                return candidate
+            previous = allocation[function]
+            allocation[function] = choices[rng.randrange(len(choices))]
+            mutated = self.canonical(
+                allocation,
+                self._orders_excluding(candidate, {previous, allocation[function]}),
+            )
+        elif move == "swap":
+            first = self.functions[rng.randrange(len(self.functions))]
+            second = self.functions[rng.randrange(len(self.functions))]
+            affected = {candidate.resource_of(first), candidate.resource_of(second)}
+            if len(affected) == 1:
+                return candidate  # same resource: the allocation is unchanged
+            allocation[first], allocation[second] = allocation[second], allocation[first]
+            mutated = self.canonical(
+                allocation, self._orders_excluding(candidate, affected)
+            )
+        else:
+            index = rng.randrange(len(candidate.orders))
+            resource = candidate.orders[index][0]
+            functions = [f for f, r in candidate.allocation if r == resource]
+            sequences = [list(self._slots_of(function)) for function in functions]
+            new_order = self._random_interleaving(sequences, rng)
+            orders = list(candidate.orders)
+            orders[index] = (resource, new_order)
+            return MappingCandidate(allocation=candidate.allocation, orders=tuple(orders))
+        return mutated
+
+    def neighbors(
+        self, candidate: MappingCandidate, rng: random.Random, count: int
+    ) -> List[MappingCandidate]:
+        """``count`` random single-move neighbours of ``candidate`` (may repeat)."""
+        return [self.mutate(candidate, rng) for _ in range(count)]
+
+    def __repr__(self) -> str:
+        return (
+            f"DesignSpace(functions={len(self.functions)}, "
+            f"resources={len(self.resources)}, max_resources={self.max_resources}, "
+            f"explore_orders={self.explore_orders})"
+        )

@@ -100,6 +100,7 @@ class TestExamplesRun:
             ("examples/table1_sweep.py", ["60", "2"]),
             ("examples/grouping_and_quantum.py", ["60"]),
             ("examples/campaign_demo.py", ["2"]),
+            ("examples/dse_mapping.py", ["60"]),
         ],
     )
     def test_example_script_runs(self, script, argv, capsys, monkeypatch):

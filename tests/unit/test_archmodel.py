@@ -263,3 +263,50 @@ class TestMappingAndArchitecture:
         text = didactic_architecture.describe()
         assert "P1 [processor, concurrency=1]: F1, F2" in text
         assert "static order on P1" in text
+
+
+class TestMappingMutation:
+    def test_copy_is_independent(self):
+        original = Mapping("base").allocate("F1", "P1").allocate("F2", "P1")
+        original.set_static_order("P1", ["F2", "F1"])
+        clone = original.copy("clone")
+        assert clone.name == "clone"
+        assert clone.allocation == original.allocation
+        clone.replace_allocation("F2", "P2")
+        assert original.allocation == {"F1": "P1", "F2": "P1"}
+        assert clone.allocation == {"F1": "P1", "F2": "P2"}
+        # the original keeps its explicit order, the clone dropped it
+        assert original._explicit_orders == {"P1": [("F2", -1), ("F1", -1)]}
+        assert clone._explicit_orders == {}
+
+    def test_copy_defaults_to_same_name(self):
+        assert Mapping("m").allocate("A", "R").copy().name == "m"
+
+    def test_replace_allocation_requires_prior_allocation(self):
+        with pytest.raises(ModelError, match="not allocated"):
+            Mapping().replace_allocation("F1", "P1")
+
+    def test_replace_allocation_is_chainable_and_revalidates(self):
+        architecture = build_didactic_architecture()
+        mapping = architecture.mapping.copy("mutated")
+        mapping.replace_allocation("F2", "P2").replace_allocation("F4", "P1")
+        mutated = ArchitectureModel(
+            "mutated", architecture.application, architecture.platform, mapping
+        )
+        mutated.validate()
+        assert mutated.resource_of("F2").name == "P2"
+        assert mutated.resource_of("F4").name == "P1"
+
+    def test_replace_allocation_drops_orders_of_both_resources(self):
+        mapping = (
+            Mapping("m")
+            .allocate("F1", "P1")
+            .allocate("F2", "P1")
+            .allocate("F3", "P2")
+        )
+        mapping.set_static_order("P1", ["F2", "F1"])
+        mapping.set_static_order("P2", ["F3"])
+        mapping.replace_allocation("F1", "P2")
+        assert mapping._explicit_orders == {}
+        # the function keeps its original allocation position (F1 before F3)
+        assert mapping.functions_on("P2") == ["F1", "F3"]

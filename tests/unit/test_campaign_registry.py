@@ -102,7 +102,8 @@ class TestScenario:
 
 class TestRegistry:
     def test_builtin_names(self):
-        assert set(default_registry().names()) == BUILTIN_SCENARIOS
+        # planner families plus the executor-based DSE evaluation scenario
+        assert set(default_registry().names()) == BUILTIN_SCENARIOS | {"dse-eval"}
 
     def test_default_registry_is_cached(self):
         assert default_registry() is default_registry()

@@ -71,10 +71,39 @@ class TestPersistence:
         store.put("d1", {"value": 1})
         with path.open("a", encoding="utf-8") as handle:
             handle.write('{"digest": "d2", "record": {"valu')  # simulated crash
-        reopened = ResultStore(path)
+        with pytest.warns(RuntimeWarning, match="skipped 1 corrupt"):
+            reopened = ResultStore(path)
         assert reopened.get("d1") == {"value": 1}
         assert reopened.get("d2") is None
         assert reopened.skipped_lines == 1
+
+    def test_truncated_store_stays_usable_and_recompacts(self, tmp_path):
+        """Regression: a crash-truncated store must load, warn, and keep working."""
+        path = tmp_path / "results.jsonl"
+        ResultStore(path).put("d1", {"value": 1})
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"digest": "d2"')  # no newline, no record: torn write
+        with pytest.warns(RuntimeWarning):
+            store = ResultStore(path)
+        store.put("d3", {"value": 3})  # appending after a torn line still works
+        assert store.compact() == 2
+        # after compaction the file is clean: reloading warns no more
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            clean = ResultStore(path)
+        assert clean.skipped_lines == 0
+        assert clean.digests() == ["d1", "d3"]
+
+    def test_clean_store_loads_without_warning(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        ResultStore(path).put("d1", {"value": 1})
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert ResultStore(path).get("d1") == {"value": 1}
 
     def test_malformed_entries_are_counted_not_fatal(self, tmp_path):
         path = tmp_path / "results.jsonl"
@@ -89,7 +118,8 @@ class TestPersistence:
                 ]
             )
         )
-        store = ResultStore(path)
+        with pytest.warns(RuntimeWarning, match="skipped 3 corrupt"):
+            store = ResultStore(path)
         assert store.get("good") == {"v": 1}
         assert len(store) == 1
         assert store.skipped_lines == 3

@@ -54,6 +54,42 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign"])
 
+    def test_campaign_dry_run_flag(self):
+        arguments = build_parser().parse_args(["campaign", "run", "table1-sweep", "--dry-run"])
+        assert arguments.dry_run is True
+        assert build_parser().parse_args(["campaign", "run", "x"]).dry_run is False
+
+    def test_dse_run_round_trips(self):
+        arguments = build_parser().parse_args(
+            [
+                "dse", "run", "--problem", "chain", "--strategy", "annealing",
+                "--budget", "64", "--seed", "9", "--items", "25",
+                "--max-resources", "2", "--no-orders", "--set", "stages=3",
+                "--jobs", "2", "--store", "dse.jsonl", "--top", "5",
+            ]
+        )
+        assert arguments.command == "dse"
+        assert arguments.dse_command == "run"
+        assert arguments.problem == "chain"
+        assert arguments.strategy == "annealing"
+        assert arguments.budget == 64
+        assert arguments.seed == 9
+        assert arguments.items == 25
+        assert arguments.max_resources == 2
+        assert arguments.no_orders is True
+        assert arguments.overrides == ["stages=3"]
+        assert arguments.jobs == 2
+        assert arguments.store == "dse.jsonl"
+        assert arguments.top == 5
+
+    def test_dse_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "run", "--strategy", "quantum"])
+
+    def test_dse_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse"])
+
     def test_describe_rejects_unknown_target(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["describe", "unknown"])
@@ -176,3 +212,60 @@ class TestCampaignCommands:
         assert "2 simulated" in capsys.readouterr().out
         assert main(argv) == 0
         assert "2 cache hits, 0 simulated" in capsys.readouterr().out
+
+    def test_campaign_dry_run_lists_jobs_without_simulating(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        argv = ["campaign", "run", "table1-sweep",
+                "--set", "items=20", "--grid", "stages=1,2", "--store", store]
+        assert main(argv + ["--dry-run"]) == 0
+        output = capsys.readouterr().out
+        assert "dry-run table1-sweep: 2 jobs, 0 cached, 2 to simulate" in output
+        assert '"stages": 1' in output
+        # nothing was simulated: the store file was never created
+        assert not (tmp_path / "results.jsonl").exists()
+        # simulate for real, then the dry-run reports full cache coverage
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--dry-run"]) == 0
+        assert "2 jobs, 2 cached, 0 to simulate" in capsys.readouterr().out
+
+    def test_campaign_dry_run_unknown_scenario_is_nonzero(self, capsys):
+        assert main(["campaign", "run", "no-such", "--dry-run"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestDseCommands:
+    def test_dse_show_lists_problems(self, capsys):
+        assert main(["dse", "show"]) == 0
+        output = capsys.readouterr().out
+        assert "didactic" in output
+        assert "chain" in output
+
+    def test_dse_show_problem_details(self, capsys):
+        assert main(["dse", "show", "didactic"]) == 0
+        output = capsys.readouterr().out
+        assert "functions: F1, F2, F3, F4" in output
+        assert "space size: 315 candidates" in output
+        assert "default candidate:" in output
+
+    def test_dse_show_respects_constraints(self, capsys):
+        assert main(["dse", "show", "didactic", "--max-resources", "1", "--no-orders"]) == 0
+        output = capsys.readouterr().out
+        assert "space size: 1 candidates" in output
+
+    def test_dse_show_unknown_problem_is_nonzero(self, capsys):
+        assert main(["dse", "show", "nope"]) == 2
+        assert "unknown design problem" in capsys.readouterr().err
+
+    def test_dse_run_small_budget(self, capsys):
+        argv = ["dse", "run", "--problem", "didactic", "--budget", "12",
+                "--items", "6", "--seed", "3", "--top", "3"]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "Pareto front (latency vs resources):" in output
+        assert "best latency:" in output
+        assert "12 candidates" in output
+
+    def test_dse_run_unknown_problem_is_nonzero(self, capsys):
+        assert main(["dse", "run", "--problem", "nope", "--budget", "4"]) == 2
+        assert "unknown design problem" in capsys.readouterr().err

@@ -1,0 +1,121 @@
+"""Unit tests for Pareto dominance, front tracking and ranked reporting."""
+
+from repro.dse.pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    ParetoFront,
+    dominates,
+    pareto_rank,
+    ranked_rows,
+)
+
+
+def metrics(latency_us: float, resources: int, feasible: bool = True, **extra):
+    if not feasible:
+        return {"feasible": False, "infeasible_reason": "cycle"}
+    base = {
+        "feasible": True,
+        "latency_ps": int(latency_us * 1e6),
+        "latency_us": latency_us,
+        "resources_used": resources,
+        "mean_utilization": 0.5,
+        "tdg_nodes": 20,
+        "allocation": f"alloc-{latency_us}-{resources}",
+    }
+    base.update(extra)
+    return base
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert dominates(metrics(10, 1), metrics(20, 2))
+
+    def test_better_in_one_equal_in_other(self):
+        assert dominates(metrics(10, 2), metrics(20, 2))
+        assert dominates(metrics(10, 1), metrics(10, 2))
+
+    def test_ties_and_trade_offs_do_not_dominate(self):
+        assert not dominates(metrics(10, 2), metrics(10, 2))
+        assert not dominates(metrics(10, 3), metrics(20, 2))
+        assert not dominates(metrics(20, 2), metrics(10, 3))
+
+    def test_missing_objective_counts_as_infinite(self):
+        assert dominates(metrics(10, 2), {"feasible": True, "resources_used": 2})
+
+
+class TestParetoFront:
+    def test_keeps_trade_off_points_and_evicts_dominated(self):
+        front = ParetoFront()
+        assert front.offer("a", metrics(100, 4))
+        assert front.offer("b", metrics(200, 2))  # trade-off: joins
+        assert not front.offer("c", metrics(300, 4))  # dominated by a
+        assert front.offer("d", metrics(50, 4))  # dominates and evicts a
+        digests = [point.digest for point in front.points()]
+        assert digests == ["d", "b"]
+        assert "a" not in front and "d" in front
+        assert len(front) == 2
+
+    def test_objective_ties_keep_first_representative(self):
+        front = ParetoFront()
+        assert front.offer("first", metrics(100, 2))
+        assert not front.offer("twin", metrics(100, 2))
+        assert len(front) == 1
+
+    def test_infeasible_never_joins(self):
+        front = ParetoFront()
+        assert not front.offer("bad", metrics(0, 0, feasible=False))
+        assert len(front) == 0
+
+    def test_reoffering_a_member_is_true(self):
+        front = ParetoFront()
+        front.offer("a", metrics(100, 2))
+        assert front.offer("a", metrics(100, 2))
+
+    def test_rows_are_sorted_by_first_objective(self):
+        front = ParetoFront()
+        front.offer("slow-cheap", metrics(300, 1))
+        front.offer("fast-costly", metrics(100, 3))
+        rows = front.rows()
+        assert [row["latency (us)"] for row in rows] == [100, 300]
+        assert rows[0]["status"] == "feasible"
+
+    def test_custom_objectives(self):
+        objectives = (Objective("latency_ps", "latency"), Objective("tdg_nodes", "nodes"))
+        front = ParetoFront(objectives)
+        front.offer("a", metrics(100, 1, tdg_nodes=30))
+        assert front.offer("b", metrics(200, 9, tdg_nodes=10))  # fewer nodes: trade-off
+        assert len(front) == 2
+
+
+class TestRanking:
+    def test_pareto_rank_peels_fronts(self):
+        entries = [
+            ("a", metrics(100, 4)),
+            ("b", metrics(200, 2)),
+            ("c", metrics(150, 4)),  # dominated by a only
+            ("d", metrics(400, 4)),  # dominated by a and c
+            ("x", metrics(0, 0, feasible=False)),
+        ]
+        ranks = {digest: rank for rank, digest, _ in pareto_rank(entries)}
+        assert ranks == {"a": 1, "b": 1, "c": 2, "d": 3, "x": 0}
+
+    def test_ranked_rows_order_and_top(self):
+        entries = [
+            ("worse", metrics(150, 4)),
+            ("best", metrics(100, 4)),
+            ("cheap", metrics(200, 2)),
+            ("bad", metrics(0, 0, feasible=False)),
+        ]
+        rows = ranked_rows(entries)
+        assert [row["candidate"] for row in rows] == ["best", "cheap", "worse", "bad"]
+        assert rows[-1]["status"] == "cycle"
+        assert rows[-1]["rank"] == "-"
+        top = ranked_rows(entries, top=2)
+        assert len(top) == 2
+        assert top[0]["rank"] == 1
+
+    def test_default_objectives_shape(self):
+        assert [objective.key for objective in DEFAULT_OBJECTIVES] == [
+            "latency_ps",
+            "resources_used",
+        ]

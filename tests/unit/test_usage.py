@@ -1,0 +1,122 @@
+"""Dedicated unit tests for resource-utilization accounting (repro.observation.usage).
+
+The DSE evaluator's utilization objective is built on these primitives,
+so they get their own suite: profile containers, bin edge handling,
+operation spreading, busy-fraction merging and the single-bin
+whole-window utilization pattern the evaluator uses.
+"""
+
+import pytest
+
+from repro.errors import ObservationError
+from repro.kernel.simtime import Time, microseconds
+from repro.observation import ActivityTrace
+from repro.observation.usage import UsageProfile, UsageSample, busy_profile, complexity_profile
+
+
+def us(value: float) -> Time:
+    return Time(0) + microseconds(value)
+
+
+def make_trace(records):
+    trace = ActivityTrace()
+    for resource, start, end, operations in records:
+        trace.record(resource, "F", "E", 0, us(start), us(end), operations)
+    return trace
+
+
+class TestUsageSampleAndProfile:
+    def test_sample_center(self):
+        sample = UsageSample(us(2), us(6), 1.5)
+        assert sample.bin_center == us(4)
+
+    def test_profile_accessors(self):
+        samples = [UsageSample(us(0), us(1), 2.0), UsageSample(us(1), us(2), 4.0)]
+        profile = UsageProfile("P1", "GOPS", samples)
+        assert len(profile) == 2
+        assert profile.values() == [2.0, 4.0]
+        assert profile.peak() == 4.0
+        assert profile.mean() == 3.0
+        assert [value for _, value in profile.as_rows()] == [2.0, 4.0]
+        assert list(profile) == list(profile.samples)
+        assert "P1" in repr(profile)
+
+    def test_empty_profile_degenerates_to_zero(self):
+        profile = UsageProfile("P1", "GOPS", [])
+        assert profile.peak() == 0.0
+        assert profile.mean() == 0.0
+        assert profile.values() == []
+
+
+class TestComplexityProfile:
+    def test_operations_spread_uniformly_over_busy_interval(self):
+        # 8000 ops over 8 us = 1 op/ns = 1 GOPS while busy.
+        trace = make_trace([("P1", 0, 8, 8000.0)])
+        profile = complexity_profile(trace, "P1", microseconds(2), (us(0), us(8)))
+        assert profile.unit == "GOPS"
+        assert profile.values() == pytest.approx([1.0, 1.0, 1.0, 1.0])
+
+    def test_records_of_other_resources_are_excluded(self):
+        trace = make_trace([("P1", 0, 4, 4000.0), ("P2", 0, 4, 400000.0)])
+        profile = complexity_profile(trace, "P1", microseconds(4), (us(0), us(4)))
+        assert profile.values() == pytest.approx([1.0])
+
+    def test_zero_duration_and_zero_ops_records_are_skipped(self):
+        trace = make_trace([("P1", 1, 1, 500.0), ("P1", 0, 2, 0.0), ("P1", 0, 2, 2000.0)])
+        profile = complexity_profile(trace, "P1", microseconds(2), (us(0), us(2)))
+        assert profile.values() == pytest.approx([1.0])
+
+    def test_trailing_partial_bin_is_normalised_by_its_own_length(self):
+        # Window of 3 us with 2 us bins: the last bin is 1 us long.  A constant
+        # 1 GOPS activity must read 1 GOPS in the partial bin too.
+        trace = make_trace([("P1", 0, 3, 3000.0)])
+        profile = complexity_profile(trace, "P1", microseconds(2), (us(0), us(3)))
+        assert len(profile) == 2
+        assert profile.values() == pytest.approx([1.0, 1.0])
+        assert profile.samples[-1].bin_end == us(3)
+
+    def test_window_is_inferred_from_the_resource_span(self):
+        trace = make_trace([("P1", 2, 6, 4000.0)])
+        profile = complexity_profile(trace, "P1", microseconds(4))
+        assert profile.samples[0].bin_start == us(2)
+        assert profile.samples[-1].bin_end == us(6)
+
+    def test_unknown_resource_without_window_raises(self):
+        trace = make_trace([("P1", 0, 1, 10.0)])
+        with pytest.raises(ObservationError, match="no activity"):
+            complexity_profile(trace, "P9", microseconds(1))
+
+    def test_invalid_bins_and_windows_raise(self):
+        trace = make_trace([("P1", 0, 1, 10.0)])
+        with pytest.raises(ObservationError, match="positive"):
+            complexity_profile(trace, "P1", microseconds(0), (us(0), us(1)))
+        with pytest.raises(ObservationError, match="positive length"):
+            complexity_profile(trace, "P1", microseconds(1), (us(1), us(1)))
+
+
+class TestBusyProfile:
+    def test_busy_fraction_per_bin(self):
+        trace = make_trace([("P1", 0, 5, 0.0), ("P1", 12, 14, 0.0)])
+        profile = busy_profile(trace, "P1", microseconds(7), (us(0), us(14)))
+        assert profile.unit == "busy fraction"
+        assert profile.values() == pytest.approx([5 / 7, 2 / 7])
+
+    def test_overlapping_records_never_exceed_one(self):
+        # Two simultaneous executions on an unlimited-concurrency resource.
+        trace = make_trace([("HW", 0, 4, 0.0), ("HW", 2, 6, 0.0)])
+        profile = busy_profile(trace, "HW", microseconds(6), (us(0), us(6)))
+        assert profile.values() == pytest.approx([1.0])
+
+    def test_single_bin_whole_window_utilization(self):
+        # The DSE evaluator's pattern: one bin spanning the whole makespan
+        # yields the resource's overall utilization.
+        trace = make_trace([("P1", 0, 3, 0.0), ("P1", 5, 9, 0.0)])
+        window = trace.span()
+        profile = busy_profile(trace, "P1", window[1] - window[0], window=window)
+        assert len(profile) == 1
+        assert profile.mean() == pytest.approx(7 / 9)
+
+    def test_idle_resource_with_explicit_window_is_zero(self):
+        trace = make_trace([("P1", 0, 1, 0.0)])
+        profile = busy_profile(trace, "P2", microseconds(1), (us(0), us(1)))
+        assert profile.values() == pytest.approx([0.0])
