@@ -9,19 +9,30 @@ simulates -- its instants.  These benchmarks pin down
 * ``encode`` -- candidate canonicalisation and digesting (the cache key
   of the result store, paid once per proposed candidate);
 * ``explore`` -- a whole seeded random exploration served from a warm
-  in-memory store (the orchestration overhead with zero evaluation cost).
+  in-memory store (the orchestration overhead with zero evaluation cost);
+* ``compiled speedup`` -- template-compiled evaluation
+  (:class:`~repro.dse.compile.CompiledProblem`) versus the from-scratch
+  build on the ``chain`` problem, asserted to be >= 3x candidates/second;
+* ``order feasibility`` -- the fraction of randomly proposed candidates
+  whose service orders are schedulable, asserted to be >= 95% under the
+  default feasibility-aware sampling.
 
 ``candidates_per_second`` lands in ``extra_info`` next to the timings.
+The whole module honours ``REPRO_DSE_COMPILE`` (the CI smoke step runs it
+once per mode), since ``evaluate_candidate`` routes through the compiled
+path by default.
 """
 
 from __future__ import annotations
 
 import random
+import time
 
 import pytest
 
 from repro.campaign import ResultStore
-from repro.dse import MappingExplorer, evaluate_candidate, get_problem
+from repro.dse import MappingExplorer, compiled_problem, evaluate_candidate, get_problem
+from repro.errors import ReproError
 
 #: Data items driven through each scored candidate; small on purpose -- the
 #: point of DSE is many cheap evaluations, not one long one.
@@ -62,6 +73,62 @@ def test_dse_candidate_encoding(benchmark):
     assert len(digest) == 64
 
 
+def test_dse_compiled_speedup_on_chain():
+    """Template compilation buys >= 3x candidates/second on the chain problem.
+
+    Times the same candidate batch through the compiled path (template
+    specialisation, shared duration tables, no event kernel) and the
+    from-scratch path (full ``build_equivalent_spec`` + event-driven harness
+    per candidate); best-of-three rounds damps scheduler noise.  This is a
+    plain timing assertion, not a pytest-benchmark case, so it holds under
+    ``--benchmark-disable`` too.
+    """
+    problem = get_problem("chain")
+    parameters = {"items": DSE_ITEMS}
+    space = problem.space(parameters, explore_orders=False)
+    candidates = list(space.enumerate_candidates(limit=BATCH))
+    compiled = compiled_problem(problem, parameters)
+    for candidate in candidates:  # warm the template and duration tables
+        assert compiled.evaluate(candidate).feasible
+
+    best_compiled = best_scratch = float("inf")
+    for _ in range(3):
+        tick = time.perf_counter()
+        for candidate in candidates:
+            compiled.evaluate(candidate)
+        tock = time.perf_counter()
+        for candidate in candidates:
+            evaluate_candidate(problem, candidate, parameters, compiled=False)
+        done = time.perf_counter()
+        best_compiled = min(best_compiled, tock - tick)
+        best_scratch = min(best_scratch, done - tock)
+
+    speedup = best_scratch / best_compiled
+    assert speedup >= 3.0, (
+        f"compiled evaluation is only {speedup:.2f}x faster "
+        f"({BATCH / best_compiled:.0f} vs {BATCH / best_scratch:.0f} candidates/s)"
+    )
+
+
+def test_dse_random_proposals_are_order_feasible_on_chain():
+    """>= 95% of random proposals must be order-feasible (strict sampling: all)."""
+    problem = get_problem("chain")
+    parameters = {"items": 2}
+    space = problem.space(parameters)
+    compiled = compiled_problem(problem, parameters)
+    rng = random.Random(13)
+    proposals = 200
+    feasible = 0
+    for _ in range(proposals):
+        candidate = space.random_candidate(rng)
+        try:
+            compiled.specialize(candidate)
+        except ReproError:
+            continue
+        feasible += 1
+    assert feasible / proposals >= 0.95
+
+
 @pytest.mark.benchmark(group="dse")
 def test_dse_cached_exploration(benchmark):
     """A full random exploration re-run against a warm store (no evaluation)."""
@@ -78,7 +145,9 @@ def test_dse_cached_exploration(benchmark):
         ).run()
 
     warmup = explore()
-    assert warmup.explored == 40
+    # Feasibility-aware sampling saturates the didactic feasible subspace
+    # (25 candidates) before the 40-candidate budget is spent.
+    assert 20 <= warmup.explored <= 40
 
     report = benchmark(explore)
     assert report.evaluated == 0

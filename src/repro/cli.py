@@ -150,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fix every static service order to the dependency-aware default",
     )
     dse_run.add_argument(
+        "--loose-orders",
+        action="store_true",
+        help="sample service orders without the dependency-feasibility constraint "
+        "(deliberately probes infeasible interleavings)",
+    )
+    dse_run.add_argument(
         "--set",
         dest="overrides",
         action="append",
@@ -436,6 +442,7 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
         parameters=parameters,
         max_resources=arguments.max_resources,
         explore_orders=not arguments.no_orders,
+        strict=not arguments.loose_orders,
         jobs=arguments.jobs,
         store=ResultStore(arguments.store) if arguments.store else None,
     )

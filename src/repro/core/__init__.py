@@ -3,6 +3,11 @@
 * :func:`~repro.core.builder.build_equivalent_spec` -- derive the
   temporal dependency graph and boundary bookkeeping directly from an
   architecture description.
+* :func:`~repro.core.builder.build_template` /
+  :func:`~repro.core.builder.specialize_template` -- the same
+  construction split into an allocation-independent template (computed
+  once per application) and a cheap per-mapping specialisation (what
+  design-space exploration runs per candidate).
 * :class:`~repro.core.compute.InstantComputer` -- the
   ``ComputeInstant()`` engine.
 * :class:`~repro.core.equivalent.EquivalentProcessModel` -- the
@@ -16,16 +21,25 @@
   to abstract.
 """
 
-from .builder import build_equivalent_spec
+from .builder import build_equivalent_spec, build_template, specialize_template
 from .compute import InstantComputer
 from .equivalent import EquivalentProcessModel
 from .model import EquivalentArchitectureModel
 from .observation import ResourceUsageReconstructor
 from .partition import GroupingReport, boundary_relations, grouping_report, validate_grouping
-from .spec import BoundaryInput, BoundaryOutput, EquivalentModelSpec, ExecuteNodes
+from .spec import (
+    BoundaryInput,
+    BoundaryOutput,
+    EquivalentModelSpec,
+    EquivalentModelTemplate,
+    ExecuteNodes,
+)
 
 __all__ = [
     "build_equivalent_spec",
+    "build_template",
+    "specialize_template",
+    "EquivalentModelTemplate",
     "InstantComputer",
     "EquivalentProcessModel",
     "EquivalentArchitectureModel",

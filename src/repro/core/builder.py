@@ -10,6 +10,26 @@ the evolution-instant equations of the timing semantics documented in
 boundary bookkeeping collected in an
 :class:`~repro.core.spec.EquivalentModelSpec`.
 
+The construction runs in two phases:
+
+* :func:`build_template` -- the *allocation-independent* phase.  From
+  the application alone it classifies relations against the abstracted
+  group, creates the node vocabulary, lays every data-dependency arc
+  and collects the boundary bookkeeping into an
+  :class:`~repro.core.spec.EquivalentModelTemplate`.  Nothing here
+  depends on which resource runs which function.
+* :func:`specialize_template` -- the *per-mapping* phase.  It replays
+  the template into a fresh graph, binds each execute step to its
+  allocated resource and adds the service-order / server-availability
+  arcs implied by the mapping's static schedules.
+
+:func:`build_equivalent_spec` composes the two and remains the one-shot
+public entry point.  Design-space exploration keeps one template per
+problem and specialises it once per candidate
+(:class:`repro.dse.compile.CompiledProblem`), which removes the
+dominant Python-level graph-construction cost from the search inner
+loop.
+
 Node vocabulary
 ---------------
 ========================  =====================================================
@@ -42,20 +62,28 @@ Supported groupings
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
-from ..archmodel.application import RelationKind, RelationSpec
+from ..archmodel.application import ApplicationModel, RelationKind, RelationSpec
 from ..archmodel.architecture import ArchitectureModel
 from ..archmodel.primitives import DelayStep, ExecuteStep, ReadStep, WriteStep
-from ..archmodel.token import DataToken
 from ..archmodel.workload import ConstantExecutionTime, ExecutionTimeModel
 from ..errors import ModelError
 from ..kernel.simtime import Duration
 from ..tdg.graph import TemporalDependencyGraph
 from ..tdg.node import NodeKind
-from .spec import BoundaryInput, BoundaryOutput, EquivalentModelSpec, ExecuteNodes
+from .spec import (
+    BoundaryInput,
+    BoundaryOutput,
+    EquivalentModelSpec,
+    EquivalentModelTemplate,
+    ExecuteNodes,
+    TemplateArc,
+    TemplateExecute,
+    TemplateNode,
+)
 
-__all__ = ["build_equivalent_spec"]
+__all__ = ["build_equivalent_spec", "build_template", "specialize_template"]
 
 
 class _WorkloadWeight:
@@ -83,41 +111,31 @@ def workload_weight(workload: ExecutionTimeModel):
     return _WorkloadWeight(workload)
 
 
-def build_equivalent_spec(
-    architecture: ArchitectureModel,
+def build_template(
+    application: ApplicationModel,
     abstract_functions: Optional[Iterable[str]] = None,
     name: Optional[str] = None,
-) -> EquivalentModelSpec:
-    """Compile (part of) an architecture into an equivalent-model specification.
+) -> EquivalentModelTemplate:
+    """Compile the allocation-independent part of an equivalent model.
 
     Parameters
     ----------
-    architecture:
-        The validated architecture model.
+    application:
+        The application whose functions are being abstracted.  The template
+        depends on the application only, never on platform or mapping, so one
+        template serves every candidate mapping of a design-space search.
     abstract_functions:
         Names of the functions to group into the equivalent model.  By default
         every application function is abstracted (the whole architecture
         becomes a single equivalent model, as in the paper's experiments).
     name:
-        Optional name for the generated graph.
+        Optional name for graphs specialised from this template.
     """
-    architecture.validate()
-    all_functions = [function.name for function in architecture.application.functions]
-    if abstract_functions is None:
-        abstracted = list(all_functions)
-    else:
-        abstracted = list(abstract_functions)
-        unknown = set(abstracted) - set(all_functions)
-        if unknown:
-            raise ModelError(f"cannot abstract unknown functions: {sorted(unknown)}")
-        if not abstracted:
-            raise ModelError("the abstracted group must contain at least one function")
+    application.validate()
+    abstracted = _resolve_abstracted(application, abstract_functions)
     abstracted_set: Set[str] = set(abstracted)
 
-    _check_resource_isolation(architecture, abstracted_set)
-
-    graph = TemporalDependencyGraph(name or f"{architecture.name}-tdg")
-    relations = architecture.relations()
+    relations = application.relations()
 
     # ------------------------------------------------------------------
     # classify relations with respect to the abstracted group
@@ -141,17 +159,18 @@ def build_equivalent_spec(
             "trigger the equivalent model"
         )
     _check_no_intra_iteration_feedback(
-        architecture, abstracted_set, input_relations, output_relations
+        application, abstracted_set, input_relations, output_relations
     )
 
     # ------------------------------------------------------------------
-    # pass 1: create nodes and remember each step's completion node
+    # pass 1: create node definitions, remember each step's completion node
     # ------------------------------------------------------------------
+    nodes: List[TemplateNode] = []
     relation_nodes: Dict[str, str] = {}
     fifo_read_nodes: Dict[str, str] = {}
     boundary_inputs: List[BoundaryInput] = []
     boundary_outputs: List[BoundaryOutput] = []
-    execute_nodes: List[ExecuteNodes] = []
+    execute_slots: List[TemplateExecute] = []
     # (function, step_index) -> completion node name
     completion: Dict[Tuple[str, int], str] = {}
 
@@ -159,20 +178,35 @@ def build_equivalent_spec(
         if spec.kind is RelationKind.FIFO:
             write_node = f"w[{spec.name}]"
             read_node = f"r[{spec.name}]"
-            graph.add_internal(write_node, tags={"kind": "fifo_write", "relation": spec.name})
-            graph.add_internal(read_node, tags={"kind": "fifo_read", "relation": spec.name})
+            nodes.append(
+                TemplateNode(write_node, NodeKind.INTERNAL,
+                             {"kind": "fifo_write", "relation": spec.name})
+            )
+            nodes.append(
+                TemplateNode(read_node, NodeKind.INTERNAL,
+                             {"kind": "fifo_read", "relation": spec.name})
+            )
             relation_nodes[spec.name] = write_node
             fifo_read_nodes[spec.name] = read_node
         else:
             node = f"x[{spec.name}]"
-            graph.add_internal(node, tags={"kind": "exchange", "relation": spec.name})
+            nodes.append(
+                TemplateNode(node, NodeKind.INTERNAL,
+                             {"kind": "exchange", "relation": spec.name})
+            )
             relation_nodes[spec.name] = node
 
     for spec in input_relations:
         exchange = f"x[{spec.name}]"
         ready = f"ready[{spec.name}]"
-        graph.add_input(exchange, tags={"kind": "boundary_input", "relation": spec.name})
-        graph.add_internal(ready, tags={"kind": "input_ready", "relation": spec.name})
+        nodes.append(
+            TemplateNode(exchange, NodeKind.INPUT,
+                         {"kind": "boundary_input", "relation": spec.name})
+        )
+        nodes.append(
+            TemplateNode(ready, NodeKind.INTERNAL,
+                         {"kind": "input_ready", "relation": spec.name})
+        )
         relation_nodes[spec.name] = exchange
         boundary_inputs.append(
             BoundaryInput(
@@ -186,8 +220,14 @@ def build_equivalent_spec(
     for spec in output_relations:
         offer = f"offer[{spec.name}]"
         exchange = f"x[{spec.name}]"
-        graph.add_output(offer, tags={"kind": "boundary_offer", "relation": spec.name})
-        graph.add_internal(exchange, tags={"kind": "boundary_output", "relation": spec.name})
+        nodes.append(
+            TemplateNode(offer, NodeKind.OUTPUT,
+                         {"kind": "boundary_offer", "relation": spec.name})
+        )
+        nodes.append(
+            TemplateNode(exchange, NodeKind.INTERNAL,
+                         {"kind": "boundary_output", "relation": spec.name})
+        )
         relation_nodes[spec.name] = exchange
         boundary_outputs.append(
             BoundaryOutput(
@@ -202,8 +242,7 @@ def build_equivalent_spec(
     output_relation_names = {spec.name for spec in output_relations}
 
     for function_name in abstracted:
-        function = architecture.application.function(function_name)
-        resource = architecture.resource_of(function_name)
+        function = application.function(function_name)
         for step_index, step in enumerate(function.steps):
             if isinstance(step, ReadStep):
                 relation = step.relation
@@ -220,17 +259,15 @@ def build_equivalent_spec(
                     "function": function_name,
                     "label": step.label,
                     "step_index": step_index,
-                    "resource": resource.name,
                 }
-                graph.add_internal(start, tags=dict(tags, kind="execute_start"))
-                graph.add_internal(end, tags=dict(tags, kind="execute_end"))
+                nodes.append(TemplateNode(start, NodeKind.INTERNAL, dict(tags, kind="execute_start")))
+                nodes.append(TemplateNode(end, NodeKind.INTERNAL, dict(tags, kind="execute_end")))
                 completion[(function_name, step_index)] = end
-                execute_nodes.append(
-                    ExecuteNodes(
+                execute_slots.append(
+                    TemplateExecute(
                         function=function_name,
                         step_index=step_index,
                         label=step.label,
-                        resource=resource.name,
                         start_node=start,
                         end_node=end,
                         workload=step.workload,
@@ -238,30 +275,31 @@ def build_equivalent_spec(
                 )
             elif isinstance(step, DelayStep):
                 node = f"delay[{function_name}#{step_index}]"
-                graph.add_internal(
-                    node, tags={"kind": "delay", "function": function_name, "step_index": step_index}
+                nodes.append(
+                    TemplateNode(
+                        node, NodeKind.INTERNAL,
+                        {"kind": "delay", "function": function_name, "step_index": step_index},
+                    )
                 )
                 completion[(function_name, step_index)] = node
             else:  # pragma: no cover - new primitives must be handled explicitly
                 raise ModelError(f"unsupported behaviour step kind {step.kind!r}")
 
     # ------------------------------------------------------------------
-    # pass 2: arcs
+    # pass 2: allocation-independent arcs (resource arcs are bound later)
     # ------------------------------------------------------------------
+    arcs: List[TemplateArc] = []
+
     def previous_completion(function_name: str, step_index: int) -> Tuple[str, int]:
         """Completion node and iteration delay of the step preceding ``step_index``."""
-        function = architecture.application.function(function_name)
+        function = application.function(function_name)
         if step_index > 0:
             return completion[(function_name, step_index - 1)], 0
         last_index = function.step_count - 1
         return completion[(function_name, last_index)], 1
 
-    execute_node_by_slot: Dict[Tuple[str, int], ExecuteNodes] = {
-        (entry.function, entry.step_index): entry for entry in execute_nodes
-    }
-
     for function_name in abstracted:
-        function = architecture.application.function(function_name)
+        function = application.function(function_name)
         for step_index, step in enumerate(function.steps):
             prev_node, prev_delay = previous_completion(function_name, step_index)
             if isinstance(step, ReadStep):
@@ -275,74 +313,273 @@ def build_equivalent_spec(
                             f"{function_name!r}; the dynamic computation method requires "
                             "boundary inputs to be read as the first step of their consumer"
                         )
-                    graph.add_arc(prev_node, ready, delay=prev_delay, label="consumer ready")
+                    arcs.append(TemplateArc(prev_node, ready, delay=prev_delay, label="consumer ready"))
                 elif spec.kind is RelationKind.FIFO:
                     read_node = fifo_read_nodes[relation]
-                    graph.add_arc(prev_node, read_node, delay=prev_delay, label="consumer ready")
-                    graph.add_arc(
-                        relation_nodes[relation], read_node, delay=0, label="data available"
+                    arcs.append(
+                        TemplateArc(prev_node, read_node, delay=prev_delay, label="consumer ready")
+                    )
+                    arcs.append(
+                        TemplateArc(relation_nodes[relation], read_node, delay=0,
+                                    label="data available")
                     )
                 else:
-                    graph.add_arc(
-                        prev_node, relation_nodes[relation], delay=prev_delay,
-                        label="consumer ready",
+                    arcs.append(
+                        TemplateArc(prev_node, relation_nodes[relation], delay=prev_delay,
+                                    label="consumer ready")
                     )
             elif isinstance(step, WriteStep):
                 relation = step.relation
                 spec = relations[relation]
                 if relation in output_relation_names:
                     offer = f"offer[{relation}]"
-                    graph.add_arc(prev_node, offer, delay=prev_delay, label="producer ready")
-                    graph.add_arc(offer, relation_nodes[relation], delay=0, label="exchange")
+                    arcs.append(TemplateArc(prev_node, offer, delay=prev_delay, label="producer ready"))
+                    arcs.append(TemplateArc(offer, relation_nodes[relation], delay=0, label="exchange"))
                 elif spec.kind is RelationKind.FIFO:
                     write_node = relation_nodes[relation]
-                    graph.add_arc(prev_node, write_node, delay=prev_delay, label="producer ready")
+                    arcs.append(
+                        TemplateArc(prev_node, write_node, delay=prev_delay, label="producer ready")
+                    )
                     if spec.capacity is not None:
-                        graph.add_arc(
-                            fifo_read_nodes[relation],
-                            write_node,
-                            delay=spec.capacity,
-                            label="back-pressure",
+                        arcs.append(
+                            TemplateArc(
+                                fifo_read_nodes[relation],
+                                write_node,
+                                delay=spec.capacity,
+                                label="back-pressure",
+                            )
                         )
                 else:
-                    graph.add_arc(
-                        prev_node, relation_nodes[relation], delay=prev_delay,
-                        label="producer ready",
+                    arcs.append(
+                        TemplateArc(prev_node, relation_nodes[relation], delay=prev_delay,
+                                    label="producer ready")
                     )
             elif isinstance(step, ExecuteStep):
-                entry = execute_node_by_slot[(function_name, step_index)]
-                graph.add_arc(prev_node, entry.start_node, delay=prev_delay, label="data ready")
-                _add_resource_arcs(
-                    architecture, graph, execute_node_by_slot, function_name, step_index, entry
-                )
-                graph.add_arc(
-                    entry.start_node,
-                    entry.end_node,
-                    weight=workload_weight(step.workload),
-                    delay=0,
-                    label=step.label,
+                entry_start = f"start[{function_name}#{step_index}:{step.label}]"
+                entry_end = f"end[{function_name}#{step_index}:{step.label}]"
+                arcs.append(TemplateArc(prev_node, entry_start, delay=prev_delay, label="data ready"))
+                arcs.append(
+                    TemplateArc(
+                        entry_start,
+                        entry_end,
+                        weight=workload_weight(step.workload),
+                        delay=0,
+                        label=step.label,
+                        slot=(function_name, step_index),
+                    )
                 )
             elif isinstance(step, DelayStep):
                 node = completion[(function_name, step_index)]
-                graph.add_arc(prev_node, node, weight=step.duration, delay=prev_delay)
-
-    graph.validate()
+                arcs.append(TemplateArc(prev_node, node, weight=step.duration, delay=prev_delay))
 
     primary_input = boundary_inputs[0].relation if boundary_inputs else None
-    return EquivalentModelSpec(
-        architecture=architecture,
-        graph=graph,
+    return EquivalentModelTemplate(
+        application=application,
+        name=name or f"{application.name}-tdg",
         abstracted_functions=tuple(abstracted),
-        boundary_inputs=_sorted_by_application_order(architecture, boundary_inputs),
-        boundary_outputs=_sorted_by_application_order(architecture, boundary_outputs),
-        execute_nodes=execute_nodes,
+        nodes=tuple(nodes),
+        arcs=tuple(arcs),
+        execute_slots=tuple(execute_slots),
+        boundary_inputs=tuple(_sorted_by_application_order(application, boundary_inputs)),
+        boundary_outputs=tuple(_sorted_by_application_order(application, boundary_outputs)),
         relation_nodes=relation_nodes,
         primary_input=primary_input,
     )
 
 
-def _check_no_intra_iteration_feedback(
+def specialize_template(
+    template: EquivalentModelTemplate,
     architecture: ArchitectureModel,
+    name: Optional[str] = None,
+    weight_overrides: Optional[Mapping[Tuple[str, int], Any]] = None,
+) -> EquivalentModelSpec:
+    """Bind a template to one concrete mapping.
+
+    Replays the template's nodes and arcs into a fresh graph, attaches each
+    execute step to its allocated resource and adds the service-order and
+    server-availability arcs implied by the mapping's static schedules.  The
+    result is equivalent, instant for instant, to calling
+    :func:`build_equivalent_spec` from scratch on ``architecture``.
+
+    ``weight_overrides`` optionally substitutes the workload weight of
+    selected execute steps (keyed by ``(function, step_index)``); the compiled
+    DSE evaluator uses it to share per-iteration duration tables across
+    candidates.
+    """
+    architecture.validate()
+    if architecture.application is not template.application:
+        # Identity, not structural equality: the template's arcs embed the
+        # application's workload model objects, so an equal-*looking*
+        # application would be silently timed with the template's workloads.
+        raise ModelError(
+            "specialize_template requires an architecture built on the template's "
+            f"own application instance ({template.application.name!r}); rebuild the "
+            "template for this application instead"
+        )
+    abstracted_set = set(template.abstracted_functions)
+    _check_resource_isolation(architecture, abstracted_set)
+
+    graph = TemporalDependencyGraph(name or template.name)
+
+    resource_of = {
+        function: architecture.mapping.resource_of(function)
+        for function in template.abstracted_functions
+    }
+    execute_node_resource: Dict[str, str] = {}
+    for slot in template.execute_slots:
+        resource = resource_of[slot.function]
+        execute_node_resource[slot.start_node] = resource
+        execute_node_resource[slot.end_node] = resource
+
+    for node in template.nodes:
+        tags = node.tags
+        resource = execute_node_resource.get(node.name)
+        if resource is not None:
+            tags = dict(tags or {}, resource=resource)
+        graph.add_node(node.name, node.kind, tags)
+
+    overrides = weight_overrides or {}
+    for arc in template.arcs:
+        weight = arc.weight
+        if arc.slot is not None and arc.slot in overrides:
+            weight = overrides[arc.slot]
+        graph.add_arc(arc.source, arc.target, weight=weight, delay=arc.delay, label=arc.label)
+
+    _add_schedule_arcs(template, architecture, graph)
+    graph.validate()
+
+    execute_nodes = [
+        ExecuteNodes(
+            function=slot.function,
+            step_index=slot.step_index,
+            label=slot.label,
+            resource=resource_of[slot.function],
+            start_node=slot.start_node,
+            end_node=slot.end_node,
+            workload=slot.workload,
+        )
+        for slot in template.execute_slots
+    ]
+    return EquivalentModelSpec(
+        architecture=architecture,
+        graph=graph,
+        abstracted_functions=template.abstracted_functions,
+        boundary_inputs=list(template.boundary_inputs),
+        boundary_outputs=list(template.boundary_outputs),
+        execute_nodes=execute_nodes,
+        relation_nodes=dict(template.relation_nodes),
+        primary_input=template.primary_input,
+    )
+
+
+def build_equivalent_spec(
+    architecture: ArchitectureModel,
+    abstract_functions: Optional[Iterable[str]] = None,
+    name: Optional[str] = None,
+) -> EquivalentModelSpec:
+    """Compile (part of) an architecture into an equivalent-model specification.
+
+    One-shot composition of :func:`build_template` (allocation-independent)
+    and :func:`specialize_template` (mapping-dependent).  Callers evaluating
+    many mappings of the same application should keep the template and call
+    :func:`specialize_template` per mapping instead.
+
+    Parameters
+    ----------
+    architecture:
+        The validated architecture model.
+    abstract_functions:
+        Names of the functions to group into the equivalent model.  By default
+        every application function is abstracted (the whole architecture
+        becomes a single equivalent model, as in the paper's experiments).
+    name:
+        Optional name for the generated graph.
+    """
+    architecture.validate()
+    abstracted = _resolve_abstracted(architecture.application, abstract_functions)
+    # Isolation is checked before the template's boundary analysis so that a
+    # shared-resource grouping is reported as such, not as a feedback problem.
+    _check_resource_isolation(architecture, set(abstracted))
+    template = build_template(
+        architecture.application,
+        abstracted,
+        name=name or f"{architecture.name}-tdg",
+    )
+    return specialize_template(template, architecture)
+
+
+def _resolve_abstracted(
+    application: ApplicationModel, abstract_functions: Optional[Iterable[str]]
+) -> List[str]:
+    """Normalise and check the abstracted-function selection."""
+    all_functions = [function.name for function in application.functions]
+    if abstract_functions is None:
+        return all_functions
+    abstracted = list(abstract_functions)
+    unknown = set(abstracted) - set(all_functions)
+    if unknown:
+        raise ModelError(f"cannot abstract unknown functions: {sorted(unknown)}")
+    if not abstracted:
+        raise ModelError("the abstracted group must contain at least one function")
+    return abstracted
+
+
+def _add_schedule_arcs(
+    template: EquivalentModelTemplate,
+    architecture: ArchitectureModel,
+    graph: TemporalDependencyGraph,
+) -> None:
+    """Add the service-order and server-availability arcs of every execute step."""
+    execute_by_slot: Dict[Tuple[str, int], TemplateExecute] = {
+        (slot.function, slot.step_index): slot for slot in template.execute_slots
+    }
+    schedules = architecture.resource_schedules()
+    for resource in architecture.platform.resources:
+        concurrency = resource.concurrency
+        if concurrency is None:
+            continue
+        schedule = schedules.get(resource.name) or []
+        entries = [execute_by_slot.get((slot.function, slot.step_index)) for slot in schedule]
+        if not schedule or entries[0] is None:
+            # Resource not serving the abstracted group (isolation guarantees
+            # a schedule is never split between inside and outside functions).
+            continue
+        slots = len(schedule)
+
+        def node_at(position: int, offset: int) -> Tuple[TemplateExecute, int]:
+            """Slot ``offset`` positions before ``position`` and its iteration delay."""
+            target = position - offset
+            delay = 0
+            while target < 0:
+                target += slots
+                delay += 1
+            return entries[target], delay
+
+        for position, entry in enumerate(entries):
+            # Service order: an execution cannot start before the previous slot
+            # started.  (With a single slot per iteration this degenerates to
+            # start(k) >= start(k-1), which is redundant but harmless.)
+            previous_entry, previous_delay = node_at(position, 1)
+            graph.add_arc(
+                previous_entry.start_node,
+                entry.start_node,
+                delay=previous_delay,
+                label="service order",
+            )
+            # Server availability: at most `concurrency` executions in flight,
+            # so this slot cannot start before the slot `concurrency` positions
+            # earlier has completed.
+            server_entry, server_delay = node_at(position, concurrency)
+            graph.add_arc(
+                server_entry.end_node,
+                entry.start_node,
+                delay=server_delay,
+                label="server free",
+            )
+
+
+def _check_no_intra_iteration_feedback(
+    application: ApplicationModel,
     abstracted: Set[str],
     input_relations: List[RelationSpec],
     output_relations: List[RelationSpec],
@@ -359,7 +596,7 @@ def _check_no_intra_iteration_feedback(
     """
     # Directed reachability among outside functions through outside relations.
     outside_edges: Dict[str, Set[str]] = {}
-    for spec in architecture.relations().values():
+    for spec in application.relations().values():
         producer_outside = spec.producer is not None and spec.producer not in abstracted
         consumer_outside = spec.consumer is not None and spec.consumer not in abstracted
         if producer_outside and consumer_outside:
@@ -411,63 +648,15 @@ def _check_resource_isolation(
             )
 
 
-def _add_resource_arcs(
-    architecture: ArchitectureModel,
-    graph: TemporalDependencyGraph,
-    execute_node_by_slot: Dict[Tuple[str, int], ExecuteNodes],
-    function_name: str,
-    step_index: int,
-    entry: ExecuteNodes,
-) -> None:
-    """Add the service-order and server-availability arcs of one execute step."""
-    location = architecture.slot_location(function_name, step_index)
-    if location.concurrency is None:
-        return
-    schedule = architecture.resource_schedules()[location.resource]
-    slots = location.slots_per_iteration
-    position = location.position
-
-    def slot_at(offset: int) -> Tuple[ExecuteNodes, int]:
-        """Slot ``offset`` positions before the current one and its iteration delay."""
-        target = position - offset
-        delay = 0
-        while target < 0:
-            target += slots
-            delay += 1
-        slot = schedule[target]
-        return execute_node_by_slot[(slot.function, slot.step_index)], delay
-
-    # Service order: an execution cannot start before the previous slot started.
-    # (With a single slot per iteration this degenerates to start(k) >= start(k-1),
-    # which is redundant but harmless.)
-    previous_entry, previous_delay = slot_at(1)
-    graph.add_arc(
-        previous_entry.start_node,
-        entry.start_node,
-        delay=previous_delay,
-        label="service order",
-    )
-    # Server availability: at most `concurrency` executions in flight, so this slot
-    # cannot start before the slot `concurrency` positions earlier has completed.
-    server_entry, server_delay = slot_at(location.concurrency)
-    graph.add_arc(
-        server_entry.end_node,
-        entry.start_node,
-        delay=server_delay,
-        label="server free",
-    )
-
-
-def _sorted_by_application_order(architecture: ArchitectureModel, boundaries):
+def _sorted_by_application_order(application: ApplicationModel, boundaries):
     """Order boundary records by (function declaration order, reading/writing step index)."""
     function_order = {
-        function.name: index
-        for index, function in enumerate(architecture.application.functions)
+        function.name: index for index, function in enumerate(application.functions)
     }
 
     def sort_key(boundary) -> Tuple[int, int]:
         owner = getattr(boundary, "consumer", None) or getattr(boundary, "producer", None)
-        function = architecture.application.function(owner)
+        function = application.function(owner)
         step_position = 0
         for index, step in enumerate(function.steps):
             if getattr(step, "relation", None) == boundary.relation:

@@ -13,13 +13,24 @@ belongs to (for accuracy checks).  All of that is collected in an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from ..archmodel.application import ApplicationModel
 from ..archmodel.architecture import ArchitectureModel
 from ..archmodel.workload import ExecutionTimeModel
 from ..tdg.graph import TemporalDependencyGraph
+from ..tdg.node import NodeKind
 
-__all__ = ["BoundaryInput", "BoundaryOutput", "ExecuteNodes", "EquivalentModelSpec"]
+__all__ = [
+    "BoundaryInput",
+    "BoundaryOutput",
+    "ExecuteNodes",
+    "EquivalentModelSpec",
+    "TemplateNode",
+    "TemplateArc",
+    "TemplateExecute",
+    "EquivalentModelTemplate",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +75,89 @@ class ExecuteNodes:
     start_node: str
     end_node: str
     workload: ExecutionTimeModel
+
+
+@dataclass(frozen=True)
+class TemplateNode:
+    """One graph node of a compiled template.
+
+    Execute-step nodes carry their ``function``/``label``/``step_index`` tags
+    here; the ``resource`` tag only exists after specialisation (it depends on
+    the mapping the template is specialised against).
+    """
+
+    name: str
+    kind: NodeKind
+    tags: Optional[Mapping[str, Any]] = None
+
+
+@dataclass(frozen=True)
+class TemplateArc:
+    """One allocation-independent dependency arc of a compiled template.
+
+    ``weight`` is whatever :func:`repro.core.builder.workload_weight` produced
+    (a constant :class:`~repro.kernel.simtime.Duration`, a per-iteration
+    callable, or ``None`` for zero-weight arcs).  ``slot`` identifies the
+    execute step whose workload the weight evaluates, so specialisation can
+    substitute a pre-tabulated weight for it (batched instant computation).
+    """
+
+    source: str
+    target: str
+    weight: Any = None
+    delay: int = 0
+    label: str = ""
+    slot: Optional[Tuple[str, int]] = None
+
+
+@dataclass(frozen=True)
+class TemplateExecute:
+    """Start/end nodes of one execute step, before a resource is bound."""
+
+    function: str
+    step_index: int
+    label: str
+    start_node: str
+    end_node: str
+    workload: ExecutionTimeModel
+
+
+@dataclass
+class EquivalentModelTemplate:
+    """The allocation-independent part of an equivalent-model compilation.
+
+    Everything :func:`repro.core.builder.build_equivalent_spec` derives from
+    the *application* alone -- relation topology, boundary bookkeeping, the
+    node vocabulary and every arc that does not encode a mapping decision --
+    is computed once and stored here.  Binding a concrete mapping (resource
+    allocations plus static service orders) is the cheap per-candidate step
+    performed by :func:`repro.core.builder.specialize_template`, which is what
+    makes design-space exploration inner loops fast: one template per design
+    problem, one specialisation per candidate.
+    """
+
+    application: ApplicationModel
+    name: str
+    abstracted_functions: Tuple[str, ...]
+    nodes: Tuple[TemplateNode, ...]
+    arcs: Tuple[TemplateArc, ...]
+    execute_slots: Tuple[TemplateExecute, ...]
+    boundary_inputs: Tuple[BoundaryInput, ...]
+    boundary_outputs: Tuple[BoundaryOutput, ...]
+    relation_nodes: Dict[str, str] = field(default_factory=dict)
+    primary_input: Optional[str] = None
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        return (
+            f"Equivalent-model template for {self.application.name!r}: "
+            f"{len(self.abstracted_functions)} abstracted functions, "
+            f"{len(self.nodes)} nodes, {len(self.arcs)} allocation-independent arcs"
+        )
 
 
 @dataclass

@@ -12,9 +12,12 @@ latency-vs-resources Pareto front.
 
 Layout
 ------
-* :mod:`repro.dse.space` -- candidate encoding, enumeration, mutation;
+* :mod:`repro.dse.space` -- candidate encoding, enumeration, mutation
+  (feasibility-aware order sampling under the default ``strict=True``);
 * :mod:`repro.dse.problems` -- named application + resource-bank problems;
 * :mod:`repro.dse.evaluate` -- equivalent-model-only candidate scoring;
+* :mod:`repro.dse.compile` -- :class:`CompiledProblem`: one TDG template
+  per problem, specialised cheaply per candidate (the default fast path);
 * :mod:`repro.dse.search` -- exhaustive / random / annealing strategies;
 * :mod:`repro.dse.pareto` -- non-dominated tracking and ranked tables;
 * :mod:`repro.dse.scenario` -- the ``dse-eval`` campaign scenario;
@@ -29,6 +32,7 @@ Quickstart
 >>> report.front_rows()  # doctest: +SKIP
 """
 
+from .compile import CompiledProblem, compiled_problem
 from .evaluate import CandidateEvaluation, evaluate_candidate, evaluate_mapping
 from .explore import ExplorationReport, MappingExplorer
 from .pareto import DEFAULT_OBJECTIVES, Objective, ParetoFront, dominates, ranked_rows
@@ -45,6 +49,8 @@ from .search import (
 from .space import DesignSpace, MappingCandidate
 
 __all__ = [
+    "CompiledProblem",
+    "compiled_problem",
     "CandidateEvaluation",
     "evaluate_candidate",
     "evaluate_mapping",

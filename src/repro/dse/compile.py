@@ -1,0 +1,406 @@
+"""Compiled candidate evaluation: one TDG template, many cheap specialisations.
+
+The paper's value proposition is that evaluating one mapping is cheap;
+a design-space exploration evaluates *thousands*.  The from-scratch
+evaluator (:func:`repro.dse.evaluate.evaluate_mapping`) spends most of
+its wall-clock on Python-level work that does not depend on the
+candidate at all: re-deriving the relation topology and node vocabulary
+of the temporal dependency graph, re-instantiating the event-driven
+harness around the instant computer, and re-evaluating the same
+data-dependent workload durations for the same stimulus tokens.
+
+:class:`CompiledProblem` hoists all of that out of the inner loop:
+
+* the application, platform, stimuli and the allocation-independent
+  :class:`~repro.core.spec.EquivalentModelTemplate` are built **once**
+  per ``(problem, parameters)``;
+* per candidate, the template is *specialised* -- resource bindings and
+  service-order arcs only -- via
+  :func:`~repro.core.builder.specialize_template`;
+* data-dependent workload durations are tabulated per iteration and
+  shared across every candidate (the stimulus, and hence the token
+  sequence, is identical for all of them);
+* the Reception/Emission protocol of the equivalent model is replayed
+  as a plain computation loop, with no simulation kernel: with the
+  always-ready observer of the paper's experiments the boundary
+  exchanges have closed forms.  Whenever that closed form would diverge
+  from the event-driven harness (an output offered out of order, i.e. a
+  case needing boundary feedback), the evaluation transparently falls
+  back to the exact from-scratch path.
+
+The results are identical, instant for instant, to
+:func:`~repro.dse.evaluate.evaluate_mapping` -- asserted candidate by
+candidate over the whole ``didactic`` space in the test-suite.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..archmodel.architecture import ArchitectureModel
+from ..archmodel.token import DataToken
+from ..archmodel.workload import ConstantExecutionTime, ExecutionTimeModel
+from ..campaign.spec import canonical_json
+from ..core.builder import build_template, specialize_template
+from ..core.compute import InstantComputer
+from ..core.spec import EquivalentModelSpec
+from ..environment.stimulus import Stimulus
+from ..errors import GraphError, ModelError, ReproError
+from ..kernel.simtime import Duration
+from .evaluate import CandidateEvaluation, evaluate_mapping
+from .problems import DesignProblem, get_problem
+from .space import MappingCandidate
+
+__all__ = ["CompiledProblem", "compiled_problem"]
+
+
+class _TabulatedWeight:
+    """Per-iteration workload durations, evaluated once and shared across candidates.
+
+    The arc-weight protocol is ``weight(k, context) -> Duration``; the table
+    ignores the per-candidate context and uses the problem's own (identical)
+    token sequence, growing lazily with the iteration index.
+    """
+
+    __slots__ = ("workload", "_tokens", "_cache_ps")
+
+    def __init__(self, workload: ExecutionTimeModel, tokens: "_TokenTable") -> None:
+        self.workload = workload
+        self._tokens = tokens
+        self._cache_ps: List[int] = []
+
+    def weight_ps(self, k: int, context: Mapping[str, object]) -> int:
+        """Integer fast path used by the evaluator (see DependencyArc.weight_callable)."""
+        cache = self._cache_ps
+        while len(cache) <= k:
+            index = len(cache)
+            duration = self.workload.duration(index, self._tokens[index])
+            # Same validation the arc's weight_ps applies to untrusted
+            # callables, so a misbehaving workload stays an infeasibility
+            # report instead of a silently wrong instant.
+            if not isinstance(duration, Duration) or duration.is_negative():
+                raise GraphError(
+                    f"workload {type(self.workload).__name__} returned an invalid "
+                    f"duration for iteration {index}: {duration!r}"
+                )
+            cache.append(duration.picoseconds)
+        return cache[k]
+
+    def __call__(self, k: int, context: Mapping[str, object]) -> Duration:
+        return Duration(self.weight_ps(k, context))
+
+
+class _TokenTable:
+    """Lazy, memoised token sequence of the primary stimulus (or all-``None``)."""
+
+    __slots__ = ("stimulus", "_tokens")
+
+    def __init__(self, stimulus: Optional[Stimulus]) -> None:
+        self.stimulus = stimulus
+        self._tokens: List[Optional[DataToken]] = []
+
+    def __getitem__(self, k: int) -> Optional[DataToken]:
+        tokens = self._tokens
+        while len(tokens) <= k:
+            index = len(tokens)
+            tokens.append(None if self.stimulus is None else self.stimulus.token(index))
+        return tokens[k]
+
+
+class CompiledProblem:
+    """A design problem compiled for fast repeated candidate evaluation.
+
+    Construction resolves the problem parameters and builds everything a
+    candidate evaluation needs that does not depend on the candidate: the
+    application and platform models, the stimuli, the allocation-independent
+    TDG template and the shared workload-duration tables.
+    :meth:`specialize` binds one candidate's mapping into a full
+    :class:`~repro.core.spec.EquivalentModelSpec`; :meth:`evaluate` scores it
+    with the same objectives as :func:`~repro.dse.evaluate.evaluate_mapping`.
+    """
+
+    def __init__(
+        self,
+        problem: DesignProblem,
+        parameters: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.problem = get_problem(problem) if isinstance(problem, str) else problem
+        self.parameters: Dict[str, Any] = self.problem.parameters(parameters)
+        self.application = self.problem.application_factory(self.parameters)
+        self.platform = self.problem.platform_factory(self.parameters)
+        self.stimuli: Dict[str, Stimulus] = dict(
+            self.problem.stimuli_factory(self.parameters)
+        )
+        self._name = f"dse-{self.problem.name}"
+        self.template = build_template(self.application, name=f"{self._name}-tdg")
+        primary = self.template.primary_input
+        tokens = _TokenTable(self.stimuli.get(primary) if primary else None)
+        #: (function, step_index) -> tabulated weight for data-dependent workloads.
+        self._weight_overrides: Dict[Tuple[str, int], _TabulatedWeight] = {
+            (slot.function, slot.step_index): _TabulatedWeight(slot.workload, tokens)
+            for slot in self.template.execute_slots
+            if not isinstance(slot.workload, ConstantExecutionTime)
+        }
+
+    # ------------------------------------------------------------------
+    def specialize(self, candidate: MappingCandidate) -> EquivalentModelSpec:
+        """Bind one candidate mapping into a full equivalent-model spec.
+
+        Raises a :class:`~repro.errors.ReproError` subclass when the candidate
+        is infeasible (e.g. its static service orders create a zero-delay
+        cycle), exactly like the from-scratch builder.
+        """
+        mapping = candidate.build_mapping(f"{self._name}-mapping")
+        architecture = ArchitectureModel(
+            self._name, self.application, self.platform, mapping
+        )
+        return specialize_template(
+            self.template,
+            architecture,
+            weight_overrides=self._weight_overrides,
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(self, candidate: MappingCandidate) -> CandidateEvaluation:
+        """Score one candidate (same objectives as ``evaluate_mapping``)."""
+        start = time.perf_counter()
+        try:
+            spec = self.specialize(candidate)
+            missing = {b.relation for b in spec.boundary_inputs} - set(self.stimuli)
+            if missing:
+                raise ModelError(
+                    f"missing stimuli for external inputs: {sorted(missing)}"
+                )
+            computer = InstantComputer(spec, record_usage=True)
+        except ReproError as error:
+            return CandidateEvaluation(
+                candidate=candidate,
+                infeasible=f"{type(error).__name__}: {error}",
+                wall_seconds=time.perf_counter() - start,
+            )
+
+        try:
+            run = self._run(spec, computer)
+        except ReproError as error:
+            # Mirror of evaluate_mapping wrapping model.run(): a workload or
+            # computation failure is an infeasibility fact, not a crash.
+            return CandidateEvaluation(
+                candidate=candidate,
+                infeasible=f"{type(error).__name__}: {error}",
+                wall_seconds=time.perf_counter() - start,
+            )
+        if run is None:
+            # An output would be accepted later than computed (boundary
+            # feedback): replay through the exact event-driven harness.
+            return evaluate_mapping(
+                self.application,
+                self.platform,
+                candidate,
+                self.problem.stimuli_factory(self.parameters),
+                name=self._name,
+            )
+        offers, actual, iterations = run
+        return self._assemble(candidate, spec, computer, offers, actual, iterations, start)
+
+    # ------------------------------------------------------------------
+    def _run(self, spec: EquivalentModelSpec, computer: InstantComputer):
+        """Replay the Reception/Emission protocol without the simulation kernel.
+
+        Returns ``(offer instants per input, output instants per output,
+        iterations)`` or ``None`` when the run needs the event-driven harness
+        (non-monotonic computed outputs, which trigger boundary feedback).
+        """
+        stimuli = self.stimuli
+        boundary_inputs = spec.boundary_inputs
+        iterations = min(len(stimuli[b.relation]) for b in boundary_inputs)
+        output_relations = [b.relation for b in spec.boundary_outputs]
+        actual: Dict[str, List[int]] = {relation: [] for relation in output_relations}
+        offers: Dict[str, List[int]] = {b.relation: [] for b in boundary_inputs}
+        previous_exchange: Dict[str, Optional[int]] = {
+            b.relation: None for b in boundary_inputs
+        }
+        now = 0  # the Reception process's local clock
+        for k in range(iterations):
+            instants: Dict[str, int] = {}
+            tokens: Dict[str, Optional[DataToken]] = {}
+            for boundary in boundary_inputs:
+                relation = boundary.relation
+                # Reception: wait until the abstracted consumer is ready.
+                ready = computer.ready_instant(relation)
+                if ready is not None and ready > now:
+                    now = ready
+                # Stimulus driver: resumes after its previous exchange, then
+                # waits for the scheduled offer time; u(k) is the later one.
+                stimulus = stimuli[relation]
+                scheduled = stimulus.offer_time(k).picoseconds
+                previous = previous_exchange[relation]
+                arrival = scheduled if previous is None or previous <= scheduled else previous
+                offers[relation].append(arrival)
+                # Rendezvous: the exchange completes when both sides arrived.
+                if arrival > now:
+                    now = arrival
+                instants[relation] = now
+                tokens[relation] = stimulus.token(k)
+                previous_exchange[relation] = now
+            outputs = computer.compute_iteration(instants, tokens)
+            for relation in output_relations:
+                offered = outputs[relation]
+                emitted = actual[relation]
+                if offered is None or (emitted and offered < emitted[-1]):
+                    return None
+                # Always-ready observer: the exchange happens at the offer.
+                emitted.append(offered)
+        return offers, actual, iterations
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        candidate: MappingCandidate,
+        spec: EquivalentModelSpec,
+        computer: InstantComputer,
+        offers: Mapping[str, List[int]],
+        actual: Mapping[str, List[int]],
+        iterations: int,
+        start: float,
+    ) -> CandidateEvaluation:
+        """Extract the objectives (mirror of ``evaluate_mapping``'s epilogue)."""
+        outputs = self.application.external_outputs()
+        if not outputs:
+            raise ModelError("design-space evaluation needs an external output relation")
+        per_output = tuple(
+            (spec_rel.name, tuple(actual[spec_rel.name])) for spec_rel in outputs
+        )
+        instants = per_output[0][1]
+        if not instants:
+            return CandidateEvaluation(
+                candidate=candidate,
+                infeasible="the model produced no output instants",
+                wall_seconds=time.perf_counter() - start,
+            )
+
+        inputs = self.application.external_inputs()
+        offer_list = offers.get(inputs[0].name, []) if inputs else []
+        pairs = min(len(offer_list), len(instants))
+        mean_latency = (
+            sum(instants[k] - offer_list[k] for k in range(pairs)) / pairs
+            if pairs
+            else 0.0
+        )
+
+        # Resource utilisation straight from the computed start/end instants
+        # (equivalent to reconstructing the activity trace and running
+        # busy_profile over one whole-window bin, without the trace objects).
+        usage = computer.usage_instants()
+        intervals: Dict[str, List[Tuple[int, int]]] = {}
+        window_lo: Optional[int] = None
+        window_hi: Optional[int] = None
+        for entry in spec.execute_nodes:
+            starts = usage[entry.start_node]
+            ends = usage[entry.end_node]
+            bucket = intervals.setdefault(entry.resource, [])
+            for index in range(iterations):
+                start_ps = starts[index]
+                end_ps = ends[index]
+                if start_ps is None or end_ps is None:
+                    continue
+                bucket.append((start_ps, end_ps))
+                if window_lo is None or start_ps < window_lo:
+                    window_lo = start_ps
+                if window_hi is None or end_ps > window_hi:
+                    window_hi = end_ps
+
+        utilization: Dict[str, float] = {}
+        degenerate = window_lo is None or window_hi is None or window_hi <= window_lo
+        for resource in candidate.resources_used():
+            if degenerate:
+                utilization[resource] = 0.0
+            else:
+                utilization[resource] = round(
+                    _busy_fraction(intervals.get(resource, []), window_lo, window_hi), 4
+                )
+        mean_utilization = (
+            sum(utilization.values()) / len(utilization) if utilization else 0.0
+        )
+
+        return CandidateEvaluation(
+            candidate=candidate,
+            iterations=len(instants),
+            latency_ps=max(seq[-1] for _, seq in per_output if seq),
+            mean_latency_ps=mean_latency,
+            tdg_nodes=spec.graph.node_count,
+            resources_used=len(candidate.resources_used()),
+            utilization=tuple(sorted(utilization.items())),
+            mean_utilization=round(mean_utilization, 4),
+            wall_seconds=time.perf_counter() - start,
+            output_instants=instants,
+            per_output_instants=per_output,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledProblem({self.problem.name!r}, "
+            f"nodes={self.template.node_count})"
+        )
+
+
+def _busy_fraction(intervals: List[Tuple[int, int]], lo: int, hi: int) -> float:
+    """Merged busy fraction of ``[lo, hi)`` (mirror of ActivityTrace.utilization)."""
+    if not intervals:
+        return 0.0
+    intervals = sorted(intervals)
+    merged_total = 0
+    current_start, current_end = intervals[0]
+    for interval_start, interval_end in intervals[1:]:
+        if interval_start <= current_end:
+            if interval_end > current_end:
+                current_end = interval_end
+        else:
+            merged_total += current_end - current_start
+            current_start, current_end = interval_start, interval_end
+    merged_total += current_end - current_start
+    return merged_total / (hi - lo)
+
+
+# ----------------------------------------------------------------------
+# per-process compilation cache
+# ----------------------------------------------------------------------
+_CACHE: "OrderedDict[Tuple[int, str, str], CompiledProblem]" = OrderedDict()
+_CACHE_LIMIT = 4
+
+#: Campaign-job bookkeeping keys that never parameterise the problem itself:
+#: the candidate encoding and the problem selector.  Everything else is kept,
+#: so problems reading optional parameters absent from ``defaults`` still see
+#: them on the compiled path.
+_NON_PROBLEM_KEYS = frozenset(("problem", "allocation", "orders"))
+
+
+def compiled_problem(
+    problem: DesignProblem, parameters: Optional[Mapping[str, Any]] = None
+) -> CompiledProblem:
+    """The (cached) compiled form of ``problem`` under resolved parameters.
+
+    The cache key strips the candidate encoding riding along in a campaign
+    job's parameter dict (``allocation``/``orders``/``problem``) so proposals
+    do not defeat the cache, and includes the problem object's identity so a
+    same-named unregistered problem variant never reuses another problem's
+    compilation.  Worker processes each keep their own small cache; templates
+    are compiled at most once per ``(problem, parameters)`` per process.
+    """
+    resolved = problem.parameters(parameters)
+    relevant = {
+        key: value for key, value in resolved.items() if key not in _NON_PROBLEM_KEYS
+    }
+    # id() is stable here: the cached CompiledProblem keeps ``problem`` alive,
+    # so its id cannot be reused while the entry exists.
+    key = (id(problem), problem.name, canonical_json(relevant))
+    compiled = _CACHE.get(key)
+    if compiled is None:
+        compiled = CompiledProblem(problem, relevant)
+        _CACHE[key] = compiled
+        while len(_CACHE) > _CACHE_LIMIT:
+            _CACHE.popitem(last=False)
+    else:
+        _CACHE.move_to_end(key)
+    return compiled

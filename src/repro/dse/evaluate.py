@@ -22,6 +22,7 @@ search strategies can skip it and move on.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -54,9 +55,14 @@ class CandidateEvaluation:
     utilization: Tuple[Tuple[str, float], ...] = ()
     mean_utilization: float = 0.0
     wall_seconds: float = 0.0
-    #: Output evolution instants in integer picoseconds (the accuracy anchor:
-    #: an explicit simulation of the same mapping must reproduce them exactly).
+    #: Output evolution instants of the *primary* (first-declared) external
+    #: output, in integer picoseconds (the accuracy anchor: an explicit
+    #: simulation of the same mapping must reproduce them exactly).
     output_instants: Tuple[int, ...] = ()
+    #: Per-relation output instants of every external output, in application
+    #: declaration order.  ``latency_ps`` is the max last instant across them,
+    #: so multi-output designs are not silently scored on one output only.
+    per_output_instants: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
 
     @property
     def feasible(self) -> bool:
@@ -76,6 +82,10 @@ class CandidateEvaluation:
             "mean_utilization": self.mean_utilization,
             "tdg_nodes": self.tdg_nodes,
             "allocation": self.candidate.describe(),
+            "output_latency_ps": {
+                relation: (instants[-1] if instants else None)
+                for relation, instants in self.per_output_instants
+            },
         }
 
 
@@ -110,10 +120,14 @@ def evaluate_mapping(
     outputs = architecture.external_outputs()
     if not outputs:
         raise ModelError("design-space evaluation needs an external output relation")
-    output_relation = outputs[0].name
-    instants = tuple(
-        instant.picoseconds for instant in model.output_instants(output_relation)
+    per_output = tuple(
+        (
+            spec_rel.name,
+            tuple(instant.picoseconds for instant in model.output_instants(spec_rel.name)),
+        )
+        for spec_rel in outputs
     )
+    instants = per_output[0][1]
     if not instants:
         return CandidateEvaluation(
             candidate=candidate,
@@ -133,9 +147,15 @@ def evaluate_mapping(
     trace = model.reconstructed_usage()
     window = trace.span()
     utilization: Dict[str, float] = {}
-    for resource in candidate.resources_used():
-        profile = busy_profile(trace, resource, window[1] - window[0], window=window)
-        utilization[resource] = round(profile.mean(), 4)
+    if window[1] > window[0]:
+        for resource in candidate.resources_used():
+            profile = busy_profile(trace, resource, window[1] - window[0], window=window)
+            utilization[resource] = round(profile.mean(), 4)
+    else:
+        # Degenerate zero-width trace window (e.g. a single zero-duration
+        # iteration): nothing was busy for a measurable time, so every
+        # resource is 0% utilised instead of dividing by a zero makespan.
+        utilization = {resource: 0.0 for resource in candidate.resources_used()}
     mean_utilization = (
         sum(utilization.values()) / len(utilization) if utilization else 0.0
     )
@@ -143,7 +163,7 @@ def evaluate_mapping(
     return CandidateEvaluation(
         candidate=candidate,
         iterations=len(instants),
-        latency_ps=instants[-1],
+        latency_ps=max(seq[-1] for _, seq in per_output if seq),
         mean_latency_ps=mean_latency,
         tdg_nodes=spec.graph.node_count,
         resources_used=len(candidate.resources_used()),
@@ -151,6 +171,21 @@ def evaluate_mapping(
         mean_utilization=round(mean_utilization, 4),
         wall_seconds=time.perf_counter() - start,
         output_instants=instants,
+        per_output_instants=per_output,
+    )
+
+
+def compile_enabled_by_default() -> bool:
+    """Whether ``evaluate_candidate`` uses the compiled path (env override).
+
+    Set ``REPRO_DSE_COMPILE=0`` to force the from-scratch build (the CI smoke
+    step runs the throughput harness in both modes through this switch).
+    """
+    return os.environ.get("REPRO_DSE_COMPILE", "1").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+        "off",
     )
 
 
@@ -158,8 +193,24 @@ def evaluate_candidate(
     problem: DesignProblem,
     candidate: MappingCandidate,
     parameters: Optional[Mapping[str, Any]] = None,
+    compiled: Optional[bool] = None,
 ) -> CandidateEvaluation:
-    """Score a candidate of a named problem under resolved problem parameters."""
+    """Score a candidate of a named problem under resolved problem parameters.
+
+    By default the evaluation goes through a cached
+    :class:`~repro.dse.compile.CompiledProblem`: the allocation-independent
+    TDG template of the problem is built once and only *specialised* per
+    candidate, which is what makes exploration inner loops fast.  Pass
+    ``compiled=False`` (or set ``REPRO_DSE_COMPILE=0``) to force the original
+    from-scratch :func:`evaluate_mapping` build; both paths produce identical
+    objectives, instant for instant.
+    """
+    if compiled is None:
+        compiled = compile_enabled_by_default()
+    if compiled:
+        from .compile import compiled_problem
+
+        return compiled_problem(problem, parameters).evaluate(candidate)
     resolved = problem.parameters(parameters)
     return evaluate_mapping(
         problem.application_factory(resolved),

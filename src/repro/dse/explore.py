@@ -111,6 +111,14 @@ class MappingExplorer:
     carries problem overrides (``items``, ``seed``, ``processors``,
     ``stages``, ...).  ``jobs`` and ``store`` are handed to the campaign
     runner unchanged.
+
+    Candidate scoring goes through the ``dse-eval`` scenario, whose executor
+    evaluates via a per-process cached :class:`~repro.dse.compile
+    .CompiledProblem` -- the problem's TDG template is compiled once and only
+    specialised per candidate, in every worker (set ``REPRO_DSE_COMPILE=0``
+    to force the from-scratch build).  With ``strict`` left on, proposal
+    sampling only draws service orders consistent with the data dependencies,
+    so the budget is spent on feasible candidates.
     """
 
     def __init__(
@@ -122,6 +130,7 @@ class MappingExplorer:
         parameters: Optional[Mapping[str, Any]] = None,
         max_resources: Optional[int] = None,
         explore_orders: bool = True,
+        strict: bool = True,
         jobs: int = 1,
         store: Optional[ResultStore] = None,
         record_instants: bool = False,
@@ -141,6 +150,8 @@ class MappingExplorer:
         self.parameters = dict(parameters or {})
         self.max_resources = max_resources
         self.explore_orders = explore_orders
+        #: Feasibility-aware order sampling (see DesignSpace ``strict``).
+        self.strict = strict
         self.record_instants = record_instants
         self.objectives = tuple(objectives)
         self.strategy_options = dict(strategy_options or {})
@@ -152,6 +163,7 @@ class MappingExplorer:
             self.parameters,
             max_resources=self.max_resources,
             explore_orders=self.explore_orders,
+            strict=self.strict,
         )
 
     def _spec(self, candidate: MappingCandidate, resolved: Mapping[str, Any]) -> ScenarioSpec:

@@ -19,10 +19,11 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from ..archmodel.application import ApplicationModel
+from ..archmodel.function import AppFunction
 from ..archmodel.platform import PlatformModel
 from ..environment.stimulus import Stimulus
 from ..errors import ModelError
-from ..examples_lib.didactic import build_didactic_architecture, didactic_stimulus
+from ..examples_lib.didactic import build_didactic_architecture, didactic_stimulus, didactic_workloads
 from ..generator.chains import build_chain_architecture
 from ..kernel.simtime import microseconds
 from .space import DesignSpace
@@ -55,6 +56,7 @@ class DesignProblem:
         parameters: Optional[Mapping[str, Any]] = None,
         max_resources: Optional[int] = None,
         explore_orders: bool = True,
+        strict: bool = True,
     ) -> DesignSpace:
         """The design space of this problem under ``parameters``."""
         resolved = self.parameters(parameters)
@@ -63,6 +65,7 @@ class DesignProblem:
             self.platform_factory(resolved),
             max_resources=max_resources,
             explore_orders=explore_orders,
+            strict=strict,
         )
 
 
@@ -86,6 +89,44 @@ def _didactic_platform(parameters: Mapping[str, Any]) -> PlatformModel:
 
 
 def _didactic_stimuli(parameters: Mapping[str, Any]) -> Dict[str, Stimulus]:
+    return {
+        "M1": didactic_stimulus(
+            count=int(parameters["items"]), seed=int(parameters["seed"])
+        )
+    }
+
+
+def _fork_application(parameters: Mapping[str, Any]) -> ApplicationModel:
+    """One splitter feeding two independent branches with their own outputs.
+
+    The two branches end in distinct external output relations (O1 and O2),
+    which is what makes this the regression problem for multi-output latency
+    scoring: a candidate that slows only the O2 branch must see its latency
+    objective move.
+    """
+    workloads = didactic_workloads()
+    application = ApplicationModel("fork")
+    application.add_function(
+        AppFunction("F1")
+        .read("M1")
+        .execute("Ti1", workloads["Ti1"])
+        .write("N2")
+        .write("N3")
+    )
+    application.add_function(
+        AppFunction("F2").read("N2").execute("Ti3", workloads["Ti3"]).write("O1")
+    )
+    application.add_function(
+        AppFunction("F3").read("N3").execute("Ti4", workloads["Ti4"]).write("O2")
+    )
+    return application
+
+
+def _fork_platform(parameters: Mapping[str, Any]) -> PlatformModel:
+    return _processor_bank("fork-bank", int(parameters["processors"]))
+
+
+def _fork_stimuli(parameters: Mapping[str, Any]) -> Dict[str, Stimulus]:
     return {
         "M1": didactic_stimulus(
             count=int(parameters["items"]), seed=int(parameters["seed"])
@@ -129,6 +170,16 @@ _register(
         platform_factory=_didactic_platform,
         stimuli_factory=_didactic_stimuli,
         defaults={"items": 40, "seed": 2014, "processors": 4},
+    )
+)
+_register(
+    DesignProblem(
+        name="fork",
+        description="Splitter + two output branches (multi-output latency scoring)",
+        application_factory=_fork_application,
+        platform_factory=_fork_platform,
+        stimuli_factory=_fork_stimuli,
+        defaults={"items": 30, "seed": 2014, "processors": 3},
     )
 )
 _register(

@@ -159,7 +159,10 @@ class AnnealingSearch(SearchStrategy):
             if best is None or value < best[1]:
                 best = (candidate, value)
         self._pending = []
-        if best is None or best[1] is math.inf:
+        # math.isinf, not an identity check: an infinity *computed* from the
+        # metrics (e.g. float("inf") latency) is not the math.inf singleton,
+        # and an all-infeasible round must never become the current point.
+        if best is None or math.isinf(best[1]):
             self.temperature *= self.cooling
             return
         candidate, value = best

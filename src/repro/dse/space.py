@@ -31,7 +31,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..archmodel.application import ApplicationModel
+from ..archmodel.application import ApplicationModel, RelationKind
 from ..archmodel.mapping import Mapping as ArchMapping
 from ..archmodel.platform import PlatformModel, ProcessingResource
 from ..archmodel.primitives import ExecuteStep, ReadStep, WriteStep
@@ -159,6 +159,17 @@ class DesignSpace:
         When True (default), static service orders of serialized resources
         are part of the space; when False every candidate uses the
         dependency-aware default order.
+    strict:
+        When True (default), :meth:`random_candidate`, :meth:`mutate` and
+        :meth:`neighbors` only propose service orders consistent with the
+        same-iteration data dependencies (sampled as random linear extensions
+        of the dependency partial order underlying
+        :meth:`_slot_topological_index`), so random proposals are
+        order-feasible instead of mostly producing zero-delay cycles.  Pass
+        ``strict=False`` to restore unconstrained uniform interleavings, e.g.
+        to deliberately probe how a strategy copes with infeasibility.
+        Enumeration (:meth:`enumerate_candidates`) always covers the whole
+        combinatorial space regardless.
     """
 
     def __init__(
@@ -167,6 +178,7 @@ class DesignSpace:
         platform: PlatformModel,
         max_resources: Optional[int] = None,
         explore_orders: bool = True,
+        strict: bool = True,
     ) -> None:
         application.validate()
         platform.validate()
@@ -184,7 +196,9 @@ class DesignSpace:
             )
         self.max_resources = max_resources
         self.explore_orders = explore_orders
+        self.strict = strict
         self._slot_topo = self._slot_topological_index()
+        self._order_nodes, self._order_edges, self._order_rep = self._dependency_dag()
 
     # ------------------------------------------------------------------
     # dependency-aware default service order
@@ -256,6 +270,123 @@ class DesignSpace:
         """Feasible service order for one resource: slots by global topological index."""
         slots = [slot for function in functions for slot in self._slots_of(function)]
         return tuple(sorted(slots, key=self._slot_topo.__getitem__))
+
+    # ------------------------------------------------------------------
+    # feasibility-aware order sampling
+    # ------------------------------------------------------------------
+    def _dependency_dag(self):
+        """The same-iteration dependency DAG over behaviour steps, contracted.
+
+        Same edge set as :meth:`_slot_topological_index` (consecutive steps
+        within a function, producer write -> consumer read over internal
+        relations), with one refinement: the write and read steps of an
+        internal *rendezvous* relation complete at the same exchange instant,
+        so they are contracted into one node.  Service orders consistent with
+        a single linear extension of this DAG are exactly the jointly
+        schedulable ones -- any such extension is one global schedule free of
+        zero-delay cycles.
+
+        Returns ``(nodes, edges, rep)`` where ``rep`` maps each ``(function,
+        step_index)`` to its contracted representative, ``nodes`` lists the
+        representatives in declaration order and ``edges`` is the adjacency.
+        """
+        relations = self.application.relations()
+        write_step: Dict[str, Tuple[str, int]] = {}
+        read_step: Dict[str, Tuple[str, int]] = {}
+        step_nodes: List[Tuple[str, int]] = []
+        for function in self.application.functions:
+            for index, step in enumerate(function.steps):
+                node = (function.name, index)
+                step_nodes.append(node)
+                if isinstance(step, WriteStep):
+                    write_step[step.relation] = node
+                elif isinstance(step, ReadStep):
+                    read_step[step.relation] = node
+
+        rep: Dict[Tuple[str, int], Tuple[str, int]] = {node: node for node in step_nodes}
+        for relation, spec in relations.items():
+            if spec.is_internal and spec.kind is not RelationKind.FIFO:
+                rep[read_step[relation]] = write_step[relation]
+
+        nodes: List[Tuple[str, int]] = []
+        seen: Set[Tuple[str, int]] = set()
+        for node in step_nodes:
+            representative = rep[node]
+            if representative not in seen:
+                seen.add(representative)
+                nodes.append(representative)
+
+        edges: Dict[Tuple[str, int], List[Tuple[str, int]]] = {node: [] for node in nodes}
+
+        def add_edge(source: Tuple[str, int], target: Tuple[str, int]) -> None:
+            source, target = rep[source], rep[target]
+            if source != target and target not in edges[source]:
+                edges[source].append(target)
+
+        for function in self.application.functions:
+            previous: Optional[Tuple[str, int]] = None
+            for index in range(function.step_count):
+                node = (function.name, index)
+                if previous is not None:
+                    add_edge(previous, node)
+                previous = node
+        for relation, spec in relations.items():
+            if spec.is_internal and spec.kind is RelationKind.FIFO:
+                add_edge(write_step[relation], read_step[relation])
+        return tuple(nodes), edges, rep
+
+    def _sample_feasible_orders(
+        self,
+        candidate: MappingCandidate,
+        targets: Set[str],
+        fixed_orders: Mapping[str, Sequence[Slot]],
+        rng: random.Random,
+    ) -> Optional[Dict[str, Tuple[Slot, ...]]]:
+        """Random service orders for ``targets``, jointly schedulable with ``fixed_orders``.
+
+        Samples one random linear extension of the dependency DAG extended
+        with the chain constraints of the fixed resources' orders, and reads
+        each target resource's order off it -- every sampled combination is
+        therefore consistent with a single global schedule.  Returns ``None``
+        when the fixed orders themselves contradict the dependencies (the
+        caller then falls back to unconstrained interleavings).
+        """
+        nodes, edges, rep = self._order_nodes, self._order_edges, self._order_rep
+        in_degree = {node: 0 for node in nodes}
+        for successors in edges.values():
+            for target in successors:
+                in_degree[target] += 1
+        extra: Dict[Tuple[str, int], List[Tuple[str, int]]] = {}
+        for order in fixed_orders.values():
+            for first, second in zip(order, order[1:]):
+                extra.setdefault(rep[first], []).append(rep[second])
+        for successors in extra.values():
+            for target in successors:
+                in_degree[target] += 1
+
+        slot_resource: Dict[Tuple[str, int], str] = {}
+        for function, resource in candidate.allocation:
+            if resource in targets:
+                for slot in self._slots_of(function):
+                    slot_resource[slot] = resource
+
+        ready = [node for node in nodes if in_degree[node] == 0]
+        orders: Dict[str, List[Slot]] = {resource: [] for resource in targets}
+        emitted = 0
+        while ready:
+            node = ready.pop(rng.randrange(len(ready)))
+            emitted += 1
+            resource = slot_resource.get(node)
+            if resource is not None:
+                orders[resource].append(node)
+            for successors in (edges.get(node, ()), extra.get(node, ())):
+                for target in successors:
+                    in_degree[target] -= 1
+                    if in_degree[target] == 0:
+                        ready.append(target)
+        if emitted != len(nodes):
+            return None  # the fixed orders close a dependency cycle
+        return {resource: tuple(order) for resource, order in orders.items()}
 
     # ------------------------------------------------------------------
     # canonicalisation
@@ -423,9 +554,11 @@ class DesignSpace:
 
         The allocation is uniform over the (canonicalised) assignments; the
         service orders are kept at the dependency-aware default half of the
-        time and drawn as a random interleaving otherwise -- unconstrained
-        interleavings are mostly infeasible, so a pure-uniform draw would
-        waste most of a random-search budget on zero-delay cycles.
+        time and re-drawn otherwise.  In strict mode (the default) the re-draw
+        samples only orders consistent with the same-iteration data
+        dependencies, so no proposal is wasted on a zero-delay cycle; with
+        ``strict=False`` it is an unconstrained uniform interleaving (mostly
+        infeasible -- the historical behaviour, kept for probing).
         """
         bank = self.resources[: self.max_resources]
         allocation = {
@@ -439,6 +572,7 @@ class DesignSpace:
     def _random_interleaving(
         self, sequences: List[List[Slot]], rng: random.Random
     ) -> Tuple[Slot, ...]:
+        """Uniform unconstrained merge (the ``strict=False`` escape hatch)."""
         pending = [list(sequence) for sequence in sequences if sequence]
         merged: List[Slot] = []
         while pending:
@@ -451,6 +585,19 @@ class DesignSpace:
     def _randomise_orders(
         self, candidate: MappingCandidate, rng: random.Random
     ) -> MappingCandidate:
+        """Re-draw every explicit service order of ``candidate``."""
+        if not candidate.orders:
+            return candidate
+        if self.strict:
+            targets = {resource for resource, _ in candidate.orders}
+            sampled = self._sample_feasible_orders(candidate, targets, {}, rng)
+            if sampled is not None:
+                return MappingCandidate(
+                    allocation=candidate.allocation,
+                    orders=tuple(
+                        (resource, sampled[resource]) for resource, _ in candidate.orders
+                    ),
+                )
         new_orders = []
         for resource, _ in candidate.orders:
             functions = [f for f, r in candidate.allocation if r == resource]
@@ -474,7 +621,13 @@ class DesignSpace:
         }
 
     def mutate(self, candidate: MappingCandidate, rng: random.Random) -> MappingCandidate:
-        """One random move: re-allocate a function, swap two, or reorder a resource."""
+        """One random move: re-allocate a function, swap two, or reorder a resource.
+
+        In strict mode, any service order a move invalidates (or the reorder
+        move re-draws) is re-sampled consistently with the dependency DAG and
+        with the orders of the untouched resources, so local search never
+        steps onto an order-infeasible neighbour through one of its own moves.
+        """
         moves = ["move", "swap"]
         if self.explore_orders and candidate.orders:
             moves.append("reorder")
@@ -488,9 +641,9 @@ class DesignSpace:
                 return candidate
             previous = allocation[function]
             allocation[function] = choices[rng.randrange(len(choices))]
+            affected = {previous, allocation[function]}
             mutated = self.canonical(
-                allocation,
-                self._orders_excluding(candidate, {previous, allocation[function]}),
+                allocation, self._orders_excluding(candidate, affected)
             )
         elif move == "swap":
             first = self.functions[rng.randrange(len(self.functions))]
@@ -505,13 +658,60 @@ class DesignSpace:
         else:
             index = rng.randrange(len(candidate.orders))
             resource = candidate.orders[index][0]
+            if self.strict:
+                fixed = {r: o for r, o in candidate.orders if r != resource}
+                sampled = self._sample_feasible_orders(candidate, {resource}, fixed, rng)
+                if sampled is not None:
+                    orders = list(candidate.orders)
+                    orders[index] = (resource, sampled[resource])
+                    return MappingCandidate(
+                        allocation=candidate.allocation, orders=tuple(orders)
+                    )
             functions = [f for f, r in candidate.allocation if r == resource]
             sequences = [list(self._slots_of(function)) for function in functions]
             new_order = self._random_interleaving(sequences, rng)
             orders = list(candidate.orders)
             orders[index] = (resource, new_order)
             return MappingCandidate(allocation=candidate.allocation, orders=tuple(orders))
+        if self.strict and self.explore_orders:
+            mutated = self._resample_defaulted_orders(candidate, mutated, affected, rng)
         return mutated
+
+    def _resample_defaulted_orders(
+        self,
+        candidate: MappingCandidate,
+        mutated: MappingCandidate,
+        affected_old: Set[str],
+        rng: random.Random,
+    ) -> MappingCandidate:
+        """Re-draw the orders a move invalidated, respecting the kept ones.
+
+        ``canonical`` gives the affected resources the deterministic default
+        order, which is drawn from a different global schedule than the kept
+        explicit orders -- the combination may be infeasible.  Sampling the
+        affected resources' orders *given* the kept ones as constraints keeps
+        the whole candidate jointly schedulable (and keeps move/swap exploring
+        order decisions, not just resetting them).
+        """
+        affected_functions = {
+            function for function, resource in candidate.allocation
+            if resource in affected_old
+        }
+        affected_new = {mutated.resource_of(f) for f in affected_functions}
+        targets = {r for r, _ in mutated.orders if r in affected_new}
+        if not targets:
+            return mutated
+        fixed = {r: order for r, order in mutated.orders if r not in targets}
+        sampled = self._sample_feasible_orders(mutated, targets, fixed, rng)
+        if sampled is None:
+            return mutated  # kept orders already contradict the dependencies
+        return MappingCandidate(
+            allocation=mutated.allocation,
+            orders=tuple(
+                (r, sampled[r] if r in targets else order)
+                for r, order in mutated.orders
+            ),
+        )
 
     def neighbors(
         self, candidate: MappingCandidate, rng: random.Random, count: int
@@ -523,5 +723,5 @@ class DesignSpace:
         return (
             f"DesignSpace(functions={len(self.functions)}, "
             f"resources={len(self.resources)}, max_resources={self.max_resources}, "
-            f"explore_orders={self.explore_orders})"
+            f"explore_orders={self.explore_orders}, strict={self.strict})"
         )

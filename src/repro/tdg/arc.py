@@ -85,6 +85,17 @@ class DependencyArc:
         return self._constant_ps is not None
 
     @property
+    def weight_callable(self) -> Optional[Callable[[int, Mapping[str, Any]], Duration]]:
+        """The raw weight callable of a data-dependent arc (``None`` if constant).
+
+        A weight callable may additionally expose a ``weight_ps(k, context) ->
+        int`` method; evaluators can call it instead of :meth:`weight_ps` to
+        skip the per-call :class:`Duration` validation (used by the compiled
+        DSE path's pre-tabulated workload weights).
+        """
+        return self._weight_fn
+
+    @property
     def constant_weight(self) -> Duration:
         """The constant weight; raises for data-dependent arcs."""
         if self._constant_ps is None:

@@ -81,8 +81,14 @@ class TDGEvaluator:
                 continue
             incoming = []
             for arc in graph.arcs_into(node):
-                constant = arc.constant_weight.picoseconds if arc.is_constant else None
-                weight_fn = None if arc.is_constant else arc.weight_ps
+                if arc.is_constant:
+                    constant: Optional[int] = arc.constant_weight.picoseconds
+                    weight_fn = None
+                else:
+                    constant = None
+                    # Trusted weight objects expose an integer fast path that
+                    # skips the per-call Duration validation of weight_ps.
+                    weight_fn = getattr(arc.weight_callable, "weight_ps", None) or arc.weight_ps
                 incoming.append((arc.source.index, arc.delay, constant, weight_fn))
             self._plan.append((node.index, incoming))
 

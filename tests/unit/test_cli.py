@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import re
+
 import pytest
 
 from repro.campaign import runner as runner_module
@@ -77,6 +79,7 @@ class TestParser:
         assert arguments.items == 25
         assert arguments.max_resources == 2
         assert arguments.no_orders is True
+        assert arguments.loose_orders is False
         assert arguments.overrides == ["stages=3"]
         assert arguments.jobs == 2
         assert arguments.store == "dse.jsonl"
@@ -269,3 +272,13 @@ class TestDseCommands:
     def test_dse_run_unknown_problem_is_nonzero(self, capsys):
         assert main(["dse", "run", "--problem", "nope", "--budget", "4"]) == 2
         assert "unknown design problem" in capsys.readouterr().err
+
+    def test_dse_run_loose_orders_probes_infeasibility(self, capsys):
+        # The strict=False escape hatch: unconstrained interleavings must
+        # reach infeasible candidates again (strict sampling never does).
+        argv = ["dse", "run", "--problem", "didactic", "--budget", "40",
+                "--items", "4", "--seed", "3", "--loose-orders"]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        infeasible = int(re.search(r"(\d+) infeasible", output).group(1))
+        assert infeasible > 0

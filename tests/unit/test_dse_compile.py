@@ -1,0 +1,196 @@
+"""Unit tests for TDG template compilation (repro.dse.compile + core.builder split)."""
+
+import dataclasses
+
+import pytest
+
+from repro.archmodel import ArchitectureModel
+from repro.core.builder import build_equivalent_spec, build_template, specialize_template
+from repro.core.compute import InstantComputer
+from repro.dse import (
+    CandidateEvaluation,
+    CompiledProblem,
+    compiled_problem,
+    evaluate_candidate,
+    get_problem,
+)
+from repro.dse import compile as compile_module
+from repro.dse.compile import _CACHE
+from repro.dse.space import MappingCandidate
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def problem():
+    return get_problem("didactic")
+
+
+@pytest.fixture(autouse=True)
+def clear_compile_cache():
+    _CACHE.clear()
+    yield
+    _CACHE.clear()
+
+
+def assert_same_evaluation(fast, slow):
+    """Every objective field identical (wall-clock aside)."""
+    for field in dataclasses.fields(fast):
+        if field.name == "wall_seconds":
+            continue
+        assert getattr(fast, field.name) == getattr(slow, field.name), field.name
+
+
+class TestTemplateSpecialisation:
+    def test_specialised_spec_matches_from_scratch_build(self, problem):
+        parameters = problem.parameters({"items": 5})
+        application = problem.application_factory(parameters)
+        platform = problem.platform_factory(parameters)
+        template = build_template(application)
+        space = problem.space({"items": 5})
+        candidate = space.default_candidate()
+        architecture = ArchitectureModel(
+            "spec-test", application, platform, candidate.build_mapping()
+        )
+        specialised = specialize_template(template, architecture)
+        scratch = build_equivalent_spec(architecture)
+        assert [n.name for n in specialised.graph.nodes] == [
+            n.name for n in scratch.graph.nodes
+        ]
+        assert specialised.graph.arc_count == scratch.graph.arc_count
+        assert specialised.relation_nodes == scratch.relation_nodes
+        assert specialised.primary_input == scratch.primary_input
+        assert [b.relation for b in specialised.boundary_inputs] == [
+            b.relation for b in scratch.boundary_inputs
+        ]
+        assert [e.resource for e in specialised.execute_nodes] == [
+            e.resource for e in scratch.execute_nodes
+        ]
+        # resource tags are bound during specialisation
+        for entry in specialised.execute_nodes:
+            assert specialised.graph.node(entry.start_node).tags["resource"] == entry.resource
+
+    def test_template_is_allocation_independent(self, problem):
+        parameters = problem.parameters({"items": 5})
+        template = build_template(problem.application_factory(parameters))
+        # no node or arc of the template mentions a platform resource
+        for node in template.nodes:
+            assert "resource" not in (node.tags or {})
+
+    def test_template_rejects_foreign_application(self, problem):
+        # Identity check: even a structurally *identical* application must be
+        # rejected, because the template's arcs embed the original workload
+        # model objects and would silently mis-time a lookalike.
+        parameters = problem.parameters({"items": 5})
+        template = build_template(problem.application_factory(parameters))
+        lookalike = problem.application_factory(parameters)  # fresh, equal-looking
+        platform = problem.platform_factory(parameters)
+        candidate = problem.space({"items": 5}).default_candidate()
+        architecture = ArchitectureModel(
+            "lookalike", lookalike, platform, candidate.build_mapping()
+        )
+        with pytest.raises(ModelError, match="own application instance"):
+            specialize_template(template, architecture)
+
+
+class TestCompiledProblem:
+    def test_compiled_matches_uncompiled_default_candidate(self, problem):
+        compiled = CompiledProblem(problem, {"items": 8})
+        candidate = problem.space({"items": 8}).default_candidate()
+        fast = compiled.evaluate(candidate)
+        slow = evaluate_candidate(problem, candidate, {"items": 8}, compiled=False)
+        assert fast.feasible
+        assert_same_evaluation(fast, slow)
+
+    def test_infeasible_reason_matches_uncompiled(self, problem):
+        space = problem.space({"items": 4})
+        base = space.canonical({"F1": "P1", "F2": "P1", "F3": "P1", "F4": "P1"})
+        broken = MappingCandidate(
+            allocation=base.allocation,
+            orders=(("P1", tuple(reversed(base.orders[0][1]))),),
+        )
+        compiled = CompiledProblem(problem, {"items": 4})
+        fast = compiled.evaluate(broken)
+        slow = evaluate_candidate(problem, broken, {"items": 4}, compiled=False)
+        assert not fast.feasible
+        assert fast.infeasible == slow.infeasible
+        assert "cycle" in fast.infeasible
+
+    def test_cache_ignores_candidate_encoding_keys(self, problem):
+        first = compiled_problem(problem, {"items": 8})
+        # candidate encodings riding along in campaign job parameters must not
+        # defeat the cache
+        second = compiled_problem(
+            problem, {"items": 8, "allocation": {"F1": "P1"}, "orders": {}}
+        )
+        third = compiled_problem(problem, {"items": 9})
+        assert first is second
+        assert first is not third
+
+    def test_cache_keeps_undeclared_problem_parameters(self, problem):
+        # a problem factory may read optional keys absent from its defaults;
+        # the compiled path must see them exactly like the uncompiled one
+        first = compiled_problem(problem, {"items": 8, "custom": 1})
+        second = compiled_problem(problem, {"items": 8, "custom": 2})
+        assert first is not second
+        assert first.parameters["custom"] == 1
+
+    def test_cache_distinguishes_same_named_problem_objects(self, problem):
+        # an unregistered problem variant sharing a registered name must never
+        # be served another problem's compilation
+        variant = dataclasses.replace(problem, description="variant")
+        first = compiled_problem(problem, {"items": 8})
+        second = compiled_problem(variant, {"items": 8})
+        assert first is not second
+        assert second.problem is variant
+
+    def test_evaluate_candidate_routes_through_compiled_cache(self, problem):
+        candidate = problem.space({"items": 6}).default_candidate()
+        evaluation = evaluate_candidate(problem, candidate, {"items": 6}, compiled=True)
+        assert evaluation.feasible
+        assert len(_CACHE) == 1
+
+    def test_env_toggle_disables_compiled_path(self, problem, monkeypatch):
+        monkeypatch.setenv("REPRO_DSE_COMPILE", "0")
+        candidate = problem.space({"items": 6}).default_candidate()
+        evaluation = evaluate_candidate(problem, candidate, {"items": 6})
+        assert evaluation.feasible
+        assert len(_CACHE) == 0  # never compiled
+
+    def test_forced_fallback_replays_through_event_driven_harness(self, problem, monkeypatch):
+        # When the closed-form replay bails out (_run -> None), evaluate must
+        # hand the candidate to the exact evaluate_mapping path with the
+        # problem's own stimuli and still produce identical objectives.
+        compiled = CompiledProblem(problem, {"items": 6})
+        candidate = problem.space({"items": 6}).default_candidate()
+        monkeypatch.setattr(CompiledProblem, "_run", lambda self, spec, computer: None)
+        fast = compiled.evaluate(candidate)
+        slow = evaluate_candidate(problem, candidate, {"items": 6}, compiled=False)
+        assert fast.feasible
+        assert_same_evaluation(fast, slow)
+
+    def test_non_monotonic_outputs_trigger_the_fallback(self, problem, monkeypatch):
+        # Boundary feedback detection: if a computed output regresses below an
+        # already-emitted one, the kernel-free loop must abandon the closed
+        # form (the event-driven harness would have applied a correction).
+        compiled = CompiledProblem(problem, {"items": 4})
+        candidate = problem.space({"items": 4}).default_candidate()
+        original = InstantComputer.compute_iteration
+
+        def regressing(self, instants, tokens):
+            outputs = original(self, instants, tokens)
+            # negating makes iteration 1's offer smaller than iteration 0's
+            return {rel: (None if v is None else -v) for rel, v in outputs.items()}
+
+        monkeypatch.setattr(InstantComputer, "compute_iteration", regressing)
+        sentinel = CandidateEvaluation(candidate=candidate, infeasible="fallback-sentinel")
+        monkeypatch.setattr(compile_module, "evaluate_mapping", lambda *a, **k: sentinel)
+        assert compiled.evaluate(candidate) is sentinel
+
+    def test_compiled_matches_uncompiled_on_fork_problem(self):
+        fork = get_problem("fork")
+        compiled = CompiledProblem(fork, {"items": 6})
+        for candidate in list(fork.space({"items": 6}).enumerate_candidates(limit=12)):
+            assert_same_evaluation(
+                compiled.evaluate(candidate),
+                evaluate_candidate(fork, candidate, {"items": 6}, compiled=False),
+            )

@@ -4,20 +4,26 @@ import math
 
 import pytest
 
+from repro.archmodel import AppFunction, ApplicationModel, PlatformModel
+from repro.archmodel.workload import ConstantExecutionTime
 from repro.campaign import JobResult, ScenarioSpec, default_registry
 from repro.campaign.runner import run_job
 from repro.dse import (
     DSE_SCENARIO,
     AnnealingSearch,
+    DesignSpace,
     ExhaustiveSearch,
     RandomSearch,
     evaluate_candidate,
+    evaluate_mapping,
     get_problem,
     make_strategy,
     problem_names,
 )
 from repro.dse.scenario import evaluation_record
+from repro.environment import PeriodicStimulus
 from repro.errors import ModelError
+from repro.kernel.simtime import microseconds
 
 
 @pytest.fixture()
@@ -38,7 +44,7 @@ def fake_metrics(latency_us: float, resources: int, feasible: bool = True):
 
 class TestProblems:
     def test_registry_contents(self):
-        assert problem_names() == ["chain", "didactic"]
+        assert problem_names() == ["chain", "didactic", "fork"]
         with pytest.raises(ModelError, match="unknown design problem"):
             get_problem("nope")
 
@@ -90,6 +96,23 @@ class TestStrategies:
         strategy.observe([(neighbors[0], fake_metrics(10.0, 1))])
         assert strategy._current == neighbors[0]
 
+    def test_annealing_never_accepts_a_computed_infinity(self, space):
+        # Regression: `best[1] is math.inf` was an identity check, so an
+        # infinity *computed* from the metrics (not the math.inf singleton)
+        # slipped through and an all-infeasible round became the current
+        # candidate.  float("inf") + x produces such a computed infinity.
+        strategy = AnnealingSearch(space, seed=0, resource_weight_us=100.0)
+        batch = strategy.propose(4)
+        computed_inf_metrics = {
+            "feasible": True,
+            "latency_us": float("inf"),
+            "resources_used": 1,
+        }
+        assert strategy.score(computed_inf_metrics) is not math.inf  # computed, not singleton
+        strategy.observe([(candidate, computed_inf_metrics) for candidate in batch])
+        assert strategy._current is None
+        assert strategy._current_score == math.inf
+
     def test_annealing_cools_down(self, space):
         strategy = AnnealingSearch(space, seed=0, cooling=0.5)
         before = strategy.temperature
@@ -102,6 +125,49 @@ class TestStrategies:
         assert isinstance(make_strategy("annealing", space, seed=1), AnnealingSearch)
         with pytest.raises(ModelError, match="unknown search strategy"):
             make_strategy("quantum", space)
+
+
+class TestEvaluationObjectives:
+    def test_zero_width_trace_window_reports_zero_utilization(self):
+        # A single zero-duration iteration makes every computed instant equal:
+        # the trace window is zero-wide and busy_profile would divide by zero.
+        application = ApplicationModel("degenerate")
+        application.add_function(
+            AppFunction("F")
+            .read("IN")
+            .execute("E", ConstantExecutionTime(microseconds(0)))
+            .write("OUT")
+        )
+        platform = PlatformModel("bank")
+        platform.add_processor("P1")
+        space = DesignSpace(application, platform)
+        candidate = space.default_candidate()
+        stimuli = {"IN": PeriodicStimulus(period=microseconds(10), count=1)}
+        evaluation = evaluate_mapping(application, platform, candidate, stimuli)
+        assert evaluation.feasible
+        assert evaluation.iterations == 1
+        assert evaluation.utilization == (("P1", 0.0),)
+        assert evaluation.mean_utilization == 0.0
+
+    def test_multi_output_latency_scores_every_output(self):
+        # Regression: latency was scored on outputs[0] only; fork's O2 branch
+        # (Ti4) is slower than its O1 branch (Ti3), so truncating to O1 would
+        # under-report the makespan.
+        fork = get_problem("fork")
+        candidate = fork.space({"items": 5}).default_candidate()
+        evaluation = evaluate_candidate(fork, candidate, {"items": 5})
+        assert evaluation.feasible
+        per_output = dict(evaluation.per_output_instants)
+        assert set(per_output) == {"O1", "O2"}
+        assert evaluation.output_instants == per_output["O1"]  # accuracy anchor
+        assert per_output["O2"][-1] > per_output["O1"][-1]
+        assert evaluation.latency_ps == per_output["O2"][-1]
+        metrics = evaluation.metrics()
+        assert metrics["output_latency_ps"] == {
+            "O1": per_output["O1"][-1],
+            "O2": per_output["O2"][-1],
+        }
+        assert metrics["latency_ps"] == evaluation.latency_ps
 
 
 class TestScenarioIntegration:

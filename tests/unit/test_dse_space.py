@@ -4,9 +4,9 @@ import random
 
 import pytest
 
-from repro.dse import DesignSpace, MappingCandidate, get_problem
+from repro.dse import CompiledProblem, DesignSpace, MappingCandidate, get_problem
 from repro.dse.space import _interleavings
-from repro.errors import ModelError
+from repro.errors import ModelError, ReproError
 
 
 @pytest.fixture()
@@ -144,6 +144,28 @@ class TestSamplingAndMutation:
         neighbors = space.neighbors(space.default_candidate(), rng, 7)
         assert len(neighbors) == 7
 
+    def test_strict_mutation_keeps_orders_of_unaffected_resources(self):
+        # Order exploration on: a move/swap that only touches other resources
+        # must leave P1's explicit order decision alone (strict resampling is
+        # restricted to the resources the move invalidated).
+        space = get_problem("didactic").space({"items": 10})
+        base = space.canonical({"F1": "P1", "F2": "P1", "F3": "P2", "F4": "P3"})
+        rng = random.Random(11)
+        p1_order = space._sample_feasible_orders(base, {"P1"}, {}, rng)["P1"]
+        candidate = MappingCandidate(
+            allocation=base.allocation,
+            orders=(("P1", p1_order),) + base.orders[1:],
+        )
+        kept = 0
+        for _ in range(80):
+            mutated = space.mutate(candidate, rng)
+            p1_functions = {f for f, r in mutated.allocation if r == "P1"}
+            if mutated.allocation != candidate.allocation and p1_functions == {"F1", "F2"}:
+                # the move touched other resources only
+                assert dict(mutated.orders).get("P1") == p1_order
+                kept += 1
+        assert kept > 0  # the scenario above actually occurred
+
     def test_mutation_keeps_orders_of_unaffected_resources(self):
         # F1+F2 on P1 with a non-default order, F3 on P2, F4 on P3.  Moving or
         # swapping functions that never touch P1 must keep P1's order decision.
@@ -167,3 +189,88 @@ class TestSamplingAndMutation:
                 assert p1_order == non_default
                 kept += 1
         assert kept > 0  # the scenario above actually occurred
+
+
+def _order_feasible(compiled, candidate) -> bool:
+    """True when the candidate's service orders admit a global schedule."""
+    try:
+        compiled.specialize(candidate)
+    except ReproError:
+        return False
+    return True
+
+
+class TestFeasibilityAwareSampling:
+    """Topological-order-constrained proposal sampling (strict mode)."""
+
+    @pytest.fixture()
+    def compiled(self):
+        return CompiledProblem(get_problem("didactic"), {"items": 4})
+
+    def test_random_candidates_are_always_order_feasible(self, space, compiled):
+        rng = random.Random(3)
+        sampled_non_default = 0
+        for _ in range(80):
+            candidate = space.random_candidate(rng)
+            assert _order_feasible(compiled, candidate)
+            defaults = {
+                resource: space.default_order(
+                    [f for f, r in candidate.allocation if r == resource]
+                )
+                for resource, _ in candidate.orders
+            }
+            if any(order != defaults[resource] for resource, order in candidate.orders):
+                sampled_non_default += 1
+        # the sampler actually explores order variants, not just the default
+        assert sampled_non_default > 0
+
+    def test_mutation_chain_stays_order_feasible(self, space, compiled):
+        rng = random.Random(4)
+        candidate = space.default_candidate()
+        for _ in range(80):
+            candidate = space.mutate(candidate, rng)
+            assert _order_feasible(compiled, candidate)
+
+    def test_strict_false_escape_hatch_probes_infeasibility(self, compiled):
+        space = get_problem("didactic").space({"items": 4}, strict=False)
+        rng = random.Random(5)
+        infeasible = sum(
+            not _order_feasible(compiled, space.random_candidate(rng))
+            for _ in range(60)
+        )
+        assert infeasible > 0  # unconstrained interleavings do hit cycles
+
+    def test_strict_sampling_is_seed_deterministic(self):
+        first = get_problem("didactic").space({"items": 4})
+        second = get_problem("didactic").space({"items": 4})
+        rng_a, rng_b = random.Random(6), random.Random(6)
+        a = [first.random_candidate(rng_a).digest() for _ in range(30)]
+        b = [second.random_candidate(rng_b).digest() for _ in range(30)]
+        assert a == b
+        mutant_a = first.default_candidate()
+        mutant_b = second.default_candidate()
+        for _ in range(30):
+            mutant_a = first.mutate(mutant_a, rng_a)
+            mutant_b = second.mutate(mutant_b, rng_b)
+            assert mutant_a.digest() == mutant_b.digest()
+
+    def test_sample_feasible_orders_respects_fixed_constraints(self, space):
+        candidate = space.canonical(
+            {"F1": "P1", "F2": "P1", "F3": "P2", "F4": "P2"}
+        )
+        rng = random.Random(7)
+        fixed = dict(candidate.orders)
+        p1_fixed = {"P1": fixed["P1"]}
+        for _ in range(20):
+            sampled = space._sample_feasible_orders(candidate, {"P2"}, p1_fixed, rng)
+            assert sampled is not None
+            assert set(sampled) == {"P2"}
+            assert sorted(sampled["P2"]) == sorted(fixed["P2"])
+
+    def test_sample_feasible_orders_detects_contradictory_fixed_orders(self, space):
+        candidate = space.canonical({"F1": "P1", "F2": "P1", "F3": "P2", "F4": "P2"})
+        rng = random.Random(8)
+        # Reversing P1's feasible order closes a dependency cycle with the
+        # chain constraints, so sampling P2 against it must fail cleanly.
+        broken = {"P1": tuple(reversed(dict(candidate.orders)["P1"]))}
+        assert space._sample_feasible_orders(candidate, {"P2"}, broken, rng) is None
