@@ -1,0 +1,110 @@
+"""Search-strategy quality and checkpoint overhead under an equal budget.
+
+PR 3 made candidate *scoring* fast; this harness watches the *search*
+layer that now dominates exploration cost:
+
+* ``front quality`` -- hypervolume reached by each strategy on the
+  didactic problem under one fixed budget, computed against a shared
+  reference point (the nadir of the union of fronts).  The population
+  strategy (``nsga2``) must reach at least the annealing baseline --
+  that is the ISSUE's acceptance bar, also pinned by the integration
+  tests; here the volumes land in ``extra_info`` next to the timings so
+  regressions in search quality show up in the benchmark report;
+* ``checkpoint overhead`` -- one exploration with and without per-round
+  checkpointing; the checkpointed run must stay result-identical, and
+  both wall times land in the report (``plain_seconds`` in
+  ``extra_info`` next to the timed checkpointed run) so snapshot-write
+  cost is visible without a flaky timing assertion;
+* ``resume fidelity`` -- an interrupt-at-a-round-boundary + resume pair
+  must replay the uninterrupted candidate sequence exactly (the smoke
+  version of the integration guarantee, cheap enough to run per-commit).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.campaign import ResultStore
+from repro.dse import MappingExplorer, hypervolume_2d
+
+BUDGET = 64
+ITEMS = 10
+SEED = 7
+STRATEGIES = ("random", "annealing", "nsga2")
+
+
+def explorer(strategy: str, **overrides) -> MappingExplorer:
+    options = dict(
+        problem="didactic",
+        strategy=strategy,
+        budget=BUDGET,
+        seed=SEED,
+        parameters={"items": ITEMS},
+    )
+    options.update(overrides)
+    return MappingExplorer(**options)
+
+
+@pytest.mark.benchmark(group="dse-strategies")
+def test_strategy_front_quality(benchmark):
+    """Hypervolume per strategy under an equal budget, shared reference."""
+    reports = {}
+
+    def explore_all():
+        return {name: explorer(name).run() for name in STRATEGIES}
+
+    reports = benchmark(explore_all)
+    union = [vector for report in reports.values() for vector in report.front.vectors()]
+    assert union
+    reference = tuple(max(vector[axis] for vector in union) + 1.0 for axis in range(2))
+    volumes = {
+        name: hypervolume_2d(report.front.vectors(), reference)
+        for name, report in reports.items()
+    }
+    # The acceptance bar: population search never loses to the annealing ray.
+    assert volumes["nsga2"] >= volumes["annealing"] > 0.0
+    for name, volume in volumes.items():
+        benchmark.extra_info[f"hypervolume_{name}"] = round(volume, 1)
+        benchmark.extra_info[f"front_{name}"] = len(reports[name].front)
+
+
+@pytest.mark.benchmark(group="dse-strategies")
+def test_checkpoint_overhead(benchmark, tmp_path):
+    """Checkpointed exploration: result-identical, with both wall times reported."""
+    plain_start = time.perf_counter()
+    plain = explorer("nsga2").run()
+    plain_seconds = time.perf_counter() - plain_start
+
+    counter = {"n": 0}
+
+    def run_checkpointed():
+        counter["n"] += 1
+        return explorer(
+            "nsga2",
+            store=ResultStore(tmp_path / f"s{counter['n']}.jsonl"),
+            checkpoint=tmp_path / f"ck{counter['n']}.jsonl",
+        ).run()
+
+    checkpointed = benchmark(run_checkpointed)
+    assert [d for d, _ in checkpointed.entries()] == [d for d, _ in plain.entries()]
+    benchmark.extra_info["plain_seconds"] = round(plain_seconds, 3)
+    benchmark.extra_info["rounds"] = checkpointed.rounds
+
+
+def test_resume_replays_the_uninterrupted_sequence(tmp_path):
+    """Interrupt at a round boundary, resume, compare digests -- per-commit smoke."""
+    straight = explorer("nsga2").run()
+    store = ResultStore(tmp_path / "s.jsonl")
+    explorer(
+        "nsga2", max_rounds=2, store=store, checkpoint=tmp_path / "ck.jsonl"
+    ).run()
+    resumed = explorer(
+        "nsga2",
+        store=ResultStore(tmp_path / "s.jsonl"),
+        checkpoint=tmp_path / "ck.jsonl",
+        resume=True,
+    ).run()
+    assert [d for d, _ in resumed.entries()] == [d for d, _ in straight.entries()]
+    assert resumed.front.digests() == straight.front.digests()

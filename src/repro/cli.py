@@ -11,6 +11,11 @@ can be regenerated without writing any Python::
     python -m repro.cli campaign list
     python -m repro.cli campaign run table1-sweep --jobs 4 --store results.jsonl
     python -m repro.cli dse run --problem didactic --budget 200 --store dse.jsonl
+    python -m repro.cli dse run --strategy nsga2 --store dse.jsonl \
+        --checkpoint dse.ck.jsonl --rounds 3        # interrupt at a round boundary
+    python -m repro.cli dse run --strategy nsga2 --store dse.jsonl \
+        --checkpoint dse.ck.jsonl --resume          # continue bit-identically
+    python -m repro.cli dse front --store dse.jsonl # front from the store alone
     python -m repro.cli dse show didactic
 
 Every sub-command prints plain-text tables/series (via
@@ -32,7 +37,14 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis import format_rows, format_series
 from .campaign import CampaignRunner, ResultStore, aggregate_results, default_registry
-from .dse import MappingExplorer, STRATEGY_NAMES, get_problem, problem_registry
+from .dse import (
+    MappingExplorer,
+    STRATEGY_NAMES,
+    front_from_store,
+    get_problem,
+    problem_registry,
+    ranked_rows,
+)
 from .errors import CampaignError, ModelError
 from .examples_lib import build_didactic_architecture
 from .generator import build_chain_architecture
@@ -164,7 +176,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin a problem parameter (repeatable), e.g. stages=3 or seed=42",
     )
     dse_run.add_argument("--top", type=int, default=None, help="also print the top-N ranked table")
+    dse_run.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a resumable JSONL checkpoint (strategy state, candidate "
+        "sequence, front) after every round",
+    )
+    dse_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the exploration from --checkpoint (needs the --store that "
+        "backed the original run); with the same --budget the combined run is "
+        "bit-identical to an uninterrupted one, a larger --budget extends it",
+    )
+    dse_run.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="stop after this many search rounds (a clean round-boundary "
+        "interruption point for --checkpoint/--resume)",
+    )
     _add_runner_arguments(dse_run)
+
+    dse_front = dse_sub.add_parser(
+        "front", help="rebuild a Pareto front from a result store alone"
+    )
+    dse_front.add_argument(
+        "--store",
+        type=str,
+        required=True,
+        metavar="PATH",
+        help="JSONL result store holding dse-eval records",
+    )
+    dse_front.add_argument(
+        "--problem",
+        default=None,
+        help="only this problem's evaluations (required when the store mixes "
+        "several problems)",
+    )
+    dse_front.add_argument(
+        "--top", type=int, default=None, help="also print the top-N ranked table"
+    )
 
     dse_show = dse_sub.add_parser("show", help="describe design problems and their spaces")
     dse_show.add_argument(
@@ -445,6 +499,9 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
         strict=not arguments.loose_orders,
         jobs=arguments.jobs,
         store=ResultStore(arguments.store) if arguments.store else None,
+        checkpoint=arguments.checkpoint,
+        resume=arguments.resume,
+        max_rounds=arguments.rounds,
     )
     problem = explorer.problem
     space = explorer.build_space()
@@ -455,6 +512,8 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
         f"budget {arguments.budget}"
     )
     report = explorer.run()
+    if report.resumed:
+        print(f"# resumed from checkpoint {arguments.checkpoint}")
     print(f"Pareto front ({' vs '.join(o.label for o in report.objectives)}):")
     print(format_rows(report.front_rows()))
     if arguments.top is not None:
@@ -468,6 +527,44 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
         )
     print(report.summary())
     return 0 if report.errors == 0 and len(report.front) > 0 else 1
+
+
+def _run_dse_front(arguments: argparse.Namespace) -> int:
+    store = ResultStore(arguments.store)
+    front, entries, problems, contexts = front_from_store(store, problem=arguments.problem)
+    if arguments.problem is None and len(problems) > 1:
+        print(
+            f"error: store {arguments.store} mixes problems "
+            f"({', '.join(sorted(problems))}); pass --problem to pick one",
+            file=sys.stderr,
+        )
+        return 2
+    if len(contexts) > 1:
+        # Latencies are only comparable within one workload: a front across
+        # e.g. items=6 and items=12 records would silently mask the larger run.
+        print(
+            f"error: store {arguments.store} mixes {len(contexts)} different "
+            "parameterisations of the problem (e.g. items/seed differ); a "
+            "Pareto front is only meaningful within one -- rebuild from a "
+            "store holding a single exploration's records",
+            file=sys.stderr,
+        )
+        return 2
+    label = arguments.problem or (next(iter(problems)) if problems else "(none)")
+    print(
+        f"# store {arguments.store}: {len(entries)} dse-eval record(s) for "
+        f"problem {label!r}"
+    )
+    print(f"Pareto front ({' vs '.join(o.label for o in front.objectives)}):")
+    print(format_rows(front.rows()))
+    if arguments.top is not None:
+        print(f"top {arguments.top} candidates:")
+        print(format_rows(ranked_rows(entries, top=arguments.top)))
+    print(
+        f"front size {len(front)}, hypervolume {front.hypervolume():.6g} "
+        f"(rebuilt from the store alone)"
+    )
+    return 0 if len(front) > 0 else 1
 
 
 def _run_dse_show(arguments: argparse.Namespace) -> int:
@@ -543,6 +640,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if arguments.command == "dse":
             if arguments.dse_command == "run":
                 return _run_dse_run(arguments)
+            if arguments.dse_command == "front":
+                return _run_dse_front(arguments)
             if arguments.dse_command == "show":
                 return _run_dse_show(arguments)
     except (CampaignError, ModelError) as error:

@@ -18,10 +18,16 @@ Layout
 * :mod:`repro.dse.evaluate` -- equivalent-model-only candidate scoring;
 * :mod:`repro.dse.compile` -- :class:`CompiledProblem`: one TDG template
   per problem, specialised cheaply per candidate (the default fast path);
-* :mod:`repro.dse.search` -- exhaustive / random / annealing strategies;
-* :mod:`repro.dse.pareto` -- non-dominated tracking and ranked tables;
+* :mod:`repro.dse.search` -- exhaustive / random / annealing / nsga2
+  strategies over objective *vectors*, with pluggable scalarisation and
+  JSON-safe checkpointable state;
+* :mod:`repro.dse.pareto` -- non-dominated tracking, crowding distance,
+  2D hypervolume and ranked tables;
+* :mod:`repro.dse.checkpoint` -- resumable exploration snapshots
+  persisted as JSONL next to the result store;
 * :mod:`repro.dse.scenario` -- the ``dse-eval`` campaign scenario;
-* :mod:`repro.dse.explore` -- the :class:`MappingExplorer` driver.
+* :mod:`repro.dse.explore` -- the :class:`MappingExplorer` driver
+  (``checkpoint=`` / ``resume=``) and :func:`front_from_store`.
 
 Quickstart
 ----------
@@ -32,23 +38,45 @@ Quickstart
 >>> report.front_rows()  # doctest: +SKIP
 """
 
+from .checkpoint import CheckpointFile, ExplorationCheckpoint
 from .compile import CompiledProblem, compiled_problem
 from .evaluate import CandidateEvaluation, evaluate_candidate, evaluate_mapping
-from .explore import ExplorationReport, MappingExplorer
-from .pareto import DEFAULT_OBJECTIVES, Objective, ParetoFront, dominates, ranked_rows
+from .explore import ExplorationReport, MappingExplorer, front_from_store
+from .pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    ParetoFront,
+    crowding_distance,
+    dominates,
+    hypervolume_2d,
+    nondominated_rank,
+    objective_vector,
+    pareto_rank,
+    ranked_rows,
+    vector_dominates,
+)
 from .problems import DesignProblem, get_problem, problem_names, problem_registry
 from .scenario import DSE_SCENARIO, execute_dse_job, register_dse_scenario
 from .search import (
     STRATEGY_NAMES,
     AnnealingSearch,
+    EpsilonConstraint,
     ExhaustiveSearch,
+    NsgaSearch,
+    Observation,
     RandomSearch,
+    Scalarization,
     SearchStrategy,
+    WeightedSum,
+    make_scalarization,
     make_strategy,
+    strategy_options,
 )
 from .space import DesignSpace, MappingCandidate
 
 __all__ = [
+    "CheckpointFile",
+    "ExplorationCheckpoint",
     "CompiledProblem",
     "compiled_problem",
     "CandidateEvaluation",
@@ -56,11 +84,18 @@ __all__ = [
     "evaluate_mapping",
     "ExplorationReport",
     "MappingExplorer",
+    "front_from_store",
     "DEFAULT_OBJECTIVES",
     "Objective",
     "ParetoFront",
+    "crowding_distance",
     "dominates",
+    "hypervolume_2d",
+    "nondominated_rank",
+    "objective_vector",
+    "pareto_rank",
     "ranked_rows",
+    "vector_dominates",
     "DesignProblem",
     "get_problem",
     "problem_names",
@@ -70,10 +105,17 @@ __all__ = [
     "register_dse_scenario",
     "STRATEGY_NAMES",
     "AnnealingSearch",
+    "EpsilonConstraint",
     "ExhaustiveSearch",
+    "NsgaSearch",
+    "Observation",
     "RandomSearch",
+    "Scalarization",
     "SearchStrategy",
+    "WeightedSum",
+    "make_scalarization",
     "make_strategy",
+    "strategy_options",
     "DesignSpace",
     "MappingCandidate",
 ]

@@ -4,32 +4,57 @@
 proposes candidate batches, the :class:`~repro.campaign.runner
 .CampaignRunner` scores each batch (in-process or across worker
 processes, served from the result store when a candidate was already
-evaluated), the scored metrics feed back into the strategy, and every
+evaluated), the scored metrics are projected onto the explorer's
+:class:`~repro.dse.pareto.Objective` tuple and fed back into the
+strategy as :class:`~repro.dse.search.Observation` vectors, and every
 feasible evaluation is offered to a :class:`~repro.dse.pareto
 .ParetoFront`.  The whole loop is a pure function of ``(problem
 parameters, strategy, seed)``: re-running it explores the identical
 candidate sequence, and re-running it against the same store evaluates
 zero new candidates.
+
+Explorations are **resumable**: with ``checkpoint=`` the explorer
+persists an :class:`~repro.dse.checkpoint.ExplorationCheckpoint` after
+every round (strategy state, candidate sequence, front digests,
+counters), and ``resume=True`` restores all of it -- the resumed run
+continues the identical candidate stream, so an exploration interrupted
+at a round boundary is bit-identical to an uninterrupted one.  Use
+``max_rounds=`` (CLI ``--rounds``) to interrupt cleanly: it bounds the
+rounds executed by one call without touching the budget, so every
+proposal batch is sized exactly as in the uninterrupted run.
+(Interrupting by *shrinking the budget* instead only preserves the
+stream for ``exhaustive``, whose cursor is batching-independent; the
+seeded strategies size their draws by the remaining budget, so a
+different budget is a different stream.)
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..campaign.registry import ScenarioRegistry, default_registry
 from ..campaign.results import JobResult
 from ..campaign.runner import CampaignRunner
-from ..campaign.spec import ScenarioSpec
+from ..campaign.spec import ScenarioSpec, canonical_json
 from ..campaign.store import ResultStore
-from ..errors import ModelError
-from .pareto import DEFAULT_OBJECTIVES, Objective, ParetoFront, ranked_rows
+from ..errors import CampaignError, ModelError
+from .checkpoint import CheckpointFile, ExplorationCheckpoint
+from .pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    ParetoFront,
+    objective_vector,
+    ranked_rows,
+)
 from .problems import DesignProblem, get_problem
 from .scenario import DSE_SCENARIO
-from .search import SearchStrategy, make_strategy
+from .search import Observation, Scalarization, SearchStrategy, make_strategy
 from .space import DesignSpace, MappingCandidate
 
-__all__ = ["ExplorationReport", "MappingExplorer"]
+__all__ = ["ExplorationReport", "MappingExplorer", "front_from_store"]
 
 #: Stop after this many consecutive rounds in which every proposed candidate
 #: had already been evaluated (random search saturating a small space).
@@ -50,6 +75,9 @@ class ExplorationReport:
     cache_hits: int = 0
     infeasible: int = 0
     errors: int = 0
+    #: True when this report continues a checkpointed exploration; the counters
+    #: and results then cover the combined (original + resumed) run.
+    resumed: bool = False
 
     @property
     def explored(self) -> int:
@@ -100,7 +128,7 @@ class ExplorationReport:
             f"dse {self.problem}/{self.strategy}: {self.explored} candidates in "
             f"{self.rounds} rounds, {self.evaluated} evaluated, {self.cache_hits} "
             f"cache hits, {self.infeasible} infeasible, {self.errors} errors, "
-            f"front size {len(self.front)}"
+            f"front size {len(self.front)}, hypervolume {self.front.hypervolume():.6g}"
         )
 
 
@@ -119,6 +147,19 @@ class MappingExplorer:
     to force the from-scratch build).  With ``strict`` left on, proposal
     sampling only draws service orders consistent with the data dependencies,
     so the budget is spent on feasible candidates.
+
+    ``checkpoint=`` (a path or :class:`~repro.dse.checkpoint.CheckpointFile`)
+    persists a resumable snapshot after every round; ``resume=True`` restores
+    the newest snapshot -- it needs both the checkpoint and the ``store`` that
+    backed the original run, and validates that problem, strategy, seed,
+    parameters and objectives all match before continuing the candidate
+    stream.  The ``budget`` may differ on resume: a larger one *extends* the
+    exploration past the original target (a deterministic continuation), but
+    only a same-budget resume is bit-identical to an uninterrupted run,
+    because the seeded strategies size their batches by the remaining budget.
+    ``max_rounds=`` bounds the number of rounds *this call* executes (resumed
+    rounds do not count), which is the clean way to interrupt a
+    feedback-driven strategy at a round boundary.
     """
 
     def __init__(
@@ -137,9 +178,14 @@ class MappingExplorer:
         registry: Optional[ScenarioRegistry] = None,
         objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
         strategy_options: Optional[Mapping[str, Any]] = None,
+        checkpoint: Optional[Union[str, Path, CheckpointFile]] = None,
+        resume: bool = False,
+        max_rounds: Optional[int] = None,
     ) -> None:
         if budget < 1:
             raise ModelError("the exploration budget must be at least one candidate")
+        if max_rounds is not None and max_rounds < 1:
+            raise ModelError("max_rounds must be at least one round")
         self.problem = get_problem(problem) if isinstance(problem, str) else problem
         self.strategy_name = strategy
         self.budget = budget
@@ -155,6 +201,19 @@ class MappingExplorer:
         self.record_instants = record_instants
         self.objectives = tuple(objectives)
         self.strategy_options = dict(strategy_options or {})
+        self.max_rounds = max_rounds
+        if checkpoint is None or isinstance(checkpoint, CheckpointFile):
+            self.checkpoint = checkpoint
+        else:
+            self.checkpoint = CheckpointFile(checkpoint)
+        self.resume = resume
+        if resume and self.checkpoint is None:
+            raise ModelError("resume=True needs a checkpoint to resume from")
+        if resume and store is None:
+            raise ModelError(
+                "resume=True needs the result store that backed the checkpointed "
+                "run (the checkpoint stores digests, the store stores metrics)"
+            )
         self.runner = CampaignRunner(registry=registry, store=store, jobs=jobs)
 
     # ------------------------------------------------------------------
@@ -176,12 +235,138 @@ class MappingExplorer:
             record_instants=self.record_instants,
         )
 
+    def _config(self, resolved: Mapping[str, Any]) -> Dict[str, Any]:
+        """The JSON-normalised configuration a checkpoint must match to resume."""
+        config = {
+            "problem": self.problem.name,
+            "strategy": self.strategy_name,
+            "seed": self.seed,
+            "parameters": dict(resolved),
+            "objectives": [[objective.key, objective.label] for objective in self.objectives],
+            "max_resources": self.max_resources,
+            "explore_orders": self.explore_orders,
+            "strict": self.strict,
+            # Scalarisation policies may be passed as instances; their spec()
+            # is the JSON-safe (and make_scalarization-reinstantiable) form.
+            "strategy_options": {
+                key: value.spec() if isinstance(value, Scalarization) else value
+                for key, value in self.strategy_options.items()
+            },
+        }
+        # Round-trip through JSON so tuples/lists and int/float spellings
+        # compare equal to a loaded checkpoint's record.
+        try:
+            return json.loads(json.dumps(config, sort_keys=True))
+        except (TypeError, ValueError) as error:
+            raise ModelError(
+                f"exploration configuration is not JSON-safe ({error}); "
+                "strategy options must be JSON-safe values (checkpoints and "
+                "resume validation serialise them)"
+            ) from None
+
+    def _snapshot(
+        self,
+        config: Mapping[str, Any],
+        strategy: SearchStrategy,
+        report: ExplorationReport,
+        sequence: List[List[Any]],
+        spent: int,
+        stale_rounds: int,
+    ) -> ExplorationCheckpoint:
+        return ExplorationCheckpoint(
+            problem=config["problem"],
+            strategy=config["strategy"],
+            seed=config["seed"],
+            parameters=dict(config["parameters"]),
+            objectives=[list(pair) for pair in config["objectives"]],
+            max_resources=config["max_resources"],
+            explore_orders=config["explore_orders"],
+            strict=config["strict"],
+            strategy_options=dict(config["strategy_options"]),
+            budget=self.budget,
+            spent=spent,
+            rounds=report.rounds,
+            stale_rounds=stale_rounds,
+            evaluated=report.evaluated,
+            cache_hits=report.cache_hits,
+            infeasible=report.infeasible,
+            errors=report.errors,
+            results=[list(entry) for entry in sequence],
+            front=report.front.digests(),
+            strategy_state=strategy.state(),
+        )
+
+    def _restore(
+        self,
+        config: Mapping[str, Any],
+        strategy: SearchStrategy,
+        report: ExplorationReport,
+        seen: Dict[str, JobResult],
+        sequence: List[List[Any]],
+    ) -> Tuple[int, int]:
+        """Restore strategy + report from the checkpoint; returns (spent, stale)."""
+        assert self.checkpoint is not None
+        loaded = self.checkpoint.load()
+        if loaded is None:
+            raise ModelError(
+                f"cannot resume: checkpoint {self.checkpoint.path} is absent or empty"
+            )
+        loaded.validate_against(config)
+        strategy.restore(loaded.strategy_state)
+        store = self.runner.store
+        assert store is not None  # enforced in __init__
+        for candidate_digest, job_digest, ok in loaded.results:
+            if ok:
+                record = store.get(job_digest)
+                if record is None:
+                    raise ModelError(
+                        f"cannot resume: the result store is missing job "
+                        f"{job_digest[:12]} referenced by the checkpoint -- "
+                        "resume against the store that backed the original run"
+                    )
+                result = JobResult.from_record(record).with_cached(True)
+            else:
+                result = JobResult(
+                    job_digest=job_digest,
+                    scenario=DSE_SCENARIO,
+                    parameters={},
+                    replication=0,
+                    seed=0,
+                    error="failed before the resume (error results are not stored)",
+                )
+            seen[candidate_digest] = result
+            report.results.append(result)
+            sequence.append([candidate_digest, job_digest, bool(ok)])
+            if result.ok and result.metrics.get("feasible"):
+                report.front.offer(
+                    candidate_digest,
+                    result.metrics,
+                    payload=MappingCandidate.from_parameters(result.parameters),
+                )
+        if report.front.digests() != list(loaded.front):
+            raise ModelError(
+                "cannot resume: the front rebuilt from the store does not match "
+                "the checkpointed front digests -- the store contents changed "
+                "since the checkpoint was written"
+            )
+        report.rounds = loaded.rounds
+        report.evaluated = loaded.evaluated
+        report.cache_hits = loaded.cache_hits
+        report.infeasible = loaded.infeasible
+        report.errors = loaded.errors
+        report.resumed = True
+        return loaded.spent, loaded.stale_rounds
+
     def run(self) -> ExplorationReport:
         """Explore until the budget is spent or the strategy runs dry."""
         resolved = self.problem.parameters(self.parameters)
         space = self.build_space()
         strategy: SearchStrategy = make_strategy(
-            self.strategy_name, space, seed=self.seed, **self.strategy_options
+            self.strategy_name,
+            space,
+            seed=self.seed,
+            objectives=self.objectives,
+            **self.strategy_options,
         )
         report = ExplorationReport(
             problem=self.problem.name,
@@ -189,10 +374,24 @@ class MappingExplorer:
             objectives=self.objectives,
             front=ParetoFront(self.objectives),
         )
+        config = self._config(resolved)
         seen: Dict[str, JobResult] = {}
+        sequence: List[List[Any]] = []  # [candidate digest, job digest, ok]
+        spent = 0
         stale_rounds = 0
-        budget_left = self.budget
-        while budget_left > 0 and not strategy.exhausted and stale_rounds < MAX_STALE_ROUNDS:
+        if self.resume:
+            spent, stale_rounds = self._restore(config, strategy, report, seen, sequence)
+        elif self.checkpoint is not None:
+            self.checkpoint.reset()
+
+        rounds_this_call = 0
+        while (
+            spent < self.budget
+            and not strategy.exhausted
+            and stale_rounds < MAX_STALE_ROUNDS
+            and (self.max_rounds is None or rounds_this_call < self.max_rounds)
+        ):
+            budget_left = self.budget - spent
             batch = strategy.propose(budget_left)
             if not batch:
                 if strategy.exhausted:
@@ -219,6 +418,7 @@ class MappingExplorer:
                 for (digest, candidate), result in zip(fresh, campaign.results):
                     seen[digest] = result
                     report.results.append(result)
+                    sequence.append([digest, result.job_digest, result.ok])
                     if not result.ok:
                         report.errors += 1
                         continue
@@ -228,17 +428,79 @@ class MappingExplorer:
                     report.front.offer(digest, result.metrics, payload=candidate)
                 report.cache_hits += campaign.cache_hits
                 report.evaluated += campaign.simulated
-                budget_left -= len(fresh)
+                spent += len(fresh)
                 stale_rounds = 0
             else:
                 stale_rounds += 1
 
             strategy.observe(
                 [
-                    (candidate, seen[digest].metrics)
+                    Observation(
+                        candidate=candidate,
+                        vector=objective_vector(seen[digest].metrics, self.objectives),
+                        feasible=bool(seen[digest].metrics.get("feasible", True)),
+                    )
                     for digest, candidate in zip(digests, batch)
                     if digest in seen and seen[digest].ok
                 ]
             )
             report.rounds += 1
+            rounds_this_call += 1
+            if self.checkpoint is not None:
+                self.checkpoint.write(
+                    self._snapshot(config, strategy, report, sequence, spent, stale_rounds)
+                )
         return report
+
+
+def front_from_store(
+    store: ResultStore,
+    problem: Optional[str] = None,
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> Tuple[ParetoFront, List[Tuple[str, Mapping[str, Any]]], Set[str], Set[str]]:
+    """Rebuild a Pareto front from a result store alone (no exploration state).
+
+    Scans every stored ``dse-eval`` record, filters to ``problem`` when given,
+    and offers each successful evaluation to a fresh front.  Returns ``(front,
+    entries, problems_seen, contexts_seen)`` where ``entries`` are the
+    ``(candidate digest, metrics)`` pairs of every considered record (feasible
+    or not, for ranked tables), ``problems_seen`` names every problem
+    encountered and ``contexts_seen`` holds the canonical JSON of every
+    distinct problem *parameterisation* (``items``, ``seed``, ... -- the
+    record's parameters minus the candidate encoding).  Objectives are only
+    comparable within one ``(problem, parameterisation)``: latency scales with
+    the workload, so callers should refuse to build one front across several
+    problems or contexts.
+    """
+    front = ParetoFront(tuple(objectives))
+    entries: List[Tuple[str, Mapping[str, Any]]] = []
+    problems: Set[str] = set()
+    contexts: Set[str] = set()
+    for job_digest in store.digests():
+        record = store.get(job_digest)
+        try:
+            result = JobResult.from_record(record)
+        except CampaignError:
+            continue
+        if result.scenario != DSE_SCENARIO or not result.ok:
+            continue
+        record_problem = str(result.parameters.get("problem"))
+        if problem is not None and record_problem != problem:
+            continue
+        try:
+            candidate_digest = MappingCandidate.from_parameters(result.parameters).digest()
+        except ModelError:
+            continue
+        problems.add(record_problem)
+        contexts.add(
+            canonical_json(
+                {
+                    key: value
+                    for key, value in result.parameters.items()
+                    if key not in ("allocation", "orders")
+                }
+            )
+        )
+        entries.append((candidate_digest, result.metrics))
+        front.offer(candidate_digest, result.metrics)
+    return front, entries, problems, contexts

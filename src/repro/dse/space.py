@@ -719,6 +719,99 @@ class DesignSpace:
         """``count`` random single-move neighbours of ``candidate`` (may repeat)."""
         return [self.mutate(candidate, rng) for _ in range(count)]
 
+    # ------------------------------------------------------------------
+    # recombination
+    # ------------------------------------------------------------------
+    def _inherited_order(
+        self, parent: MappingCandidate, group: Set[str]
+    ) -> Optional[Tuple[Slot, ...]]:
+        """The parent's explicit order for the resource serving exactly ``group``.
+
+        Service orders are sequences of ``(function, step)`` slots, so they
+        transfer between resources (and across the canonical relabelling) as
+        long as the function group matches exactly.
+        """
+        groups: Dict[str, List[str]] = {}
+        for function, resource in parent.allocation:
+            groups.setdefault(resource, []).append(function)
+        orders = dict(parent.orders)
+        for resource, functions in groups.items():
+            if set(functions) == group and resource in orders:
+                return orders[resource]
+        return None
+
+    def crossover(
+        self, a: MappingCandidate, b: MappingCandidate, rng: random.Random
+    ) -> MappingCandidate:
+        """Recombine two candidates: uniform allocation mix + order inheritance.
+
+        Each function's resource comes from a uniformly chosen parent; when
+        the mix instantiates more than ``max_resources`` distinct resources,
+        the smallest groups are folded onto randomly chosen kept resources
+        until the constraint holds.  A resource of the child whose function
+        group exactly matches a group of one parent inherits that parent's
+        service order (orders are slot sequences, so they survive the
+        canonical relabelling); the remaining orders -- invalidated by the
+        recombination -- are re-sampled as feasible linear extensions
+        constrained by the inherited ones in strict mode, or left at the
+        dependency-aware default otherwise.
+        """
+        alloc_a, alloc_b = dict(a.allocation), dict(b.allocation)
+        allocation: Dict[str, str] = {
+            function: alloc_a[function] if rng.random() < 0.5 else alloc_b[function]
+            for function in self.functions
+        }
+        while len(set(allocation.values())) > self.max_resources:
+            groups: Dict[str, List[str]] = {}
+            for function in self.functions:
+                groups.setdefault(allocation[function], []).append(function)
+            victim = min(groups, key=lambda resource: (len(groups[resource]), resource))
+            kept = sorted(resource for resource in groups if resource != victim)
+            target = kept[rng.randrange(len(kept))]
+            for function in groups[victim]:
+                allocation[function] = target
+
+        child = self.canonical(allocation)
+        if not child.orders:
+            return child
+
+        child_groups: Dict[str, List[str]] = {}
+        for function, resource in child.allocation:
+            child_groups.setdefault(resource, []).append(function)
+        orders: Dict[str, Tuple[Slot, ...]] = dict(child.orders)
+        inherited: Dict[str, Tuple[Slot, ...]] = {}
+        for resource, _default in child.orders:
+            group = set(child_groups[resource])
+            parents = (a, b) if rng.random() < 0.5 else (b, a)
+            for parent in parents:
+                order = self._inherited_order(parent, group)
+                if order is not None:
+                    inherited[resource] = order
+                    break
+        orders.update(inherited)
+        targets = {resource for resource, _ in child.orders if resource not in inherited}
+        if self.strict and self.explore_orders:
+            seeded = MappingCandidate(
+                allocation=child.allocation,
+                orders=tuple((resource, orders[resource]) for resource, _ in child.orders),
+            )
+            # Sampling doubles as the joint-feasibility check: each parent's
+            # orders are schedulable on their own, but two inherited orders
+            # can close a dependency cycle *together* (None return).  In that
+            # case no combination keeping them exists -- re-draw every order
+            # from scratch so strict mode never emits an infeasible child.
+            sampled = self._sample_feasible_orders(seeded, targets, inherited, rng)
+            if sampled is None:
+                sampled = self._sample_feasible_orders(
+                    child, {resource for resource, _ in child.orders}, {}, rng
+                )
+            if sampled is not None:
+                orders.update(sampled)
+        return MappingCandidate(
+            allocation=child.allocation,
+            orders=tuple((resource, orders[resource]) for resource, _ in child.orders),
+        )
+
     def __repr__(self) -> str:
         return (
             f"DesignSpace(functions={len(self.functions)}, "

@@ -101,6 +101,7 @@ class TestExamplesRun:
             ("examples/grouping_and_quantum.py", ["60"]),
             ("examples/campaign_demo.py", ["2"]),
             ("examples/dse_mapping.py", ["60"]),
+            ("examples/dse_resume.py", ["48"]),
         ],
     )
     def test_example_script_runs(self, script, argv, capsys, monkeypatch):

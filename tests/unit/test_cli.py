@@ -84,6 +84,34 @@ class TestParser:
         assert arguments.jobs == 2
         assert arguments.store == "dse.jsonl"
         assert arguments.top == 5
+        assert arguments.checkpoint is None
+        assert arguments.resume is False
+        assert arguments.rounds is None
+
+    def test_dse_run_checkpoint_round_trips(self):
+        arguments = build_parser().parse_args(
+            [
+                "dse", "run", "--strategy", "nsga2", "--store", "dse.jsonl",
+                "--checkpoint", "dse.ck.jsonl", "--resume", "--rounds", "3",
+            ]
+        )
+        assert arguments.strategy == "nsga2"
+        assert arguments.checkpoint == "dse.ck.jsonl"
+        assert arguments.resume is True
+        assert arguments.rounds == 3
+
+    def test_dse_front_round_trips(self):
+        arguments = build_parser().parse_args(
+            ["dse", "front", "--store", "dse.jsonl", "--problem", "didactic", "--top", "4"]
+        )
+        assert arguments.dse_command == "front"
+        assert arguments.store == "dse.jsonl"
+        assert arguments.problem == "didactic"
+        assert arguments.top == 4
+
+    def test_dse_front_requires_a_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "front"])
 
     def test_dse_rejects_unknown_strategy(self):
         with pytest.raises(SystemExit):
@@ -272,6 +300,38 @@ class TestDseCommands:
     def test_dse_run_unknown_problem_is_nonzero(self, capsys):
         assert main(["dse", "run", "--problem", "nope", "--budget", "4"]) == 2
         assert "unknown design problem" in capsys.readouterr().err
+
+    def test_dse_resume_without_checkpoint_is_nonzero(self, capsys):
+        assert main(["dse", "run", "--budget", "4", "--resume"]) == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_dse_front_empty_store_is_nonzero(self, tmp_path, capsys):
+        store = tmp_path / "empty.jsonl"
+        store.write_text("")
+        assert main(["dse", "front", "--store", str(store)]) == 1
+        output = capsys.readouterr().out
+        assert "0 dse-eval record(s)" in output
+
+    def test_dse_front_rebuilds_a_front_from_a_run_store(self, tmp_path, capsys):
+        store = str(tmp_path / "dse.jsonl")
+        assert main(["dse", "run", "--problem", "didactic", "--budget", "12",
+                     "--items", "6", "--seed", "3", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["dse", "front", "--store", store, "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "Pareto front (latency vs resources):" in output
+        assert re.search(r"front size \d+, hypervolume", output)
+
+    def test_dse_front_refuses_mixed_parameterisations(self, tmp_path, capsys):
+        # latency under items=6 and items=12 is not comparable; one front over
+        # both would silently mask the larger run.
+        store = str(tmp_path / "dse.jsonl")
+        for items in ("6", "12"):
+            assert main(["dse", "run", "--problem", "didactic", "--budget", "8",
+                         "--items", items, "--seed", "3", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["dse", "front", "--store", store]) == 2
+        assert "parameterisations" in capsys.readouterr().err
 
     def test_dse_run_loose_orders_probes_infeasibility(self, capsys):
         # The strict=False escape hatch: unconstrained interleavings must

@@ -1,12 +1,20 @@
-"""Unit tests for Pareto dominance, front tracking and ranked reporting."""
+"""Unit tests for Pareto dominance, front tracking, front-quality metrics
+and ranked reporting."""
+
+import math
 
 from repro.dse.pareto import (
     DEFAULT_OBJECTIVES,
     Objective,
     ParetoFront,
+    crowding_distance,
     dominates,
+    hypervolume_2d,
+    nondominated_rank,
+    objective_vector,
     pareto_rank,
     ranked_rows,
+    vector_dominates,
 )
 
 
@@ -71,6 +79,34 @@ class TestParetoFront:
         front.offer("a", metrics(100, 2))
         assert front.offer("a", metrics(100, 2))
 
+    def test_reoffering_refreshes_the_stored_metrics(self):
+        front = ParetoFront()
+        front.offer("a", metrics(100, 2))
+        assert front.offer("a", metrics(100, 2, extra_key="fresh"))
+        point = front.points()[0]
+        assert point.metrics["extra_key"] == "fresh"
+
+    def test_reoffering_with_changed_objectives_rejudges_the_point(self):
+        # A digest re-offered with *different* objective values is a stale
+        # front entry (e.g. the store was regenerated); it must be re-judged,
+        # not blindly confirmed.
+        front = ParetoFront()
+        front.offer("a", metrics(100, 2))
+        front.offer("b", metrics(50, 3))
+        # 'a' re-evaluates to something dominated by 'b': it must drop off.
+        assert not front.offer("a", metrics(60, 3))
+        assert "a" not in front
+        # ... and to something incomparable: it must re-join.
+        assert front.offer("a", metrics(40, 4))
+        assert "a" in front
+
+    def test_offer_caches_the_objective_vector(self):
+        front = ParetoFront()
+        front.offer("a", metrics(100, 2))
+        point = front.points()[0]
+        assert point.vector == (100e6, 2.0)
+        assert point.vector == objective_vector(point.metrics, DEFAULT_OBJECTIVES)
+
     def test_rows_are_sorted_by_first_objective(self):
         front = ParetoFront()
         front.offer("slow-cheap", metrics(300, 1))
@@ -119,3 +155,86 @@ class TestRanking:
             "latency_ps",
             "resources_used",
         ]
+
+    def test_pareto_rank_empty_entries(self):
+        assert pareto_rank([]) == []
+        assert ranked_rows([]) == []
+
+    def test_pareto_rank_all_infeasible(self):
+        entries = [
+            ("x", metrics(0, 0, feasible=False)),
+            ("y", metrics(0, 0, feasible=False)),
+        ]
+        ranked = pareto_rank(entries)
+        assert [rank for rank, _, _ in ranked] == [0, 0]
+        rows = ranked_rows(entries)
+        assert all(row["rank"] == "-" for row in rows)
+
+    def test_exact_objective_ties_share_a_rank(self):
+        # Identical vectors dominate neither way: they must land in the same
+        # front, at every peel depth.
+        entries = [
+            ("a1", metrics(100, 2)),
+            ("a2", metrics(100, 2)),
+            ("b1", metrics(150, 2)),  # dominated by both a's
+            ("b2", metrics(150, 2)),
+        ]
+        ranks = {digest: rank for rank, digest, _ in pareto_rank(entries)}
+        assert ranks == {"a1": 1, "a2": 1, "b1": 2, "b2": 2}
+
+    def test_ranked_rows_top_zero_is_empty(self):
+        entries = [("a", metrics(100, 2))]
+        assert ranked_rows(entries, top=0) == []
+        assert len(ranked_rows(entries, top=None)) == 1
+
+
+class TestVectorHelpers:
+    def test_vector_dominates(self):
+        assert vector_dominates((1.0, 2.0), (2.0, 2.0))
+        assert not vector_dominates((1.0, 3.0), (2.0, 2.0))
+        assert not vector_dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_nondominated_rank_peels_fronts(self):
+        vectors = [(1.0, 4.0), (2.0, 2.0), (2.0, 5.0), (3.0, 3.0), (4.0, 4.0)]
+        assert nondominated_rank(vectors) == [1, 1, 2, 2, 3]
+
+    def test_nondominated_rank_empty_and_ties(self):
+        assert nondominated_rank([]) == []
+        assert nondominated_rank([(1.0, 1.0), (1.0, 1.0)]) == [1, 1]
+
+    def test_crowding_distance_boundaries_are_infinite(self):
+        vectors = [(1.0, 5.0), (2.0, 4.0), (3.0, 3.0), (4.0, 2.0), (5.0, 1.0)]
+        distances = crowding_distance(vectors)
+        assert distances[0] == math.inf
+        assert distances[-1] == math.inf
+        # interior points: symmetric spread -> equal, finite distances
+        assert all(math.isfinite(d) for d in distances[1:-1])
+        assert distances[1] == distances[2] == distances[3]
+
+    def test_crowding_distance_degenerate_sets(self):
+        assert crowding_distance([]) == []
+        assert crowding_distance([(1.0, 2.0)]) == [math.inf]
+        # identical points: boundary picks are infinite, the rest stay 0
+        distances = crowding_distance([(1.0, 1.0)] * 3)
+        assert math.inf in distances
+
+    def test_hypervolume_2d_rectangles(self):
+        # one point: a single rectangle to the reference
+        assert hypervolume_2d([(1.0, 1.0)], (3.0, 3.0)) == 4.0
+        # staircase of two incomparable points
+        assert hypervolume_2d([(1.0, 2.0), (2.0, 1.0)], (3.0, 3.0)) == 3.0
+        # dominated point adds nothing
+        assert hypervolume_2d([(1.0, 1.0), (2.0, 2.0)], (3.0, 3.0)) == 4.0
+        # points at/beyond the reference contribute nothing
+        assert hypervolume_2d([(3.0, 1.0)], (3.0, 3.0)) == 0.0
+        assert hypervolume_2d([], (3.0, 3.0)) == 0.0
+
+    def test_front_hypervolume_and_reference(self):
+        front = ParetoFront()
+        front.offer("a", metrics(100, 2))
+        front.offer("b", metrics(200, 1))
+        reference = front.reference_point()
+        assert reference == (200e6 + 1.0, 3.0)
+        assert front.hypervolume(reference) == front.hypervolume()
+        assert front.hypervolume((300e6, 3.0)) > 0.0
+        assert ParetoFront().hypervolume() == 0.0

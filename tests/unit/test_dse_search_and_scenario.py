@@ -12,13 +12,19 @@ from repro.dse import (
     DSE_SCENARIO,
     AnnealingSearch,
     DesignSpace,
+    EpsilonConstraint,
     ExhaustiveSearch,
+    NsgaSearch,
+    Observation,
     RandomSearch,
+    WeightedSum,
     evaluate_candidate,
     evaluate_mapping,
     get_problem,
+    make_scalarization,
     make_strategy,
     problem_names,
+    strategy_options,
 )
 from repro.dse.scenario import evaluation_record
 from repro.environment import PeriodicStimulus
@@ -31,15 +37,13 @@ def space():
     return get_problem("didactic").space({"items": 10})
 
 
-def fake_metrics(latency_us: float, resources: int, feasible: bool = True):
-    if not feasible:
-        return {"feasible": False}
-    return {
-        "feasible": True,
-        "latency_us": latency_us,
-        "latency_ps": int(latency_us * 1e6),
-        "resources_used": resources,
-    }
+def observed(candidate, latency_us: float, resources: float, feasible: bool = True):
+    """An Observation over the default (latency_ps, resources_used) objectives."""
+    return Observation(
+        candidate=candidate,
+        vector=(latency_us * 1e6, float(resources)),
+        feasible=feasible,
+    )
 
 
 class TestProblems:
@@ -81,35 +85,33 @@ class TestStrategies:
         assert a == b
         assert a != c
 
-    def test_annealing_score_scalarises_and_rejects_infeasible(self, space):
-        strategy = AnnealingSearch(space, seed=0, resource_weight_us=100.0)
-        assert strategy.score(fake_metrics(50.0, 2)) == pytest.approx(250.0)
-        assert strategy.score(fake_metrics(0, 0, feasible=False)) == math.inf
+    def test_annealing_default_ray_matches_the_historical_scalarisation(self, space):
+        # latency + 100 us/resource, in picosecond units.
+        strategy = AnnealingSearch(space, seed=0)
+        candidate = space.default_candidate()
+        assert strategy.scalarize(observed(candidate, 50.0, 2)) == pytest.approx(250.0e6)
+        assert strategy.scalarize(observed(candidate, 0, 0, feasible=False)) == math.inf
 
     def test_annealing_accepts_improvements_greedily(self, space):
         strategy = AnnealingSearch(space, seed=0, neighbors_per_round=4)
         batch = strategy.propose(10)
         assert batch  # seeded with the default candidate + random restarts
-        strategy.observe([(batch[0], fake_metrics(100.0, 1))])
+        strategy.observe([observed(batch[0], 100.0, 1)])
         assert strategy._current == batch[0]
         neighbors = strategy.propose(10)
-        strategy.observe([(neighbors[0], fake_metrics(10.0, 1))])
+        strategy.observe([observed(neighbors[0], 10.0, 1)])
         assert strategy._current == neighbors[0]
 
     def test_annealing_never_accepts_a_computed_infinity(self, space):
         # Regression: `best[1] is math.inf` was an identity check, so an
-        # infinity *computed* from the metrics (not the math.inf singleton)
+        # infinity *computed* from the vector (not the math.inf singleton)
         # slipped through and an all-infeasible round became the current
         # candidate.  float("inf") + x produces such a computed infinity.
-        strategy = AnnealingSearch(space, seed=0, resource_weight_us=100.0)
+        strategy = AnnealingSearch(space, seed=0)
         batch = strategy.propose(4)
-        computed_inf_metrics = {
-            "feasible": True,
-            "latency_us": float("inf"),
-            "resources_used": 1,
-        }
-        assert strategy.score(computed_inf_metrics) is not math.inf  # computed, not singleton
-        strategy.observe([(candidate, computed_inf_metrics) for candidate in batch])
+        computed_inf = observed(batch[0], float("inf"), 1)
+        assert strategy.scalarize(computed_inf) is not math.inf  # computed, not singleton
+        strategy.observe([observed(candidate, float("inf"), 1) for candidate in batch])
         assert strategy._current is None
         assert strategy._current_score == math.inf
 
@@ -119,12 +121,162 @@ class TestStrategies:
         strategy.observe([])
         assert strategy.temperature == pytest.approx(before * 0.5)
 
+    def test_annealing_validates_the_scalarisation_at_construction(self, space):
+        # Mis-sized weights / out-of-range indices must fail before the first
+        # batch is evaluated, not inside observe() mid-exploration.
+        with pytest.raises(ModelError, match="3 weight"):
+            AnnealingSearch(
+                space, scalarization={"policy": "weighted-sum", "weights": [1, 2, 3]}
+            )
+        with pytest.raises(ModelError, match="out of range"):
+            AnnealingSearch(
+                space, scalarization={"policy": "epsilon-constraint", "primary": 5}
+            )
+
+    def test_annealing_epsilon_constraint_walks_the_constrained_slice(self, space):
+        strategy = AnnealingSearch(
+            space,
+            seed=0,
+            scalarization={"policy": "epsilon-constraint", "primary": 0, "bounds": {"1": 2}},
+        )
+        candidate = space.default_candidate()
+        # within the bound: pure latency; outside it: rejected.
+        assert strategy.scalarize(observed(candidate, 50.0, 2)) == pytest.approx(50.0e6)
+        assert strategy.scalarize(observed(candidate, 10.0, 3)) == math.inf
+
     def test_make_strategy_dispatch(self, space):
         assert isinstance(make_strategy("exhaustive", space), ExhaustiveSearch)
         assert isinstance(make_strategy("random", space, seed=1), RandomSearch)
         assert isinstance(make_strategy("annealing", space, seed=1), AnnealingSearch)
+        assert isinstance(make_strategy("nsga2", space, seed=1), NsgaSearch)
         with pytest.raises(ModelError, match="unknown search strategy"):
             make_strategy("quantum", space)
+
+    def test_make_strategy_bad_options_is_a_model_error_naming_the_options(self, space):
+        # Unknown options used to escape as a raw TypeError from __init__.
+        with pytest.raises(ModelError, match="invalid options for search strategy"):
+            make_strategy("annealing", space, resource_weight_us=100.0)
+        with pytest.raises(ModelError, match="neighbors_per_round"):
+            make_strategy("annealing", space, nope=1)
+        with pytest.raises(ModelError, match="population_size"):
+            make_strategy("nsga2", space, popsize=4)
+        assert "batch_size" in strategy_options("random")
+        with pytest.raises(ModelError, match="unknown search strategy"):
+            strategy_options("quantum")
+
+
+class TestScalarization:
+    def test_weighted_sum_defaults_to_unit_weights(self):
+        assert WeightedSum()((3.0, 4.0)) == pytest.approx(7.0)
+        assert WeightedSum((2.0, 0.5))((3.0, 4.0)) == pytest.approx(8.0)
+        assert WeightedSum()((1.0,), feasible=False) == math.inf
+
+    def test_weighted_sum_rejects_mismatched_weights(self):
+        with pytest.raises(ModelError, match="weight"):
+            WeightedSum((1.0,))((1.0, 2.0))
+
+    def test_epsilon_constraint_bounds_and_primary(self):
+        policy = EpsilonConstraint(primary=0, bounds={1: 2.0})
+        assert policy((10.0, 2.0)) == pytest.approx(10.0)
+        assert policy((10.0, 2.5)) == math.inf
+        assert policy((10.0, 2.0), feasible=False) == math.inf
+
+    def test_make_scalarization_round_trips_specs(self):
+        for spec in (
+            None,
+            "weighted-sum",
+            {"policy": "weighted-sum", "weights": [1.0, 2.0]},
+            {"policy": "epsilon-constraint", "primary": 1, "bounds": {"0": 5.0}},
+        ):
+            policy = make_scalarization(spec)
+            again = make_scalarization(policy.spec())
+            assert again.spec() == policy.spec()
+        assert make_scalarization(WeightedSum()) is not None
+
+    def test_make_scalarization_rejects_unknown_policies(self):
+        with pytest.raises(ModelError, match="unknown scalarisation policy"):
+            make_scalarization("harmonic")
+        with pytest.raises(ModelError, match="'policy' key"):
+            make_scalarization({"weights": [1.0]})
+        with pytest.raises(ModelError, match="invalid options"):
+            make_scalarization({"policy": "weighted-sum", "nope": 1})
+
+    def test_malformed_option_values_are_model_errors_too(self, space):
+        # ValueError (not just TypeError) from deep inside a spec must not
+        # escape raw: a metric *name* is not a valid objective index, and a
+        # non-numeric weight is not a weight.
+        with pytest.raises(ModelError, match="invalid options"):
+            make_scalarization(
+                {"policy": "epsilon-constraint", "bounds": {"latency_ps": 2.0}}
+            )
+        with pytest.raises(ModelError, match="invalid options"):
+            make_scalarization({"policy": "weighted-sum", "weights": ["heavy"]})
+        # Routed through make_strategy, the scalarisation's own (already
+        # friendly) ModelError propagates unchanged.
+        with pytest.raises(ModelError, match="invalid options for scalarisation"):
+            make_strategy(
+                "annealing",
+                space,
+                scalarization={"policy": "epsilon-constraint", "bounds": {"latency_ps": 2}},
+            )
+
+
+class TestNsgaSearch:
+    def test_first_round_seeds_default_plus_random(self, space):
+        strategy = NsgaSearch(space, seed=3, population_size=8)
+        batch = strategy.propose(100)
+        assert len(batch) == 8
+        assert batch[0] == space.default_candidate()
+
+    def test_population_needs_at_least_two(self, space):
+        with pytest.raises(ModelError, match="population"):
+            NsgaSearch(space, population_size=1)
+
+    def test_selection_keeps_the_nondominated_and_spread(self, space):
+        strategy = NsgaSearch(space, seed=0, population_size=4)
+        # Feed eight distinct candidates: a clear front of four trade-offs and
+        # four dominated points; selection must keep exactly the front.
+        candidates = []
+        for candidate in space.enumerate_candidates():
+            if len(candidates) == 8:
+                break
+            candidates.append(candidate)
+        assert len(candidates) == 8
+        observations = [
+            observed(candidates[0], 10.0, 4),
+            observed(candidates[1], 20.0, 3),
+            observed(candidates[2], 30.0, 2),
+            observed(candidates[3], 40.0, 1),
+            observed(candidates[4], 50.0, 4),  # dominated by 0..3
+            observed(candidates[5], 60.0, 4),
+            observed(candidates[6], 70.0, 4),
+            observed(candidates[7], 80.0, 4),
+        ]
+        strategy.observe(observations)
+        population = strategy.population()
+        assert len(population) == 4
+        kept = {candidate.digest() for candidate, _ in population}
+        assert kept == {c.digest() for c in candidates[:4]}
+
+    def test_infeasible_observations_never_enter_the_population(self, space):
+        strategy = NsgaSearch(space, seed=0, population_size=4)
+        batch = strategy.propose(4)
+        strategy.observe([observed(c, 10.0, 1, feasible=False) for c in batch])
+        assert strategy.population() == []
+        assert strategy.generation == 1
+
+    def test_offspring_avoid_reproposing_the_population(self, space):
+        strategy = NsgaSearch(space, seed=1, population_size=4)
+        batch = strategy.propose(4)
+        strategy.observe(
+            [observed(c, 10.0 * (i + 1), 4 - i) for i, c in enumerate(batch)]
+        )
+        offspring = strategy.propose(4)
+        population_digests = {c.digest() for c, _ in strategy.population()}
+        fresh = [c for c in offspring if c.digest() not in population_digests]
+        # The dedup-retry keeps the batch mostly novel (the random-immigrant
+        # fallback may still land on a member, so "mostly", not "all").
+        assert len(fresh) >= len(offspring) // 2
 
 
 class TestEvaluationObjectives:

@@ -274,3 +274,70 @@ class TestFeasibilityAwareSampling:
         # chain constraints, so sampling P2 against it must fail cleanly.
         broken = {"P1": tuple(reversed(dict(candidate.orders)["P1"]))}
         assert space._sample_feasible_orders(candidate, {"P2"}, broken, rng) is None
+
+
+class TestCrossover:
+    """The allocation/order recombination operator behind NsgaSearch."""
+
+    @pytest.fixture()
+    def compiled(self):
+        return CompiledProblem(get_problem("didactic"), {"items": 4})
+
+    def test_children_are_valid_and_mix_both_parents(self, space):
+        rng = random.Random(11)
+        a = space.canonical({"F1": "P1", "F2": "P1", "F3": "P1", "F4": "P1"})
+        b = space.canonical({"F1": "P1", "F2": "P2", "F3": "P3", "F4": "P4"})
+        parent_alloc = {dict(a.allocation)[f] for f in space.functions} | {
+            dict(b.allocation)[f] for f in space.functions
+        }
+        mixed = 0
+        for _ in range(40):
+            child = space.crossover(a, b, rng)
+            assert set(f for f, _ in child.allocation) == set(space.functions)
+            assert len(set(r for _, r in child.allocation)) <= space.max_resources
+            if child.allocation not in (a.allocation, b.allocation):
+                mixed += 1
+        assert mixed > 0  # recombination, not cloning
+
+    def test_children_respect_max_resources(self):
+        space = get_problem("didactic").space({"items": 4}, max_resources=2)
+        rng = random.Random(12)
+        a = space.canonical({"F1": "P1", "F2": "P1", "F3": "P2", "F4": "P2"})
+        b = space.canonical({"F1": "P1", "F2": "P2", "F3": "P1", "F4": "P2"})
+        for _ in range(40):
+            child = space.crossover(a, b, rng)
+            assert len(child.resources_used()) <= 2
+
+    def test_children_stay_order_feasible_in_strict_mode(self, space, compiled):
+        rng = random.Random(13)
+        parents = [space.random_candidate(rng) for _ in range(8)]
+        for _ in range(60):
+            a, b = rng.sample(parents, 2)
+            child = space.crossover(a, b, rng)
+            assert _order_feasible(compiled, child)
+            parents[rng.randrange(len(parents))] = child
+
+    def test_matching_groups_inherit_the_parent_order(self, space):
+        # Both parents allocate {F1..F4} to one resource with an explicit
+        # (non-default) order; a child keeping that group must inherit one
+        # parent's order rather than resetting to the default.
+        rng = random.Random(14)
+        base = space.canonical({"F1": "P1", "F2": "P1", "F3": "P1", "F4": "P1"})
+        variant = None
+        for _ in range(50):
+            candidate = space._randomise_orders(base, rng)
+            if candidate.orders != base.orders:
+                variant = candidate
+                break
+        assert variant is not None
+        child = space.crossover(variant, variant, rng)
+        assert child.allocation == variant.allocation
+        assert child.orders == variant.orders
+
+    def test_crossover_is_seed_deterministic(self, space):
+        rng_a, rng_b = random.Random(15), random.Random(15)
+        a = space.canonical({"F1": "P1", "F2": "P1", "F3": "P2", "F4": "P2"})
+        b = space.canonical({"F1": "P1", "F2": "P2", "F3": "P2", "F4": "P1"})
+        first = [space.crossover(a, b, rng_a).digest() for _ in range(25)]
+        second = [space.crossover(a, b, rng_b).digest() for _ in range(25)]
+        assert first == second
