@@ -130,6 +130,31 @@ def test_dse_random_proposals_are_order_feasible_on_chain():
 
 
 @pytest.mark.benchmark(group="dse")
+def test_dse_heterogeneous_evaluate_throughput(benchmark):
+    """Scoring random candidates of the mixed-bank ``lte`` problem.
+
+    Exercises the kind-aware inner loop: eligibility-constrained sampling,
+    per-(slot, resource-class) duration tables and per-kind utilisation
+    metrics.  Every proposal must be feasible (eligibility + strict orders).
+    """
+    problem = get_problem("lte")
+    parameters = {"items": 14}
+    space = problem.space(parameters)
+    rng = random.Random(19)
+    candidates = [space.random_candidate(rng) for _ in range(BATCH)]
+
+    def score_batch():
+        return [evaluate_candidate(problem, candidate, parameters) for candidate in candidates]
+
+    evaluations = benchmark(score_batch)
+    assert all(evaluation.feasible for evaluation in evaluations)
+    assert all(evaluation.utilization_by_kind for evaluation in evaluations)
+    if benchmark.stats:  # absent under --benchmark-disable (CI smoke mode)
+        mean_seconds = benchmark.stats.stats.mean
+        benchmark.extra_info["candidates_per_second"] = round(BATCH / mean_seconds, 1)
+
+
+@pytest.mark.benchmark(group="dse")
 def test_dse_cached_exploration(benchmark):
     """A full random exploration re-run against a warm store (no evaluation)."""
     store = ResultStore.in_memory()

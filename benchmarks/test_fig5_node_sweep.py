@@ -19,7 +19,6 @@ achieves.
 
 from __future__ import annotations
 
-import time
 
 import pytest
 
@@ -29,7 +28,6 @@ from repro.environment import RandomSizeStimulus
 from repro.explicit import ExplicitArchitectureModel
 from repro.generator import build_pipeline_architecture, pad_equivalent_spec
 from repro.kernel.simtime import microseconds
-from repro.observation import compare_instants
 
 #: Pipeline lengths giving X-vector sizes of roughly 6, 10, 20 and 30 instants
 #: (one relation per pipeline hop), as in the paper's figure.

@@ -21,15 +21,7 @@ from __future__ import annotations
 import pytest
 
 from repro.kernel.simtime import microseconds
-from repro.lte import (
-    DECODER_NAME,
-    DSP_NAME,
-    INPUT_RELATION,
-    OUTPUT_RELATION,
-    SYMBOLS_PER_FRAME,
-    build_lte_models,
-    fig6_observation,
-)
+from repro.lte import OUTPUT_RELATION, SYMBOLS_PER_FRAME, build_lte_models, fig6_observation
 from repro.observation import compare_instants
 
 _reference_outputs = {}

@@ -87,7 +87,9 @@ def test_table1_equivalent_model(benchmark, stages, bench_items):
     output_relation = f"L{stages + 1}"
     reference = _reference_outputs.get((stages, bench_items))
     if reference is None:  # explicit benchmark filtered out: rebuild the reference once
-        explicit = ExplicitArchitectureModel(build_chain_architecture(stages), _stimulus(bench_items))
+        explicit = ExplicitArchitectureModel(
+            build_chain_architecture(stages), _stimulus(bench_items)
+        )
         explicit.run()
         reference = explicit.output_instants(output_relation)
         benchmark.extra_info["explicit_relation_events"] = explicit.relation_event_count()

@@ -23,14 +23,7 @@ import time
 
 from repro import compare_instants
 from repro.analysis import format_rows, format_series
-from repro.lte import (
-    INPUT_RELATION,
-    OUTPUT_RELATION,
-    SYMBOLS_PER_FRAME,
-    build_lte_architecture,
-    build_lte_models,
-    fig6_observation,
-)
+from repro.lte import OUTPUT_RELATION, SYMBOLS_PER_FRAME, build_lte_models, fig6_observation
 
 
 def frame_observation() -> None:

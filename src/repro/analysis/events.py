@@ -8,7 +8,7 @@ the measured kernel statistics.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional
 
 from ..archmodel.architecture import ArchitectureModel
 from ..core.partition import boundary_relations

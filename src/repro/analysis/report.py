@@ -9,7 +9,7 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, Mapping, Sequence, Tuple
 
 __all__ = ["format_table", "format_rows", "format_series"]
 

@@ -75,9 +75,12 @@ from .workload import (
     CycleAccurateExecutionTime,
     DataDependentExecutionTime,
     ExecutionTimeModel,
+    KindScaledExecutionTime,
     PerUnitExecutionTime,
+    ResourceDependentExecutionTime,
     StochasticExecutionTime,
     TableExecutionTime,
+    bind_workload,
 )
 
 __all__ = [
@@ -105,4 +108,7 @@ __all__ = [
     "StochasticExecutionTime",
     "TableExecutionTime",
     "CycleAccurateExecutionTime",
+    "KindScaledExecutionTime",
+    "ResourceDependentExecutionTime",
+    "bind_workload",
 ]

@@ -27,7 +27,6 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..errors import ModelError
 from .application import ApplicationModel
 from .platform import PlatformModel
-from .primitives import ExecuteStep
 
 __all__ = ["ScheduleSlot", "Mapping"]
 

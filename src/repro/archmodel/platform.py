@@ -102,6 +102,12 @@ class PlatformModel:
         """Convenience: add a concurrency-1 programmable processor."""
         return self.add_resource(ProcessingResource(name, 1, frequency_hz, kind))
 
+    def add_dsp(
+        self, name: str, frequency_hz: Optional[float] = None
+    ) -> ProcessingResource:
+        """Convenience: add a concurrency-1 digital signal processor."""
+        return self.add_resource(ProcessingResource(name, 1, frequency_hz, ResourceKind.DSP))
+
     def add_hardware(
         self, name: str, frequency_hz: Optional[float] = None
     ) -> ProcessingResource:
@@ -123,6 +129,24 @@ class PlatformModel:
     @property
     def resource_names(self) -> Tuple[str, ...]:
         return tuple(self._resources)
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Resource count per kind tag (kind value -> count), declaration order."""
+        counts: Dict[str, int] = {}
+        for resource in self._resources.values():
+            counts[resource.kind.value] = counts.get(resource.kind.value, 0) + 1
+        return counts
+
+    def composition(self) -> str:
+        """Canonical one-line bank composition, e.g. ``2x processor + 1x dsp``.
+
+        Kinds are listed in name order so two platforms with the same bank
+        produce the same string regardless of declaration order -- ``dse
+        front`` compares these to refuse merging stores whose problems
+        disagree on the bank.
+        """
+        counts = self.kind_counts()
+        return " + ".join(f"{counts[kind]}x {kind}" for kind in sorted(counts))
 
     def validate(self) -> None:
         if not self._resources:

@@ -20,7 +20,6 @@ the TDG builder compiles them into evolution-instant equations.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 from ..errors import ModelError
 from ..kernel.simtime import Duration

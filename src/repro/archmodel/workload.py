@@ -27,10 +27,11 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Hashable, Mapping, Optional, Sequence, Union
 
 from ..errors import ModelError
 from ..kernel.simtime import Duration
+from .platform import ProcessingResource, ResourceKind
 from .token import DataToken
 
 __all__ = [
@@ -41,6 +42,9 @@ __all__ = [
     "TableExecutionTime",
     "StochasticExecutionTime",
     "CycleAccurateExecutionTime",
+    "ResourceDependentExecutionTime",
+    "KindScaledExecutionTime",
+    "bind_workload",
 ]
 
 
@@ -274,3 +278,165 @@ class CycleAccurateExecutionTime(ExecutionTimeModel):
         if self._operations_fn is None:
             return 0.0
         return float(self._operations_fn(k, token))
+
+
+class ResourceDependentExecutionTime(ExecutionTimeModel):
+    """A workload whose execution time depends on the *serving resource*.
+
+    Heterogeneous platforms run the same function at different speeds on
+    different resource kinds.  A resource-dependent model cannot produce a
+    duration on its own: every timing path (explicit processes, the
+    loosely-timed baseline, template specialisation, the compiled DSE
+    evaluator) first *binds* it to the concrete resource the function was
+    mapped onto, via :meth:`bind` / :func:`bind_workload`.
+
+    :meth:`binding_key` names the equivalence class of resources the bound
+    durations depend on; the compiled DSE path keys its shared per-iteration
+    duration tables by ``(function, step, binding_key)`` so candidates mapping
+    a function onto interchangeable resources share one table.
+    """
+
+    @abc.abstractmethod
+    def bind(self, resource: ProcessingResource) -> ExecutionTimeModel:
+        """The plain (resource-free) execution-time model on ``resource``."""
+
+    @abc.abstractmethod
+    def binding_key(self, resource: ProcessingResource) -> Hashable:
+        """Hashable key such that equal keys imply identical bound durations."""
+
+    def duration(self, k: int, token: Optional[DataToken]) -> Duration:
+        raise ModelError(
+            f"{type(self).__name__} is resource-dependent; bind it to a "
+            "processing resource (bind_workload) before asking for durations"
+        )
+
+
+class _ScaledExecutionTime(ExecutionTimeModel):
+    """A base model with every duration multiplied by a fixed factor.
+
+    The scaled duration is ``round(base_ps * factor)`` in integer
+    picoseconds -- a deterministic function of the base model, so the
+    explicit, equivalent and compiled evaluation paths agree exactly.
+    """
+
+    __slots__ = ("_base", "_factor")
+
+    def __init__(self, base: ExecutionTimeModel, factor: float) -> None:
+        self._base = base
+        self._factor = factor
+
+    def duration(self, k: int, token: Optional[DataToken]) -> Duration:
+        return Duration(round(self._base.duration(k, token).picoseconds * self._factor))
+
+    def operations(self, k: int, token: Optional[DataToken]) -> float:
+        return self._base.operations(k, token)
+
+
+class KindScaledExecutionTime(ResourceDependentExecutionTime):
+    """Per-resource-kind execution-time scaling of a base workload model.
+
+    ``scale`` maps resource kinds (:class:`~repro.archmodel.platform
+    .ResourceKind` members or their string values) to a multiplier on the
+    base model's duration: ``1.0`` means the base durations are native to
+    that kind, ``2.5`` a 2.5x slowdown.  Binding to a kind absent from
+    ``scale`` raises (pass ``default_scale`` to allow it) -- a mapping DSE
+    should constrain eligibility instead of silently mistiming a function.
+
+    With ``reference_frequency_hz`` set, the factor is additionally
+    multiplied by ``reference / resource.frequency_hz`` (cycle-count
+    semantics: the base durations are calibrated at the reference clock),
+    so two resources of one kind at different clocks time differently.
+    Operation counts are resource-independent and delegate to the base.
+    """
+
+    def __init__(
+        self,
+        base: ExecutionTimeModel,
+        scale: Mapping[Union[ResourceKind, str], float],
+        default_scale: Optional[float] = None,
+        reference_frequency_hz: Optional[float] = None,
+    ) -> None:
+        if not isinstance(base, ExecutionTimeModel):
+            raise ModelError("KindScaledExecutionTime expects a base ExecutionTimeModel")
+        if isinstance(base, ResourceDependentExecutionTime):
+            raise ModelError("the base of a kind-scaled workload must be resource-free")
+        self.base = base
+        self._scale: Dict[str, float] = {}
+        for kind, factor in scale.items():
+            key = kind.value if isinstance(kind, ResourceKind) else str(kind)
+            if float(factor) <= 0:
+                raise ModelError(f"scale for kind {key!r} must be positive, got {factor!r}")
+            self._scale[key] = float(factor)
+        if not self._scale and default_scale is None:
+            raise ModelError("a kind-scaled workload needs at least one kind scale")
+        if default_scale is not None and default_scale <= 0:
+            raise ModelError("default_scale must be positive")
+        self.default_scale = default_scale
+        if reference_frequency_hz is not None and reference_frequency_hz <= 0:
+            raise ModelError("reference_frequency_hz must be positive")
+        self.reference_frequency_hz = reference_frequency_hz
+
+    def scales(self) -> Dict[str, float]:
+        """The per-kind multipliers (kind value -> factor), a copy."""
+        return dict(self._scale)
+
+    def supports_kind(self, kind: ResourceKind) -> bool:
+        """True when :meth:`bind` accepts resources of ``kind``."""
+        return kind.value in self._scale or self.default_scale is not None
+
+    def factor_for(self, resource: ProcessingResource) -> float:
+        """The duration multiplier for one concrete resource."""
+        factor = self._scale.get(resource.kind.value, self.default_scale)
+        if factor is None:
+            raise ModelError(
+                f"workload has no execution-time scale for resource "
+                f"{resource.name!r} of kind {resource.kind.value!r} "
+                f"(known kinds: {sorted(self._scale)})"
+            )
+        if self.reference_frequency_hz is not None:
+            if not resource.frequency_hz:
+                raise ModelError(
+                    f"workload scales with the clock (reference "
+                    f"{self.reference_frequency_hz:g} Hz) but resource "
+                    f"{resource.name!r} declares no frequency; give the "
+                    "resource a frequency_hz instead of silently mistiming it"
+                )
+            factor *= self.reference_frequency_hz / resource.frequency_hz
+        return factor
+
+    def bind(self, resource: ProcessingResource) -> ExecutionTimeModel:
+        factor = self.factor_for(resource)
+        if isinstance(self.base, ConstantExecutionTime):
+            # Constant stays constant, so the bound weight keeps the graph
+            # exportable to the linear (max, +) matrix form.
+            base = self.base.duration(0, None)
+            return ConstantExecutionTime(
+                Duration(round(base.picoseconds * factor)),
+                operations=self.base.operations(0, None),
+            )
+        if factor == 1.0:
+            return self.base
+        return _ScaledExecutionTime(self.base, factor)
+
+    def binding_key(self, resource: ProcessingResource) -> Hashable:
+        # The factor is a function of (kind, frequency) only, so resources
+        # agreeing on both share bound duration tables.
+        return (resource.kind.value, resource.frequency_hz)
+
+    def operations(self, k: int, token: Optional[DataToken]) -> float:
+        return self.base.operations(k, token)
+
+
+def bind_workload(
+    workload: ExecutionTimeModel, resource: ProcessingResource
+) -> ExecutionTimeModel:
+    """``workload`` ready to time executions on ``resource``.
+
+    Resource-free models pass through unchanged; resource-dependent ones are
+    bound.  Every consumer of execute-step durations goes through this, so
+    heterogeneous scaling behaves identically in the explicit, loosely-timed,
+    equivalent and compiled evaluation paths.
+    """
+    if isinstance(workload, ResourceDependentExecutionTime):
+        return workload.bind(resource)
+    return workload

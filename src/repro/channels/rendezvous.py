@@ -29,7 +29,6 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Generator, Optional
 
-from ..errors import SimulationError
 from .base import ChannelBase
 
 if TYPE_CHECKING:  # pragma: no cover

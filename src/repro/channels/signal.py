@@ -9,7 +9,7 @@ library (control flags, mode changes in the LTE scenario, ...).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator
 
 from .base import ChannelBase
 

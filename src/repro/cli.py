@@ -38,7 +38,9 @@ from typing import Any, Dict, List, Optional, Sequence
 from .analysis import format_rows, format_series
 from .campaign import CampaignRunner, ResultStore, aggregate_results, default_registry
 from .dse import (
+    DEFAULT_OBJECTIVES,
     MappingExplorer,
+    ParetoFront,
     STRATEGY_NAMES,
     front_from_store,
     get_problem,
@@ -507,9 +509,9 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
     space = explorer.build_space()
     print(
         f"# problem {problem.name!r}: {len(space.functions)} functions, "
-        f"bank of {len(space.resources)} resources "
-        f"(max {space.max_resources} usable), strategy {arguments.strategy!r}, "
-        f"budget {arguments.budget}"
+        f"bank of {space.platform.composition()} "
+        f"(max {space.max_resources} of {len(space.resources)} usable), "
+        f"strategy {arguments.strategy!r}, budget {arguments.budget}"
     )
     report = explorer.run()
     if report.resumed:
@@ -529,13 +531,61 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
     return 0 if report.errors == 0 and len(report.front) > 0 else 1
 
 
+def _context_bank_compositions(contexts: Sequence[str]) -> Dict[str, List[str]]:
+    """Bank composition -> contexts (canonical parameter JSON) instantiating it.
+
+    Contexts whose problem is not registered (or whose parameters no longer
+    build a platform) are skipped: their bank cannot be reconstructed.
+    """
+    compositions: Dict[str, List[str]] = {}
+    for context in sorted(contexts):
+        parameters = json.loads(context)
+        try:
+            problem = get_problem(str(parameters.get("problem")))
+            platform = problem.platform_factory(problem.parameters(parameters))
+        except (ModelError, CampaignError, TypeError, ValueError, KeyError):
+            continue
+        compositions.setdefault(platform.composition(), []).append(context)
+    return compositions
+
+
+def _problem_objectives(name: Optional[str]):
+    """The registered problem's objective tuple, or None when unknown."""
+    if name is None:
+        return None
+    try:
+        return tuple(get_problem(name).objectives)
+    except ModelError:
+        return None
+
+
 def _run_dse_front(arguments: argparse.Namespace) -> int:
     store = ResultStore(arguments.store)
-    front, entries, problems, contexts = front_from_store(store, problem=arguments.problem)
+    # With --problem the objective tuple is known up front, so the store scan
+    # builds the right front directly; without it the problem name only falls
+    # out of the scan, and the front is rebuilt from the in-memory entries.
+    objectives = _problem_objectives(arguments.problem)
+    front, entries, problems, contexts = front_from_store(
+        store,
+        problem=arguments.problem,
+        objectives=objectives if objectives is not None else DEFAULT_OBJECTIVES,
+    )
     if arguments.problem is None and len(problems) > 1:
         print(
             f"error: store {arguments.store} mixes problems "
             f"({', '.join(sorted(problems))}); pass --problem to pick one",
+            file=sys.stderr,
+        )
+        return 2
+    compositions = _context_bank_compositions(contexts)
+    if len(compositions) > 1:
+        # Two records only trade off against each other on one bank: merging
+        # e.g. a 2-DSP front with a 1-DSP front silently mixes cost axes.
+        print(
+            f"error: store {arguments.store} mixes evaluations against "
+            f"{len(compositions)} different resource banks "
+            f"({'; '.join(sorted(compositions))}); a Pareto front is only "
+            "meaningful for one bank composition",
             file=sys.stderr,
         )
         return 2
@@ -551,17 +601,27 @@ def _run_dse_front(arguments: argparse.Namespace) -> int:
         )
         return 2
     label = arguments.problem or (next(iter(problems)) if problems else "(none)")
+    if objectives is None:
+        objectives = _problem_objectives(label)
+    if objectives is not None and objectives != front.objectives:
+        # Rebuild on the problem's own axes (e.g. the lte problem adds a
+        # per-kind utilisation objective); the entries are already in hand.
+        rebuilt = ParetoFront(objectives)
+        for digest, metrics in entries:
+            rebuilt.offer(digest, metrics)
+        front = rebuilt
     print(
         f"# store {arguments.store}: {len(entries)} dse-eval record(s) for "
         f"problem {label!r}"
+        + (f", bank of {next(iter(compositions))}" if compositions else "")
     )
     print(f"Pareto front ({' vs '.join(o.label for o in front.objectives)}):")
     print(format_rows(front.rows()))
     if arguments.top is not None:
         print(f"top {arguments.top} candidates:")
-        print(format_rows(ranked_rows(entries, top=arguments.top)))
+        print(format_rows(ranked_rows(entries, front.objectives, top=arguments.top)))
     print(
-        f"front size {len(front)}, hypervolume {front.hypervolume():.6g} "
+        f"front size {len(front)}, hypervolume {front.hypervolume_text()} "
         f"(rebuilt from the store alone)"
     )
     return 0 if len(front) > 0 else 1
@@ -599,6 +659,14 @@ def _run_dse_show(arguments: argparse.Namespace) -> int:
             f"{resource.name} [{resource.kind.value}]" for resource in space.resources
         )
         + f" (max {space.max_resources} usable)"
+    )
+    print(f"bank composition: {space.platform.composition()}")
+    if space.has_eligibility:
+        print("eligibility:")
+        for function in space.functions:
+            print(f"  {function}: {', '.join(space.eligible_resources(function))}")
+    print(
+        "objectives: " + ", ".join(f"{o.label} ({o.key})" for o in problem.objectives)
     )
     cap = 100_000
     size = space.size(cap=cap)

@@ -67,7 +67,11 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 from ..archmodel.application import ApplicationModel, RelationKind, RelationSpec
 from ..archmodel.architecture import ArchitectureModel
 from ..archmodel.primitives import DelayStep, ExecuteStep, ReadStep, WriteStep
-from ..archmodel.workload import ConstantExecutionTime, ExecutionTimeModel
+from ..archmodel.workload import (
+    ConstantExecutionTime,
+    ExecutionTimeModel,
+    ResourceDependentExecutionTime,
+)
 from ..errors import ModelError
 from ..kernel.simtime import Duration
 from ..tdg.graph import TemporalDependencyGraph
@@ -260,7 +264,9 @@ def build_template(
                     "label": step.label,
                     "step_index": step_index,
                 }
-                nodes.append(TemplateNode(start, NodeKind.INTERNAL, dict(tags, kind="execute_start")))
+                nodes.append(
+                    TemplateNode(start, NodeKind.INTERNAL, dict(tags, kind="execute_start"))
+                )
                 nodes.append(TemplateNode(end, NodeKind.INTERNAL, dict(tags, kind="execute_end")))
                 completion[(function_name, step_index)] = end
                 execute_slots.append(
@@ -313,7 +319,9 @@ def build_template(
                             f"{function_name!r}; the dynamic computation method requires "
                             "boundary inputs to be read as the first step of their consumer"
                         )
-                    arcs.append(TemplateArc(prev_node, ready, delay=prev_delay, label="consumer ready"))
+                    arcs.append(
+                        TemplateArc(prev_node, ready, delay=prev_delay, label="consumer ready")
+                    )
                 elif spec.kind is RelationKind.FIFO:
                     read_node = fifo_read_nodes[relation]
                     arcs.append(
@@ -333,12 +341,18 @@ def build_template(
                 spec = relations[relation]
                 if relation in output_relation_names:
                     offer = f"offer[{relation}]"
-                    arcs.append(TemplateArc(prev_node, offer, delay=prev_delay, label="producer ready"))
-                    arcs.append(TemplateArc(offer, relation_nodes[relation], delay=0, label="exchange"))
+                    arcs.append(
+                        TemplateArc(prev_node, offer, delay=prev_delay, label="producer ready")
+                    )
+                    arcs.append(
+                        TemplateArc(offer, relation_nodes[relation], delay=0, label="exchange")
+                    )
                 elif spec.kind is RelationKind.FIFO:
                     write_node = relation_nodes[relation]
                     arcs.append(
-                        TemplateArc(prev_node, write_node, delay=prev_delay, label="producer ready")
+                        TemplateArc(
+                            prev_node, write_node, delay=prev_delay, label="producer ready"
+                        )
                     )
                     if spec.capacity is not None:
                         arcs.append(
@@ -357,7 +371,9 @@ def build_template(
             elif isinstance(step, ExecuteStep):
                 entry_start = f"start[{function_name}#{step_index}:{step.label}]"
                 entry_end = f"end[{function_name}#{step_index}:{step.label}]"
-                arcs.append(TemplateArc(prev_node, entry_start, delay=prev_delay, label="data ready"))
+                arcs.append(
+                    TemplateArc(prev_node, entry_start, delay=prev_delay, label="data ready")
+                )
                 arcs.append(
                     TemplateArc(
                         entry_start,
@@ -384,6 +400,11 @@ def build_template(
         boundary_outputs=tuple(_sorted_by_application_order(application, boundary_outputs)),
         relation_nodes=relation_nodes,
         primary_input=primary_input,
+        resource_dependent_slots={
+            (slot.function, slot.step_index): slot.workload
+            for slot in execute_slots
+            if isinstance(slot.workload, ResourceDependentExecutionTime)
+        },
     )
 
 
@@ -439,10 +460,17 @@ def specialize_template(
         graph.add_node(node.name, node.kind, tags)
 
     overrides = weight_overrides or {}
+    resource_dependent = template.resource_dependent_slots
     for arc in template.arcs:
         weight = arc.weight
-        if arc.slot is not None and arc.slot in overrides:
-            weight = overrides[arc.slot]
+        if arc.slot is not None:
+            if arc.slot in overrides:
+                weight = overrides[arc.slot]
+            elif arc.slot in resource_dependent:
+                # Kind-aware workloads only become timeable once the mapping
+                # fixes the serving resource: bind here, per specialisation.
+                resource = architecture.platform.resource(resource_of[arc.slot[0]])
+                weight = workload_weight(resource_dependent[arc.slot].bind(resource))
         graph.add_arc(arc.source, arc.target, weight=weight, delay=arc.delay, label=arc.label)
 
     _add_schedule_arcs(template, architecture, graph)

@@ -18,7 +18,7 @@ per iteration:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from ..archmodel.token import DataToken
 from ..errors import ComputationError

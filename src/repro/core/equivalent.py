@@ -92,7 +92,9 @@ class EquivalentProcessModel:
             for boundary in spec.boundary_outputs
         }
 
-        self.reception_process = simulator.spawn(self._reception, name=f"{spec.graph.name}:reception")
+        self.reception_process = simulator.spawn(
+            self._reception, name=f"{spec.graph.name}:reception"
+        )
         self.emission_processes = [
             simulator.spawn(
                 self._emission,

@@ -118,7 +118,7 @@ class EquivalentArchitectureModel:
                     function,
                     self._channels,
                     self._arbiters[resource.name],
-                    resource.name,
+                    resource,
                     self.activity_trace,
                     name=f"func:{function.name}",
                 )

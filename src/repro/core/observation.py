@@ -17,7 +17,7 @@ usage, not only for boundary instants.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 from ..errors import ComputationError
 from ..kernel.simtime import Time

@@ -18,7 +18,7 @@ helpers used to reason about candidate groupings:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Tuple
 
 from ..archmodel.architecture import ArchitectureModel
 from ..errors import ModelError

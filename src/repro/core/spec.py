@@ -146,6 +146,12 @@ class EquivalentModelTemplate:
     boundary_outputs: Tuple[BoundaryOutput, ...]
     relation_nodes: Dict[str, str] = field(default_factory=dict)
     primary_input: Optional[str] = None
+    #: (function, step_index) -> workload for every execute slot whose
+    #: durations depend on the serving resource; precomputed here so each
+    #: per-candidate specialisation skips the isinstance scan over the slots.
+    resource_dependent_slots: Dict[Tuple[str, int], ExecutionTimeModel] = field(
+        default_factory=dict
+    )
 
     @property
     def node_count(self) -> int:

@@ -72,7 +72,7 @@ from .search import (
     make_strategy,
     strategy_options,
 )
-from .space import DesignSpace, MappingCandidate
+from .space import DesignSpace, EligibilitySpec, MappingCandidate
 
 __all__ = [
     "CheckpointFile",
@@ -117,5 +117,6 @@ __all__ = [
     "make_strategy",
     "strategy_options",
     "DesignSpace",
+    "EligibilitySpec",
     "MappingCandidate",
 ]

@@ -37,11 +37,15 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
 from ..archmodel.architecture import ArchitectureModel
 from ..archmodel.token import DataToken
-from ..archmodel.workload import ConstantExecutionTime, ExecutionTimeModel
+from ..archmodel.workload import (
+    ConstantExecutionTime,
+    ExecutionTimeModel,
+    ResourceDependentExecutionTime,
+)
 from ..campaign.spec import canonical_json
 from ..core.builder import build_template, specialize_template
 from ..core.compute import InstantComputer
@@ -49,7 +53,7 @@ from ..core.spec import EquivalentModelSpec
 from ..environment.stimulus import Stimulus
 from ..errors import GraphError, ModelError, ReproError
 from ..kernel.simtime import Duration
-from .evaluate import CandidateEvaluation, evaluate_mapping
+from .evaluate import CandidateEvaluation, evaluate_mapping, per_kind_summary
 from .problems import DesignProblem, get_problem
 from .space import MappingCandidate
 
@@ -136,15 +140,46 @@ class CompiledProblem:
         self._name = f"dse-{self.problem.name}"
         self.template = build_template(self.application, name=f"{self._name}-tdg")
         primary = self.template.primary_input
-        tokens = _TokenTable(self.stimuli.get(primary) if primary else None)
-        #: (function, step_index) -> tabulated weight for data-dependent workloads.
-        self._weight_overrides: Dict[Tuple[str, int], _TabulatedWeight] = {
-            (slot.function, slot.step_index): _TabulatedWeight(slot.workload, tokens)
-            for slot in self.template.execute_slots
-            if not isinstance(slot.workload, ConstantExecutionTime)
-        }
+        self._tokens = _TokenTable(self.stimuli.get(primary) if primary else None)
+        #: (function, step_index) -> tabulated weight for data-dependent
+        #: workloads whose durations do not depend on the serving resource
+        #: (one table shared by every candidate).
+        self._shared_overrides: Dict[Tuple[str, int], _TabulatedWeight] = {}
+        #: (function, step_index) -> resource-dependent workload; bound (and
+        #: tabulated) lazily per binding key at specialisation time.
+        self._resource_dependent: Dict[Tuple[str, int], ResourceDependentExecutionTime] = (
+            dict(self.template.resource_dependent_slots)
+        )
+        for slot in self.template.execute_slots:
+            key = (slot.function, slot.step_index)
+            if key in self._resource_dependent:
+                continue
+            if not isinstance(slot.workload, ConstantExecutionTime):
+                self._shared_overrides[key] = _TabulatedWeight(slot.workload, self._tokens)
+        #: ((function, step_index), binding key) -> tabulated bound weight.
+        #: Heterogeneous banks key duration tables by the resource *class*
+        #: the function landed on -- candidates agreeing on the class share
+        #: the table, so mixed banks keep the tabulation benefit.
+        self._bound_tables: Dict[Tuple[Tuple[str, int], Hashable], _TabulatedWeight] = {}
 
     # ------------------------------------------------------------------
+    def _candidate_overrides(
+        self, candidate: MappingCandidate
+    ) -> Dict[Tuple[str, int], _TabulatedWeight]:
+        """The weight overrides of one candidate: shared + kind-bound tables."""
+        if not self._resource_dependent:
+            return self._shared_overrides
+        overrides = dict(self._shared_overrides)
+        for key, workload in self._resource_dependent.items():
+            resource = self.platform.resource(candidate.resource_of(key[0]))
+            bound_key = (key, workload.binding_key(resource))
+            table = self._bound_tables.get(bound_key)
+            if table is None:
+                table = _TabulatedWeight(workload.bind(resource), self._tokens)
+                self._bound_tables[bound_key] = table
+            overrides[key] = table
+        return overrides
+
     def specialize(self, candidate: MappingCandidate) -> EquivalentModelSpec:
         """Bind one candidate mapping into a full equivalent-model spec.
 
@@ -159,7 +194,7 @@ class CompiledProblem:
         return specialize_template(
             self.template,
             architecture,
-            weight_overrides=self._weight_overrides,
+            weight_overrides=self._candidate_overrides(candidate),
         )
 
     # ------------------------------------------------------------------
@@ -323,6 +358,9 @@ class CompiledProblem:
         mean_utilization = (
             sum(utilization.values()) / len(utilization) if utilization else 0.0
         )
+        resources_by_kind, utilization_by_kind = per_kind_summary(
+            self.platform, utilization
+        )
 
         return CandidateEvaluation(
             candidate=candidate,
@@ -333,6 +371,8 @@ class CompiledProblem:
             resources_used=len(candidate.resources_used()),
             utilization=tuple(sorted(utilization.items())),
             mean_utilization=round(mean_utilization, 4),
+            resources_by_kind=resources_by_kind,
+            utilization_by_kind=utilization_by_kind,
             wall_seconds=time.perf_counter() - start,
             output_instants=instants,
             per_output_instants=per_output,

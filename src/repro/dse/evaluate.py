@@ -54,6 +54,10 @@ class CandidateEvaluation:
     resources_used: int = 0
     utilization: Tuple[Tuple[str, float], ...] = ()
     mean_utilization: float = 0.0
+    #: Per resource kind: number of instantiated resources of that kind and
+    #: their mean busy fraction -- the cost/load axes of heterogeneous banks.
+    resources_by_kind: Tuple[Tuple[str, int], ...] = ()
+    utilization_by_kind: Tuple[Tuple[str, float], ...] = ()
     wall_seconds: float = 0.0
     #: Output evolution instants of the *primary* (first-declared) external
     #: output, in integer picoseconds (the accuracy anchor: an explicit
@@ -80,6 +84,8 @@ class CandidateEvaluation:
             "resources_used": self.resources_used,
             "utilization": dict(self.utilization),
             "mean_utilization": self.mean_utilization,
+            "resources_by_kind": dict(self.resources_by_kind),
+            "kind_utilization": dict(self.utilization_by_kind),
             "tdg_nodes": self.tdg_nodes,
             "allocation": self.candidate.describe(),
             "output_latency_ps": {
@@ -87,6 +93,36 @@ class CandidateEvaluation:
                 for relation, instants in self.per_output_instants
             },
         }
+
+
+def per_kind_summary(
+    platform: PlatformModel,
+    utilization: Mapping[str, float],
+) -> Tuple[Tuple[Tuple[str, int], ...], Tuple[Tuple[str, float], ...]]:
+    """Per-kind resource counts and mean busy fractions of one evaluation.
+
+    ``utilization`` maps the candidate's *used* resources to their busy
+    fraction; the summary groups them by the platform's resource kinds.
+    Shared by the from-scratch and the compiled evaluator so heterogeneous
+    metrics agree bit for bit.
+    """
+    # Every kind the *platform* offers gets an entry, with 0 resources and
+    # 0.0 utilisation when the candidate vacates the kind entirely -- a
+    # dotted objective like ``kind_utilization.dsp`` must read the ideal
+    # 0.0 there, not a missing key (which scores as +inf, the worst value).
+    counts: Dict[str, int] = {kind: 0 for kind in platform.kind_counts()}
+    sums: Dict[str, float] = {kind: 0.0 for kind in counts}
+    for resource_name, busy in utilization.items():
+        kind = platform.resource(resource_name).kind.value
+        counts[kind] += 1
+        sums[kind] += busy
+    return (
+        tuple(sorted(counts.items())),
+        tuple(
+            (kind, round(sums[kind] / counts[kind], 4) if counts[kind] else 0.0)
+            for kind in sorted(counts)
+        ),
+    )
 
 
 def evaluate_mapping(
@@ -159,6 +195,7 @@ def evaluate_mapping(
     mean_utilization = (
         sum(utilization.values()) / len(utilization) if utilization else 0.0
     )
+    resources_by_kind, utilization_by_kind = per_kind_summary(platform, utilization)
 
     return CandidateEvaluation(
         candidate=candidate,
@@ -169,6 +206,8 @@ def evaluate_mapping(
         resources_used=len(candidate.resources_used()),
         utilization=tuple(sorted(utilization.items())),
         mean_utilization=round(mean_utilization, 4),
+        resources_by_kind=resources_by_kind,
+        utilization_by_kind=utilization_by_kind,
         wall_seconds=time.perf_counter() - start,
         output_instants=instants,
         per_output_instants=per_output,

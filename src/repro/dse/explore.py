@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
-from ..campaign.registry import ScenarioRegistry, default_registry
+from ..campaign.registry import ScenarioRegistry
 from ..campaign.results import JobResult
 from ..campaign.runner import CampaignRunner
 from ..campaign.spec import ScenarioSpec, canonical_json
@@ -128,7 +128,7 @@ class ExplorationReport:
             f"dse {self.problem}/{self.strategy}: {self.explored} candidates in "
             f"{self.rounds} rounds, {self.evaluated} evaluated, {self.cache_hits} "
             f"cache hits, {self.infeasible} infeasible, {self.errors} errors, "
-            f"front size {len(self.front)}, hypervolume {self.front.hypervolume():.6g}"
+            f"front size {len(self.front)}, hypervolume {self.front.hypervolume_text()}"
         )
 
 
@@ -176,7 +176,7 @@ class MappingExplorer:
         store: Optional[ResultStore] = None,
         record_instants: bool = False,
         registry: Optional[ScenarioRegistry] = None,
-        objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+        objectives: Optional[Sequence[Objective]] = None,
         strategy_options: Optional[Mapping[str, Any]] = None,
         checkpoint: Optional[Union[str, Path, CheckpointFile]] = None,
         resume: bool = False,
@@ -199,7 +199,11 @@ class MappingExplorer:
         #: Feasibility-aware order sampling (see DesignSpace ``strict``).
         self.strict = strict
         self.record_instants = record_instants
-        self.objectives = tuple(objectives)
+        #: None picks the problem's own objective tuple (heterogeneous
+        #: problems add per-kind axes to the default latency/resources pair).
+        self.objectives = (
+            tuple(objectives) if objectives is not None else tuple(self.problem.objectives)
+        )
         self.strategy_options = dict(strategy_options or {})
         self.max_rounds = max_rounds
         if checkpoint is None or isinstance(checkpoint, CheckpointFile):

@@ -41,13 +41,26 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Objective:
-    """One minimised objective read from a metrics dict."""
+    """One minimised objective read from a metrics dict.
+
+    ``key`` is a flat metrics key, or a dotted path into nested metric dicts
+    (``"kind_utilization.dsp"`` reads ``metrics["kind_utilization"]["dsp"]``)
+    -- how per-kind objectives of heterogeneous problems are addressed.
+    Missing values evaluate to ``+inf`` so such candidates never dominate.
+    """
 
     key: str
     label: str
 
     def value(self, metrics: Mapping[str, Any]) -> float:
-        value = metrics.get(self.key)
+        value: Any = metrics.get(self.key)
+        if value is None and "." in self.key:
+            value = metrics
+            for part in self.key.split("."):
+                if not isinstance(value, Mapping):
+                    value = None
+                    break
+                value = value.get(part)
         if value is None:
             return float("inf")
         return float(value)
@@ -248,20 +261,40 @@ class ParetoFront:
         )
 
     def hypervolume(self, reference: Optional[Sequence[float]] = None) -> float:
-        """2D hypervolume of the front (0.0 when empty or not two-objective).
+        """2D hypervolume of the front (0.0 when empty).
 
-        Without an explicit ``reference`` the front's own
-        :meth:`reference_point` is used, so boundary points contribute the
-        ``margin`` sliver and the value is comparable across runs on the same
-        problem only when passed a shared reference.
+        Only defined for two-objective fronts; asking a front with another
+        arity raises instead of degenerating to a silent 0.0 that would make
+        every quality comparison vacuously true.  Without an explicit
+        ``reference`` the front's own :meth:`reference_point` is used, so
+        boundary points contribute the ``margin`` sliver and the value is
+        comparable across runs on the same problem only when passed a shared
+        reference.
         """
-        if len(self.objectives) != 2 or not self._points:
+        if len(self.objectives) != 2:
+            raise ValueError(
+                f"hypervolume is only defined for two-objective fronts; this "
+                f"front has {len(self.objectives)} objectives "
+                "(see hypervolume_text() for display purposes)"
+            )
+        if not self._points:
             return 0.0
         if reference is None:
             reference = self.reference_point()
         if reference is None:
             return 0.0
         return hypervolume_2d(self.vectors(), reference)
+
+    def hypervolume_text(self) -> str:
+        """The 2D hypervolume rendered for summaries, or an honest ``n/a``.
+
+        :meth:`hypervolume` silently returns 0.0 for fronts that are not
+        two-objective; reports must not present that as a measured quality
+        of e.g. a 3-objective heterogeneous front.
+        """
+        if len(self.objectives) != 2:
+            return f"n/a ({len(self.objectives)} objectives)"
+        return f"{self.hypervolume():.6g}"
 
     def __len__(self) -> int:
         return len(self._points)
@@ -271,8 +304,10 @@ class ParetoFront:
 
     def rows(self) -> List[Dict[str, object]]:
         """Table rows of the front, ready for ``format_rows``."""
-        return [_row(index + 1, point.digest, point.metrics) for index, point in
-                enumerate(self.points())]
+        return [
+            _row(index + 1, point.digest, point.metrics, self.objectives)
+            for index, point in enumerate(self.points())
+        ]
 
     def __repr__(self) -> str:
         return f"ParetoFront(points={len(self._points)}, objectives={len(self.objectives)})"
@@ -302,28 +337,53 @@ def pareto_rank(
     return ranked
 
 
-def _row(rank: object, digest: str, metrics: Mapping[str, Any]) -> Dict[str, object]:
+def _extra_objectives(objectives: Sequence[Objective]) -> List[Objective]:
+    """The objectives beyond the standard table columns (latency, resources)."""
+    return [
+        objective
+        for objective in objectives
+        if objective.key not in ("latency_ps", "resources_used")
+    ]
+
+
+def _row(
+    rank: object,
+    digest: str,
+    metrics: Mapping[str, Any],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> Dict[str, object]:
+    extras = _extra_objectives(objectives)
     if not metrics.get("feasible", True):
-        return {
+        row: Dict[str, object] = {
             "rank": "-",
             "candidate": digest[:12],
             "allocation": "-",
             "latency (us)": "-",
             "resources": "-",
             "mean util": "-",
-            "TDG nodes": "-",
-            "status": metrics.get("infeasible_reason", "infeasible"),
         }
-    return {
+        for objective in extras:
+            row[objective.label] = "-"
+        row["TDG nodes"] = "-"
+        row["status"] = metrics.get("infeasible_reason", "infeasible")
+        return row
+    row = {
         "rank": rank,
         "candidate": digest[:12],
         "allocation": metrics.get("allocation", "?"),
         "latency (us)": round(float(metrics.get("latency_us", 0.0)), 2),
         "resources": metrics.get("resources_used", "-"),
         "mean util": metrics.get("mean_utilization", "-"),
-        "TDG nodes": metrics.get("tdg_nodes", "-"),
-        "status": "feasible",
     }
+    # A front trading on extra axes (e.g. the lte problem's per-kind DSP
+    # utilisation) must show them: rank-1 points differing only there would
+    # otherwise look identical in the table.
+    for objective in extras:
+        value = objective.value(metrics)
+        row[objective.label] = round(value, 4) if math.isfinite(value) else "-"
+    row["TDG nodes"] = metrics.get("tdg_nodes", "-")
+    row["status"] = "feasible"
+    return row
 
 
 def ranked_rows(
@@ -336,8 +396,10 @@ def ranked_rows(
     feasible = [(r, d, m) for r, d, m in ranked if r > 0]
     infeasible = [(r, d, m) for r, d, m in ranked if r == 0]
     feasible.sort(key=lambda entry: (entry[0], objective_vector(entry[2], objectives)))
-    rows = [_row(rank, digest, metrics) for rank, digest, metrics in feasible]
-    rows.extend(_row(rank, digest, metrics) for rank, digest, metrics in infeasible)
+    rows = [_row(rank, digest, metrics, objectives) for rank, digest, metrics in feasible]
+    rows.extend(
+        _row(rank, digest, metrics, objectives) for rank, digest, metrics in infeasible
+    )
     if top is not None:
         rows = rows[:top]
     return rows

@@ -15,18 +15,31 @@ here must be reconstructible from ``(name, parameters)`` alone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..archmodel.application import ApplicationModel
 from ..archmodel.function import AppFunction
 from ..archmodel.platform import PlatformModel
 from ..environment.stimulus import Stimulus
 from ..errors import ModelError
-from ..examples_lib.didactic import build_didactic_architecture, didactic_stimulus, didactic_workloads
+from ..examples_lib.didactic import (
+    build_didactic_architecture,
+    didactic_stimulus,
+    didactic_workloads,
+)
 from ..generator.chains import build_chain_architecture
 from ..kernel.simtime import microseconds
-from .space import DesignSpace
+from ..lte.receiver import (
+    GROUP_ELIGIBILITY,
+    INPUT_RELATION as LTE_INPUT_RELATION,
+    build_grouped_lte_application,
+    build_lte_bank,
+    heterogeneous_lte_workloads,
+)
+from ..lte.scenario import lte_symbol_stimulus
+from .pareto import DEFAULT_OBJECTIVES, Objective
+from .space import DesignSpace, EligibilitySpec
 
 __all__ = ["DesignProblem", "problem_registry", "get_problem", "problem_names"]
 
@@ -45,6 +58,11 @@ class DesignProblem:
     stimuli_factory: Callable[[Mapping[str, Any]], Dict[str, Stimulus]]
     #: Parameter defaults merged under the caller's overrides.
     defaults: Mapping[str, Any]
+    #: Optional allocation constraint of heterogeneous problems: builds the
+    #: :data:`~repro.dse.space.EligibilitySpec` from the resolved parameters.
+    eligibility_factory: Optional[Callable[[Mapping[str, Any]], EligibilitySpec]] = None
+    #: The objectives an exploration of this problem minimises by default.
+    objectives: Tuple[Objective, ...] = field(default=DEFAULT_OBJECTIVES)
 
     def parameters(self, overrides: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
         parameters = dict(self.defaults)
@@ -60,12 +78,18 @@ class DesignProblem:
     ) -> DesignSpace:
         """The design space of this problem under ``parameters``."""
         resolved = self.parameters(parameters)
+        eligible = (
+            self.eligibility_factory(resolved)
+            if self.eligibility_factory is not None
+            else None
+        )
         return DesignSpace(
             self.application_factory(resolved),
             self.platform_factory(resolved),
             max_resources=max_resources,
             explore_orders=explore_orders,
             strict=strict,
+            eligible=eligible,
         )
 
 
@@ -152,6 +176,47 @@ def _chain_stimuli(parameters: Mapping[str, Any]) -> Dict[str, Stimulus]:
     }
 
 
+def _lte_application(parameters: Mapping[str, Any]) -> ApplicationModel:
+    return build_grouped_lte_application(
+        heterogeneous_lte_workloads(
+            processor_slowdown=float(parameters["processor_slowdown"]),
+            dsp_decoder_slowdown=float(parameters["dsp_decoder_slowdown"]),
+        ),
+        fifo_capacity=int(parameters["fifo_capacity"]),
+    )
+
+
+def _lte_platform(parameters: Mapping[str, Any]) -> PlatformModel:
+    return build_lte_bank(
+        processors=int(parameters["processors"]),
+        dsps=int(parameters["dsps"]),
+        hardware=int(parameters["hardware"]),
+    )
+
+
+def _lte_stimuli(parameters: Mapping[str, Any]) -> Dict[str, Stimulus]:
+    return {
+        LTE_INPUT_RELATION: lte_symbol_stimulus(
+            int(parameters["items"]), seed=int(parameters["seed"])
+        )
+    }
+
+
+def _lte_eligibility(parameters: Mapping[str, Any]) -> EligibilitySpec:
+    return GROUP_ELIGIBILITY
+
+
+#: The lte problem's objectives: end-to-end output latency, instantiated
+#: resources, and the DSP load (dotted path into the per-kind utilisation
+#: metrics) -- keeping DSP headroom is what motivates offloading groups onto
+#: processors or the decoder hardware.
+_LTE_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("latency_ps", "latency"),
+    Objective("resources_used", "resources"),
+    Objective("kind_utilization.dsp", "DSP util"),
+)
+
+
 _PROBLEMS: Dict[str, DesignProblem] = {}
 
 
@@ -180,6 +245,30 @@ _register(
         platform_factory=_fork_platform,
         stimuli_factory=_fork_stimuli,
         defaults={"items": 30, "seed": 2014, "processors": 3},
+    )
+)
+_register(
+    DesignProblem(
+        name="lte",
+        description=(
+            "Grouped LTE receiver on a mixed processors/DSP/hardware bank "
+            "(kind-constrained allocation, per-kind execution-time scaling)"
+        ),
+        application_factory=_lte_application,
+        platform_factory=_lte_platform,
+        stimuli_factory=_lte_stimuli,
+        defaults={
+            "items": 28,
+            "seed": 2014,
+            "processors": 2,
+            "dsps": 2,
+            "hardware": 1,
+            "processor_slowdown": 2.5,
+            "dsp_decoder_slowdown": 20.0,
+            "fifo_capacity": 4,
+        },
+        eligibility_factory=_lte_eligibility,
+        objectives=_LTE_OBJECTIVES,
     )
 )
 _register(

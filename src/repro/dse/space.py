@@ -29,18 +29,38 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..archmodel.application import ApplicationModel, RelationKind
 from ..archmodel.mapping import Mapping as ArchMapping
-from ..archmodel.platform import PlatformModel, ProcessingResource
-from ..archmodel.primitives import ExecuteStep, ReadStep, WriteStep
+from ..archmodel.platform import PlatformModel, ProcessingResource, ResourceKind
+from ..archmodel.primitives import ReadStep, WriteStep
 from ..campaign.spec import canonical_json
 from ..errors import ModelError
 
-__all__ = ["MappingCandidate", "DesignSpace"]
+__all__ = ["MappingCandidate", "DesignSpace", "EligibilitySpec"]
 
 Slot = Tuple[str, int]  # (function name, step index) of one execute step
+
+#: Allocation constraint: either ``{function: iterable of ResourceKind (or
+#: kind strings)}`` or a predicate ``(function, resource) -> bool``.  Functions
+#: absent from a mapping form are eligible everywhere.
+EligibilitySpec = Union[
+    Mapping[str, Iterable[Union[ResourceKind, str]]],
+    Callable[[str, ProcessingResource], bool],
+]
 
 
 @dataclass(frozen=True)
@@ -170,6 +190,17 @@ class DesignSpace:
         to deliberately probe how a strategy copes with infeasibility.
         Enumeration (:meth:`enumerate_candidates`) always covers the whole
         combinatorial space regardless.
+    eligible:
+        Optional allocation constraint for heterogeneous banks: either a
+        mapping ``{function: kinds}`` naming the :class:`~repro.archmodel
+        .platform.ResourceKind` values the function may run on (functions
+        absent from the mapping run anywhere), or a predicate ``(function,
+        resource) -> bool``.  Every construction path -- canonicalisation,
+        enumeration, default/random sampling, mutation and crossover -- only
+        produces candidates allocating each function to an eligible resource.
+        Eligibility must be uniform within each interchangeability class
+        (resources of equal concurrency/kind/frequency), because canonical
+        relabelling moves allocations freely inside a class.
     """
 
     def __init__(
@@ -179,6 +210,7 @@ class DesignSpace:
         max_resources: Optional[int] = None,
         explore_orders: bool = True,
         strict: bool = True,
+        eligible: Optional[EligibilitySpec] = None,
     ) -> None:
         application.validate()
         platform.validate()
@@ -197,8 +229,85 @@ class DesignSpace:
         self.max_resources = max_resources
         self.explore_orders = explore_orders
         self.strict = strict
+        self.has_eligibility = eligible is not None
+        self._eligible = self._resolve_eligibility(eligible)
         self._slot_topo = self._slot_topological_index()
         self._order_nodes, self._order_edges, self._order_rep = self._dependency_dag()
+
+    # ------------------------------------------------------------------
+    # eligibility (kind-constrained allocation)
+    # ------------------------------------------------------------------
+    def _resolve_eligibility(
+        self, eligible: Optional[EligibilitySpec]
+    ) -> Dict[str, Tuple[str, ...]]:
+        """Normalise the eligibility spec to ``{function: resource names}``.
+
+        Validates that every function keeps at least one eligible resource
+        and that eligibility never splits an interchangeability class (the
+        canonical relabelling moves allocations freely inside a class, so a
+        class-splitting constraint could not be honoured).
+        """
+        if eligible is None:
+            names = tuple(resource.name for resource in self.resources)
+            return {function: names for function in self.functions}
+        if callable(eligible):
+            def allowed(function: str, resource: ProcessingResource) -> bool:
+                return bool(eligible(function, resource))
+        else:
+            by_function: Dict[str, Set[str]] = {}
+            for function, kinds in eligible.items():
+                if function not in self.functions:
+                    raise ModelError(
+                        f"eligibility names unknown function {function!r} "
+                        f"(application functions: {list(self.functions)})"
+                    )
+                by_function[function] = {
+                    kind.value if isinstance(kind, ResourceKind) else str(kind)
+                    for kind in kinds
+                }
+
+            def allowed(function: str, resource: ProcessingResource) -> bool:
+                kinds = by_function.get(function)
+                return kinds is None or resource.kind.value in kinds
+
+        resolved: Dict[str, Tuple[str, ...]] = {}
+        for function in self.functions:
+            names = [r.name for r in self.resources if allowed(function, r)]
+            if not names:
+                raise ModelError(
+                    f"function {function!r} is eligible on zero resources of the "
+                    f"bank ({', '.join(r.name for r in self.resources)}); a mapping "
+                    "design space needs at least one legal resource per function"
+                )
+            resolved[function] = tuple(names)
+
+        by_class: Dict[Tuple, List[ProcessingResource]] = {}
+        for resource in self.resources:
+            by_class.setdefault(self._interchange_class(resource), []).append(resource)
+        for function, names in resolved.items():
+            name_set = set(names)
+            for members in by_class.values():
+                inside = [r.name for r in members if r.name in name_set]
+                if inside and len(inside) != len(members):
+                    outside = [r.name for r in members if r.name not in name_set]
+                    raise ModelError(
+                        f"eligibility of function {function!r} splits an "
+                        f"interchangeability class: {inside} allowed but {outside} "
+                        "not, although the resources are identical -- canonical "
+                        "relabelling could not preserve such a constraint"
+                    )
+        return resolved
+
+    def eligible_resources(self, function: str) -> Tuple[str, ...]:
+        """Names of the resources ``function`` may legally run on, in bank order."""
+        try:
+            return self._eligible[function]
+        except KeyError:
+            raise ModelError(f"unknown function {function!r}") from None
+
+    def is_eligible(self, function: str, resource: str) -> bool:
+        """True when ``function`` may be allocated to ``resource``."""
+        return resource in self.eligible_resources(function)
 
     # ------------------------------------------------------------------
     # dependency-aware default service order
@@ -417,6 +526,13 @@ class DesignSpace:
                 resource_name = allocation[function]
             except KeyError:
                 raise ModelError(f"allocation misses function {function!r}") from None
+            if self.has_eligibility and not self.is_eligible(function, resource_name):
+                resource = self.platform.resource(resource_name)
+                raise ModelError(
+                    f"function {function!r} is not eligible on resource "
+                    f"{resource_name!r} (kind {resource.kind.value!r}); legal "
+                    f"resources: {list(self.eligible_resources(function))}"
+                )
             if resource_name in relabel:
                 continue
             resource = self.platform.resource(resource_name)
@@ -458,21 +574,58 @@ class DesignSpace:
         return self.canonical(mapping.allocation)
 
     def default_candidate(self) -> MappingCandidate:
-        """Round-robin allocation over the first ``max_resources`` resources."""
-        bank = self.resources[: self.max_resources]
-        allocation = {
-            function: bank[index % len(bank)].name
-            for index, function in enumerate(self.functions)
-        }
+        """Deterministic starting allocation.
+
+        Uniform banks round-robin over the first ``max_resources`` resources
+        (the historical behaviour).  Under an eligibility constraint each
+        function round-robins over its *own* legal resources, folding onto an
+        already-used legal resource when opening another would exceed
+        ``max_resources`` -- and reports the conflicting function when
+        eligibility and the resource-count constraint admit no allocation.
+        """
+        if not self.has_eligibility:
+            bank = self.resources[: self.max_resources]
+            allocation = {
+                function: bank[index % len(bank)].name
+                for index, function in enumerate(self.functions)
+            }
+            return self.canonical(allocation)
+        allocation: Dict[str, str] = {}
+
+        def assign(index: int, used: frozenset) -> bool:
+            if index == len(self.functions):
+                return True
+            function = self.functions[index]
+            eligible = self.eligible_resources(function)
+            preferred = eligible[index % len(eligible)]
+            for pick in [preferred] + [name for name in eligible if name != preferred]:
+                opens = pick not in used
+                if opens and len(used) >= self.max_resources:
+                    continue
+                allocation[function] = pick
+                if assign(index + 1, used | {pick} if opens else used):
+                    return True
+                del allocation[function]
+            return False
+
+        if not assign(0, frozenset()):
+            raise ModelError(
+                f"no allocation satisfies both the eligibility constraint and "
+                f"max_resources={self.max_resources} for functions "
+                f"{list(self.functions)} -- relax one of the two"
+            )
         return self.canonical(allocation)
 
     # ------------------------------------------------------------------
     # enumeration
     # ------------------------------------------------------------------
     def enumerate_allocations(self) -> Iterator[MappingCandidate]:
-        """Every canonical allocation (default orders), deduplicated, lazily."""
+        """Every canonical allocation (default orders), deduplicated, lazily.
+
+        Each function only ranges over its eligible resources, so under a
+        kind constraint the walk covers exactly the legal sub-space.
+        """
         seen: Set[Tuple[Tuple[str, str], ...]] = set()
-        bank = [resource.name for resource in self.resources]
 
         def assign(index: int, allocation: Dict[str, str]) -> Iterator[MappingCandidate]:
             if index == len(self.functions):
@@ -481,7 +634,7 @@ class DesignSpace:
                     seen.add(candidate.allocation)
                     yield candidate
                 return
-            for resource in bank:
+            for resource in self._eligible[self.functions[index]]:
                 allocation[self.functions[index]] = resource
                 used = set(allocation.values())
                 if len(used) <= self.max_resources:
@@ -560,14 +713,56 @@ class DesignSpace:
         ``strict=False`` it is an unconstrained uniform interleaving (mostly
         infeasible -- the historical behaviour, kept for probing).
         """
-        bank = self.resources[: self.max_resources]
-        allocation = {
-            function: bank[rng.randrange(len(bank))].name for function in self.functions
-        }
+        if not self.has_eligibility:
+            bank = self.resources[: self.max_resources]
+            allocation = {
+                function: bank[rng.randrange(len(bank))].name
+                for function in self.functions
+            }
+        else:
+            allocation = self._random_eligible_allocation(rng)
         candidate = self.canonical(allocation)
         if self.explore_orders and rng.random() < 0.5:
             candidate = self._randomise_orders(candidate, rng)
         return candidate
+
+    def _random_eligible_allocation(
+        self, rng: random.Random, attempts: int = 64
+    ) -> Dict[str, str]:
+        """A uniform-ish random allocation honouring eligibility and max_resources.
+
+        Functions are assigned in a random order; once ``max_resources``
+        distinct resources are open, later functions draw from their eligible
+        resources *already in use*.  A function left with no legal choice
+        aborts the draw and retries with a fresh order; a constraint
+        combination that never admits an allocation is reported after
+        ``attempts`` retries.
+        """
+        last_blocked = ""
+        for _ in range(attempts):
+            order = list(self.functions)
+            rng.shuffle(order)
+            allocation: Dict[str, str] = {}
+            used: Set[str] = set()
+            for function in order:
+                choices: Sequence[str] = self.eligible_resources(function)
+                if len(used) >= self.max_resources:
+                    choices = [name for name in choices if name in used]
+                    if not choices:
+                        last_blocked = function
+                        allocation = {}
+                        break
+                pick = choices[rng.randrange(len(choices))]
+                allocation[function] = pick
+                used.add(pick)
+            if allocation:
+                return allocation
+        raise ModelError(
+            f"could not draw an eligibility-feasible allocation within "
+            f"max_resources={self.max_resources} after {attempts} attempts "
+            f"(last blocked function: {last_blocked!r}); relax max_resources "
+            "or the eligibility constraint"
+        )
 
     def _random_interleaving(
         self, sequences: List[List[Slot]], rng: random.Random
@@ -635,8 +830,17 @@ class DesignSpace:
         allocation = dict(candidate.allocation)
         if move == "move":
             function = self.functions[rng.randrange(len(self.functions))]
-            bank = self.resources[: self.max_resources]
-            choices = [r.name for r in bank if r.name != allocation[function]]
+            if self.has_eligibility:
+                used_others = {r for f, r in allocation.items() if f != function}
+                choices = [
+                    name
+                    for name in self.eligible_resources(function)
+                    if name != allocation[function]
+                    and (name in used_others or len(used_others) < self.max_resources)
+                ]
+            else:
+                bank = self.resources[: self.max_resources]
+                choices = [r.name for r in bank if r.name != allocation[function]]
             if not choices:
                 return candidate
             previous = allocation[function]
@@ -651,6 +855,11 @@ class DesignSpace:
             affected = {candidate.resource_of(first), candidate.resource_of(second)}
             if len(affected) == 1:
                 return candidate  # same resource: the allocation is unchanged
+            if self.has_eligibility and not (
+                self.is_eligible(first, allocation[second])
+                and self.is_eligible(second, allocation[first])
+            ):
+                return candidate  # the swap would land a function off-kind
             allocation[first], allocation[second] = allocation[second], allocation[first]
             mutated = self.canonical(
                 allocation, self._orders_excluding(candidate, affected)
@@ -765,8 +974,28 @@ class DesignSpace:
             groups: Dict[str, List[str]] = {}
             for function in self.functions:
                 groups.setdefault(allocation[function], []).append(function)
-            victim = min(groups, key=lambda resource: (len(groups[resource]), resource))
-            kept = sorted(resource for resource in groups if resource != victim)
+            # A fold must keep every moved function on an eligible resource;
+            # fold the smallest foldable group onto a random legal survivor.
+            foldable: Dict[str, List[str]] = {}
+            for victim in groups:
+                targets = [
+                    kept
+                    for kept in groups
+                    if kept != victim
+                    and all(
+                        self.is_eligible(function, kept)
+                        for function in groups[victim]
+                    )
+                ]
+                if targets:
+                    foldable[victim] = sorted(targets)
+            if not foldable:
+                # Eligibility admits no repair of this mix: replace the
+                # offspring with a feasible random immigrant instead of
+                # emitting an illegal (or over-budget) candidate.
+                return self.random_candidate(rng)
+            victim = min(foldable, key=lambda resource: (len(groups[resource]), resource))
+            kept = foldable[victim]
             target = kept[rng.randrange(len(kept))]
             for function in groups[victim]:
                 allocation[function] = target
@@ -816,5 +1045,6 @@ class DesignSpace:
         return (
             f"DesignSpace(functions={len(self.functions)}, "
             f"resources={len(self.resources)}, max_resources={self.max_resources}, "
-            f"explore_orders={self.explore_orders}, strict={self.strict})"
+            f"explore_orders={self.explore_orders}, strict={self.strict}, "
+            f"eligible={'constrained' if self.has_eligibility else 'all'})"
         )

@@ -10,10 +10,10 @@ and ablations.
 from __future__ import annotations
 
 import abc
-from typing import Callable, List, Optional, Tuple
+from typing import Callable
 
 from ..errors import ModelError
-from ..kernel.simtime import Duration, Time, ZERO_DURATION
+from ..kernel.simtime import Duration, ZERO_DURATION
 
 __all__ = ["Sink", "AlwaysReadySink", "DelayedSink"]
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ModelError
 from ..kernel.simtime import Duration, Time, ZERO_TIME

@@ -38,7 +38,6 @@ from ..archmodel import (
     AppFunction,
     ApplicationModel,
     ArchitectureModel,
-    DataToken,
     Mapping,
     PerUnitExecutionTime,
     PlatformModel,

@@ -19,7 +19,7 @@ Unlimited-concurrency resources (dedicated hardware) grant immediately.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, List, Set, Tuple
 
 from ..archmodel.mapping import ScheduleSlot
 from ..archmodel.platform import ProcessingResource

@@ -96,7 +96,7 @@ class ExplicitArchitectureModel:
                 function,
                 self._channels,
                 self._arbiters[resource.name],
-                resource.name,
+                resource,
                 self.activity_trace,
                 name=f"func:{function.name}",
             )

@@ -13,7 +13,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
 from ..archmodel.function import AppFunction
+from ..archmodel.platform import ProcessingResource
 from ..archmodel.token import DataToken
+from ..archmodel.workload import bind_workload
 from ..channels.base import ChannelBase
 from ..environment.sink import Sink
 from ..environment.stimulus import Stimulus
@@ -33,10 +35,17 @@ def function_process(
     function: AppFunction,
     channels: Dict[str, ChannelBase],
     arbiter: StaticOrderArbiter,
-    resource_name: str,
+    resource: ProcessingResource,
     trace: Optional[ActivityTrace] = None,
 ) -> Generator:
     """Cyclic interpretation of one application function's behaviour."""
+    # Resource-dependent workloads (heterogeneous platforms) are bound to the
+    # serving resource once, before the first iteration.
+    workloads = {
+        step_index: bind_workload(step.workload, resource)
+        for step_index, step in enumerate(function.steps)
+        if step.kind == "execute"
+    }
     iteration = 0
     token: Optional[DataToken] = None
     while True:
@@ -48,17 +57,18 @@ def function_process(
                 yield from channels[step.relation].write(token)
             elif kind == "execute":
                 slot = yield from arbiter.acquire(function.name, step_index)
-                duration = step.workload.duration(iteration, token)
+                workload = workloads[step_index]
+                duration = workload.duration(iteration, token)
                 start = simulator.now
                 if trace is not None:
                     trace.record(
-                        resource=resource_name,
+                        resource=resource.name,
                         function=function.name,
                         label=step.label,
                         iteration=iteration,
                         start=start,
                         end=start + duration,
-                        operations=step.workload.operations(iteration, token),
+                        operations=workload.operations(iteration, token),
                     )
                 if duration:
                     yield duration

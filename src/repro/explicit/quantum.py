@@ -27,12 +27,14 @@ explicit model through :func:`repro.observation.compare.compare_instants`.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Mapping, Optional, Tuple
+from typing import Dict, Generator, Mapping, Optional, Tuple
 
 from ..archmodel.application import RelationKind
 from ..archmodel.architecture import ArchitectureModel
 from ..archmodel.function import AppFunction
+from ..archmodel.platform import ProcessingResource
 from ..archmodel.token import DataToken
+from ..archmodel.workload import bind_workload
 from ..channels.base import ChannelBase
 from ..channels.fifo import FifoChannel
 from ..channels.rendezvous import RendezvousChannel
@@ -40,7 +42,7 @@ from ..environment.sink import AlwaysReadySink, Sink
 from ..environment.stimulus import Stimulus
 from ..errors import ModelError, SimulationError
 from ..kernel.scheduler import Simulator
-from ..kernel.simtime import Duration, Time, ZERO_DURATION
+from ..kernel.simtime import Duration, Time
 from ..kernel.stats import KernelStats
 from .processes import SinkDriver, StimulusDriver
 
@@ -52,14 +54,20 @@ def _loosely_timed_function_process(
     function: AppFunction,
     channels: Dict[str, ChannelBase],
     quantum: Duration,
+    resource: ProcessingResource,
 ) -> Generator:
     """Temporally decoupled interpretation of one function's behaviour."""
+    workloads = {
+        step_index: bind_workload(step.workload, resource)
+        for step_index, step in enumerate(function.steps)
+        if step.kind == "execute"
+    }
     iteration = 0
     token: Optional[DataToken] = None
     local_offset = 0
     quantum_ps = quantum.picoseconds
     while True:
-        for step in function.steps:
+        for step_index, step in enumerate(function.steps):
             kind = step.kind
             if kind == "read":
                 if local_offset >= quantum_ps and local_offset > 0:
@@ -69,7 +77,7 @@ def _loosely_timed_function_process(
             elif kind == "write":
                 yield from channels[step.relation].write(token)
             elif kind == "execute":
-                local_offset += step.workload.duration(iteration, token).picoseconds
+                local_offset += workloads[step_index].duration(iteration, token).picoseconds
                 if local_offset >= quantum_ps and local_offset > 0:
                     yield Duration(local_offset)
                     local_offset = 0
@@ -127,6 +135,7 @@ class LooselyTimedArchitectureModel:
                 function,
                 self._channels,
                 quantum,
+                architecture.resource_of(function.name),
                 name=f"lt:{function.name}",
             )
 

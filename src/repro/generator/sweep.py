@@ -21,7 +21,7 @@ The experiment needs two independent knobs:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 from ..core.spec import EquivalentModelSpec
 from ..errors import ModelError

@@ -15,7 +15,7 @@ they are created either directly (``Event(sim, "name")``) or through
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Set
+from typing import TYPE_CHECKING, Set
 
 from ..errors import SimulationError
 from .simtime import Duration, ZERO_DURATION

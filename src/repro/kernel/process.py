@@ -35,7 +35,7 @@ Example
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Generator, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Generator, Iterable, Union
 
 from ..errors import SimulationError
 from .event import Event

@@ -48,7 +48,7 @@ from typing import Callable, Deque, Generator, List, Optional, Tuple, Union
 from ..errors import SimulationError
 from .event import Event
 from .process import ProcessState, SimProcess
-from .simtime import Duration, Time, ZERO_DURATION
+from .simtime import Duration, Time
 
 __all__ = ["Simulator"]
 
@@ -113,7 +113,9 @@ class Simulator:
             if args or kwargs:
                 raise SimulationError("arguments are only accepted when spawning from a callable")
             generator = target
-        process_name = name or getattr(target, "__name__", None) or f"process_{len(self._processes)}"
+        process_name = (
+            name or getattr(target, "__name__", None) or f"process_{len(self._processes)}"
+        )
         process = SimProcess(self, process_name, generator)
         self._processes.append(process)
         process._state = ProcessState.READY

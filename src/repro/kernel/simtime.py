@@ -316,7 +316,8 @@ def _format_ps(ps: int) -> str:
     """Render a picosecond count using the largest unit that keeps it readable."""
     sign = "-" if ps < 0 else ""
     magnitude = abs(ps)
-    for scale, suffix in ((_PS_PER_S, "s"), (_PS_PER_MS, "ms"), (_PS_PER_US, "us"), (_PS_PER_NS, "ns")):
+    scales = ((_PS_PER_S, "s"), (_PS_PER_MS, "ms"), (_PS_PER_US, "us"), (_PS_PER_NS, "ns"))
+    for scale, suffix in scales:
         if magnitude >= scale:
             value = magnitude / scale
             text = f"{value:.6f}".rstrip("0").rstrip(".")

@@ -11,9 +11,14 @@ from .receiver import (
     DECODER_NAME,
     DSP_NAME,
     FUNCTION_ORDER,
+    GROUP_ELIGIBILITY,
+    GROUPED_FUNCTIONS,
     INPUT_RELATION,
     OUTPUT_RELATION,
+    build_grouped_lte_application,
     build_lte_architecture,
+    build_lte_bank,
+    heterogeneous_lte_workloads,
 )
 from .scenario import Fig6Observation, build_lte_models, fig6_observation, lte_symbol_stimulus
 from .workloads import LteFunctionLoad, lte_function_loads, lte_workload_models
@@ -29,7 +34,12 @@ __all__ = [
     "FUNCTION_ORDER",
     "INPUT_RELATION",
     "OUTPUT_RELATION",
+    "GROUP_ELIGIBILITY",
+    "GROUPED_FUNCTIONS",
+    "build_grouped_lte_application",
     "build_lte_architecture",
+    "build_lte_bank",
+    "heterogeneous_lte_workloads",
     "Fig6Observation",
     "build_lte_models",
     "fig6_observation",

@@ -17,7 +17,7 @@ operation counts follow :mod:`repro.lte.workloads`.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..archmodel import (
     AppFunction,
@@ -27,7 +27,8 @@ from ..archmodel import (
     PlatformModel,
     ResourceKind,
 )
-from ..archmodel.workload import ExecutionTimeModel
+from ..archmodel.workload import ExecutionTimeModel, KindScaledExecutionTime
+from ..errors import ModelError
 from .workloads import lte_workload_models
 
 __all__ = [
@@ -36,7 +37,12 @@ __all__ = [
     "DSP_NAME",
     "DECODER_NAME",
     "FUNCTION_ORDER",
+    "GROUPED_FUNCTIONS",
+    "GROUP_ELIGIBILITY",
     "build_lte_architecture",
+    "build_grouped_lte_application",
+    "build_lte_bank",
+    "heterogeneous_lte_workloads",
 ]
 
 #: External input relation carrying the received OFDM symbols.
@@ -100,3 +106,124 @@ def build_lte_architecture(
     architecture = ArchitectureModel(name, application, platform, mapping)
     architecture.validate()
     return architecture
+
+
+# ----------------------------------------------------------------------
+# heterogeneous mapping-DSE variant of the receiver
+# ----------------------------------------------------------------------
+
+#: The eight receiver functions folded into four composite functions, so the
+#: mapping design space stays enumerable (4 allocation decisions instead of 8)
+#: and each composite is a multi-execute chain whose service orders matter.
+GROUPED_FUNCTIONS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("FrontEnd", ("CpFft", "ChannelEstimation", "Equalization")),
+    ("Demap", ("Demapping", "Descrambling", "RateDematching")),
+    ("Decode", ("ChannelDecoding",)),
+    ("Check", ("CrcCheck",)),
+)
+
+#: Which resource kinds each composite function may legally run on: the
+#: front end is DSP firmware, the soft-bit chain ports to a general-purpose
+#: processor, turbo decoding needs the dedicated hardware (or, slowly, a
+#: DSP), and the CRC check is control code.
+GROUP_ELIGIBILITY: Dict[str, Tuple[ResourceKind, ...]] = {
+    "FrontEnd": (ResourceKind.DSP,),
+    "Demap": (ResourceKind.DSP, ResourceKind.PROCESSOR),
+    "Decode": (ResourceKind.HARDWARE, ResourceKind.DSP),
+    "Check": (ResourceKind.PROCESSOR, ResourceKind.DSP),
+}
+
+
+def heterogeneous_lte_workloads(
+    processor_slowdown: float = 2.5,
+    dsp_decoder_slowdown: float = 20.0,
+) -> Dict[str, ExecutionTimeModel]:
+    """Kind-scaled execution-time models for a mixed processors/DSP/hardware bank.
+
+    The base models of :func:`~repro.lte.workloads.lte_workload_models` are
+    calibrated for the paper's platform (DSP firmware, dedicated decoder
+    hardware).  On a heterogeneous bank the same function runs elsewhere at a
+    different speed: the DSP-native functions take ``processor_slowdown`` x
+    longer on a general-purpose processor, and turbo decoding takes
+    ``dsp_decoder_slowdown`` x longer as DSP software than as hardware.
+    """
+    models: Dict[str, ExecutionTimeModel] = {}
+    for name, base in lte_workload_models().items():
+        if name == "ChannelDecoding":
+            scale = {
+                ResourceKind.HARDWARE: 1.0,
+                ResourceKind.DSP: dsp_decoder_slowdown,
+            }
+        else:
+            scale = {
+                ResourceKind.DSP: 1.0,
+                ResourceKind.PROCESSOR: processor_slowdown,
+            }
+        models[name] = KindScaledExecutionTime(base, scale)
+    return models
+
+
+def build_grouped_lte_application(
+    workloads: Optional[Dict[str, ExecutionTimeModel]] = None,
+    name: str = "lte-grouped",
+    fifo_capacity: int = 4,
+) -> ApplicationModel:
+    """The receiver pipeline as four composite functions connected by FIFOs.
+
+    Each composite reads one relation, executes its member functions in
+    pipeline order and writes one relation.  The inter-group relations are
+    FIFOs (capacity ``fifo_capacity``) instead of rendezvous: groups then
+    pipeline freely across iterations, and the same-iteration dependency DAG
+    keeps one node per step, which keeps service-order sampling and the
+    equivalent-model template well-behaved on shared serialized resources.
+    """
+    if fifo_capacity < 1:
+        raise ModelError("the inter-group FIFO capacity must be >= 1")
+    workloads = workloads or heterogeneous_lte_workloads()
+    missing = set(FUNCTION_ORDER) - set(workloads)
+    if missing:
+        raise ModelError(f"missing workload models for functions: {sorted(missing)}")
+
+    application = ApplicationModel(name)
+    relations = (
+        [INPUT_RELATION]
+        + [f"G{i}" for i in range(1, len(GROUPED_FUNCTIONS))]
+        + [OUTPUT_RELATION]
+    )
+    for index, (group_name, members) in enumerate(GROUPED_FUNCTIONS):
+        function = AppFunction(group_name).read(relations[index])
+        for member in members:
+            function.execute(member, workloads[member])
+        function.write(relations[index + 1])
+        application.add_function(function)
+    for relation in relations[1:-1]:
+        application.declare_fifo(relation, capacity=fifo_capacity)
+    application.validate()
+    return application
+
+
+def build_lte_bank(
+    processors: int = 2,
+    dsps: int = 2,
+    hardware: int = 1,
+    processor_frequency_hz: float = 8.0e8,
+    dsp_frequency_hz: float = 1.0e9,
+    decoder_frequency_hz: float = 5.0e8,
+) -> PlatformModel:
+    """A mixed bank of candidate resources for the grouped receiver.
+
+    ``processors`` general-purpose processors (CPU1..), ``dsps`` digital
+    signal processors (DSP1..) and ``hardware`` dedicated decoder resources
+    (HW1..) -- the heterogeneous counterpart of the uniform processor banks
+    of the other design problems.
+    """
+    if min(processors, dsps, hardware) < 0 or processors + dsps + hardware < 1:
+        raise ModelError("the bank needs non-negative counts and at least one resource")
+    platform = PlatformModel("lte-bank")
+    for index in range(processors):
+        platform.add_processor(f"CPU{index + 1}", frequency_hz=processor_frequency_hz)
+    for index in range(dsps):
+        platform.add_dsp(f"DSP{index + 1}", frequency_hz=dsp_frequency_hz)
+    for index in range(hardware):
+        platform.add_hardware(f"HW{index + 1}", frequency_hz=decoder_frequency_hz)
+    return platform

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..archmodel.architecture import ArchitectureModel
 from ..core.builder import build_equivalent_spec
 from ..core.model import EquivalentArchitectureModel
 from ..environment.stimulus import PeriodicStimulus

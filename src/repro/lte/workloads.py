@@ -25,8 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..archmodel.token import DataToken
-from ..archmodel.workload import DataDependentExecutionTime, ExecutionTimeModel
-from ..errors import ModelError
+from ..archmodel.workload import ExecutionTimeModel
 from ..kernel.simtime import Duration
 
 __all__ = ["LteFunctionLoad", "lte_function_loads", "lte_workload_models"]

@@ -35,7 +35,7 @@ Section III-B of the paper.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 from ..errors import MaxPlusError
 from .matrix import MaxPlusMatrix
@@ -216,7 +216,9 @@ class LinearSystemSimulator:
         self.iteration += 1
         return state, output
 
-    def run(self, inputs: Iterable[MaxPlusVector]) -> Iterator[Tuple[MaxPlusVector, MaxPlusVector]]:
+    def run(
+        self, inputs: Iterable[MaxPlusVector]
+    ) -> Iterator[Tuple[MaxPlusVector, MaxPlusVector]]:
         """Yield ``(X(k), Y(k))`` for each input vector in ``inputs``."""
         for input_vector in inputs:
             yield self.advance(input_vector)

@@ -16,7 +16,7 @@ method manipulates (tens of instants), with:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
 from ..errors import MaxPlusError
 from .scalar import EPSILON, E, MaxPlus, Numeric, as_maxplus

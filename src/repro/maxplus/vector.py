@@ -8,7 +8,7 @@ paper's matrix formulation -- ``U(k)`` (input instants), ``X(k)``
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Union
+from typing import Iterable, Iterator, List, Union
 
 from ..errors import MaxPlusError
 from .scalar import EPSILON, MaxPlus, Numeric, as_maxplus

@@ -23,7 +23,7 @@ Comparing the two traces is part of the accuracy validation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import ObservationError
 from ..kernel.simtime import Duration, Time

@@ -13,7 +13,7 @@ comparison utilities used by the tests and the benchmark harnesses:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 from ..errors import ObservationError
 from ..kernel.simtime import Duration, Time

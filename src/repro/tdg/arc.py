@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping, Optional, Union
 
 from ..errors import GraphError
-from ..kernel.simtime import Duration, ZERO_DURATION
+from ..kernel.simtime import Duration
 from .node import InstantNode
 
 __all__ = ["DependencyArc", "WeightLike"]

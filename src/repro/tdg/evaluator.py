@@ -28,7 +28,7 @@ iterations then use the corrected value.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..errors import ComputationError
 from ..kernel.simtime import Time

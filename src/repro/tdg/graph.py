@@ -20,13 +20,12 @@ expression" of equations (7)-(10)).
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..errors import GraphError
-from ..kernel.simtime import Duration
 from ..maxplus.matrix import MaxPlusMatrix
 from ..maxplus.linear_system import LinearMaxPlusSystem
-from ..maxplus.scalar import EPSILON, MaxPlus
+from ..maxplus.scalar import MaxPlus
 from .arc import DependencyArc, WeightLike
 from .node import InstantNode, NodeKind
 

@@ -16,7 +16,6 @@
 
 import re
 
-import pytest
 
 from repro.archmodel import ArchitectureModel
 from repro.campaign import ResultStore

@@ -176,7 +176,7 @@ class TestCliResume:
         straight_dir = tmp_path / "straight"
         straight_dir.mkdir()
         assert main(self.argv(straight_dir)) == 0
-        straight_out = capsys.readouterr().out
+        capsys.readouterr()
         resumed_ck = CheckpointFile(tmp_path / "ck.jsonl").load()
         straight_ck = CheckpointFile(straight_dir / "ck.jsonl").load()
         assert [e[0] for e in resumed_ck.results] == [e[0] for e in straight_ck.results]

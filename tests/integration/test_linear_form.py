@@ -13,7 +13,6 @@ matrix recurrence produces exactly the same instants as the graph
 evaluator and as the explicit event-driven simulation.
 """
 
-import pytest
 
 from repro.archmodel import ConstantExecutionTime
 from repro.core import build_equivalent_spec

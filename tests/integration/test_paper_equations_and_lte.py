@@ -6,13 +6,10 @@ from repro.core import build_equivalent_spec
 from repro.examples_lib import (
     build_didactic_architecture,
     build_paper_equation_graph,
-    didactic_stimulus,
     didactic_workloads,
 )
 from repro.kernel.simtime import microseconds
 from repro.lte import (
-    DECODER_NAME,
-    DSP_NAME,
     INPUT_RELATION,
     OUTPUT_RELATION,
     SYMBOL_PERIOD,

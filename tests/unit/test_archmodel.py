@@ -56,7 +56,7 @@ class TestAppFunction:
         assert [step.kind for step in function.steps] == ["read", "execute", "write", "delay"]
         assert function.relations_read() == ["A"]
         assert function.relations_written() == ["B"]
-        assert [label for _, label in [(i, s.label) for i, s in function.execute_steps()]] == ["E1"]
+        assert [s.label for _, s in function.execute_steps()] == ["E1"]
 
     def test_describe_matches_fig1_notation(self):
         function = AppFunction("F1").read("M1").execute("Ti1", constant()).write("M2")
@@ -310,3 +310,100 @@ class TestMappingMutation:
         assert mapping._explicit_orders == {}
         # the function keeps its original allocation position (F1 before F3)
         assert mapping.functions_on("P2") == ["F1", "F3"]
+
+
+class TestKindScaledExecutionTime:
+    """Per-kind execution-time scaling for heterogeneous resource banks."""
+
+    def _resources(self):
+        return (
+            ProcessingResource("P1", 1, 8.0e8, ResourceKind.PROCESSOR),
+            ProcessingResource("D1", 1, 1.0e9, ResourceKind.DSP),
+            ProcessingResource("H1", None, 5.0e8, ResourceKind.HARDWARE),
+        )
+
+    def test_factor_and_bind_scale_durations(self):
+        from repro.archmodel import KindScaledExecutionTime, bind_workload
+
+        processor, dsp, _ = self._resources()
+        workload = KindScaledExecutionTime(
+            constant(10.0),
+            {ResourceKind.DSP: 1.0, ResourceKind.PROCESSOR: 2.5},
+        )
+        assert workload.factor_for(dsp) == 1.0
+        assert workload.factor_for(processor) == 2.5
+        assert bind_workload(workload, dsp).duration(0, None) == microseconds(10.0)
+        assert bind_workload(workload, processor).duration(0, None) == microseconds(25.0)
+
+    def test_constant_base_binds_to_a_constant_model(self):
+        from repro.archmodel import ConstantExecutionTime, KindScaledExecutionTime
+
+        _, dsp, _ = self._resources()
+        bound = KindScaledExecutionTime(constant(4.0), {"dsp": 2.0}).bind(dsp)
+        assert isinstance(bound, ConstantExecutionTime)
+        assert bound.duration(3, None) == microseconds(8.0)
+
+    def test_unbound_duration_raises(self):
+        from repro.archmodel import KindScaledExecutionTime
+
+        workload = KindScaledExecutionTime(constant(1.0), {"dsp": 1.0})
+        with pytest.raises(ModelError, match="resource-dependent"):
+            workload.duration(0, None)
+
+    def test_unknown_kind_raises_unless_default_scale(self):
+        from repro.archmodel import KindScaledExecutionTime
+
+        processor, dsp, _ = self._resources()
+        workload = KindScaledExecutionTime(constant(1.0), {ResourceKind.DSP: 1.0})
+        assert workload.supports_kind(ResourceKind.DSP)
+        assert not workload.supports_kind(ResourceKind.PROCESSOR)
+        with pytest.raises(ModelError, match="no execution-time scale"):
+            workload.factor_for(processor)
+        fallback = KindScaledExecutionTime(
+            constant(1.0), {ResourceKind.DSP: 1.0}, default_scale=3.0
+        )
+        assert fallback.factor_for(processor) == 3.0
+
+    def test_reference_frequency_scales_with_the_clock(self):
+        from repro.archmodel import KindScaledExecutionTime
+
+        processor, dsp, _ = self._resources()
+        workload = KindScaledExecutionTime(
+            constant(10.0),
+            {ResourceKind.DSP: 1.0, ResourceKind.PROCESSOR: 1.0},
+            reference_frequency_hz=1.0e9,
+        )
+        assert workload.bind(dsp).duration(0, None) == microseconds(10.0)
+        # 800 MHz processor at reference 1 GHz: 1.25x slower.
+        assert workload.bind(processor).duration(0, None) == microseconds(12.5)
+
+    def test_binding_key_groups_by_kind_and_frequency(self):
+        from repro.archmodel import KindScaledExecutionTime
+
+        workload = KindScaledExecutionTime(constant(1.0), {"dsp": 1.0}, default_scale=1.0)
+        d1 = ProcessingResource("D1", 1, 1.0e9, ResourceKind.DSP)
+        d2 = ProcessingResource("D2", 1, 1.0e9, ResourceKind.DSP)
+        d3 = ProcessingResource("D3", 1, 2.0e9, ResourceKind.DSP)
+        assert workload.binding_key(d1) == workload.binding_key(d2)
+        assert workload.binding_key(d1) != workload.binding_key(d3)
+
+    def test_operations_are_resource_independent(self):
+        from repro.archmodel import KindScaledExecutionTime
+
+        processor, _, _ = self._resources()
+        base = ConstantExecutionTime(microseconds(1.0), operations=42.0)
+        workload = KindScaledExecutionTime(base, {"processor": 2.0})
+        assert workload.operations(0, None) == 42.0
+        assert workload.bind(processor).operations(0, None) == 42.0
+
+    def test_invalid_configurations_are_rejected(self):
+        from repro.archmodel import KindScaledExecutionTime
+
+        with pytest.raises(ModelError, match="positive"):
+            KindScaledExecutionTime(constant(1.0), {"dsp": 0.0})
+        with pytest.raises(ModelError, match="at least one kind"):
+            KindScaledExecutionTime(constant(1.0), {})
+        with pytest.raises(ModelError, match="resource-free"):
+            KindScaledExecutionTime(
+                KindScaledExecutionTime(constant(1.0), {"dsp": 1.0}), {"dsp": 1.0}
+            )

@@ -164,6 +164,40 @@ class TestCommands:
         assert main(["describe", "chain2"]) == 0
         assert "F1_s1" in capsys.readouterr().out
 
+    def test_dse_show_lte_reports_bank_and_eligibility(self, capsys):
+        assert main(["dse", "show", "lte"]) == 0
+        output = capsys.readouterr().out
+        assert "bank composition: 2x dsp + 1x hardware + 2x processor" in output
+        assert "eligibility:" in output
+        assert "FrontEnd: DSP1, DSP2" in output
+        assert "kind_utilization.dsp" in output
+
+    def test_dse_run_header_reports_per_kind_bank(self, tmp_path, capsys):
+        assert main(
+            [
+                "dse", "run", "--problem", "lte", "--strategy", "random",
+                "--budget", "4", "--items", "6", "--seed", "3",
+                "--store", str(tmp_path / "lte.jsonl"),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "bank of 2x dsp + 1x hardware + 2x processor" in output
+        assert "latency vs resources vs DSP util" in output
+
+    def test_dse_front_refuses_disagreeing_banks(self, tmp_path, capsys):
+        store = str(tmp_path / "mixed-bank.jsonl")
+        base = [
+            "dse", "run", "--problem", "lte", "--strategy", "random",
+            "--budget", "3", "--items", "6", "--seed", "3", "--store", store,
+        ]
+        assert main(base) == 0
+        assert main(base + ["--set", "dsps=1"]) == 0
+        capsys.readouterr()
+        assert main(["dse", "front", "--store", store]) == 2
+        err = capsys.readouterr().err
+        assert "different resource banks" in err
+        assert "1x dsp" in err and "2x dsp" in err
+
 
 class TestExitCodes:
     def _force_accuracy_loss(self, monkeypatch):

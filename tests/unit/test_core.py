@@ -67,8 +67,12 @@ class TestBuilder:
 
     def test_group_without_boundary_input_rejected(self):
         application = ApplicationModel("app")
-        application.add_function(AppFunction("SRC").read("IN").execute("E", constant(1)).write("A"))
-        application.add_function(AppFunction("SNK").read("A").execute("E", constant(1)).write("OUT"))
+        application.add_function(
+            AppFunction("SRC").read("IN").execute("E", constant(1)).write("A")
+        )
+        application.add_function(
+            AppFunction("SNK").read("A").execute("E", constant(1)).write("OUT")
+        )
         platform = PlatformModel("p")
         platform.add_processor("CPU1")
         platform.add_processor("CPU2")

@@ -1,0 +1,215 @@
+"""Kind-constrained allocation: the DesignSpace eligibility layer.
+
+Edge cases of the heterogeneous-bank support: zero-eligible functions,
+class-splitting constraints, eligibility x max_resources interaction, and
+property-style checks that every sampling path (random, mutate, crossover)
+only ever produces eligibility-feasible candidates in strict mode.
+"""
+
+import random
+
+import pytest
+
+from repro.archmodel import (
+    AppFunction,
+    ApplicationModel,
+    ConstantExecutionTime,
+    PlatformModel,
+    ResourceKind,
+)
+from repro.dse import DesignSpace
+from repro.errors import ModelError
+from repro.kernel.simtime import microseconds
+
+
+def _application():
+    load = ConstantExecutionTime(microseconds(5))
+    application = ApplicationModel("hetero-app")
+    application.add_function(
+        AppFunction("F1").read("IN").execute("T1", load).write("A")
+    )
+    application.add_function(
+        AppFunction("F2").read("A").execute("T2", load).write("B")
+    )
+    application.add_function(
+        AppFunction("F3").read("B").execute("T3", load).write("OUT")
+    )
+    return application
+
+
+def _platform():
+    platform = PlatformModel("hetero-bank")
+    platform.add_processor("P1")
+    platform.add_processor("P2")
+    platform.add_dsp("D1")
+    platform.add_hardware("H1")
+    return platform
+
+
+ELIGIBLE = {
+    "F1": (ResourceKind.PROCESSOR,),
+    "F2": (ResourceKind.PROCESSOR, ResourceKind.DSP),
+    "F3": (ResourceKind.DSP, ResourceKind.HARDWARE),
+}
+
+
+@pytest.fixture
+def space():
+    return DesignSpace(_application(), _platform(), eligible=ELIGIBLE)
+
+
+def _assert_eligible(space, candidate):
+    for function, resource in candidate.allocation:
+        assert space.is_eligible(function, resource), (
+            f"{function} landed on ineligible {resource} in {candidate.describe()}"
+        )
+
+
+class TestEligibilityResolution:
+    def test_eligible_resources_follow_kinds(self, space):
+        assert space.eligible_resources("F1") == ("P1", "P2")
+        assert space.eligible_resources("F2") == ("P1", "P2", "D1")
+        assert space.eligible_resources("F3") == ("D1", "H1")
+
+    def test_functions_absent_from_the_mapping_run_anywhere(self):
+        space = DesignSpace(
+            _application(), _platform(), eligible={"F1": (ResourceKind.PROCESSOR,)}
+        )
+        assert space.eligible_resources("F2") == ("P1", "P2", "D1", "H1")
+
+    def test_zero_eligible_function_raises_naming_it(self):
+        with pytest.raises(ModelError, match="'F1'.*zero resources"):
+            DesignSpace(
+                _application(), _platform(), eligible={"F1": (ResourceKind.OTHER,)}
+            )
+
+    def test_unknown_function_in_the_spec_raises(self):
+        with pytest.raises(ModelError, match="unknown function 'F9'"):
+            DesignSpace(
+                _application(), _platform(), eligible={"F9": (ResourceKind.DSP,)}
+            )
+
+    def test_predicate_form_is_supported(self):
+        space = DesignSpace(
+            _application(),
+            _platform(),
+            eligible=lambda function, resource: resource.kind is not ResourceKind.HARDWARE
+            or function == "F3",
+        )
+        assert space.eligible_resources("F1") == ("P1", "P2", "D1")
+        assert "H1" in space.eligible_resources("F3")
+
+    def test_class_splitting_predicate_is_rejected(self):
+        # P1 and P2 are interchangeable; allowing only P1 cannot survive
+        # canonical relabelling and must be reported.
+        with pytest.raises(ModelError, match="splits an interchangeability class"):
+            DesignSpace(
+                _application(),
+                _platform(),
+                eligible=lambda function, resource: resource.name != "P2",
+            )
+
+    def test_canonical_rejects_ineligible_allocations(self, space):
+        with pytest.raises(ModelError, match="'F1' is not eligible on resource 'H1'"):
+            space.canonical({"F1": "H1", "F2": "P1", "F3": "D1"})
+
+
+class TestEnumerationAndDefaults:
+    def test_enumeration_covers_only_the_legal_subspace(self, space):
+        candidates = list(space.enumerate_allocations())
+        assert candidates
+        for candidate in candidates:
+            _assert_eligible(space, candidate)
+        # F1 has 2 legal resources, F2 has 3, F3 has 2: the raw product is 12,
+        # canonicalisation only merges the interchangeable processors.
+        assert len(candidates) < 12
+
+    def test_default_candidate_is_eligible(self, space):
+        _assert_eligible(space, space.default_candidate())
+
+    def test_default_candidate_folds_under_max_resources(self):
+        space = DesignSpace(
+            _application(), _platform(), max_resources=2, eligible=ELIGIBLE
+        )
+        candidate = space.default_candidate()
+        _assert_eligible(space, candidate)
+        assert len(candidate.resources_used()) <= 2
+
+    def test_default_candidate_reports_an_impossible_combination(self):
+        # F1 only runs on processors, F3 only on DSP/hardware: one resource
+        # can never serve both.
+        space = DesignSpace(
+            _application(), _platform(), max_resources=1, eligible=ELIGIBLE
+        )
+        with pytest.raises(ModelError, match="max_resources=1"):
+            space.default_candidate()
+
+    def test_random_candidate_reports_an_impossible_combination(self):
+        space = DesignSpace(
+            _application(), _platform(), max_resources=1, eligible=ELIGIBLE
+        )
+        with pytest.raises(ModelError, match="eligibility"):
+            space.random_candidate(random.Random(1))
+
+
+class TestSamplingStaysEligible:
+    def test_random_candidates_are_always_eligible(self, space):
+        rng = random.Random(7)
+        for _ in range(200):
+            _assert_eligible(space, space.random_candidate(rng))
+
+    def test_random_candidates_respect_max_resources_with_eligibility(self):
+        space = DesignSpace(
+            _application(), _platform(), max_resources=2, eligible=ELIGIBLE
+        )
+        rng = random.Random(11)
+        for _ in range(100):
+            candidate = space.random_candidate(rng)
+            _assert_eligible(space, candidate)
+            assert len(candidate.resources_used()) <= 2
+
+    def test_mutation_chains_stay_eligible(self, space):
+        rng = random.Random(3)
+        candidate = space.default_candidate()
+        for _ in range(300):
+            candidate = space.mutate(candidate, rng)
+            _assert_eligible(space, candidate)
+
+    def test_crossover_offspring_never_violate_eligibility(self, space):
+        # Property-style: random parent pairs, strict mode -- every child is
+        # eligibility-feasible and within the resource budget.
+        rng = random.Random(23)
+        parents = [space.random_candidate(rng) for _ in range(30)]
+        for _ in range(200):
+            a, b = rng.sample(parents, 2)
+            child = space.crossover(a, b, rng)
+            _assert_eligible(space, child)
+            assert len(child.resources_used()) <= space.max_resources
+
+    def test_crossover_respects_tight_resource_budgets(self):
+        space = DesignSpace(
+            _application(), _platform(), max_resources=2, eligible=ELIGIBLE
+        )
+        rng = random.Random(5)
+        parents = [space.random_candidate(rng) for _ in range(10)]
+        for _ in range(150):
+            a, b = rng.sample(parents, 2)
+            child = space.crossover(a, b, rng)
+            _assert_eligible(space, child)
+            assert len(child.resources_used()) <= 2
+
+
+class TestUniformBanksAreUnchanged:
+    def test_no_eligibility_keeps_the_legacy_sampling_stream(self):
+        # The eligibility layer must not perturb seeded candidate streams of
+        # uniform-bank problems (stores and benchmarks rely on them).
+        application = _application()
+        platform = PlatformModel("uniform")
+        for index in range(3):
+            platform.add_processor(f"P{index + 1}")
+        space = DesignSpace(application, platform)
+        assert not space.has_eligibility
+        rng_a, rng_b = random.Random(42), random.Random(42)
+        unconstrained = DesignSpace(_application(), platform)
+        for _ in range(25):
+            assert space.random_candidate(rng_a) == unconstrained.random_candidate(rng_b)

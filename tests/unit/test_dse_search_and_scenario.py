@@ -48,7 +48,7 @@ def observed(candidate, latency_us: float, resources: float, feasible: bool = Tr
 
 class TestProblems:
     def test_registry_contents(self):
-        assert problem_names() == ["chain", "didactic", "fork"]
+        assert problem_names() == ["chain", "didactic", "fork", "lte"]
         with pytest.raises(ModelError, match="unknown design problem"):
             get_problem("nope")
 

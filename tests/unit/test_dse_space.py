@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.dse import CompiledProblem, DesignSpace, MappingCandidate, get_problem
+from repro.dse import CompiledProblem, MappingCandidate, get_problem
 from repro.dse.space import _interleavings
 from repro.errors import ModelError, ReproError
 
@@ -287,9 +287,6 @@ class TestCrossover:
         rng = random.Random(11)
         a = space.canonical({"F1": "P1", "F2": "P1", "F3": "P1", "F4": "P1"})
         b = space.canonical({"F1": "P1", "F2": "P2", "F3": "P3", "F4": "P4"})
-        parent_alloc = {dict(a.allocation)[f] for f in space.functions} | {
-            dict(b.allocation)[f] for f in space.functions
-        }
         mixed = 0
         for _ in range(40):
             child = space.crossover(a, b, rng)

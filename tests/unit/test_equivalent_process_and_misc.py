@@ -24,7 +24,6 @@ from repro.environment import PeriodicStimulus, RandomSizeStimulus
 from repro.errors import ComputationError, ModelError
 from repro.examples_lib import build_didactic_architecture, didactic_stimulus
 from repro.explicit import ExplicitArchitectureModel
-from repro.kernel import Simulator
 from repro.kernel.simtime import microseconds
 
 

@@ -2,20 +2,16 @@
 
 import pytest
 
-from repro.archmodel import (
-    AppFunction,
-    ApplicationModel,
-    ArchitectureModel,
-    ConstantExecutionTime,
-    Mapping,
-    PlatformModel,
-)
+from repro.archmodel import ConstantExecutionTime
 from repro.archmodel.platform import ProcessingResource
 from repro.archmodel.mapping import ScheduleSlot
 from repro.environment import DelayedSink, PeriodicStimulus
 from repro.errors import ModelError, SimulationError
-from repro.explicit import ExplicitArchitectureModel, LooselyTimedArchitectureModel, StaticOrderArbiter
-from repro.kernel import Simulator
+from repro.explicit import (
+    ExplicitArchitectureModel,
+    LooselyTimedArchitectureModel,
+    StaticOrderArbiter,
+)
 from repro.kernel.simtime import Time, microseconds
 from tests.conftest import build_two_function_architecture
 
@@ -126,7 +122,9 @@ class TestExplicitModel:
             )
         with pytest.raises(ModelError, match="non-output"):
             ExplicitArchitectureModel(
-                didactic_architecture, {"M1": small_stimulus}, sinks={"M2": DelayedSink(microseconds(1))}
+                didactic_architecture,
+                {"M1": small_stimulus},
+                sinks={"M2": DelayedSink(microseconds(1))},
             )
 
     def test_unknown_relation_lookup_rejected(self, didactic_architecture, small_stimulus):

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.kernel import Event, ProcessState, Simulator
-from repro.kernel.simtime import Duration, Time, microseconds, ZERO_DURATION
+from repro.kernel import ProcessState, Simulator
+from repro.kernel.simtime import Duration, Time, microseconds
 
 
 class TestEvents:

@@ -11,7 +11,6 @@ from repro.maxplus import (
     MaxPlus,
     MaxPlusMatrix,
     MaxPlusVector,
-    as_maxplus,
     oplus,
     otimes,
 )
@@ -219,7 +218,8 @@ class TestLinearSystem:
 
     def test_run_consumes_an_iterable(self):
         simulator = self._chain_system().simulator()
-        outputs = [y.to_list()[0] for _, y in simulator.run([MaxPlusVector([i]) for i in range(3)])]
+        steps = simulator.run([MaxPlusVector([i]) for i in range(3)])
+        outputs = [y.to_list()[0] for _, y in steps]
         assert outputs == sorted(outputs)
 
     def test_dimension_checks(self):

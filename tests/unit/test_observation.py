@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ObservationError
-from repro.kernel.simtime import Duration, Time, microseconds
+from repro.kernel.simtime import Time, microseconds
 from repro.observation import (
     ActivityRecord,
     ActivityTrace,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ComputationError, GraphError
 from repro.kernel.simtime import Duration, Time, microseconds
-from repro.tdg import NodeKind, TDGEvaluator, TemporalDependencyGraph
+from repro.tdg import TDGEvaluator, TemporalDependencyGraph
 
 
 def simple_graph() -> TemporalDependencyGraph:
