@@ -10,9 +10,18 @@ up in the benchmark report next to the timings.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+The DSE throughput module additionally writes a machine-readable
+``BENCH_dse.json`` (path overridable via ``REPRO_BENCH_JSON``) with
+candidates/second per problem and evaluator mode plus telemetry-derived
+cache-hit rates, so CI can diff throughput across commits without
+scraping the pytest-benchmark tables.
 """
 
 from __future__ import annotations
+
+import json
+import os
 
 import pytest
 
@@ -37,3 +46,26 @@ def pytest_addoption(parser):
 @pytest.fixture(scope="session")
 def bench_items(request) -> int:
     return request.config.getoption("--bench-items")
+
+
+def pytest_configure(config):
+    # One shared list per session; the DSE throughput tests append entries
+    # and pytest_sessionfinish serialises whatever accumulated.
+    config._dse_bench_entries = []
+
+
+@pytest.fixture(scope="session")
+def dse_bench(request):
+    """Machine-readable DSE throughput entries, written to ``BENCH_dse.json``."""
+    return request.config._dse_bench_entries
+
+
+def pytest_sessionfinish(session, exitstatus):
+    entries = getattr(session.config, "_dse_bench_entries", None)
+    if not entries:
+        return
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_dse.json")
+    payload = {"schema": "repro.bench.dse/1", "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -21,6 +21,16 @@ simulates -- its instants.  These benchmarks pin down
 The whole module honours ``REPRO_DSE_COMPILE`` (the CI smoke step runs it
 once per mode), since ``evaluate_candidate`` routes through the compiled
 path by default.
+
+Two cases run as plain timing assertions (no pytest-benchmark), so they
+hold under ``--benchmark-disable``:
+
+* ``throughput matrix`` -- candidates/second per problem x evaluator
+  mode, plus telemetry-derived cache-hit rates, appended to the shared
+  ``dse_bench`` collector and written to ``BENCH_dse.json`` at session
+  end (see ``conftest.pytest_sessionfinish``);
+* ``telemetry overhead`` -- enabling telemetry must cost < 5% on the
+  compiled inner loop (the observability subsystem's headline budget).
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ import time
 
 import pytest
 
+from repro import telemetry
 from repro.campaign import ResultStore
 from repro.dse import MappingExplorer, compiled_problem, evaluate_candidate, get_problem
 from repro.errors import ReproError
@@ -178,3 +189,94 @@ def test_dse_cached_exploration(benchmark):
     assert report.evaluated == 0
     assert report.cache_hits == warmup.explored
     assert len(report.front) >= 2
+
+
+def _counter(snapshot, name):
+    return int(snapshot.get("counters", {}).get(name, 0))
+
+
+@pytest.mark.parametrize("mode", ["compiled", "explicit"])
+@pytest.mark.parametrize("problem_name", ["didactic", "chain"])
+def test_dse_throughput_matrix(problem_name, mode, dse_bench):
+    """Candidates/second per problem x evaluator mode, into ``BENCH_dse.json``.
+
+    Best-of-three plain timing (holds under ``--benchmark-disable``); the
+    batch is scored inside a telemetry scope so the entry carries the
+    observed evaluation count and template-cache hit rate next to the
+    throughput figure.
+    """
+    assert not telemetry.enabled()  # off by default -- the zero-cost baseline
+    problem = get_problem(problem_name)
+    parameters = {"items": DSE_ITEMS}
+    space = problem.space(parameters, explore_orders=False)
+    candidates = list(space.enumerate_candidates(limit=BATCH))
+    compiled = mode == "compiled"
+    for candidate in candidates:  # warm the template cache outside the timing
+        assert evaluate_candidate(problem, candidate, parameters, compiled=compiled).feasible
+
+    best = float("inf")
+    with telemetry.collect(enable=True) as scope:
+        for _ in range(3):
+            tick = time.perf_counter()
+            for candidate in candidates:
+                evaluate_candidate(problem, candidate, parameters, compiled=compiled)
+            best = min(best, time.perf_counter() - tick)
+        snapshot = scope.snapshot()
+
+    hits = _counter(snapshot, "dse.compile.cache_hits")
+    misses = _counter(snapshot, "dse.compile.cache_misses")
+    dse_bench.append(
+        {
+            "problem": problem_name,
+            "mode": mode,
+            "batch": BATCH,
+            "items": DSE_ITEMS,
+            "candidates_per_second": round(BATCH / best, 1),
+            "evaluations": _counter(snapshot, "dse.evaluate.evaluations"),
+            "cache_hit_rate": round(hits / (hits + misses), 4) if hits + misses else None,
+        }
+    )
+
+
+def test_dse_telemetry_overhead_under_five_percent(dse_bench):
+    """Enabled telemetry must cost < 5% on the compiled inner loop.
+
+    Interleaved best-of-nine minimum timing (disabled scope vs enabled
+    scope over the same warmed batch) damps scheduler drift; the minimum
+    is the noise-robust estimator for a fixed workload.
+    """
+    assert not telemetry.enabled()
+    problem = get_problem("didactic")
+    parameters = {"items": DSE_ITEMS}
+    space = problem.space(parameters, explore_orders=False)
+    candidates = list(space.enumerate_candidates(limit=BATCH))
+    compiled = compiled_problem(problem, parameters)
+    for candidate in candidates:  # warm the template and duration tables
+        assert compiled.evaluate(candidate).feasible
+
+    best_off = best_on = float("inf")
+    for _ in range(9):
+        with telemetry.collect(enable=False):
+            tick = time.perf_counter()
+            for candidate in candidates:
+                compiled.evaluate(candidate)
+            best_off = min(best_off, time.perf_counter() - tick)
+        with telemetry.collect(enable=True):
+            tick = time.perf_counter()
+            for candidate in candidates:
+                compiled.evaluate(candidate)
+            best_on = min(best_on, time.perf_counter() - tick)
+
+    overhead = best_on / best_off - 1.0
+    dse_bench.append(
+        {
+            "problem": "didactic",
+            "mode": "compiled",
+            "metric": "telemetry_overhead",
+            "overhead_fraction": round(overhead, 4),
+        }
+    )
+    assert overhead < 0.05, (
+        f"telemetry costs {overhead:.1%} on the compiled inner loop "
+        f"({best_on * 1e3:.2f} ms vs {best_off * 1e3:.2f} ms per batch)"
+    )

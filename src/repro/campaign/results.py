@@ -59,6 +59,11 @@ class JobResult:
     #: Free-form, JSON-safe metrics attached by non-speed-up executors (e.g. the
     #: design-space-exploration evaluator's objectives).  Empty for speed-up jobs.
     metrics: Mapping[str, Any] = field(default_factory=dict)
+    #: Per-job telemetry snapshot recorded in the worker's collect() scope
+    #: (see :mod:`repro.telemetry`); ``None`` unless the coordinating run had
+    #: telemetry enabled.  Run provenance -- stripped before a record enters
+    #: the result store.
+    telemetry: Optional[Mapping[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -143,6 +148,8 @@ class JobResult:
             record["output_instants"] = list(self.output_instants)
         if self.metrics:
             record["metrics"] = dict(self.metrics)
+        if self.telemetry:
+            record["telemetry"] = dict(self.telemetry)
         return record
 
     @classmethod
@@ -169,6 +176,7 @@ class JobResult:
                 instants_digest=record.get("instants_digest"),
                 output_instants=tuple(instants) if instants is not None else None,
                 metrics=dict(record.get("metrics") or {}),
+                telemetry=record.get("telemetry"),
             )
         except KeyError as missing:
             raise CampaignError(f"result record is missing field {missing}") from None

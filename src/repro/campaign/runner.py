@@ -19,10 +19,12 @@ execution the integration tests compare parallel runs against.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..analysis.speedup import measure_speedup
 from ..errors import CampaignError
 from .registry import ScenarioRegistry, default_registry
@@ -42,7 +44,32 @@ def run_job(
     rather than exceptions so one bad sweep point never aborts the pool.
     Worker processes resolve scenarios against their own default registry;
     the in-process path passes the runner's ``registry`` explicitly.
+
+    When the coordinator runs with telemetry enabled it rides a
+    ``_telemetry`` key along in the payload (ignored by the job digest and
+    by :meth:`~repro.campaign.spec.JobSpec.from_payload`); the job is then
+    measured in its own :func:`repro.telemetry.collect` scope and the
+    recorded delta ships home under the record's ``telemetry`` key.
     """
+    extras = payload.get("_telemetry") if isinstance(payload, Mapping) else None
+    want = bool(isinstance(extras, Mapping) and extras.get("enabled"))
+    # ``True`` switches recording on inside a pool worker whose process-global
+    # registry is off; ``None`` inherits the surrounding registry's state on
+    # the in-process path (where collect() folds the delta into the
+    # coordinator's own registry on exit).
+    with telemetry.collect(enable=True if want else None) as scope:
+        record = _execute_job(payload, registry, extras if want else None)
+        if want:
+            record["telemetry"] = scope.snapshot()
+    return record
+
+
+def _execute_job(
+    payload: Mapping[str, Any],
+    registry: Optional[ScenarioRegistry],
+    extras: Optional[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """The job execution body of :func:`run_job` (runs inside its scope)."""
     try:
         job = JobSpec.from_payload(payload)
     except Exception as error:
@@ -55,23 +82,35 @@ def run_job(
             "seed": 0,
             "error": f"{type(error).__name__}: {error}",
         }
+    telemetry.count("campaign.jobs")
+    if extras is not None and extras.get("submitted_unix") is not None:
+        # How long the job sat between coordinator submission and worker
+        # pickup (same machine, so the wall clocks agree).
+        wait_ns = int((time.time() - float(extras["submitted_unix"])) * 1e9)
+        telemetry.observe_ns("campaign.job.queue_wait", max(0, wait_ns))
     try:
-        scenario = (registry or default_registry()).get(job.spec.scenario)
-        parameters = dict(scenario.defaults)
-        parameters.update(job.spec.parameters)
-        parameters["seed"] = job.seed
-        if scenario.executor is not None:
-            return scenario.executor(job, parameters)
-        plan = scenario.planner(parameters)
-        measurement = measure_speedup(
-            plan.architecture_factory,
-            plan.stimuli_factory,
-            abstract_functions=plan.abstract_functions,
-            pad_to_nodes=plan.pad_to_nodes,
-            label=plan.label,
-            capture_instants=True,
-        )
+        with telemetry.span(
+            "campaign.job",
+            category="campaign",
+            args={"scenario": job.spec.scenario, "replication": job.replication},
+        ):
+            scenario = (registry or default_registry()).get(job.spec.scenario)
+            parameters = dict(scenario.defaults)
+            parameters.update(job.spec.parameters)
+            parameters["seed"] = job.seed
+            if scenario.executor is not None:
+                return scenario.executor(job, parameters)
+            plan = scenario.planner(parameters)
+            measurement = measure_speedup(
+                plan.architecture_factory,
+                plan.stimuli_factory,
+                abstract_functions=plan.abstract_functions,
+                pad_to_nodes=plan.pad_to_nodes,
+                label=plan.label,
+                capture_instants=True,
+            )
     except Exception as error:
+        telemetry.count("campaign.job.errors")
         return JobResult.from_error(job, error).to_record()
     return JobResult.from_measurement(
         job, measurement, keep_instants=job.spec.record_instants
@@ -143,13 +182,31 @@ class CampaignRunner:
                 results[index] = cached
             else:
                 pending.append(index)
+        telemetry.count("campaign.cache_hits", len(job_list) - len(pending))
 
-        records = self._execute([job_list[index].payload() for index in pending])
+        payloads: List[Dict[str, Any]] = []
+        for index in pending:
+            payload = job_list[index].payload()
+            if telemetry.enabled():
+                # Riding along in the payload only; JobSpec digests derive
+                # from the spec, so the cache key is unaffected.
+                payload["_telemetry"] = {"enabled": True, "submitted_unix": time.time()}
+            payloads.append(payload)
+
+        with telemetry.span(
+            "campaign.run", category="campaign", args={"jobs": len(job_list)}
+        ):
+            records = self._execute(payloads)
         for index, record in zip(pending, records):
             result = JobResult.from_record(record)
             results[index] = result
             if self.store is not None and result.ok:
-                self.store.put(job_list[index].digest(), record)
+                # Per-job telemetry is run provenance, not a property of the
+                # (content-addressed) result: strip it before persisting so a
+                # later cache hit does not replay stale measurements.
+                stored = dict(record)
+                stored.pop("telemetry", None)
+                self.store.put(job_list[index].digest(), stored)
 
         report = CampaignReport(
             results=[result for result in results if result is not None],
@@ -199,7 +256,17 @@ class CampaignRunner:
         # worker process (workers rebuild the *default* registry), so anything
         # non-default runs in-process against the runner's own registry.
         if self.jobs == 1 or len(payloads) == 1 or self.registry is not default_registry():
+            # In-process: run_job's collect() scope already folds each job's
+            # telemetry into this (coordinator) registry on exit.
             return [run_job(payload, self.registry) for payload in payloads]
         workers = min(self.jobs, len(payloads))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_job, payloads))
+            records = list(pool.map(run_job, payloads))
+        if telemetry.enabled():
+            # Pool path: fold each worker's shipped delta into the
+            # coordinator registry (counters sum, spans keep the worker pid).
+            for record in records:
+                shipped = record.get("telemetry") if isinstance(record, Mapping) else None
+                if shipped:
+                    telemetry.merge(shipped)
+        return records

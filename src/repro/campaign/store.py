@@ -12,21 +12,24 @@ rewrites the file with one line per digest when the history is no longer
 wanted.
 
 Lines that fail to parse (e.g. a truncated final line after a crash) are
-skipped -- counted in :attr:`ResultStore.skipped_lines` and reported with
-a :class:`RuntimeWarning` -- rather than failing the whole campaign.
+skipped -- counted in :attr:`ResultStore.skipped_lines` and reported
+through the ``repro.campaign.store`` logger -- rather than failing the
+whole campaign.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
-import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from ..errors import CampaignError
 
 __all__ = ["ResultStore"]
+
+_LOG = logging.getLogger("repro.campaign.store")
 
 
 class ResultStore:
@@ -67,12 +70,12 @@ class ResultStore:
                     continue
                 self._records[digest] = record
         if self.skipped_lines:
-            warnings.warn(
-                f"result store {self._path}: skipped {self.skipped_lines} corrupt "
-                "JSONL line(s) (truncated write or concurrent crash); the remaining "
-                "records were loaded normally",
-                RuntimeWarning,
-                stacklevel=3,
+            _LOG.warning(
+                "result store %s: skipped %d corrupt JSONL line(s) (truncated "
+                "write or concurrent crash); the remaining records were loaded "
+                "normally",
+                self._path,
+                self.skipped_lines,
             )
 
     def get(self, digest: str) -> Optional[Mapping[str, Any]]:

@@ -31,10 +31,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from . import telemetry
 from .analysis import format_rows, format_series
 from .campaign import CampaignRunner, ResultStore, aggregate_results, default_registry
 from .dse import (
@@ -66,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the experiments of Le Nours et al., DATE 2014.",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="show informational 'repro' log messages on stderr (repeat for debug)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -134,6 +144,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the expanded job list (digests, seeds, cache status) without simulating",
     )
+    run.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="enable telemetry and write a Chrome trace-event JSON of the run "
+        "(load in Perfetto or chrome://tracing)",
+    )
     _add_runner_arguments(run)
 
     campaign_sub.add_parser("list", help="list the registered scenarios")
@@ -200,6 +218,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after this many search rounds (a clean round-boundary "
         "interruption point for --checkpoint/--resume)",
     )
+    dse_run.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="enable telemetry and write a Chrome trace-event JSON of the "
+        "exploration (load in Perfetto or chrome://tracing); also writes a "
+        "per-round convergence JSONL next to it unless --convergence overrides",
+    )
+    dse_run.add_argument(
+        "--convergence",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a per-round convergence JSONL (hypervolume, front size, "
+        "feasible ratio, candidates/s) -- render it with 'repro obs report'",
+    )
+    dse_run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the live per-round progress line on stderr",
+    )
     _add_runner_arguments(dse_run)
 
     dse_front = dse_sub.add_parser(
@@ -238,6 +278,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="pin a problem parameter (repeatable)",
     )
+
+    obs = subparsers.add_parser("obs", help="observability: telemetry artefact reports")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="render a convergence JSONL or Chrome trace file written by --trace",
+    )
+    obs_report.add_argument(
+        "path",
+        help="a convergence .jsonl (per-round records) or a Chrome trace .json",
+    )
+    obs_report.add_argument(
+        "--last", type=int, default=None, help="only show the last N rounds"
+    )
     return parser
 
 
@@ -255,6 +309,43 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
 def _make_runner(jobs: int, store_path: Optional[str]) -> CampaignRunner:
     store = ResultStore(store_path) if store_path else None
     return CampaignRunner(store=store, jobs=jobs)
+
+
+def _configure_logging(verbose: int) -> None:
+    """Wire the ``repro`` package logger to stderr; ``-v`` raises the level."""
+    logger = logging.getLogger("repro")
+    if not any(isinstance(handler, logging.StreamHandler) for handler in logger.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("# %(name)s: %(message)s"))
+        logger.addHandler(handler)
+    if verbose >= 2:
+        logger.setLevel(logging.DEBUG)
+    elif verbose == 1:
+        logger.setLevel(logging.INFO)
+    else:
+        logger.setLevel(logging.WARNING)
+
+
+def _export_trace(trace_path: str) -> None:
+    """Write the active registry's Chrome trace and print its text summary."""
+    snapshot = telemetry.snapshot()
+    written = telemetry.write_chrome_trace(trace_path, snapshot)
+    print(telemetry.render_summary(snapshot))
+    print(f"# chrome trace written to {written} (load in Perfetto or chrome://tracing)")
+
+
+def _dse_progress(record: Mapping[str, Any]) -> None:
+    """The live per-round stderr progress line (suppressed by --quiet)."""
+    hypervolume = record.get("hypervolume")
+    hv_text = f"{hypervolume:.4g}" if hypervolume is not None else "n/a"
+    cps = record.get("candidates_per_second")
+    cps_text = f"{cps:.1f} cand/s" if cps is not None else "no fresh candidates"
+    print(
+        f"# round {record.get('round')}: spent {record.get('spent')}, "
+        f"front {record.get('front_size')}, hypervolume {hv_text}, {cps_text}",
+        file=sys.stderr,
+        flush=True,
+    )
 
 
 def _parse_value(text: str) -> Any:
@@ -428,6 +519,8 @@ def _run_campaign_run(arguments: argparse.Namespace) -> int:
     runner = _make_runner(arguments.jobs, arguments.store)
     if arguments.dry_run:
         return _run_campaign_dry_run(runner, arguments, overrides, grid)
+    if arguments.trace is not None:
+        telemetry.enable()
     report = runner.run_scenario(
         arguments.scenario,
         overrides=overrides,
@@ -441,6 +534,8 @@ def _run_campaign_run(arguments: argparse.Namespace) -> int:
         print(format_rows([result.as_row() for result in report.results if result.ok]))
     print(format_rows(aggregate_results(report.results)))
     print(report.summary(f"campaign {arguments.scenario}"))
+    if arguments.trace is not None:
+        _export_trace(arguments.trace)
     return 0 if report.ok else 1
 
 
@@ -490,6 +585,13 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
     parameters = _parse_overrides(arguments.overrides)
     if arguments.items is not None:
         parameters["items"] = arguments.items
+    convergence = arguments.convergence
+    if convergence is None and arguments.trace is not None:
+        # One --trace flag yields both artefacts: the Chrome trace and the
+        # per-round convergence curve next to it.
+        convergence = str(Path(arguments.trace).with_suffix(".conv.jsonl"))
+    if arguments.trace is not None:
+        telemetry.enable()
     explorer = MappingExplorer(
         problem=arguments.problem,
         strategy=arguments.strategy,
@@ -504,6 +606,8 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
         checkpoint=arguments.checkpoint,
         resume=arguments.resume,
         max_rounds=arguments.rounds,
+        convergence=convergence,
+        progress=None if arguments.quiet else _dse_progress,
     )
     problem = explorer.problem
     space = explorer.build_space()
@@ -528,6 +632,10 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
             f"{best.metrics['resources_used']} resource(s) -- {best.metrics['allocation']}"
         )
     print(report.summary())
+    if convergence is not None:
+        print(f"# convergence trace written to {convergence} (see 'repro obs report')")
+    if arguments.trace is not None:
+        _export_trace(arguments.trace)
     return 0 if report.errors == 0 and len(report.front) > 0 else 1
 
 
@@ -677,9 +785,75 @@ def _run_dse_show(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _report_chrome_trace(path: Path, payload: Mapping[str, Any]) -> int:
+    """Aggregate a Chrome trace file: per-span-name counts and durations."""
+    events = [
+        event
+        for event in payload.get("traceEvents") or []
+        if isinstance(event, Mapping) and event.get("ph") == "X"
+    ]
+    if not events:
+        print(f"# chrome trace {path}: no span events")
+        return 1
+    pids = {event.get("pid") for event in events}
+    by_name: Dict[str, List[float]] = {}
+    for event in events:
+        by_name.setdefault(str(event.get("name", "?")), []).append(
+            float(event.get("dur", 0.0))
+        )
+    rows = [
+        {
+            "span": name,
+            "count": len(durations),
+            "total (ms)": round(sum(durations) / 1e3, 3),
+            "mean (us)": round(sum(durations) / len(durations), 1),
+            "max (us)": round(max(durations), 1),
+        }
+        for name, durations in sorted(by_name.items())
+    ]
+    print(
+        f"# chrome trace {path}: {len(events)} span event(s) across "
+        f"{len(pids)} process(es) -- load in Perfetto for the timeline"
+    )
+    print(format_rows(rows))
+    dropped = (payload.get("otherData") or {}).get("dropped_spans", 0)
+    if dropped:
+        print(f"# {dropped} span event(s) were dropped at the recording cap")
+    return 0
+
+
+def _run_obs_report(arguments: argparse.Namespace) -> int:
+    path = Path(arguments.path)
+    if not path.exists():
+        print(f"error: {path} does not exist", file=sys.stderr)
+        return 2
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, OSError):
+        payload = None
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return _report_chrome_trace(path, payload)
+    trace = telemetry.ConvergenceTrace(path)
+    records = trace.load()
+    if not records:
+        print(f"# {path}: no convergence records")
+        return 1
+    print(f"# convergence trace {path}: {len(records)} round(s)")
+    print(telemetry.render_convergence(records, last=arguments.last))
+    last = records[-1]
+    hypervolume = last.get("hypervolume")
+    hv_text = f"{hypervolume:.6g}" if hypervolume is not None else "n/a"
+    print(
+        f"final: {last.get('explored')} candidates explored, front size "
+        f"{last.get('front_size')}, hypervolume {hv_text}"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (``python -m repro.cli`` / the ``repro`` console script)."""
     arguments = build_parser().parse_args(argv)
+    _configure_logging(arguments.verbose)
     try:
         if arguments.command == "table1":
             return _run_table1(arguments.items, arguments.stages, arguments.jobs, arguments.store)
@@ -712,6 +886,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return _run_dse_front(arguments)
             if arguments.dse_command == "show":
                 return _run_dse_show(arguments)
+        if arguments.command == "obs":
+            if arguments.obs_command == "report":
+                return _run_obs_report(arguments)
     except (CampaignError, ModelError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

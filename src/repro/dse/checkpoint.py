@@ -17,7 +17,8 @@ candidates were first scored.  This module persists exactly that:
   replaces the file with the newest snapshot (write-to-temp + fsync +
   rename, so the file stays one line large and a crash never corrupts
   the previous round); on load the last parseable line wins and corrupt
-  lines are skipped with a :class:`RuntimeWarning`, never failing the
+  lines are skipped (reported through the ``repro.dse.checkpoint``
+logger), never failing the
   resume.
 
 The checkpoint deliberately stores digests, not metrics: the metrics
@@ -29,8 +30,8 @@ because nothing is re-evaluated or re-derived.
 from __future__ import annotations
 
 import json
+import logging
 import os
-import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
@@ -38,6 +39,8 @@ from typing import Any, Dict, List, Mapping, Optional, Union
 from ..errors import ModelError
 
 __all__ = ["CHECKPOINT_VERSION", "ExplorationCheckpoint", "CheckpointFile"]
+
+_LOG = logging.getLogger("repro.dse.checkpoint")
 
 #: Format version written into every snapshot; bumped on incompatible change.
 CHECKPOINT_VERSION = 1
@@ -230,12 +233,12 @@ class CheckpointFile:
                     continue
                 newest = record
         if self.skipped_lines:
-            warnings.warn(
-                f"checkpoint file {self._path}: skipped {self.skipped_lines} corrupt "
-                "JSONL line(s) (truncated write or concurrent crash); resuming from "
-                "the newest intact snapshot",
-                RuntimeWarning,
-                stacklevel=2,
+            _LOG.warning(
+                "checkpoint file %s: skipped %d corrupt JSONL line(s) "
+                "(truncated write or concurrent crash); resuming from the "
+                "newest intact snapshot",
+                self._path,
+                self.skipped_lines,
             )
         if newest is None:
             return None

@@ -39,6 +39,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
+from .. import telemetry
 from ..archmodel.architecture import ArchitectureModel
 from ..archmodel.token import DataToken
 from ..archmodel.workload import (
@@ -53,7 +54,12 @@ from ..core.spec import EquivalentModelSpec
 from ..environment.stimulus import Stimulus
 from ..errors import GraphError, ModelError, ReproError
 from ..kernel.simtime import Duration
-from .evaluate import CandidateEvaluation, evaluate_mapping, per_kind_summary
+from .evaluate import (
+    CandidateEvaluation,
+    _record_evaluation,
+    evaluate_mapping,
+    per_kind_summary,
+)
 from .problems import DesignProblem, get_problem
 from .space import MappingCandidate
 
@@ -138,7 +144,10 @@ class CompiledProblem:
             self.problem.stimuli_factory(self.parameters)
         )
         self._name = f"dse-{self.problem.name}"
-        self.template = build_template(self.application, name=f"{self._name}-tdg")
+        with telemetry.span(
+            "dse.compile.template", category="dse", args={"problem": self.problem.name}
+        ):
+            self.template = build_template(self.application, name=f"{self._name}-tdg")
         primary = self.template.primary_input
         self._tokens = _TokenTable(self.stimuli.get(primary) if primary else None)
         #: (function, step_index) -> tabulated weight for data-dependent
@@ -187,15 +196,17 @@ class CompiledProblem:
         is infeasible (e.g. its static service orders create a zero-delay
         cycle), exactly like the from-scratch builder.
         """
-        mapping = candidate.build_mapping(f"{self._name}-mapping")
-        architecture = ArchitectureModel(
-            self._name, self.application, self.platform, mapping
-        )
-        return specialize_template(
-            self.template,
-            architecture,
-            weight_overrides=self._candidate_overrides(candidate),
-        )
+        telemetry.count("dse.compile.specializations")
+        with telemetry.span("dse.compile.specialize", category="dse"):
+            mapping = candidate.build_mapping(f"{self._name}-mapping")
+            architecture = ArchitectureModel(
+                self._name, self.application, self.platform, mapping
+            )
+            return specialize_template(
+                self.template,
+                architecture,
+                weight_overrides=self._candidate_overrides(candidate),
+            )
 
     # ------------------------------------------------------------------
     def evaluate(self, candidate: MappingCandidate) -> CandidateEvaluation:
@@ -210,25 +221,32 @@ class CompiledProblem:
                 )
             computer = InstantComputer(spec, record_usage=True)
         except ReproError as error:
-            return CandidateEvaluation(
-                candidate=candidate,
-                infeasible=f"{type(error).__name__}: {error}",
-                wall_seconds=time.perf_counter() - start,
+            return _record_evaluation(
+                CandidateEvaluation(
+                    candidate=candidate,
+                    infeasible=f"{type(error).__name__}: {error}",
+                    wall_seconds=time.perf_counter() - start,
+                )
             )
 
         try:
-            run = self._run(spec, computer)
+            with telemetry.span("dse.compile.replay", category="dse"):
+                run = self._run(spec, computer)
         except ReproError as error:
             # Mirror of evaluate_mapping wrapping model.run(): a workload or
             # computation failure is an infeasibility fact, not a crash.
-            return CandidateEvaluation(
-                candidate=candidate,
-                infeasible=f"{type(error).__name__}: {error}",
-                wall_seconds=time.perf_counter() - start,
+            return _record_evaluation(
+                CandidateEvaluation(
+                    candidate=candidate,
+                    infeasible=f"{type(error).__name__}: {error}",
+                    wall_seconds=time.perf_counter() - start,
+                )
             )
         if run is None:
             # An output would be accepted later than computed (boundary
-            # feedback): replay through the exact event-driven harness.
+            # feedback): replay through the exact event-driven harness
+            # (which records its own evaluation telemetry).
+            telemetry.count("dse.compile.explicit_fallbacks")
             return evaluate_mapping(
                 self.application,
                 self.platform,
@@ -237,7 +255,10 @@ class CompiledProblem:
                 name=self._name,
             )
         offers, actual, iterations = run
-        return self._assemble(candidate, spec, computer, offers, actual, iterations, start)
+        telemetry.count("dse.compile.replay_steps", iterations)
+        return _record_evaluation(
+            self._assemble(candidate, spec, computer, offers, actual, iterations, start)
+        )
 
     # ------------------------------------------------------------------
     def _run(self, spec: EquivalentModelSpec, computer: InstantComputer):
@@ -437,10 +458,12 @@ def compiled_problem(
     key = (id(problem), problem.name, canonical_json(relevant))
     compiled = _CACHE.get(key)
     if compiled is None:
+        telemetry.count("dse.compile.cache_misses")
         compiled = CompiledProblem(problem, relevant)
         _CACHE[key] = compiled
         while len(_CACHE) > _CACHE_LIMIT:
             _CACHE.popitem(last=False)
     else:
+        telemetry.count("dse.compile.cache_hits")
         _CACHE.move_to_end(key)
     return compiled

@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from .. import telemetry
 from ..archmodel.application import ApplicationModel
 from ..archmodel.architecture import ArchitectureModel
 from ..archmodel.platform import PlatformModel
@@ -125,6 +126,15 @@ def per_kind_summary(
     )
 
 
+def _record_evaluation(evaluation: CandidateEvaluation) -> CandidateEvaluation:
+    """Telemetry epilogue of one evaluation: counts plus a latency histogram."""
+    telemetry.count("dse.evaluate.evaluations")
+    if not evaluation.feasible:
+        telemetry.count("dse.evaluate.infeasible")
+    telemetry.observe_ns("dse.evaluate.candidate", int(evaluation.wall_seconds * 1e9))
+    return evaluation
+
+
 def evaluate_mapping(
     application: ApplicationModel,
     platform: PlatformModel,
@@ -147,10 +157,12 @@ def evaluate_mapping(
         )
         model.run()
     except ReproError as error:
-        return CandidateEvaluation(
-            candidate=candidate,
-            infeasible=f"{type(error).__name__}: {error}",
-            wall_seconds=time.perf_counter() - start,
+        return _record_evaluation(
+            CandidateEvaluation(
+                candidate=candidate,
+                infeasible=f"{type(error).__name__}: {error}",
+                wall_seconds=time.perf_counter() - start,
+            )
         )
 
     outputs = architecture.external_outputs()
@@ -165,10 +177,12 @@ def evaluate_mapping(
     )
     instants = per_output[0][1]
     if not instants:
-        return CandidateEvaluation(
-            candidate=candidate,
-            infeasible="the model produced no output instants",
-            wall_seconds=time.perf_counter() - start,
+        return _record_evaluation(
+            CandidateEvaluation(
+                candidate=candidate,
+                infeasible="the model produced no output instants",
+                wall_seconds=time.perf_counter() - start,
+            )
         )
 
     inputs = architecture.external_inputs()
@@ -197,20 +211,22 @@ def evaluate_mapping(
     )
     resources_by_kind, utilization_by_kind = per_kind_summary(platform, utilization)
 
-    return CandidateEvaluation(
-        candidate=candidate,
-        iterations=len(instants),
-        latency_ps=max(seq[-1] for _, seq in per_output if seq),
-        mean_latency_ps=mean_latency,
-        tdg_nodes=spec.graph.node_count,
-        resources_used=len(candidate.resources_used()),
-        utilization=tuple(sorted(utilization.items())),
-        mean_utilization=round(mean_utilization, 4),
-        resources_by_kind=resources_by_kind,
-        utilization_by_kind=utilization_by_kind,
-        wall_seconds=time.perf_counter() - start,
-        output_instants=instants,
-        per_output_instants=per_output,
+    return _record_evaluation(
+        CandidateEvaluation(
+            candidate=candidate,
+            iterations=len(instants),
+            latency_ps=max(seq[-1] for _, seq in per_output if seq),
+            mean_latency_ps=mean_latency,
+            tdg_nodes=spec.graph.node_count,
+            resources_used=len(candidate.resources_used()),
+            utilization=tuple(sorted(utilization.items())),
+            mean_utilization=round(mean_utilization, 4),
+            resources_by_kind=resources_by_kind,
+            utilization_by_kind=utilization_by_kind,
+            wall_seconds=time.perf_counter() - start,
+            output_instants=instants,
+            per_output_instants=per_output,
+        )
     )
 
 

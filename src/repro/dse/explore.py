@@ -33,8 +33,20 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
+from .. import telemetry
 from ..campaign.registry import ScenarioRegistry
 from ..campaign.results import JobResult
 from ..campaign.runner import CampaignRunner
@@ -181,6 +193,8 @@ class MappingExplorer:
         checkpoint: Optional[Union[str, Path, CheckpointFile]] = None,
         resume: bool = False,
         max_rounds: Optional[int] = None,
+        convergence: Optional[Union[str, Path, "telemetry.ConvergenceTrace"]] = None,
+        progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if budget < 1:
             raise ModelError("the exploration budget must be at least one candidate")
@@ -210,6 +224,15 @@ class MappingExplorer:
             self.checkpoint = checkpoint
         else:
             self.checkpoint = CheckpointFile(checkpoint)
+        #: Optional per-round convergence JSONL (see repro.telemetry); like the
+        #: checkpoint it is reset on a fresh run and extended on resume.
+        if convergence is None or isinstance(convergence, telemetry.ConvergenceTrace):
+            self.convergence = convergence
+        else:
+            self.convergence = telemetry.ConvergenceTrace(convergence)
+        #: Optional per-round callback fed the same record the trace persists
+        #: (the CLI's live progress line).
+        self.progress = progress
         self.resume = resume
         if resume and self.checkpoint is None:
             raise ModelError("resume=True needs a checkpoint to resume from")
@@ -361,6 +384,54 @@ class MappingExplorer:
         report.resumed = True
         return loaded.spent, loaded.stale_rounds
 
+    def _round_record(
+        self,
+        report: ExplorationReport,
+        spent: int,
+        stale_rounds: int,
+        fresh_count: int,
+        elapsed_ns: int,
+    ) -> Dict[str, Any]:
+        """One convergence record: the exploration's state after a round."""
+        explored = report.explored
+        feasible = explored - report.infeasible - report.errors
+        # Hypervolume is only defined for two-objective fronts; a
+        # heterogeneous (3+ objective) exploration records an honest None
+        # instead of a fabricated scalar.
+        hypervolume: Optional[float] = None
+        if len(report.front.objectives) == 2:
+            hypervolume = report.front.hypervolume()
+        seconds = elapsed_ns / 1e9
+        return {
+            "round": report.rounds,
+            "spent": spent,
+            "explored": explored,
+            "evaluated": report.evaluated,
+            "cache_hits": report.cache_hits,
+            "infeasible": report.infeasible,
+            "errors": report.errors,
+            "front_size": len(report.front),
+            "hypervolume": hypervolume,
+            "feasible_ratio": round(feasible / explored, 4) if explored else None,
+            "fresh": fresh_count,
+            "candidates_per_second": (
+                round(fresh_count / seconds, 2) if seconds > 0 else None
+            ),
+            "round_seconds": round(seconds, 6),
+            "stale_rounds": stale_rounds,
+        }
+
+    def _emit_round(self, record: Mapping[str, Any]) -> None:
+        """Persist + publish one round record (trace, callback, telemetry)."""
+        telemetry.count("dse.explore.rounds")
+        telemetry.gauge("dse.explore.front_size", record["front_size"])
+        if record["hypervolume"] is not None:
+            telemetry.gauge("dse.explore.hypervolume", record["hypervolume"])
+        if self.convergence is not None:
+            self.convergence.append(record)
+        if self.progress is not None:
+            self.progress(dict(record))
+
     def run(self) -> ExplorationReport:
         """Explore until the budget is spent or the strategy runs dry."""
         resolved = self.problem.parameters(self.parameters)
@@ -387,6 +458,10 @@ class MappingExplorer:
             spent, stale_rounds = self._restore(config, strategy, report, seen, sequence)
         elif self.checkpoint is not None:
             self.checkpoint.reset()
+        if not self.resume and self.convergence is not None:
+            # Same semantics as the checkpoint: a fresh run starts a fresh
+            # curve, a resumed run keeps extending the original one.
+            self.convergence.reset()
 
         rounds_this_call = 0
         while (
@@ -396,60 +471,81 @@ class MappingExplorer:
             and (self.max_rounds is None or rounds_this_call < self.max_rounds)
         ):
             budget_left = self.budget - spent
-            batch = strategy.propose(budget_left)
-            if not batch:
-                if strategy.exhausted:
-                    break
-                stale_rounds += 1
-                continue
-            # Digesting normalises + hashes the whole encoding; do it once per
-            # proposed candidate and reuse below (observe() needs it again).
-            digests = [candidate.digest() for candidate in batch]
-            fresh: List[Tuple[str, MappingCandidate]] = []
-            fresh_digests = set()
-            for digest, candidate in zip(digests, batch):
-                if digest in seen or digest in fresh_digests:
-                    continue
-                if len(fresh) >= budget_left:
-                    break
-                fresh.append((digest, candidate))
-                fresh_digests.add(digest)
-
-            if fresh:
-                campaign = self.runner.run(
-                    [self._spec(candidate, resolved) for _, candidate in fresh]
-                )
-                for (digest, candidate), result in zip(fresh, campaign.results):
-                    seen[digest] = result
-                    report.results.append(result)
-                    sequence.append([digest, result.job_digest, result.ok])
-                    if not result.ok:
-                        report.errors += 1
+            with telemetry.timed_ns() as round_timer:
+                with telemetry.span(
+                    "dse.explore.round",
+                    category="dse",
+                    args={"round": report.rounds + 1},
+                ):
+                    batch = strategy.propose(budget_left)
+                    if not batch:
+                        if strategy.exhausted:
+                            break
+                        stale_rounds += 1
                         continue
-                    if not result.metrics.get("feasible"):
-                        report.infeasible += 1
-                        continue
-                    report.front.offer(digest, result.metrics, payload=candidate)
-                report.cache_hits += campaign.cache_hits
-                report.evaluated += campaign.simulated
-                spent += len(fresh)
-                stale_rounds = 0
-            else:
-                stale_rounds += 1
+                    # Digesting normalises + hashes the whole encoding; do it
+                    # once per proposed candidate and reuse below (observe()
+                    # needs it again).
+                    digests = [candidate.digest() for candidate in batch]
+                    fresh: List[Tuple[str, MappingCandidate]] = []
+                    fresh_digests = set()
+                    for digest, candidate in zip(digests, batch):
+                        if digest in seen or digest in fresh_digests:
+                            continue
+                        if len(fresh) >= budget_left:
+                            break
+                        fresh.append((digest, candidate))
+                        fresh_digests.add(digest)
 
-            strategy.observe(
-                [
-                    Observation(
-                        candidate=candidate,
-                        vector=objective_vector(seen[digest].metrics, self.objectives),
-                        feasible=bool(seen[digest].metrics.get("feasible", True)),
+                    if fresh:
+                        with telemetry.span(
+                            "dse.explore.score",
+                            category="dse",
+                            args={"candidates": len(fresh)},
+                        ):
+                            campaign = self.runner.run(
+                                [self._spec(candidate, resolved) for _, candidate in fresh]
+                            )
+                        for (digest, candidate), result in zip(fresh, campaign.results):
+                            seen[digest] = result
+                            report.results.append(result)
+                            sequence.append([digest, result.job_digest, result.ok])
+                            if not result.ok:
+                                report.errors += 1
+                                continue
+                            if not result.metrics.get("feasible"):
+                                report.infeasible += 1
+                                continue
+                            report.front.offer(digest, result.metrics, payload=candidate)
+                        report.cache_hits += campaign.cache_hits
+                        report.evaluated += campaign.simulated
+                        spent += len(fresh)
+                        stale_rounds = 0
+                    else:
+                        stale_rounds += 1
+
+                    strategy.observe(
+                        [
+                            Observation(
+                                candidate=candidate,
+                                vector=objective_vector(
+                                    seen[digest].metrics, self.objectives
+                                ),
+                                feasible=bool(
+                                    seen[digest].metrics.get("feasible", True)
+                                ),
+                            )
+                            for digest, candidate in zip(digests, batch)
+                            if digest in seen and seen[digest].ok
+                        ]
                     )
-                    for digest, candidate in zip(digests, batch)
-                    if digest in seen and seen[digest].ok
-                ]
-            )
             report.rounds += 1
             rounds_this_call += 1
+            self._emit_round(
+                self._round_record(
+                    report, spent, stale_rounds, len(fresh), round_timer.elapsed_ns
+                )
+            )
             if self.checkpoint is not None:
                 self.checkpoint.write(
                     self._snapshot(config, strategy, report, sequence, spent, stale_rounds)

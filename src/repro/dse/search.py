@@ -46,6 +46,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type, Union
 
+from .. import telemetry
 from ..errors import ModelError
 from .pareto import DEFAULT_OBJECTIVES, Objective, crowding_distance, nondominated_rank
 from .space import DesignSpace, MappingCandidate
@@ -274,6 +275,10 @@ class SearchStrategy:
     def observe(self, observations: Sequence[Observation]) -> None:
         """Feed back the objective vectors of the batch just proposed."""
 
+    def _count_proposals(self, batch: Sequence[MappingCandidate]) -> None:
+        """Per-strategy proposal telemetry (called by each ``propose``)."""
+        telemetry.count(f"dse.search.{self.name}.proposals", len(batch))
+
     @property
     def exhausted(self) -> bool:
         """True when the strategy has nothing left to propose."""
@@ -323,6 +328,7 @@ class ExhaustiveSearch(SearchStrategy):
                 self._exhausted = True
                 break
             self._cursor += 1
+        self._count_proposals(batch)
         return batch
 
     @property
@@ -373,7 +379,9 @@ class RandomSearch(SearchStrategy):
 
     def propose(self, budget_left: int) -> List[MappingCandidate]:
         want = min(self.batch_size, budget_left)
-        return [self.space.random_candidate(self._rng) for _ in range(want)]
+        batch = [self.space.random_candidate(self._rng) for _ in range(want)]
+        self._count_proposals(batch)
+        return batch
 
     def state(self) -> Dict[str, Any]:
         return {"strategy": self.name, "rng": _rng_state(self._rng)}
@@ -454,10 +462,12 @@ class AnnealingSearch(SearchStrategy):
             batch = [self.space.default_candidate()]
             while len(batch) < min(self.neighbors_per_round, budget_left):
                 batch.append(self.space.random_candidate(self._rng))
-            return batch
-        return self.space.neighbors(
-            self._current, self._rng, min(self.neighbors_per_round, budget_left)
-        )
+        else:
+            batch = self.space.neighbors(
+                self._current, self._rng, min(self.neighbors_per_round, budget_left)
+            )
+        self._count_proposals(batch)
+        return batch
 
     def observe(self, observations: Sequence[Observation]) -> None:
         best: Optional[Tuple[MappingCandidate, float]] = None
@@ -469,17 +479,22 @@ class AnnealingSearch(SearchStrategy):
         # vector (e.g. float("inf") latency) is not the math.inf singleton,
         # and an all-infeasible round must never become the current point.
         if best is None or math.isinf(best[1]):
+            telemetry.count("dse.search.annealing.dead_rounds")
             self.temperature *= self.cooling
             return
         candidate, value = best
         if value <= self._current_score:
             self._current, self._current_score = candidate, value
+            telemetry.count("dse.search.annealing.accepted")
         else:
             delta = value - self._current_score
             if self.temperature > 0 and self._rng.random() < math.exp(
                 -delta / self.temperature
             ):
                 self._current, self._current_score = candidate, value
+                telemetry.count("dse.search.annealing.uphill_accepted")
+            else:
+                telemetry.count("dse.search.annealing.rejected")
         self.temperature *= self.cooling
 
     def state(self) -> Dict[str, Any]:
@@ -573,7 +588,9 @@ class NsgaSearch(SearchStrategy):
             batch = [self.space.default_candidate()]
             while len(batch) < want:
                 batch.append(self.space.random_candidate(self._rng))
-            return batch[:want]
+            batch = batch[:want]
+            self._count_proposals(batch)
+            return batch
         ranks, crowding = self._ranked()
         known = {candidate.digest() for candidate, _ in self._population}
         batch: List[MappingCandidate] = []
@@ -588,9 +605,11 @@ class NsgaSearch(SearchStrategy):
                     child = trial
                     break
             if child is None:
+                telemetry.count("dse.search.nsga2.immigrants")
                 child = self.space.random_candidate(self._rng)
             known.add(child.digest())
             batch.append(child)
+        self._count_proposals(batch)
         return batch
 
     def _breed(self, ranks: List[int], crowding: List[float]) -> MappingCandidate:
@@ -640,6 +659,8 @@ class NsgaSearch(SearchStrategy):
             entries = [entries[index] for index in selected]
         self._population = entries
         self._generation += 1
+        telemetry.gauge("dse.search.nsga2.generation", self._generation)
+        telemetry.gauge("dse.search.nsga2.population", len(entries))
 
     @property
     def generation(self) -> int:

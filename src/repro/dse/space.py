@@ -43,6 +43,7 @@ from typing import (
     Union,
 )
 
+from .. import telemetry
 from ..archmodel.application import ApplicationModel, RelationKind
 from ..archmodel.mapping import Mapping as ArchMapping
 from ..archmodel.platform import PlatformModel, ProcessingResource, ResourceKind
@@ -757,6 +758,7 @@ class DesignSpace:
                 used.add(pick)
             if allocation:
                 return allocation
+            telemetry.count("dse.space.allocation_restarts")
         raise ModelError(
             f"could not draw an eligibility-feasible allocation within "
             f"max_resources={self.max_resources} after {attempts} attempts "
@@ -827,6 +829,7 @@ class DesignSpace:
         if self.explore_orders and candidate.orders:
             moves.append("reorder")
         move = moves[rng.randrange(len(moves))]
+        telemetry.count(f"dse.space.mutate.{move}")
         allocation = dict(candidate.allocation)
         if move == "move":
             function = self.functions[rng.randrange(len(self.functions))]
@@ -993,7 +996,9 @@ class DesignSpace:
                 # Eligibility admits no repair of this mix: replace the
                 # offspring with a feasible random immigrant instead of
                 # emitting an illegal (or over-budget) candidate.
+                telemetry.count("dse.space.crossover_immigrants")
                 return self.random_candidate(rng)
+            telemetry.count("dse.space.crossover_repairs")
             victim = min(foldable, key=lambda resource: (len(groups[resource]), resource))
             kept = foldable[victim]
             target = kept[rng.randrange(len(kept))]

@@ -1,0 +1,146 @@
+"""Telemetry exporters: human-readable summary and Chrome trace-event JSON.
+
+Two consumers, two formats:
+
+* :func:`render_summary` turns a registry snapshot into the fixed-width
+  tables the rest of the CLI already speaks (counters, gauges, and
+  per-name duration statistics aggregated from the histograms);
+* :func:`chrome_trace` / :func:`write_chrome_trace` emit the Trace Event
+  Format understood by Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing``: one complete ("ph": "X") event per finished span,
+  microsecond timestamps, process/thread metadata naming each worker, and
+  final counter values as one counter ("ph": "C") event per series.
+
+The snapshot is the only input -- exporters never touch the live
+registry, so a snapshot merged from many worker processes exports
+exactly like a local one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+from ..analysis.report import format_rows
+
+__all__ = ["render_summary", "chrome_trace", "write_chrome_trace"]
+
+
+def _format_ns(value: float) -> str:
+    """Human duration: pick the unit that keeps 3 significant digits readable."""
+    if value >= 1e9:
+        return f"{value / 1e9:.2f} s"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f} ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f} us"
+    return f"{value:.0f} ns"
+
+
+def render_summary(snapshot: Mapping[str, Any]) -> str:
+    """A plain-text digest of one telemetry snapshot (counters + durations)."""
+    sections: List[str] = []
+    counters = snapshot.get("counters") or {}
+    if counters:
+        rows = [{"counter": name, "value": counters[name]} for name in sorted(counters)]
+        sections.append("telemetry counters:\n" + format_rows(rows))
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        rows = [{"gauge": name, "value": gauges[name]} for name in sorted(gauges)]
+        sections.append("telemetry gauges:\n" + format_rows(rows))
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            payload = histograms[name]
+            count = int(payload.get("count", 0))
+            total = int(payload.get("total_ns", 0))
+            rows.append(
+                {
+                    "duration": name,
+                    "count": count,
+                    "total": _format_ns(total),
+                    "mean": _format_ns(total / count) if count else "-",
+                    "min": _format_ns(payload.get("min_ns") or 0) if count else "-",
+                    "max": _format_ns(payload.get("max_ns") or 0) if count else "-",
+                }
+            )
+        sections.append("telemetry durations:\n" + format_rows(rows))
+    dropped = int(snapshot.get("dropped_spans", 0))
+    if dropped:
+        sections.append(f"# {dropped} span event(s) dropped at the event cap")
+    if not sections:
+        return "(no telemetry recorded)"
+    return "\n\n".join(sections)
+
+
+def chrome_trace(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    """The snapshot as a Trace Event Format object (Perfetto-loadable)."""
+    events: List[Dict[str, Any]] = []
+    pids = set()
+    for event in snapshot.get("spans") or []:
+        pid = event.get("pid", 0)
+        pids.add(pid)
+        trace_event: Dict[str, Any] = {
+            "name": event.get("name", "?"),
+            "cat": event.get("cat", "repro"),
+            "ph": "X",
+            # Trace-event timestamps are in microseconds.  Spans merged from
+            # worker processes were already rebased onto the coordinator's
+            # epoch, so one timeline covers every process; a span whose
+            # rebased start precedes the coordinator's epoch clamps to 0.
+            "ts": max(0, int(event.get("start_ns", 0))) / 1e3,
+            "dur": int(event.get("dur_ns", 0)) / 1e3,
+            "pid": pid,
+            "tid": event.get("tid", 0),
+        }
+        args = event.get("args")
+        if args:
+            trace_event["args"] = dict(args)
+        events.append(trace_event)
+    coordinator_pid = snapshot.get("pid", 0)
+    for pid in sorted(pids):
+        role = "coordinator" if pid == coordinator_pid else "worker"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro {role} (pid {pid})"},
+            }
+        )
+    # Final counter values as one counter sample at the end of the timeline,
+    # so Perfetto shows them as annotated series next to the spans.
+    last_ts = max((event.get("ts", 0) + event.get("dur", 0) for event in events), default=0)
+    for name in sorted(snapshot.get("counters") or {}):
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": last_ts,
+                "pid": coordinator_pid,
+                "tid": 0,
+                "args": {"value": (snapshot.get("counters") or {})[name]},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.telemetry",
+            "snapshot_version": snapshot.get("version"),
+            "dropped_spans": snapshot.get("dropped_spans", 0),
+        },
+    }
+
+
+def write_chrome_trace(path: Union[str, Path], snapshot: Mapping[str, Any]) -> Path:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(snapshot), handle)
+        handle.write("\n")
+    return target

@@ -1,0 +1,102 @@
+"""Telemetry primitives: counters, gauges and duration histograms.
+
+These are deliberately dumb value holders -- all locking, naming and
+lifecycle lives in :class:`~repro.telemetry.registry.TelemetryRegistry`.
+Every type knows how to snapshot itself into plain JSON types and how to
+merge a snapshot produced by another process, which is what lets worker
+telemetry travel inside campaign job records and aggregate on the
+coordinator.
+
+:class:`DurationHistogram` uses power-of-two nanosecond buckets: an
+observation of ``v`` nanoseconds lands in bucket ``v.bit_length()``
+(upper bound ``2**i`` ns).  Exponential buckets cover the whole range
+from sub-microsecond counter bumps to multi-second campaign jobs with
+~60 buckets, merge by plain addition, and give honest order-of-magnitude
+percentiles without configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["DurationHistogram"]
+
+
+class DurationHistogram:
+    """Histogram of durations in nanoseconds with log2 buckets."""
+
+    __slots__ = ("count", "total_ns", "min_ns", "max_ns", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns: Optional[int] = None
+        self.max_ns: Optional[int] = None
+        #: bucket index -> observation count; index ``i`` holds durations in
+        #: ``(2**(i-1), 2**i]`` nanoseconds (index 0 holds exact zeros).
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, duration_ns: int) -> None:
+        value = int(duration_ns)
+        if value < 0:
+            value = 0
+        self.count += 1
+        self.total_ns += value
+        if self.min_ns is None or value < self.min_ns:
+            self.min_ns = value
+        if self.max_ns is None or value > self.max_ns:
+            self.max_ns = value
+        index = value.bit_length()
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    def quantile_ns(self, q: float) -> int:
+        """Upper bucket bound of the ``q``-quantile observation (0 when empty).
+
+        Bucket resolution makes this an order-of-magnitude estimate: the true
+        value lies within a factor of two below the returned bound.
+        """
+        if not self.count:
+            return 0
+        target = max(1, int(self.count * q + 0.5))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= target:
+                return 2 ** max(index, 0) if index else 0
+        return self.max_ns or 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe form (the inverse of :meth:`merge_snapshot`)."""
+        return {
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+            "buckets": {str(index): count for index, count in sorted(self.buckets.items())},
+        }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another histogram's snapshot into this one (counts add up)."""
+        count = int(snapshot.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total_ns += int(snapshot.get("total_ns", 0))
+        other_min = snapshot.get("min_ns")
+        if other_min is not None and (self.min_ns is None or other_min < self.min_ns):
+            self.min_ns = int(other_min)
+        other_max = snapshot.get("max_ns")
+        if other_max is not None and (self.max_ns is None or other_max > self.max_ns):
+            self.max_ns = int(other_max)
+        for key, bucket_count in (snapshot.get("buckets") or {}).items():
+            index = int(key)
+            self.buckets[index] = self.buckets.get(index, 0) + int(bucket_count)
+
+    def __repr__(self) -> str:
+        return (
+            f"DurationHistogram(count={self.count}, mean={self.mean_ns / 1e6:.3f} ms)"
+        )

@@ -1,0 +1,336 @@
+"""The process-local telemetry registry and the module-level active instance.
+
+One :class:`TelemetryRegistry` holds everything a process records:
+counters, gauges, duration histograms and finished span events.  It is
+
+* **off by default** -- the module-level helpers (:func:`count`,
+  :func:`observe_ns`, :func:`gauge`, ...) check one attribute and return
+  immediately when the active registry is disabled, so instrumented hot
+  paths pay a single attribute load;
+* **thread-safe** -- every mutation takes the registry's lock (the
+  instrumented operations are microsecond-scale next to millisecond-scale
+  evaluations, so contention is irrelevant);
+* **process-portable** -- :meth:`TelemetryRegistry.snapshot` is plain
+  JSON, and :meth:`TelemetryRegistry.merge` folds a snapshot from another
+  process back in: counters sum, histograms merge bucket-wise, spans keep
+  their originating ``pid``/``tid`` and are rebased onto the receiving
+  registry's clock via the wall-clock epoch each snapshot carries.
+
+:func:`collect` scopes recording to a block: it swaps in a fresh child
+registry, runs the block, restores the parent and (when the parent is
+recording) folds the child back in -- the mechanism by which a campaign
+worker measures exactly one job and ships the delta home inside the job
+record, and by which the in-process runner does the same without wiping
+the coordinator's own telemetry.
+
+Set ``REPRO_TELEMETRY=1`` to start processes with telemetry enabled
+(handy for ad-hoc scripts); the CLI ``--trace`` flag and the campaign
+runner enable it programmatically.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from .metrics import DurationHistogram
+
+__all__ = [
+    "TelemetryRegistry",
+    "active",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "snapshot",
+    "merge",
+    "count",
+    "gauge",
+    "observe_ns",
+    "collect",
+]
+
+#: Snapshot format version; bumped on incompatible change.
+SNAPSHOT_VERSION = 1
+
+#: Finished-span cap per registry: a runaway instrumentation loop degrades
+#: into a counted drop, never into unbounded memory.
+MAX_SPAN_EVENTS = 50_000
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TELEMETRY", "").strip().lower() in ("1", "true", "yes", "on")
+
+
+class TelemetryRegistry:
+    """Process-local store of counters, gauges, histograms and span events."""
+
+    def __init__(self, enabled: bool = False, max_span_events: int = MAX_SPAN_EVENTS) -> None:
+        #: Read directly (unlocked) by the module-level helpers: the cheap
+        #: no-op gate.  Flipping it mid-flight is safe -- the worst case is
+        #: one racing record landing just after a disable.
+        self.enabled = enabled
+        self.max_span_events = max_span_events
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, DurationHistogram] = {}
+        self._spans: List[Dict[str, Any]] = []
+        self.dropped_spans = 0
+        #: perf_counter origin of span timestamps, paired with the wall-clock
+        #: instant it was taken -- what lets another process's spans be
+        #: rebased onto this registry's timeline on merge.
+        self.epoch_ns = time.perf_counter_ns()
+        self.epoch_unix = time.time()
+
+    # -- recording -----------------------------------------------------------
+    def count(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe_ns(self, name: str, duration_ns: int) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = DurationHistogram()
+            histogram.observe(duration_ns)
+
+    def span_depth(self) -> int:
+        """Nesting depth of the calling thread's open spans."""
+        return getattr(self._local, "depth", 0)
+
+    def push_span(self) -> int:
+        depth = self.span_depth()
+        self._local.depth = depth + 1
+        return depth
+
+    def pop_span(self) -> None:
+        self._local.depth = max(0, self.span_depth() - 1)
+
+    def add_span(
+        self,
+        name: str,
+        start_ns: int,
+        duration_ns: int,
+        category: str = "repro",
+        depth: int = 0,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Record one finished span (``start_ns`` relative to the epoch).
+
+        The span's duration also lands in the like-named histogram, so the
+        summary exporter reports per-span aggregates even after the event
+        list hits its cap.
+        """
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": category,
+            "start_ns": int(start_ns),
+            "dur_ns": int(duration_ns),
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+            "depth": depth,
+        }
+        if args:
+            event["args"] = dict(args)
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = DurationHistogram()
+            histogram.observe(duration_ns)
+            if len(self._spans) < self.max_span_events:
+                self._spans.append(event)
+            else:
+                self.dropped_spans += 1
+
+    # -- reading -------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def counter_value(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauges(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def histogram(self, name: str) -> Optional[DurationHistogram]:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def spans(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._spans)
+
+    # -- snapshot / merge ----------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything recorded so far, as plain JSON types."""
+        with self._lock:
+            return {
+                "version": SNAPSHOT_VERSION,
+                "pid": os.getpid(),
+                "epoch_unix": self.epoch_unix,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: histogram.snapshot()
+                    for name, histogram in self._histograms.items()
+                },
+                "spans": [dict(event) for event in self._spans],
+                "dropped_spans": self.dropped_spans,
+            }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another registry's snapshot in (typically from a worker process).
+
+        Counters and histograms add up; gauges take the incoming value (last
+        write wins); spans are appended unchanged except for a clock rebase:
+        their ``start_ns`` is shifted by the wall-clock difference between the
+        two epochs, so a Chrome trace exported from the merged registry shows
+        coordinator and worker activity on one coherent timeline while every
+        span keeps the ``pid``/``tid`` of the process that recorded it.
+        """
+        incoming_epoch = float(snapshot.get("epoch_unix", self.epoch_unix))
+        shift_ns = int((incoming_epoch - self.epoch_unix) * 1e9)
+        incoming_spans = snapshot.get("spans") or []
+        with self._lock:
+            for name, value in (snapshot.get("counters") or {}).items():
+                self._counters[name] = self._counters.get(name, 0) + int(value)
+            for name, value in (snapshot.get("gauges") or {}).items():
+                self._gauges[name] = value
+            for name, payload in (snapshot.get("histograms") or {}).items():
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = DurationHistogram()
+                histogram.merge_snapshot(payload)
+            for event in incoming_spans:
+                if len(self._spans) >= self.max_span_events:
+                    self.dropped_spans += len(incoming_spans) - incoming_spans.index(event)
+                    break
+                rebased = dict(event)
+                rebased["start_ns"] = int(event.get("start_ns", 0)) + shift_ns
+                self._spans.append(rebased)
+            self.dropped_spans += int(snapshot.get("dropped_spans", 0))
+
+    def reset(self) -> None:
+        """Drop everything recorded and restart the clock epoch."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._spans.clear()
+            self.dropped_spans = 0
+            self.epoch_ns = time.perf_counter_ns()
+            self.epoch_unix = time.time()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"TelemetryRegistry({state}, {len(self._counters)} counters, "
+            f"{len(self._spans)} spans)"
+        )
+
+
+#: The process's active registry.  Swapped (not mutated) by :func:`collect`.
+_active = TelemetryRegistry(enabled=_env_enabled())
+
+
+def active() -> TelemetryRegistry:
+    """The registry currently recording in this process."""
+    return _active
+
+
+def enable() -> None:
+    _active.enabled = True
+
+
+def disable() -> None:
+    _active.enabled = False
+
+
+def enabled() -> bool:
+    return _active.enabled
+
+
+def reset() -> None:
+    _active.reset()
+
+
+def snapshot() -> Dict[str, Any]:
+    return _active.snapshot()
+
+
+def merge(payload: Mapping[str, Any]) -> None:
+    _active.merge(payload)
+
+
+def count(name: str, value: int = 1) -> None:
+    registry = _active
+    if registry.enabled:
+        registry.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    registry = _active
+    if registry.enabled:
+        registry.gauge(name, value)
+
+
+def observe_ns(name: str, duration_ns: int) -> None:
+    registry = _active
+    if registry.enabled:
+        registry.observe_ns(name, duration_ns)
+
+
+class collect:
+    """Scope recording to a block and hand back the block's own registry.
+
+    ``with collect(enable=True) as registry:`` swaps a fresh child registry
+    in as the active one for the duration of the block; on exit the parent
+    is restored and -- when the parent itself is recording -- the child's
+    snapshot is folded into it, so nothing is lost on the in-process path.
+    The child stays readable after the block: ``registry.snapshot()`` is the
+    delta recorded inside it, which is exactly what a campaign worker ships
+    back inside its job record.
+
+    ``enable=None`` inherits the parent's enabled state.
+    """
+
+    def __init__(self, enable: Optional[bool] = None) -> None:
+        self._enable = enable
+        self._parent: Optional[TelemetryRegistry] = None
+        self.registry: Optional[TelemetryRegistry] = None
+
+    def __enter__(self) -> TelemetryRegistry:
+        global _active
+        self._parent = _active
+        wanted = self._parent.enabled if self._enable is None else self._enable
+        self.registry = TelemetryRegistry(enabled=wanted)
+        _active = self.registry
+        return self.registry
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        global _active
+        assert self._parent is not None and self.registry is not None
+        _active = self._parent
+        if self._parent.enabled and self.registry.enabled:
+            self._parent.merge(self.registry.snapshot())
+
+
+def iter_span_names(payload: Mapping[str, Any]) -> Iterator[str]:
+    """Distinct span names of a snapshot, in first-appearance order."""
+    seen = set()
+    for event in payload.get("spans") or []:
+        name = event.get("name")
+        if name not in seen:
+            seen.add(name)
+            yield name

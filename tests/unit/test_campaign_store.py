@@ -1,6 +1,7 @@
 """Unit tests for the JSONL result store."""
 
 import json
+import logging
 
 import pytest
 
@@ -65,47 +66,47 @@ class TestPersistence:
         assert len(lines) == 2
         assert ResultStore(path).get("d1") == {"value": 2}
 
-    def test_truncated_final_line_is_skipped(self, tmp_path):
+    def test_truncated_final_line_is_skipped(self, tmp_path, caplog):
         path = tmp_path / "results.jsonl"
         store = ResultStore(path)
         store.put("d1", {"value": 1})
         with path.open("a", encoding="utf-8") as handle:
             handle.write('{"digest": "d2", "record": {"valu')  # simulated crash
-        with pytest.warns(RuntimeWarning, match="skipped 1 corrupt"):
+        with caplog.at_level(logging.WARNING, logger="repro.campaign.store"):
             reopened = ResultStore(path)
+        assert "skipped 1 corrupt" in caplog.text
         assert reopened.get("d1") == {"value": 1}
         assert reopened.get("d2") is None
         assert reopened.skipped_lines == 1
 
-    def test_truncated_store_stays_usable_and_recompacts(self, tmp_path):
+    def test_truncated_store_stays_usable_and_recompacts(self, tmp_path, caplog):
         """Regression: a crash-truncated store must load, warn, and keep working."""
         path = tmp_path / "results.jsonl"
         ResultStore(path).put("d1", {"value": 1})
         with path.open("a", encoding="utf-8") as handle:
             handle.write('{"digest": "d2"')  # no newline, no record: torn write
-        with pytest.warns(RuntimeWarning):
+        with caplog.at_level(logging.WARNING, logger="repro.campaign.store"):
             store = ResultStore(path)
+        assert "corrupt" in caplog.text
         store.put("d3", {"value": 3})  # appending after a torn line still works
         assert store.compact() == 2
-        # after compaction the file is clean: reloading warns no more
-        import warnings as warnings_module
-
-        with warnings_module.catch_warnings():
-            warnings_module.simplefilter("error")
+        # after compaction the file is clean: reloading logs no more warnings
+        caplog.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.campaign.store"):
             clean = ResultStore(path)
+        assert caplog.text == ""
         assert clean.skipped_lines == 0
         assert clean.digests() == ["d1", "d3"]
 
-    def test_clean_store_loads_without_warning(self, tmp_path):
+    def test_clean_store_loads_without_warning(self, tmp_path, caplog):
         path = tmp_path / "results.jsonl"
         ResultStore(path).put("d1", {"value": 1})
-        import warnings as warnings_module
-
-        with warnings_module.catch_warnings():
-            warnings_module.simplefilter("error")
+        with caplog.at_level(logging.WARNING, logger="repro.campaign.store"):
             assert ResultStore(path).get("d1") == {"value": 1}
+        assert caplog.text == ""
 
-    def test_malformed_entries_are_counted_not_fatal(self, tmp_path):
+
+    def test_malformed_entries_are_counted_not_fatal(self, tmp_path, caplog):
         path = tmp_path / "results.jsonl"
         path.write_text(
             "\n".join(
@@ -118,8 +119,9 @@ class TestPersistence:
                 ]
             )
         )
-        with pytest.warns(RuntimeWarning, match="skipped 3 corrupt"):
+        with caplog.at_level(logging.WARNING, logger="repro.campaign.store"):
             store = ResultStore(path)
+        assert "skipped 3 corrupt" in caplog.text
         assert store.get("good") == {"v": 1}
         assert len(store) == 1
         assert store.skipped_lines == 3
