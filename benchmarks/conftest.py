@@ -16,6 +16,12 @@ The DSE throughput module additionally writes a machine-readable
 candidates/second per problem and evaluator mode plus telemetry-derived
 cache-hit rates, so CI can diff throughput across commits without
 scraping the pytest-benchmark tables.
+
+On a fully green session those same entries also append
+:class:`repro.telemetry.RunManifest` records (kind ``benchmark``) to the
+cross-run ledger (``.repro/ledger.jsonl``; ``REPRO_LEDGER`` overrides),
+so ``repro obs trend candidates_per_s`` and the regression sentinel see
+benchmark history next to ``dse run`` / ``campaign run`` history.
 """
 
 from __future__ import annotations
@@ -69,3 +75,47 @@ def pytest_sessionfinish(session, exitstatus):
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    if exitstatus == 0:
+        # A red session's timings are partial/suspect; keep them out of the
+        # performance history.
+        _append_run_manifests(entries)
+
+
+def _append_run_manifests(entries) -> None:
+    """Append one ledger manifest per benchmark entry (never fails the session)."""
+    try:
+        from repro import telemetry
+
+        ledger = telemetry.RunLedger()
+        for entry in entries:
+            metrics = {}
+            if entry.get("candidates_per_second") is not None:
+                metrics["candidates_per_s"] = entry["candidates_per_second"]
+            if entry.get("evaluations") is not None:
+                metrics["evaluations"] = entry["evaluations"]
+            if entry.get("cache_hit_rate") is not None:
+                metrics["cache_hit_rate"] = entry["cache_hit_rate"]
+            if entry.get("overhead_fraction") is not None:
+                metrics["telemetry_overhead_fraction"] = entry["overhead_fraction"]
+            if not metrics:
+                continue
+            # The workload identity (problem x mode x batch x items) becomes
+            # the comparison key, so the sentinel only ever judges a
+            # benchmark against reruns of the same matrix cell.
+            parameters = {
+                key: entry[key]
+                for key in ("problem", "mode", "batch", "items", "metric")
+                if key in entry
+            }
+            label = entry.get("metric") or f"{entry['problem']}/{entry['mode']}"
+            ledger.append(
+                telemetry.RunManifest.build(
+                    kind="benchmark",
+                    label=label,
+                    parameters=parameters,
+                    config={"harness": "benchmarks/test_dse_throughput.py"},
+                    metrics=metrics,
+                )
+            )
+    except Exception as error:  # noqa: BLE001 - history must never break tests
+        print(f"# run-ledger append skipped: {error}")

@@ -31,7 +31,7 @@ from .registry import (
     expand_grid,
 )
 from .results import JobResult, instants_digest
-from .runner import CampaignReport, CampaignRunner, run_job
+from .runner import CampaignReport, CampaignRunner, campaign_manifest, run_job
 from .spec import JobSpec, ScenarioSpec, canonical_json, derive_seed
 from .store import ResultStore
 
@@ -50,6 +50,7 @@ __all__ = [
     "instants_digest",
     "CampaignRunner",
     "CampaignReport",
+    "campaign_manifest",
     "run_job",
     "ResultStore",
     "Summary",

@@ -32,7 +32,7 @@ from .results import JobResult
 from .spec import JobSpec, ScenarioSpec
 from .store import ResultStore
 
-__all__ = ["CampaignRunner", "CampaignReport", "run_job"]
+__all__ = ["CampaignRunner", "CampaignReport", "campaign_manifest", "run_job"]
 
 
 def run_job(
@@ -115,6 +115,43 @@ def _execute_job(
     return JobResult.from_measurement(
         job, measurement, keep_instants=job.spec.record_instants
     ).to_record()
+
+
+def campaign_manifest(
+    scenario: str,
+    report: "CampaignReport",
+    parameters: Optional[Mapping[str, Any]] = None,
+    config: Optional[Mapping[str, Any]] = None,
+    wall_time_s: Optional[float] = None,
+    telemetry_snapshot: Optional[Mapping[str, Any]] = None,
+) -> "telemetry.RunManifest":
+    """A :class:`~repro.telemetry.manifest.RunManifest` for one campaign run.
+
+    ``parameters`` is the scenario parameterisation (overrides, grid,
+    replications -- what was swept), ``config`` the execution setup (worker
+    count); the two digests keep the regression sentinel comparing like
+    with like.  The CLI appends the result to the run ledger after every
+    ``campaign run``.
+    """
+    metrics: Dict[str, Any] = {
+        "jobs": len(report.results),
+        "cache_hits": report.cache_hits,
+        "simulated": report.simulated,
+        "errors": len(report.errors),
+    }
+    if wall_time_s is not None:
+        metrics["wall_time_s"] = round(wall_time_s, 6)
+        if wall_time_s > 0:
+            metrics["jobs_per_s"] = round(len(report.results) / wall_time_s, 2)
+    return telemetry.RunManifest.build(
+        kind="campaign",
+        label=scenario,
+        parameters=dict(parameters or {}),
+        config=dict(config or {}),
+        metrics=metrics,
+        telemetry_snapshot=telemetry_snapshot,
+        wall_time_s=round(wall_time_s, 6) if wall_time_s is not None else None,
+    )
 
 
 @dataclass

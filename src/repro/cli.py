@@ -17,6 +17,10 @@ can be regenerated without writing any Python::
         --checkpoint dse.ck.jsonl --resume          # continue bit-identically
     python -m repro.cli dse front --store dse.jsonl # front from the store alone
     python -m repro.cli dse show didactic
+    python -m repro.cli obs runs                    # the cross-run ledger
+    python -m repro.cli obs trend candidates_per_s  # one metric over time
+    python -m repro.cli obs diff -2 -1              # two runs, side by side
+    python -m repro.cli obs regressions             # sentinel verdicts (CI gate)
 
 Every sub-command prints plain-text tables/series (via
 :mod:`repro.analysis.report`), suitable for redirecting into the
@@ -39,7 +43,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from . import telemetry
 from .analysis import format_rows, format_series
-from .campaign import CampaignRunner, ResultStore, aggregate_results, default_registry
+from .campaign import (
+    CampaignRunner,
+    ResultStore,
+    aggregate_results,
+    campaign_manifest,
+    default_registry,
+)
 from .dse import (
     DEFAULT_OBJECTIVES,
     MappingExplorer,
@@ -153,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(load in Perfetto or chrome://tracing)",
     )
     _add_runner_arguments(run)
+    _add_ledger_arguments(run)
 
     campaign_sub.add_parser("list", help="list the registered scenarios")
 
@@ -240,7 +251,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the live per-round progress line on stderr",
     )
+    dse_run.add_argument(
+        "--progress",
+        action="store_true",
+        help="force the live per-round progress line even when stderr is not "
+        "a TTY (it is auto-suppressed in redirected/CI logs)",
+    )
     _add_runner_arguments(dse_run)
+    _add_ledger_arguments(dse_run)
 
     dse_front = dse_sub.add_parser(
         "front", help="rebuild a Pareto front from a result store alone"
@@ -292,6 +310,69 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument(
         "--last", type=int, default=None, help="only show the last N rounds"
     )
+
+    obs_runs = obs_sub.add_parser("runs", help="list the run ledger, one row per manifest")
+    _add_obs_ledger_argument(obs_runs)
+    obs_runs.add_argument(
+        "--kind", default=None, help="only runs of this kind (dse/campaign/benchmark)"
+    )
+    obs_runs.add_argument(
+        "--label", default=None, help="only runs with this label (problem/scenario name)"
+    )
+    obs_runs.add_argument("--last", type=int, default=None, help="only the last N runs")
+
+    obs_trend = obs_sub.add_parser(
+        "trend", help="text trend of one metric across comparable runs"
+    )
+    obs_trend.add_argument(
+        "metric", help="metric name, e.g. candidates_per_s, wall_time_s, hypervolume"
+    )
+    _add_obs_ledger_argument(obs_trend)
+    obs_trend.add_argument(
+        "--kind", default=None, help="only runs of this kind (dse/campaign/benchmark)"
+    )
+    obs_trend.add_argument(
+        "--label", default=None, help="only runs with this label (problem/scenario name)"
+    )
+    obs_trend.add_argument(
+        "--last", type=int, default=None, help="only the last N runs of each group"
+    )
+
+    obs_diff = obs_sub.add_parser(
+        "diff", help="compare two ledger runs: manifest fields, metrics, counters, span totals"
+    )
+    obs_diff.add_argument(
+        "run_a", help="run id prefix, or a ledger index like -2 (second newest)"
+    )
+    obs_diff.add_argument(
+        "run_b", help="run id prefix, or a ledger index like -1 (newest)"
+    )
+    _add_obs_ledger_argument(obs_diff)
+
+    obs_regressions = obs_sub.add_parser(
+        "regressions",
+        help="judge the newest run of every comparable family against its history "
+        "(exits non-zero on any regression, for CI gating)",
+    )
+    _add_obs_ledger_argument(obs_regressions)
+    obs_regressions.add_argument(
+        "--window",
+        type=int,
+        default=telemetry.DEFAULT_WINDOW,
+        help="baseline window: at most this many of the newest comparable runs",
+    )
+    obs_regressions.add_argument(
+        "--min-runs",
+        type=int,
+        default=telemetry.DEFAULT_MIN_RUNS,
+        help="minimum comparable baseline runs before a verdict is rendered",
+    )
+    obs_regressions.add_argument(
+        "--sensitivity",
+        type=float,
+        default=telemetry.DEFAULT_SENSITIVITY,
+        help="threshold widths away from the baseline median that count as a change",
+    )
     return parser
 
 
@@ -303,6 +384,32 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="PATH",
         help="JSONL result store (cache hits skip simulation)",
+    )
+
+
+def _add_ledger_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="append this run's manifest to this ledger JSONL "
+        "(default: $REPRO_LEDGER or .repro/ledger.jsonl)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not record this run in the run ledger",
+    )
+
+
+def _add_obs_ledger_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="run ledger JSONL to read (default: $REPRO_LEDGER or .repro/ledger.jsonl)",
     )
 
 
@@ -346,6 +453,20 @@ def _dse_progress(record: Mapping[str, Any]) -> None:
         file=sys.stderr,
         flush=True,
     )
+
+
+def _want_progress(arguments: argparse.Namespace) -> bool:
+    """Whether ``dse run`` shows the live per-round line on stderr.
+
+    ``--quiet`` always wins; otherwise the line only goes to a real
+    terminal -- a redirected/captured stderr (CI logs, pipes) stays clean
+    unless ``--progress`` forces it back on.
+    """
+    if arguments.quiet:
+        return False
+    if arguments.progress:
+        return True
+    return bool(getattr(sys.stderr, "isatty", lambda: False)())
 
 
 def _parse_value(text: str) -> Any:
@@ -521,19 +642,55 @@ def _run_campaign_run(arguments: argparse.Namespace) -> int:
         return _run_campaign_dry_run(runner, arguments, overrides, grid)
     if arguments.trace is not None:
         telemetry.enable()
-    report = runner.run_scenario(
-        arguments.scenario,
-        overrides=overrides,
-        grid=grid,
-        replications=arguments.replications,
-        record_instants=arguments.record_instants,
-    )
+    ledger = None if arguments.no_ledger else telemetry.RunLedger(arguments.ledger)
+
+    def _run():
+        return runner.run_scenario(
+            arguments.scenario,
+            overrides=overrides,
+            grid=grid,
+            replications=arguments.replications,
+            record_instants=arguments.record_instants,
+        )
+
+    folded: Optional[Dict[str, Any]] = None
+    with telemetry.timed_ns() as wall_timer:
+        if ledger is not None and not telemetry.enabled():
+            # Capture the run's telemetry for the manifest without enabling
+            # it globally: the scope swaps in a private registry and, with
+            # the parent disabled, folds nothing back on exit.
+            with telemetry.collect(enable=True) as scope:
+                report = _run()
+            folded = scope.snapshot()
+        else:
+            report = _run()
+            if ledger is not None:
+                folded = telemetry.snapshot()
     for result in report.errors:
         print(f"# {result.label or result.scenario} failed: {result.error}", file=sys.stderr)
     if arguments.per_job:
         print(format_rows([result.as_row() for result in report.results if result.ok]))
     print(format_rows(aggregate_results(report.results)))
     print(report.summary(f"campaign {arguments.scenario}"))
+    if ledger is not None:
+        manifest = ledger.append(
+            campaign_manifest(
+                arguments.scenario,
+                report,
+                parameters={
+                    "overrides": overrides,
+                    "grid": grid,
+                    "replications": arguments.replications,
+                },
+                config={"jobs": arguments.jobs},
+                wall_time_s=wall_timer.elapsed_ns / 1e9,
+                telemetry_snapshot=folded,
+            )
+        )
+        print(
+            f"# run manifest {manifest.run_id[:12]} appended to {ledger.path} "
+            f"(see 'repro obs runs')"
+        )
     if arguments.trace is not None:
         _export_trace(arguments.trace)
     return 0 if report.ok else 1
@@ -607,7 +764,8 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
         resume=arguments.resume,
         max_rounds=arguments.rounds,
         convergence=convergence,
-        progress=None if arguments.quiet else _dse_progress,
+        progress=_dse_progress if _want_progress(arguments) else None,
+        ledger=None if arguments.no_ledger else telemetry.RunLedger(arguments.ledger),
     )
     problem = explorer.problem
     space = explorer.build_space()
@@ -634,6 +792,11 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
     print(report.summary())
     if convergence is not None:
         print(f"# convergence trace written to {convergence} (see 'repro obs report')")
+    if report.manifest is not None and explorer.ledger is not None:
+        print(
+            f"# run manifest {report.manifest.run_id[:12]} appended to "
+            f"{explorer.ledger.path} (see 'repro obs runs')"
+        )
     if arguments.trace is not None:
         _export_trace(arguments.trace)
     return 0 if report.errors == 0 and len(report.front) > 0 else 1
@@ -850,6 +1013,259 @@ def _run_obs_report(arguments: argparse.Namespace) -> int:
     return 0
 
 
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+_SPARK_ASCII = "_.-~=+*#"
+
+
+def _sparkline(values: Sequence[Optional[float]]) -> str:
+    """A one-character-per-run trend strip (ASCII fallback off UTF-8)."""
+    blocks = _SPARK_BLOCKS
+    try:
+        blocks.encode(sys.stdout.encoding or "utf-8")
+    except (LookupError, UnicodeEncodeError):
+        blocks = _SPARK_ASCII
+    present = [value for value in values if value is not None]
+    if not present:
+        return ""
+    low, high = min(present), max(present)
+    span = high - low
+    cells = []
+    for value in values:
+        if value is None:
+            cells.append(" ")
+        elif span <= 0:
+            cells.append(blocks[len(blocks) // 2])
+        else:
+            level = int((value - low) / span * (len(blocks) - 1) + 0.5)
+            cells.append(blocks[min(len(blocks) - 1, level)])
+    return "".join(cells)
+
+
+def _metric_cell(manifest: "telemetry.RunManifest", name: str) -> object:
+    value = manifest.metric(name)
+    return round(value, 4) if value is not None else "-"
+
+
+def _run_obs_runs(arguments: argparse.Namespace) -> int:
+    ledger = telemetry.RunLedger(arguments.ledger)
+    manifests = ledger.runs(kind=arguments.kind, label=arguments.label, last=arguments.last)
+    if not manifests:
+        print(f"# run ledger {ledger.path}: no runs recorded", file=sys.stderr)
+        return 1
+    rows = [
+        {
+            "run": manifest.run_id[:10],
+            "created (UTC)": manifest.created_utc,
+            "kind": manifest.kind,
+            "label": manifest.label,
+            "key": manifest.comparison_key[:12],
+            "wall (s)": _metric_cell(manifest, "wall_time_s"),
+            "cand/s": _metric_cell(manifest, "candidates_per_s"),
+            "jobs/s": _metric_cell(manifest, "jobs_per_s"),
+            "front": _metric_cell(manifest, "front_size"),
+            "hypervolume": _metric_cell(manifest, "hypervolume"),
+        }
+        for manifest in manifests
+    ]
+    print(f"# run ledger {ledger.path}: {len(manifests)} run(s)")
+    print(format_rows(rows))
+    return 0
+
+
+def _run_obs_trend(arguments: argparse.Namespace) -> int:
+    ledger = telemetry.RunLedger(arguments.ledger)
+    manifests = ledger.runs(kind=arguments.kind, label=arguments.label)
+    if not manifests:
+        print(f"# run ledger {ledger.path}: no runs recorded", file=sys.stderr)
+        return 1
+    metric = arguments.metric
+    rows = []
+    for key, group in telemetry.group_by_key(manifests).items():
+        if arguments.last is not None and arguments.last > 0:
+            group = group[-arguments.last :]
+        values = [manifest.metric(metric) for manifest in group]
+        present = [value for value in values if value is not None]
+        if not present:
+            continue
+        first, last = present[0], present[-1]
+        newest = group[-1]
+        rows.append(
+            {
+                "kind/label": f"{newest.kind}/{newest.label}",
+                "key": key[:12],
+                "runs": len(present),
+                "first": round(first, 4),
+                "last": round(last, 4),
+                "min": round(min(present), 4),
+                "max": round(max(present), 4),
+                "delta": f"{(last - first) / abs(first):+.1%}" if first else "-",
+                "trend": _sparkline(values),
+            }
+        )
+    if not rows:
+        recorded = sorted({name for manifest in manifests for name in manifest.metrics})
+        print(
+            f"error: metric {metric!r} is not recorded in {ledger.path}; "
+            f"recorded metrics: {', '.join(recorded) or '(none)'}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"# {metric} across {ledger.path} (one row per comparable run family)")
+    print(format_rows(rows))
+    return 0
+
+
+def _resolve_run(
+    manifests: Sequence["telemetry.RunManifest"], token: str
+) -> "telemetry.RunManifest":
+    """A ledger run by id prefix, or by index (``-1`` = newest append)."""
+    try:
+        index = int(token)
+    except ValueError:
+        matches = [manifest for manifest in manifests if manifest.run_id.startswith(token)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise CampaignError(f"no ledger run with id prefix {token!r}")
+        raise CampaignError(
+            f"run id prefix {token!r} is ambiguous ({len(matches)} ledger matches)"
+        )
+    try:
+        return manifests[index]
+    except IndexError:
+        raise CampaignError(
+            f"run index {index} is out of range (the ledger holds {len(manifests)} run(s))"
+        ) from None
+
+
+def _diff_cell(before: object, after: object) -> str:
+    """Relative delta between two numeric cells, '-' when not comparable."""
+    numbers = []
+    for value in (before, after):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return "-"
+        numbers.append(float(value))
+    if not numbers[0]:
+        return "-"
+    return f"{(numbers[1] - numbers[0]) / abs(numbers[0]):+.1%}"
+
+
+def _run_obs_diff(arguments: argparse.Namespace) -> int:
+    ledger = telemetry.RunLedger(arguments.ledger)
+    manifests = ledger.load()
+    if not manifests:
+        print(f"# run ledger {ledger.path}: no runs recorded", file=sys.stderr)
+        return 1
+    before = _resolve_run(manifests, arguments.run_a)
+    after = _resolve_run(manifests, arguments.run_b)
+    print(
+        f"# diff {before.run_id[:12]} ({before.created_utc}) -> "
+        f"{after.run_id[:12]} ({after.created_utc}) in {ledger.path}"
+    )
+    if before.comparison_key != after.comparison_key:
+        print(
+            "# warning: the runs have different comparison keys (problem or "
+            "configuration differs) -- the deltas below mix workloads"
+        )
+    fields = [
+        ("kind/label", f"{before.kind}/{before.label}", f"{after.kind}/{after.label}"),
+        ("comparison key", before.comparison_key, after.comparison_key),
+        ("package version", before.package_version, after.package_version),
+        ("python", before.platform.get("python", "-"), after.platform.get("python", "-")),
+        ("budget", before.budget, after.budget),
+    ]
+    print(format_rows([{"field": name, "a": a, "b": b} for name, a, b in fields]))
+    metric_names = sorted(set(before.metrics) | set(after.metrics))
+    if metric_names:
+        print("metrics:")
+        print(
+            format_rows(
+                [
+                    {
+                        "metric": name,
+                        "a": before.metrics.get(name, "-"),
+                        "b": after.metrics.get(name, "-"),
+                        "delta": _diff_cell(before.metrics.get(name), after.metrics.get(name)),
+                    }
+                    for name in metric_names
+                ]
+            )
+        )
+    counters_a = before.telemetry.get("counters") or {}
+    counters_b = after.telemetry.get("counters") or {}
+    counter_names = sorted(set(counters_a) | set(counters_b))
+    if counter_names:
+        print("telemetry counters:")
+        print(
+            format_rows(
+                [
+                    {
+                        "counter": name,
+                        "a": counters_a.get(name, "-"),
+                        "b": counters_b.get(name, "-"),
+                        "delta": _diff_cell(counters_a.get(name), counters_b.get(name)),
+                    }
+                    for name in counter_names
+                ]
+            )
+        )
+    histograms_a = before.telemetry.get("histograms") or {}
+    histograms_b = after.telemetry.get("histograms") or {}
+    span_names = sorted(set(histograms_a) | set(histograms_b))
+    if span_names:
+        rows = []
+        for name in span_names:
+            total_a = (histograms_a.get(name) or {}).get("total_ns")
+            total_b = (histograms_b.get(name) or {}).get("total_ns")
+            rows.append(
+                {
+                    "span/histogram": name,
+                    "a (ms)": round(total_a / 1e6, 3) if total_a is not None else "-",
+                    "b (ms)": round(total_b / 1e6, 3) if total_b is not None else "-",
+                    "delta": _diff_cell(total_a, total_b),
+                }
+            )
+        print("span totals (from the folded histograms -- no Chrome trace needed):")
+        print(format_rows(rows))
+    return 0
+
+
+def _run_obs_regressions(arguments: argparse.Namespace) -> int:
+    ledger = telemetry.RunLedger(arguments.ledger)
+    manifests = ledger.load()
+    if not manifests:
+        print(f"# run ledger {ledger.path}: no runs recorded", file=sys.stderr)
+        return 1
+    verdicts = telemetry.latest_verdicts(
+        manifests,
+        window=arguments.window,
+        min_runs=arguments.min_runs,
+        sensitivity=arguments.sensitivity,
+    )
+    rows = []
+    regressed = []
+    for _, verdict in verdicts:
+        rows.extend(verdict.rows())
+        if verdict.regressed:
+            regressed.append(verdict)
+    print(
+        f"# regression sentinel over {ledger.path}: {len(manifests)} run(s), "
+        f"{len(verdicts)} run family(ies) judged"
+    )
+    if rows:
+        print(format_rows(rows))
+    else:
+        print("# no judgeable metrics recorded yet")
+    if regressed:
+        families = ", ".join(
+            f"{verdict.manifest.kind}/{verdict.manifest.label}" for verdict in regressed
+        )
+        print(f"REGRESSED: {len(regressed)} run family(ies): {families}", file=sys.stderr)
+        return 1
+    print("ok: no regressions against the comparable history")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (``python -m repro.cli`` / the ``repro`` console script)."""
     arguments = build_parser().parse_args(argv)
@@ -889,6 +1305,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if arguments.command == "obs":
             if arguments.obs_command == "report":
                 return _run_obs_report(arguments)
+            if arguments.obs_command == "runs":
+                return _run_obs_runs(arguments)
+            if arguments.obs_command == "trend":
+                return _run_obs_trend(arguments)
+            if arguments.obs_command == "diff":
+                return _run_obs_diff(arguments)
+            if arguments.obs_command == "regressions":
+                return _run_obs_regressions(arguments)
     except (CampaignError, ModelError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -31,6 +31,7 @@ different budget is a different stream.)
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -90,6 +91,10 @@ class ExplorationReport:
     #: True when this report continues a checkpointed exploration; the counters
     #: and results then cover the combined (original + resumed) run.
     resumed: bool = False
+    #: Wall-clock seconds of this :meth:`MappingExplorer.run` call.
+    wall_time_s: float = 0.0
+    #: The run manifest appended to the ledger, when one was configured.
+    manifest: Optional["telemetry.RunManifest"] = None
 
     @property
     def explored(self) -> int:
@@ -195,6 +200,7 @@ class MappingExplorer:
         max_rounds: Optional[int] = None,
         convergence: Optional[Union[str, Path, "telemetry.ConvergenceTrace"]] = None,
         progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+        ledger: Optional[Union[str, Path, "telemetry.RunLedger"]] = None,
     ) -> None:
         if budget < 1:
             raise ModelError("the exploration budget must be at least one candidate")
@@ -233,6 +239,12 @@ class MappingExplorer:
         #: Optional per-round callback fed the same record the trace persists
         #: (the CLI's live progress line).
         self.progress = progress
+        #: Optional run ledger: when set, :meth:`run` appends a RunManifest
+        #: (provenance + metrics + folded telemetry) after the exploration.
+        if ledger is None or isinstance(ledger, telemetry.RunLedger):
+            self.ledger = ledger
+        else:
+            self.ledger = telemetry.RunLedger(ledger)
         self.resume = resume
         if resume and self.checkpoint is None:
             raise ModelError("resume=True needs a checkpoint to resume from")
@@ -433,7 +445,85 @@ class MappingExplorer:
             self.progress(dict(record))
 
     def run(self) -> ExplorationReport:
-        """Explore until the budget is spent or the strategy runs dry."""
+        """Explore until the budget is spent or the strategy runs dry.
+
+        With a ``ledger`` configured the whole exploration is additionally
+        measured end to end and a :class:`~repro.telemetry.manifest
+        .RunManifest` is appended: when telemetry is not already enabled
+        (no ``--trace``), the run executes inside a private
+        :func:`~repro.telemetry.collect` scope so the manifest still
+        carries real counters and cache-hit rates without globally enabling
+        telemetry -- the scope's parent is disabled, so nothing leaks.
+        """
+        with telemetry.timed_ns() as wall_timer:
+            folded: Optional[Dict[str, Any]] = None
+            if self.ledger is not None and not telemetry.enabled():
+                with telemetry.collect(enable=True) as scope:
+                    report = self._run_rounds()
+                folded = scope.snapshot()
+            else:
+                report = self._run_rounds()
+                if self.ledger is not None:
+                    folded = telemetry.snapshot()
+        report.wall_time_s = wall_timer.elapsed_ns / 1e9
+        if self.ledger is not None:
+            report.manifest = self.build_manifest(report, folded)
+            self.ledger.append(report.manifest)
+        return report
+
+    def build_manifest(
+        self,
+        report: ExplorationReport,
+        telemetry_snapshot: Optional[Mapping[str, Any]] = None,
+    ) -> "telemetry.RunManifest":
+        """The run's provenance record (see :mod:`repro.telemetry.manifest`).
+
+        The problem parameterisation feeds the problem digest; everything
+        that shapes the execution -- strategy, seed, budget, evaluator mode,
+        worker count -- feeds the config digest, so the regression sentinel
+        only ever compares runs of the same problem under the same setup.
+        """
+        resolved = self.problem.parameters(self.parameters)
+        config = self._config(resolved)
+        config.pop("parameters", None)  # digested separately (problem digest)
+        config["budget"] = self.budget
+        config["jobs"] = self.runner.jobs
+        config["evaluator"] = (
+            "compiled" if os.environ.get("REPRO_DSE_COMPILE", "1") != "0" else "explicit"
+        )
+        wall = report.wall_time_s
+        hypervolume: Optional[float] = None
+        if len(report.front.objectives) == 2 and len(report.front):
+            hypervolume = report.front.hypervolume()
+        best = report.best()
+        metrics: Dict[str, Any] = {
+            "wall_time_s": round(wall, 6),
+            "explored": report.explored,
+            "evaluated": report.evaluated,
+            "cache_hits": report.cache_hits,
+            "infeasible": report.infeasible,
+            "errors": report.errors,
+            "rounds": report.rounds,
+            "front_size": len(report.front),
+            "hypervolume": hypervolume,
+            "candidates_per_s": round(report.explored / wall, 2) if wall > 0 else None,
+            "best_latency_us": (
+                round(best.metrics["latency_us"], 3) if best is not None else None
+            ),
+        }
+        return telemetry.RunManifest.build(
+            kind="dse",
+            label=self.problem.name,
+            parameters=dict(resolved),
+            config=config,
+            metrics=metrics,
+            telemetry_snapshot=telemetry_snapshot,
+            budget=self.budget,
+            wall_time_s=round(wall, 6),
+        )
+
+    def _run_rounds(self) -> ExplorationReport:
+        """The exploration loop proper (manifest-free; see :meth:`run`)."""
         resolved = self.problem.parameters(self.parameters)
         space = self.build_space()
         strategy: SearchStrategy = make_strategy(

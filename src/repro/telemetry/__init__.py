@@ -20,6 +20,16 @@ convergence -- hypervolume, front size, feasible ratio, candidates/s --
 lands in a :class:`ConvergenceTrace` JSONL next to the result store and
 renders through ``repro obs report``.
 
+Longitudinal observability stacks on top of the point-in-time pieces:
+every ``dse run``, ``campaign run`` and benchmark session writes a
+schema-versioned :class:`RunManifest` (timestamp, version, platform
+fingerprint, problem/config digests, outcome metrics, folded telemetry)
+to an append-only :class:`RunLedger` (``.repro/ledger.jsonl``,
+``REPRO_LEDGER`` overrides), and the regression sentinel
+(:func:`classify_run` / :func:`latest_verdicts`) judges new runs against
+the median +/- MAD of their comparable history -- surfaced as ``repro
+obs runs/trend/diff/regressions``.
+
 Quickstart
 ----------
 >>> from repro import telemetry
@@ -33,7 +43,19 @@ Quickstart
 
 from .convergence import ConvergenceTrace, render_convergence
 from .export import chrome_trace, render_summary, write_chrome_trace
+from .ledger import DEFAULT_LEDGER_PATH, RunLedger, default_ledger_path, group_by_key
+from .manifest import MANIFEST_SCHEMA, RunManifest, fold_snapshot, platform_fingerprint
 from .metrics import DurationHistogram
+from .regress import (
+    DEFAULT_MIN_RUNS,
+    DEFAULT_SENSITIVITY,
+    DEFAULT_WINDOW,
+    METRIC_DIRECTIONS,
+    MetricVerdict,
+    RunVerdict,
+    classify_run,
+    latest_verdicts,
+)
 from .registry import (
     TelemetryRegistry,
     active,
@@ -57,6 +79,22 @@ __all__ = [
     "chrome_trace",
     "render_summary",
     "write_chrome_trace",
+    "DEFAULT_LEDGER_PATH",
+    "RunLedger",
+    "default_ledger_path",
+    "group_by_key",
+    "MANIFEST_SCHEMA",
+    "RunManifest",
+    "fold_snapshot",
+    "platform_fingerprint",
+    "DEFAULT_MIN_RUNS",
+    "DEFAULT_SENSITIVITY",
+    "DEFAULT_WINDOW",
+    "METRIC_DIRECTIONS",
+    "MetricVerdict",
+    "RunVerdict",
+    "classify_run",
+    "latest_verdicts",
     "DurationHistogram",
     "TelemetryRegistry",
     "active",

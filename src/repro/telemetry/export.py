@@ -69,7 +69,11 @@ def render_summary(snapshot: Mapping[str, Any]) -> str:
         sections.append("telemetry durations:\n" + format_rows(rows))
     dropped = int(snapshot.get("dropped_spans", 0))
     if dropped:
-        sections.append(f"# {dropped} span event(s) dropped at the event cap")
+        sections.append(
+            f"# warning: spans dropped: {dropped} -- the span-event cap was hit, "
+            "so the trace under-reports span events (the duration tables above "
+            "still count every span)"
+        )
     if not sections:
         return "(no telemetry recorded)"
     return "\n\n".join(sections)

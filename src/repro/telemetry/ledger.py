@@ -1,0 +1,146 @@
+"""The append-only run ledger: cross-run performance history as JSONL.
+
+Every instrumented execution -- ``dse run``, ``campaign run``, the DSE
+throughput benchmark session -- appends its
+:class:`~repro.telemetry.manifest.RunManifest` to one ledger file (one
+JSON object per line), so the performance trajectory of the project
+survives the processes that produced it.  The default location is
+``.repro/ledger.jsonl`` under the current directory; set ``REPRO_LEDGER``
+to move it (CI points it at a scratch path and uploads it as an
+artifact).
+
+The loader mirrors the store/checkpoint/convergence readers: corrupt
+lines (a torn write from a crash) are skipped and counted in
+:attr:`RunLedger.skipped_lines`, and lines whose manifest schema this
+build cannot read are skipped and counted in
+:attr:`RunLedger.incompatible_lines`; both are reported through the
+``repro.telemetry.ledger`` logger, never raised.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..errors import ModelError
+from .manifest import RunManifest
+
+__all__ = ["DEFAULT_LEDGER_PATH", "RunLedger", "default_ledger_path"]
+
+_LOG = logging.getLogger("repro.telemetry.ledger")
+
+#: Default ledger location, relative to the working directory.
+DEFAULT_LEDGER_PATH = Path(".repro") / "ledger.jsonl"
+
+#: Environment variable overriding the default ledger path.
+LEDGER_ENV = "REPRO_LEDGER"
+
+
+def default_ledger_path() -> Path:
+    """The ledger path to use when none is given (``REPRO_LEDGER`` wins)."""
+    override = os.environ.get(LEDGER_ENV, "").strip()
+    if override:
+        return Path(override)
+    return DEFAULT_LEDGER_PATH
+
+
+class RunLedger:
+    """Append-only JSONL file of run manifests."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self._path = Path(path) if path is not None else default_ledger_path()
+        self.skipped_lines = 0
+        self.incompatible_lines = 0
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def exists(self) -> bool:
+        return self._path.exists()
+
+    def append(self, manifest: RunManifest) -> RunManifest:
+        """Append one manifest (fsynced, like the result store) and return it."""
+        line = json.dumps(manifest.to_record(), sort_keys=True)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        with self._path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return manifest
+
+    def load(self) -> List[RunManifest]:
+        """Every readable manifest, in file (= chronological append) order.
+
+        Returns an empty list when the file is absent.  Corrupt JSON lines
+        and incompatible-schema lines are skipped and counted, never fatal.
+        """
+        if not self._path.exists():
+            return []
+        manifests: List[RunManifest] = []
+        self.skipped_lines = 0
+        self.incompatible_lines = 0
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    self.skipped_lines += 1
+                    continue
+                try:
+                    manifests.append(RunManifest.from_record(record))
+                except ModelError:
+                    self.incompatible_lines += 1
+                    continue
+        if self.skipped_lines:
+            _LOG.warning(
+                "run ledger %s: skipped %d corrupt JSONL line(s); the "
+                "remaining manifests were loaded normally",
+                self._path,
+                self.skipped_lines,
+            )
+        if self.incompatible_lines:
+            _LOG.warning(
+                "run ledger %s: skipped %d manifest(s) with an unsupported "
+                "schema version (written by a different build?)",
+                self._path,
+                self.incompatible_lines,
+            )
+        return manifests
+
+    def runs(
+        self,
+        kind: Optional[str] = None,
+        label: Optional[str] = None,
+        last: Optional[int] = None,
+    ) -> List[RunManifest]:
+        """Loaded manifests filtered by kind/label, optionally the last N."""
+        manifests = [
+            manifest
+            for manifest in self.load()
+            if (kind is None or manifest.kind == kind)
+            and (label is None or manifest.label == label)
+        ]
+        if last is not None and last > 0:
+            manifests = manifests[-last:]
+        return manifests
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __repr__(self) -> str:
+        return f"RunLedger({self._path})"
+
+
+def group_by_key(manifests: Iterable[RunManifest]) -> Dict[str, List[RunManifest]]:
+    """Manifests grouped by comparison key, each group in append order."""
+    groups: Dict[str, List[RunManifest]] = {}
+    for manifest in manifests:
+        groups.setdefault(manifest.comparison_key, []).append(manifest)
+    return groups

@@ -1,0 +1,276 @@
+"""Run manifests: schema-versioned provenance records of one execution.
+
+A :class:`RunManifest` captures everything needed to compare a run
+against its own history after the process is gone: a UTC timestamp, the
+package version, a platform/interpreter fingerprint, the problem
+parameterisation and execution configuration (both content-digested, so
+later runs can be matched apples-to-apples), the budget, the wall time,
+the outcome metrics (candidates/s, front size, hypervolume, ...) and a
+*folded* telemetry snapshot -- counters, cache-hit rates and
+latency-histogram summaries, but never the raw span events (a manifest
+is a few KB, not a trace).
+
+Manifests append to the :class:`~repro.telemetry.ledger.RunLedger`
+(JSONL, one manifest per line) and feed the regression sentinel
+(:mod:`repro.telemetry.regress`) and the ``repro obs
+runs/trend/diff/regressions`` commands.
+
+The record format is schema-versioned (``repro.run-manifest/1``);
+:meth:`RunManifest.from_record` refuses records written by an
+incompatible future schema, and the ledger loader skips (and counts)
+such lines instead of failing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import platform as platform_module
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Dict, Mapping, Optional
+
+from ..errors import CampaignError, ModelError
+from .metrics import DurationHistogram
+
+__all__ = ["MANIFEST_SCHEMA", "RunManifest", "fold_snapshot", "platform_fingerprint"]
+
+#: Schema tag written into every manifest record; bumped on incompatible change.
+MANIFEST_SCHEMA = "repro.run-manifest/1"
+
+#: The run kinds the stack records today.  Free-form strings are accepted
+#: (the ledger is a general facility), but these are the instrumented ones.
+KNOWN_KINDS = ("dse", "campaign", "benchmark")
+
+
+def _canonical_json(value: Any) -> str:
+    # Local import: repro.campaign.spec does not import repro.telemetry, so
+    # this direction is cycle-free, but keeping it out of module scope makes
+    # that independence obvious.
+    from ..campaign.spec import canonical_json
+
+    return canonical_json(value)
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _package_version() -> str:
+    try:
+        from .. import __version__
+
+        return str(__version__)
+    except Exception:  # pragma: no cover - defensive (partial install)
+        return "0+unknown"
+
+
+def platform_fingerprint() -> Dict[str, str]:
+    """The interpreter/OS identity a run's wall-clock numbers depend on."""
+    return {
+        "python": platform_module.python_version(),
+        "implementation": platform_module.python_implementation(),
+        "platform": platform_module.platform(),
+        "machine": platform_module.machine(),
+    }
+
+
+def _histogram_summary(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Compact summary of one histogram snapshot (no per-bucket detail)."""
+    histogram = DurationHistogram()
+    histogram.merge_snapshot(payload)
+    count = histogram.count
+    return {
+        "count": count,
+        "total_ns": histogram.total_ns,
+        "mean_ns": round(histogram.mean_ns, 1),
+        "min_ns": histogram.min_ns,
+        "max_ns": histogram.max_ns,
+        "p50_ns": histogram.quantile_ns(0.5),
+        "p99_ns": histogram.quantile_ns(0.99),
+    }
+
+
+def fold_snapshot(snapshot: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Fold a telemetry snapshot into the manifest-sized digest of itself.
+
+    Keeps counters, gauges and per-histogram summaries (count/total/mean/
+    min/max/p50/p99); drops the raw span events (their durations already
+    aggregate into the like-named histograms, which is what ``repro obs
+    diff`` compares span totals from -- no Chrome trace required).  Derives
+    the template-cache hit rate when the compile counters are present.
+    """
+    if not snapshot:
+        return {}
+    counters = dict(snapshot.get("counters") or {})
+    folded: Dict[str, Any] = {
+        "counters": counters,
+        "gauges": dict(snapshot.get("gauges") or {}),
+        "histograms": {
+            name: _histogram_summary(payload)
+            for name, payload in sorted((snapshot.get("histograms") or {}).items())
+        },
+        "dropped_spans": int(snapshot.get("dropped_spans", 0)),
+    }
+    hits = int(counters.get("dse.compile.cache_hits", 0))
+    misses = int(counters.get("dse.compile.cache_misses", 0))
+    if hits + misses:
+        folded["cache_hit_rate"] = round(hits / (hits + misses), 4)
+    return folded
+
+
+@dataclass
+class RunManifest:
+    """One run's provenance record (see the module docstring).
+
+    ``parameters`` is the problem/scenario parameterisation (what workload
+    was run), ``config`` the execution configuration (how it was run:
+    strategy, seed, evaluator mode, worker count, budget, ...).  The two
+    digests derived from them define comparability: the regression sentinel
+    only ever compares runs whose :attr:`comparison_key` matches.
+    """
+
+    kind: str
+    label: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    config: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+    budget: Optional[int] = None
+    wall_time_s: Optional[float] = None
+    created_unix: float = 0.0
+    package_version: str = ""
+    platform: Dict[str, str] = field(default_factory=dict)
+    run_id: str = ""
+
+    @classmethod
+    def build(
+        cls,
+        kind: str,
+        label: str,
+        parameters: Optional[Mapping[str, Any]] = None,
+        config: Optional[Mapping[str, Any]] = None,
+        metrics: Optional[Mapping[str, Any]] = None,
+        telemetry_snapshot: Optional[Mapping[str, Any]] = None,
+        budget: Optional[int] = None,
+        wall_time_s: Optional[float] = None,
+    ) -> "RunManifest":
+        """Stamp a new manifest with now, the package version and the platform."""
+        manifest = cls(
+            kind=str(kind),
+            label=str(label),
+            parameters=dict(parameters or {}),
+            config=dict(config or {}),
+            metrics=dict(metrics or {}),
+            telemetry=fold_snapshot(telemetry_snapshot),
+            budget=budget,
+            wall_time_s=wall_time_s,
+            created_unix=time.time(),
+            package_version=_package_version(),
+            platform=platform_fingerprint(),
+        )
+        manifest.run_id = manifest._compute_run_id()
+        return manifest
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def created_utc(self) -> str:
+        """ISO-8601 UTC timestamp of the run (second resolution)."""
+        stamp = datetime.fromtimestamp(self.created_unix, tz=timezone.utc)
+        return stamp.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+    @property
+    def problem_digest(self) -> str:
+        """Content hash of what was run: kind, label and parameterisation."""
+        return _sha256(
+            _canonical_json(
+                {"kind": self.kind, "label": self.label, "parameters": self.parameters}
+            )
+        )[:16]
+
+    @property
+    def config_digest(self) -> str:
+        """Content hash of how it was run (strategy, budget, workers, ...)."""
+        return _sha256(_canonical_json(self.config))[:16]
+
+    @property
+    def comparison_key(self) -> str:
+        """Apples-to-apples matching key for cross-run comparison."""
+        return f"{self.problem_digest}:{self.config_digest}"
+
+    def _compute_run_id(self) -> str:
+        record = self.to_record()
+        record.pop("run_id", None)
+        return _sha256(_canonical_json(record))[:16]
+
+    def metric(self, name: str) -> Optional[float]:
+        """The named metric as a float, or None when absent/non-numeric."""
+        value = self.metrics.get(name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return float(value)
+
+    # -- (de)serialisation ---------------------------------------------------
+    def to_record(self) -> Dict[str, Any]:
+        """The JSON-safe ledger line (the inverse of :meth:`from_record`)."""
+        record = {
+            "schema": MANIFEST_SCHEMA,
+            "run_id": self.run_id,
+            "created_unix": self.created_unix,
+            "created_utc": self.created_utc,
+            "package_version": self.package_version,
+            "platform": dict(self.platform),
+            "kind": self.kind,
+            "label": self.label,
+            "problem_digest": self.problem_digest,
+            "config_digest": self.config_digest,
+            "parameters": dict(self.parameters),
+            "config": dict(self.config),
+            "budget": self.budget,
+            "wall_time_s": self.wall_time_s,
+            "metrics": dict(self.metrics),
+            "telemetry": dict(self.telemetry),
+        }
+        try:
+            _canonical_json(record)
+        except CampaignError as error:
+            raise ModelError(f"run manifest is not JSON-safe: {error}") from None
+        return record
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from a ledger line; refuses other schemas."""
+        if not isinstance(record, Mapping):
+            raise ModelError("a run-manifest record must be a JSON object")
+        schema = record.get("schema")
+        if schema != MANIFEST_SCHEMA:
+            raise ModelError(
+                f"unsupported run-manifest schema {schema!r} "
+                f"(this build reads {MANIFEST_SCHEMA!r})"
+            )
+        try:
+            manifest = cls(
+                kind=str(record["kind"]),
+                label=str(record["label"]),
+                parameters=dict(record.get("parameters") or {}),
+                config=dict(record.get("config") or {}),
+                metrics=dict(record.get("metrics") or {}),
+                telemetry=dict(record.get("telemetry") or {}),
+                budget=record.get("budget"),
+                wall_time_s=record.get("wall_time_s"),
+                created_unix=float(record.get("created_unix", 0.0)),
+                package_version=str(record.get("package_version", "")),
+                platform=dict(record.get("platform") or {}),
+                run_id=str(record.get("run_id", "")),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ModelError(f"malformed run-manifest record: {error}") from None
+        if not manifest.run_id:
+            manifest.run_id = manifest._compute_run_id()
+        return manifest
+
+    def __repr__(self) -> str:
+        return (
+            f"RunManifest({self.kind}/{self.label}, {self.created_utc}, "
+            f"id {self.run_id[:8]})"
+        )

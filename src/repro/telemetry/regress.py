@@ -1,0 +1,299 @@
+"""The regression sentinel: variance-aware cross-run metric classification.
+
+Given a new :class:`~repro.telemetry.manifest.RunManifest` and the ledger
+history, the sentinel compares each tracked metric against the **median**
+of the last N *comparable* runs -- runs whose
+:attr:`~repro.telemetry.manifest.RunManifest.comparison_key` matches, so
+a didactic/nsga2/budget-64 run is never judged against an lte sweep --
+and classifies it ``ok`` / ``regressed`` / ``improved`` using a noise
+floor derived from the **median absolute deviation** (MAD) of that
+baseline.
+
+The decision rule per metric::
+
+    threshold = sensitivity * max(1.4826 * MAD, rel_floor * |median|)
+    regressed if the value is worse  than the median by more than threshold
+    improved  if the value is better than the median by more than threshold
+
+With the defaults (``sensitivity = 3``, ``rel_floor = 0.10``) the band is
+provably false-positive-free for run-to-run jitter up to +/-10%: the
+deviation of a jittered value from a jittered baseline median is at most
+20% of the true value, while the threshold is at least
+3 * 10% * 0.9 = 27% of it.  A genuine 2x slowdown (a 50% drop in
+candidates/s, a 100% rise in wall time) lands far outside the band for
+any realistic baseline spread (a +/-10% uniform jitter yields a MAD near
+5%, hence a threshold near 30%).  Both properties are pinned by the unit
+tests with seeded jitter.
+
+Direction matters: ``candidates_per_s`` regresses *down*, ``wall_time_s``
+regresses *up*.  Metrics without a registered direction are ignored by
+the sentinel (they remain visible in ``repro obs runs/trend/diff``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .ledger import group_by_key
+from .manifest import RunManifest
+
+__all__ = [
+    "DEFAULT_MIN_RUNS",
+    "DEFAULT_SENSITIVITY",
+    "DEFAULT_WINDOW",
+    "METRIC_DIRECTIONS",
+    "MetricVerdict",
+    "RunVerdict",
+    "classify_run",
+    "latest_verdicts",
+    "median",
+    "median_absolute_deviation",
+]
+
+#: Consistency factor turning a MAD into a normal-equivalent sigma.
+MAD_SCALE = 1.4826
+
+#: How many threshold-widths away from the median counts as a change.
+DEFAULT_SENSITIVITY = 3.0
+
+#: Relative noise floor: deviations under this fraction of the baseline
+#: median never alarm, however tight the baseline's own spread is.
+DEFAULT_REL_FLOOR = 0.10
+
+#: Baseline window: at most this many of the newest comparable runs.
+DEFAULT_WINDOW = 8
+
+#: Minimum comparable baseline runs before the sentinel renders a verdict.
+DEFAULT_MIN_RUNS = 2
+
+#: Tracked metrics and the direction that counts as *better*.  Metrics not
+#: listed here are never judged (trend/diff still show them).
+METRIC_DIRECTIONS: Dict[str, str] = {
+    "candidates_per_s": "higher",
+    "jobs_per_s": "higher",
+    "hypervolume": "higher",
+    "cache_hit_rate": "higher",
+    "wall_time_s": "lower",
+    "telemetry_overhead_fraction": "lower",
+}
+
+#: Verdict states (``no-baseline`` means not enough comparable history).
+STATUS_OK = "ok"
+STATUS_REGRESSED = "regressed"
+STATUS_IMPROVED = "improved"
+STATUS_NO_BASELINE = "no-baseline"
+
+
+def median(values: Sequence[float]) -> float:
+    """The median of a non-empty sequence (mean of the middle pair)."""
+    if not values:
+        raise ValueError("median of an empty sequence")
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[middle])
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def median_absolute_deviation(values: Sequence[float], center: Optional[float] = None) -> float:
+    """The MAD of a non-empty sequence around ``center`` (default: its median)."""
+    if center is None:
+        center = median(values)
+    return median([abs(value - center) for value in values])
+
+
+@dataclass(frozen=True)
+class MetricVerdict:
+    """One metric's classification against its baseline."""
+
+    metric: str
+    status: str
+    value: Optional[float]
+    direction: str
+    baseline_runs: int
+    baseline_median: Optional[float] = None
+    baseline_mad: Optional[float] = None
+    threshold: Optional[float] = None
+    delta_fraction: Optional[float] = None
+
+    def as_row(self) -> Dict[str, object]:
+        def _fmt(value: Optional[float], digits: int = 4) -> object:
+            return round(value, digits) if value is not None else "-"
+
+        return {
+            "metric": self.metric,
+            "status": self.status,
+            "value": _fmt(self.value),
+            "baseline": _fmt(self.baseline_median),
+            "mad": _fmt(self.baseline_mad),
+            "threshold": _fmt(self.threshold),
+            "delta": (
+                f"{self.delta_fraction:+.1%}" if self.delta_fraction is not None else "-"
+            ),
+            "runs": self.baseline_runs,
+        }
+
+
+@dataclass
+class RunVerdict:
+    """Every tracked metric's verdict for one run."""
+
+    manifest: RunManifest
+    verdicts: List[MetricVerdict]
+
+    @property
+    def regressed(self) -> bool:
+        return any(verdict.status == STATUS_REGRESSED for verdict in self.verdicts)
+
+    @property
+    def improved(self) -> bool:
+        return any(verdict.status == STATUS_IMPROVED for verdict in self.verdicts)
+
+    @property
+    def status(self) -> str:
+        """The run's overall state (regressions dominate improvements)."""
+        if self.regressed:
+            return STATUS_REGRESSED
+        if self.improved:
+            return STATUS_IMPROVED
+        if all(verdict.status == STATUS_NO_BASELINE for verdict in self.verdicts):
+            return STATUS_NO_BASELINE
+        return STATUS_OK
+
+    def rows(self) -> List[Dict[str, object]]:
+        prefix = {
+            "run": self.manifest.run_id[:10],
+            "kind": self.manifest.kind,
+            "label": self.manifest.label,
+        }
+        return [dict(prefix, **verdict.as_row()) for verdict in self.verdicts]
+
+
+def _classify_metric(
+    name: str,
+    direction: str,
+    value: Optional[float],
+    baseline: Sequence[float],
+    min_runs: int,
+    sensitivity: float,
+    rel_floor: float,
+) -> MetricVerdict:
+    if value is None or len(baseline) < min_runs:
+        return MetricVerdict(
+            metric=name,
+            status=STATUS_NO_BASELINE,
+            value=value,
+            direction=direction,
+            baseline_runs=len(baseline),
+        )
+    center = median(baseline)
+    mad = median_absolute_deviation(baseline, center)
+    threshold = sensitivity * max(MAD_SCALE * mad, rel_floor * abs(center))
+    deviation = value - center
+    # ``deviation`` is signed toward *larger*; flip the reading for metrics
+    # where larger is better so "worse" is one comparison either way.
+    worse = -deviation if direction == "higher" else deviation
+    if worse > threshold:
+        status = STATUS_REGRESSED
+    elif -worse > threshold:
+        status = STATUS_IMPROVED
+    else:
+        status = STATUS_OK
+    return MetricVerdict(
+        metric=name,
+        status=status,
+        value=value,
+        direction=direction,
+        baseline_runs=len(baseline),
+        baseline_median=center,
+        baseline_mad=mad,
+        threshold=threshold,
+        delta_fraction=(deviation / abs(center)) if center else None,
+    )
+
+
+def classify_run(
+    manifest: RunManifest,
+    history: Iterable[RunManifest],
+    metrics: Optional[Mapping[str, str]] = None,
+    window: int = DEFAULT_WINDOW,
+    min_runs: int = DEFAULT_MIN_RUNS,
+    sensitivity: float = DEFAULT_SENSITIVITY,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+) -> RunVerdict:
+    """Judge ``manifest`` against the comparable runs in ``history``.
+
+    ``history`` may contain anything (the whole ledger, including
+    ``manifest`` itself); only earlier runs with the same comparison key
+    enter the baseline, newest-first-truncated to ``window``.  ``metrics``
+    maps metric name to direction (default: :data:`METRIC_DIRECTIONS`);
+    only metrics the manifest actually carries are judged.
+    """
+    directions = dict(METRIC_DIRECTIONS if metrics is None else metrics)
+    key = manifest.comparison_key
+    comparable = [
+        other
+        for other in history
+        if other.comparison_key == key
+        and other.run_id != manifest.run_id
+        and other.created_unix <= manifest.created_unix
+    ]
+    comparable.sort(key=lambda other: other.created_unix)
+    baseline_runs = comparable[-window:] if window > 0 else comparable
+    verdicts: List[MetricVerdict] = []
+    for name in sorted(directions):
+        value = manifest.metric(name)
+        if value is None and all(run.metric(name) is None for run in baseline_runs):
+            continue  # metric foreign to this run family
+        baseline = [
+            metric_value
+            for metric_value in (run.metric(name) for run in baseline_runs)
+            if metric_value is not None
+        ]
+        verdicts.append(
+            _classify_metric(
+                name,
+                directions[name],
+                value,
+                baseline,
+                min_runs,
+                sensitivity,
+                rel_floor,
+            )
+        )
+    return RunVerdict(manifest=manifest, verdicts=verdicts)
+
+
+def latest_verdicts(
+    manifests: Sequence[RunManifest],
+    metrics: Optional[Mapping[str, str]] = None,
+    window: int = DEFAULT_WINDOW,
+    min_runs: int = DEFAULT_MIN_RUNS,
+    sensitivity: float = DEFAULT_SENSITIVITY,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+) -> List[Tuple[str, RunVerdict]]:
+    """The newest run of every comparison group, judged against its history.
+
+    This is what ``repro obs regressions`` renders and gates CI on: one
+    verdict per (problem x configuration) family, ``(comparison_key,
+    RunVerdict)`` pairs in first-appearance order of the key.
+    """
+    results: List[Tuple[str, RunVerdict]] = []
+    for key, group in group_by_key(manifests).items():
+        newest = group[-1]
+        results.append(
+            (
+                key,
+                classify_run(
+                    newest,
+                    group,
+                    metrics=metrics,
+                    window=window,
+                    min_runs=min_runs,
+                    sensitivity=sensitivity,
+                    rel_floor=rel_floor,
+                ),
+            )
+        )
+    return results

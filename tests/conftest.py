@@ -19,6 +19,17 @@ from repro.kernel import Simulator
 from repro.kernel.simtime import microseconds, nanoseconds
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test scratch path.
+
+    Tests drive ``repro.cli`` (``dse run``, ``campaign run``) in-process;
+    without this, every such invocation would append a manifest to the
+    developer's real ``.repro/ledger.jsonl``.
+    """
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "test-ledger.jsonl"))
+
+
 @pytest.fixture
 def simulator():
     """A fresh simulation kernel."""

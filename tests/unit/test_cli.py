@@ -376,3 +376,147 @@ class TestDseCommands:
         output = capsys.readouterr().out
         infeasible = int(re.search(r"(\d+) infeasible", output).group(1))
         assert infeasible > 0
+
+
+class TestObsLedgerCommands:
+    """The run ledger and the ``obs runs/trend/diff/regressions`` family."""
+
+    DSE = ["dse", "run", "--problem", "didactic", "--budget", "12",
+           "--items", "6", "--seed", "3"]
+
+    def _run_dse(self, ledger, extra=()):
+        return main(self.DSE + ["--ledger", ledger] + list(extra))
+
+    def test_dse_run_announces_the_manifest(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert self._run_dse(ledger) == 0
+        assert "run manifest" in capsys.readouterr().out
+
+    def test_no_ledger_suppresses_recording(self, tmp_path, capsys):
+        assert main(self.DSE + ["--no-ledger"]) == 0
+        assert "run manifest" not in capsys.readouterr().out
+
+    def test_dse_run_defaults_to_env_ledger(self, tmp_path, capsys, monkeypatch):
+        # The autouse fixture already points REPRO_LEDGER at a scratch path;
+        # re-point it here to inspect the file it lands in.
+        ledger = tmp_path / "env-ledger.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(ledger))
+        assert main(self.DSE) == 0
+        capsys.readouterr()
+        assert ledger.exists()
+
+    def test_obs_runs_tabulates_the_ledger(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.jsonl")
+        for _ in range(2):
+            assert self._run_dse(ledger) == 0
+        capsys.readouterr()
+        assert main(["obs", "runs", "--ledger", ledger]) == 0
+        output = capsys.readouterr().out
+        assert "2 run(s)" in output
+        assert "dse" in output and "didactic" in output
+
+    def test_obs_runs_empty_ledger_is_nonzero(self, tmp_path, capsys):
+        assert main(["obs", "runs", "--ledger", str(tmp_path / "none.jsonl")]) == 1
+        assert "no runs recorded" in capsys.readouterr().err
+
+    def test_obs_trend_renders_over_three_runs(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.jsonl")
+        for _ in range(3):
+            assert self._run_dse(ledger) == 0
+        capsys.readouterr()
+        assert main(["obs", "trend", "candidates_per_s", "--ledger", ledger]) == 0
+        output = capsys.readouterr().out
+        assert "candidates_per_s" in output
+        assert "dse/didactic" in output
+        row = [line for line in output.splitlines() if "dse/didactic" in line][0]
+        assert re.search(r"\b3\b", row)  # three runs in the family
+
+    def test_obs_trend_unknown_metric_is_nonzero(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert self._run_dse(ledger) == 0
+        capsys.readouterr()
+        assert main(["obs", "trend", "no_such_metric", "--ledger", ledger]) == 1
+        assert "recorded metrics" in capsys.readouterr().err
+
+    def test_obs_diff_compares_two_runs(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.jsonl")
+        for _ in range(2):
+            assert self._run_dse(ledger) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", "-2", "-1", "--ledger", ledger]) == 0
+        output = capsys.readouterr().out
+        assert "metrics:" in output
+        assert "telemetry counters:" in output
+        assert "span totals" in output
+        assert "candidates_per_s" in output
+
+    def test_obs_diff_resolves_run_id_prefixes(self, tmp_path, capsys):
+        from repro import telemetry
+
+        ledger = str(tmp_path / "ledger.jsonl")
+        for _ in range(2):
+            assert self._run_dse(ledger) == 0
+        first, second = telemetry.RunLedger(ledger).load()
+        capsys.readouterr()
+        argv = ["obs", "diff", first.run_id[:8], second.run_id[:8], "--ledger", ledger]
+        assert main(argv) == 0
+        assert first.run_id[:12] in capsys.readouterr().out
+
+    def test_obs_diff_unknown_run_is_an_error(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert self._run_dse(ledger) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", "ffffffff", "-1", "--ledger", ledger]) == 2
+        assert "no ledger run" in capsys.readouterr().err
+
+    def test_obs_regressions_clean_on_identical_reruns(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.jsonl")
+        for _ in range(3):
+            assert self._run_dse(ledger) == 0
+        capsys.readouterr()
+        assert main(["obs", "regressions", "--ledger", ledger]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_obs_regressions_flags_injected_slowdown(self, tmp_path, capsys):
+        from repro import telemetry
+
+        ledger_path = tmp_path / "ledger.jsonl"
+        ledger = str(ledger_path)
+        for _ in range(3):
+            assert self._run_dse(ledger) == 0
+        store = telemetry.RunLedger(ledger_path)
+        last = store.load()[-1]
+        slow = telemetry.RunManifest.build(
+            kind=last.kind,
+            label=last.label,
+            parameters=last.parameters,
+            config=last.config,
+            metrics=dict(
+                last.metrics,
+                candidates_per_s=last.metrics["candidates_per_s"] / 2.0,
+                wall_time_s=last.metrics["wall_time_s"] * 2.0,
+            ),
+            budget=last.budget,
+        )
+        store.append(slow)
+        capsys.readouterr()
+        assert main(["obs", "regressions", "--ledger", ledger]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.err
+        assert "regressed" in captured.out
+
+    def test_campaign_run_appends_a_manifest(self, tmp_path, capsys):
+        from repro import telemetry
+
+        ledger_path = tmp_path / "ledger.jsonl"
+        argv = ["campaign", "run", "table1-sweep", "--set", "items=40",
+                "--grid", "stages=1", "--ledger", str(ledger_path)]
+        assert main(argv) == 0
+        assert "run manifest" in capsys.readouterr().out
+        (manifest,) = telemetry.RunLedger(ledger_path).load()
+        assert manifest.kind == "campaign"
+        assert manifest.label == "table1-sweep"
+        assert manifest.metric("jobs") == 1
+        assert manifest.metric("wall_time_s") > 0
+        assert manifest.telemetry["counters"]["campaign.jobs"] == 1
+        assert not telemetry.enabled()

@@ -1,0 +1,176 @@
+"""The regression sentinel: variance-aware verdicts over ledger history."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.regress import (
+    STATUS_IMPROVED,
+    STATUS_NO_BASELINE,
+    STATUS_OK,
+    STATUS_REGRESSED,
+    median,
+    median_absolute_deviation,
+)
+
+
+def _manifest(cand_s, wall_s=None, label="didactic", created=None, **overrides):
+    build = dict(
+        kind="dse",
+        label=label,
+        parameters={"items": 6, "seed": 0},
+        config={"strategy": "random", "budget": 16},
+        metrics={"candidates_per_s": cand_s},
+    )
+    if wall_s is not None:
+        build["metrics"]["wall_time_s"] = wall_s
+    build.update(overrides)
+    manifest = telemetry.RunManifest.build(**build)
+    if created is not None:
+        # Synthetic history: give every run a distinct, ordered timestamp.
+        manifest.created_unix = created
+    return manifest
+
+
+def _history(values, label="didactic", **overrides):
+    return [
+        _manifest(value, created=float(index), label=label, **overrides)
+        for index, value in enumerate(values)
+    ]
+
+
+class TestStatistics:
+    def test_median(self):
+        assert median([3.0]) == 3.0
+        assert median([1.0, 3.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_median_absolute_deviation(self):
+        assert median_absolute_deviation([5.0, 5.0, 5.0]) == 0.0
+        assert median_absolute_deviation([1.0, 2.0, 3.0]) == 1.0
+
+
+class TestClassifyRun:
+    def test_needs_min_runs_of_baseline(self):
+        history = _history([100.0])
+        fresh = _manifest(100.0, created=10.0)
+        verdict = telemetry.classify_run(fresh, history + [fresh])
+        assert verdict.status == STATUS_NO_BASELINE
+
+    def test_steady_metric_is_ok(self):
+        history = _history([100.0, 101.0, 99.0, 100.5])
+        fresh = _manifest(100.2, created=10.0)
+        verdict = telemetry.classify_run(fresh, history + [fresh])
+        assert verdict.status == STATUS_OK
+        assert not verdict.regressed
+
+    def test_direction_matters(self):
+        # candidates/s halving is a regression; wall time halving is a win.
+        throughput_drop = _manifest(50.0, created=10.0)
+        verdict = telemetry.classify_run(throughput_drop, _history([100.0, 101.0, 99.0]))
+        statuses = {v.metric: v.status for v in verdict.verdicts}
+        assert statuses["candidates_per_s"] == STATUS_REGRESSED
+
+        history = _history([100.0, 101.0, 99.0], wall_s=2.0)
+        faster = _manifest(100.0, wall_s=1.0, created=10.0)
+        verdict = telemetry.classify_run(faster, history)
+        statuses = {v.metric: v.status for v in verdict.verdicts}
+        assert statuses["wall_time_s"] == STATUS_IMPROVED
+        assert verdict.improved and not verdict.regressed
+
+    def test_no_false_positive_across_twenty_jittered_reruns(self):
+        """+/-10% run-to-run noise never alarms, for any of 20+ reruns.
+
+        This is the sentinel's headline contract: a healthy-but-noisy
+        benchmark must be able to rerun indefinitely without tripping CI.
+        """
+        rng = random.Random(42)
+        true_value = 800.0
+        values = [true_value * (1.0 + rng.uniform(-0.10, 0.10)) for _ in range(24)]
+        history = _history(values)
+        for index in range(2, len(history)):
+            verdict = telemetry.classify_run(history[index], history[: index + 1])
+            assert not verdict.regressed, (
+                f"false positive at rerun {index}: "
+                f"{[v.as_row() for v in verdict.verdicts]}"
+            )
+
+    def test_two_x_slowdown_is_always_detected(self):
+        """A genuine 2x slowdown must trip the sentinel over jittered history."""
+        rng = random.Random(7)
+        true_value = 800.0
+        values = [true_value * (1.0 + rng.uniform(-0.10, 0.10)) for _ in range(8)]
+        history = _history(values)
+        slow = _manifest(true_value / 2.0, created=100.0)
+        verdict = telemetry.classify_run(slow, history + [slow])
+        assert verdict.status == STATUS_REGRESSED
+        by_metric = {v.metric: v for v in verdict.verdicts}
+        assert by_metric["candidates_per_s"].status == STATUS_REGRESSED
+        assert by_metric["candidates_per_s"].delta_fraction < -0.3
+
+    def test_doubled_wall_time_is_always_detected(self):
+        rng = random.Random(11)
+        values = [2.0 * (1.0 + rng.uniform(-0.10, 0.10)) for _ in range(8)]
+        history = _history([800.0] * 8)
+        for manifest, wall in zip(history, values):
+            manifest.metrics["wall_time_s"] = wall
+        slow = _manifest(800.0, wall_s=4.0, created=100.0)
+        verdict = telemetry.classify_run(slow, history + [slow])
+        by_metric = {v.metric: v for v in verdict.verdicts}
+        assert by_metric["wall_time_s"].status == STATUS_REGRESSED
+
+    def test_only_comparable_runs_enter_the_baseline(self):
+        # A fast "chain" history must not mask a didactic regression.
+        other = _history([10_000.0, 10_100.0, 9_900.0], label="chain")
+        own = _history([100.0, 101.0, 99.0])
+        fresh = _manifest(50.0, created=50.0)
+        verdict = telemetry.classify_run(fresh, other + own + [fresh])
+        by_metric = {v.metric: v for v in verdict.verdicts}
+        assert by_metric["candidates_per_s"].baseline_runs == 3
+        assert by_metric["candidates_per_s"].status == STATUS_REGRESSED
+
+    def test_window_truncates_old_history(self):
+        ancient = _history([10.0] * 10)
+        recent = _history([100.0, 101.0, 99.0, 100.0])
+        for offset, manifest in enumerate(recent):
+            manifest.created_unix = 100.0 + offset
+        fresh = _manifest(100.5, created=200.0)
+        verdict = telemetry.classify_run(fresh, ancient + recent + [fresh], window=4)
+        by_metric = {v.metric: v for v in verdict.verdicts}
+        assert by_metric["candidates_per_s"].baseline_runs == 4
+        assert by_metric["candidates_per_s"].status == STATUS_OK
+
+    def test_later_runs_never_enter_the_baseline(self):
+        history = _history([100.0, 100.0, 100.0])
+        fresh = _manifest(100.0, created=1.5)  # between index 1 and 2
+        verdict = telemetry.classify_run(fresh, history + [fresh])
+        by_metric = {v.metric: v for v in verdict.verdicts}
+        assert by_metric["candidates_per_s"].baseline_runs == 2
+
+    def test_metrics_foreign_to_the_family_are_not_judged(self):
+        history = _history([100.0, 101.0, 99.0])
+        fresh = _manifest(100.0, created=10.0)
+        verdict = telemetry.classify_run(fresh, history + [fresh])
+        assert {v.metric for v in verdict.verdicts} == {"candidates_per_s"}
+
+
+class TestLatestVerdicts:
+    def test_one_verdict_per_family_and_ci_gating_shape(self):
+        steady = _history([100.0, 101.0, 99.0, 100.0])
+        slowed = _history([500.0, 505.0, 495.0], label="chain")
+        slowed.append(_manifest(250.0, label="chain", created=50.0))
+        verdicts = telemetry.latest_verdicts(steady + slowed)
+        by_label = {verdict.manifest.label: verdict for _, verdict in verdicts}
+        assert len(verdicts) == 2
+        assert by_label["didactic"].status == STATUS_OK
+        assert by_label["chain"].status == STATUS_REGRESSED
+        assert by_label["chain"].rows()[0]["run"]  # renderable rows
+
+    def test_identical_reruns_stay_clean(self):
+        verdicts = telemetry.latest_verdicts(_history([100.0, 100.0, 100.0]))
+        assert all(not verdict.regressed for _, verdict in verdicts)

@@ -266,6 +266,14 @@ class TestExporters:
         assert "dse.explore.front_size" in text
         assert "dse.evaluate.candidate" in text
 
+    def test_render_summary_warns_about_dropped_spans(self):
+        snapshot = self._populated_registry().snapshot()
+        assert "spans dropped" not in render_summary(snapshot)
+        snapshot["dropped_spans"] = 7
+        text = render_summary(snapshot)
+        assert "warning: spans dropped: 7" in text
+        assert "under-reports" in text
+
     def test_chrome_trace_structure(self):
         payload = chrome_trace(self._populated_registry().snapshot())
         assert payload["displayTimeUnit"] == "ms"
@@ -326,6 +334,25 @@ class TestCli:
         assert "chrome trace written" in out
 
     def test_dse_run_progress_line_lands_on_stderr(self, tmp_path, capsys):
+        # capsys's stderr is not a TTY, so the live line needs --progress here.
+        code = main(
+            [
+                "dse", "run",
+                "--problem", "didactic",
+                "--budget", "8",
+                "--strategy", "random",
+                "--store", str(tmp_path / "store.jsonl"),
+                "--progress",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "# round 1:" in captured.err
+        assert "# round" not in captured.out
+
+    def test_dse_run_progress_auto_suppressed_off_tty(self, tmp_path, capsys):
+        # No --progress and a captured (non-TTY) stderr: the live line stays
+        # out of redirected/CI logs.
         code = main(
             [
                 "dse", "run",
@@ -336,9 +363,22 @@ class TestCli:
             ]
         )
         assert code == 0
-        captured = capsys.readouterr()
-        assert "# round 1:" in captured.err
-        assert "# round" not in captured.out
+        assert "# round" not in capsys.readouterr().err
+
+    def test_dse_run_quiet_beats_progress(self, tmp_path, capsys):
+        code = main(
+            [
+                "dse", "run",
+                "--problem", "didactic",
+                "--budget", "8",
+                "--strategy", "random",
+                "--store", str(tmp_path / "store.jsonl"),
+                "--progress",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "# round" not in capsys.readouterr().err
 
     def test_obs_report_on_chrome_trace_and_convergence(self, tmp_path, capsys):
         trace_path = tmp_path / "trace.json"
