@@ -73,7 +73,7 @@ def main(budget: int = 96, workdir: str = "") -> int:
     print(f"# combined candidate sequence identical: {len(resumed_digests)} digests\n")
 
     # 3. The front can be rebuilt from the result store alone.
-    front, entries, problems, _contexts = front_from_store(
+    front, entries, problems, _contexts, _evaluators = front_from_store(
         ResultStore(work / "demo.store.jsonl")
     )
     print(f"# front rebuilt from the store alone ({len(entries)} records, "

@@ -59,6 +59,11 @@ class JobResult:
     #: Free-form, JSON-safe metrics attached by non-speed-up executors (e.g. the
     #: design-space-exploration evaluator's objectives).  Empty for speed-up jobs.
     metrics: Mapping[str, Any] = field(default_factory=dict)
+    #: Scoring path that actually produced a DSE job's objectives
+    #: (``"replay"`` or ``"steady"``); ``None`` for speed-up jobs and for
+    #: records written before the field existed.  Provenance only -- never
+    #: part of any digest.
+    evaluator: Optional[str] = None
     #: Per-job telemetry snapshot recorded in the worker's collect() scope
     #: (see :mod:`repro.telemetry`); ``None`` unless the coordinating run had
     #: telemetry enabled.  Run provenance -- stripped before a record enters
@@ -148,6 +153,8 @@ class JobResult:
             record["output_instants"] = list(self.output_instants)
         if self.metrics:
             record["metrics"] = dict(self.metrics)
+        if self.evaluator is not None:
+            record["evaluator"] = self.evaluator
         if self.telemetry:
             record["telemetry"] = dict(self.telemetry)
         return record
@@ -176,6 +183,7 @@ class JobResult:
                 instants_digest=record.get("instants_digest"),
                 output_instants=tuple(instants) if instants is not None else None,
                 metrics=dict(record.get("metrics") or {}),
+                evaluator=record.get("evaluator"),
                 telemetry=record.get("telemetry"),
             )
         except KeyError as missing:

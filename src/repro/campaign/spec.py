@@ -15,7 +15,9 @@ re-running a campaign only simulates points whose content changed.  The
 replication count and the ``record_instants`` flag are deliberately *not*
 part of the digest: raising ``--replications`` reuses the already-stored
 replications, and a result recorded with instants can serve later runs
-that do not need them.
+that do not need them.  The ``evaluator`` mode is excluded for the same
+reason: every mode is certified to produce identical objectives, so it is
+provenance, not identity.
 
 Seeds derive deterministically per job: replication 0 uses the spec's
 ``seed`` parameter verbatim (an explicit ``--seed`` really is the seed
@@ -91,12 +93,24 @@ class ScenarioSpec:
     parameters: Mapping[str, Any] = field(default_factory=dict)
     replications: int = 1
     record_instants: bool = False
+    #: Candidate scoring path for DSE scenarios (``replay``/``steady``/
+    #: ``auto``, see :data:`repro.dse.EVALUATOR_MODES`).  Deliberately *not*
+    #: part of :meth:`canonical`/:meth:`digest`: every mode produces the same
+    #: objectives instant for instant, so a record scored in one mode serves
+    #: runs requesting another -- like ``record_instants``, it is execution
+    #: strategy, not experiment identity.
+    evaluator: str = "replay"
 
     def __post_init__(self) -> None:
         if not self.scenario:
             raise CampaignError("a scenario spec needs a scenario name")
         if self.replications < 1:
             raise CampaignError("a scenario spec needs at least one replication")
+        if self.evaluator not in ("replay", "steady", "auto"):
+            raise CampaignError(
+                f"unknown evaluator mode {self.evaluator!r}; "
+                "expected 'replay', 'steady' or 'auto'"
+            )
         object.__setattr__(self, "parameters", _normalise(dict(self.parameters)))
 
     @property
@@ -153,6 +167,7 @@ class JobSpec:
             "replication": self.replication,
             "replications": self.spec.replications,
             "record_instants": self.spec.record_instants,
+            "evaluator": self.spec.evaluator,
         }
 
     @classmethod
@@ -164,6 +179,7 @@ class JobSpec:
                 parameters=payload["parameters"],
                 replications=payload.get("replications", 1),
                 record_instants=payload.get("record_instants", False),
+                evaluator=payload.get("evaluator", "replay"),
             )
             return cls(spec=spec, replication=payload["replication"])
         except KeyError as missing:

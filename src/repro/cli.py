@@ -52,6 +52,7 @@ from .campaign import (
 )
 from .dse import (
     DEFAULT_OBJECTIVES,
+    EVALUATOR_MODES,
     MappingExplorer,
     ParetoFront,
     STRATEGY_NAMES,
@@ -183,6 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse_run.add_argument("--budget", type=int, default=200, help="max candidates to score")
     dse_run.add_argument("--seed", type=int, default=0, help="search seed (not the stimulus seed)")
+    dse_run.add_argument(
+        "--evaluator",
+        default="replay",
+        choices=list(EVALUATOR_MODES),
+        help="candidate scoring path: 'replay' computes every iteration, "
+        "'steady' certifies the periodic regime and extrapolates the rest "
+        "(identical objectives, per-candidate fallback to replay when the "
+        "problem does not qualify), 'auto' is steady-whenever-possible",
+    )
     dse_run.add_argument("--items", type=int, default=None, help="data items per evaluation")
     dse_run.add_argument(
         "--max-resources", type=int, default=None, help="resource-count constraint"
@@ -296,6 +306,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="pin a problem parameter (repeatable)",
     )
+    dse_show.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also summarise this result store's dse-eval records per problem, "
+        "split by the evaluator mode (replay/steady) that produced them",
+    )
 
     obs = subparsers.add_parser("obs", help="observability: telemetry artefact reports")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -348,6 +366,25 @@ def build_parser() -> argparse.ArgumentParser:
         "run_b", help="run id prefix, or a ledger index like -1 (newest)"
     )
     _add_obs_ledger_argument(obs_diff)
+
+    obs_gc = obs_sub.add_parser(
+        "gc",
+        help="compact the run ledger: keep the last N runs of every "
+        "problem+config family, drop the long tail",
+    )
+    _add_obs_ledger_argument(obs_gc)
+    obs_gc.add_argument(
+        "--keep",
+        type=int,
+        default=16,
+        metavar="N",
+        help="runs to keep per comparison group (default: 16)",
+    )
+    obs_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what compaction would drop without rewriting the ledger",
+    )
 
     obs_regressions = obs_sub.add_parser(
         "regressions",
@@ -766,6 +803,7 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
         convergence=convergence,
         progress=_dse_progress if _want_progress(arguments) else None,
         ledger=None if arguments.no_ledger else telemetry.RunLedger(arguments.ledger),
+        evaluator=arguments.evaluator,
     )
     problem = explorer.problem
     space = explorer.build_space()
@@ -773,7 +811,8 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
         f"# problem {problem.name!r}: {len(space.functions)} functions, "
         f"bank of {space.platform.composition()} "
         f"(max {space.max_resources} of {len(space.resources)} usable), "
-        f"strategy {arguments.strategy!r}, budget {arguments.budget}"
+        f"strategy {arguments.strategy!r}, budget {arguments.budget}, "
+        f"evaluator {arguments.evaluator!r}"
     )
     report = explorer.run()
     if report.resumed:
@@ -830,13 +869,22 @@ def _problem_objectives(name: Optional[str]):
         return None
 
 
+def _annotate_evaluators(
+    rows: List[Dict[str, object]], mode_of: Mapping[str, str]
+) -> List[Dict[str, object]]:
+    """Append the per-record evaluator mode column to front/ranked rows."""
+    for row in rows:
+        row["evaluator"] = mode_of.get(str(row.get("candidate", "")), "replay")
+    return rows
+
+
 def _run_dse_front(arguments: argparse.Namespace) -> int:
     store = ResultStore(arguments.store)
     # With --problem the objective tuple is known up front, so the store scan
     # builds the right front directly; without it the problem name only falls
     # out of the scan, and the front is rebuilt from the in-memory entries.
     objectives = _problem_objectives(arguments.problem)
-    front, entries, problems, contexts = front_from_store(
+    front, entries, problems, contexts, evaluators = front_from_store(
         store,
         problem=arguments.problem,
         objectives=objectives if objectives is not None else DEFAULT_OBJECTIVES,
@@ -881,16 +929,35 @@ def _run_dse_front(arguments: argparse.Namespace) -> int:
         for digest, metrics in entries:
             rebuilt.offer(digest, metrics)
         front = rebuilt
+    modes = sorted(set(evaluators.values()))
     print(
         f"# store {arguments.store}: {len(entries)} dse-eval record(s) for "
         f"problem {label!r}"
         + (f", bank of {next(iter(compositions))}" if compositions else "")
+        + (f", evaluator mode(s): {'+'.join(modes)}" if modes else "")
     )
+    if len(modes) > 1:
+        # Sound (the modes are certified to produce identical objectives) but
+        # worth knowing: wall-time provenance differs between the records.
+        print(
+            f"# warning: store {arguments.store} mixes evaluator modes "
+            f"({', '.join(modes)}); objectives are certified identical across "
+            "modes, but per-record wall times are not comparable",
+            file=sys.stderr,
+        )
+    # Per-record provenance: rows identify candidates by digest prefix.
+    mode_of = {digest[:12]: mode for digest, mode in evaluators.items()}
     print(f"Pareto front ({' vs '.join(o.label for o in front.objectives)}):")
-    print(format_rows(front.rows()))
+    print(format_rows(_annotate_evaluators(front.rows(), mode_of)))
     if arguments.top is not None:
         print(f"top {arguments.top} candidates:")
-        print(format_rows(ranked_rows(entries, front.objectives, top=arguments.top)))
+        print(
+            format_rows(
+                _annotate_evaluators(
+                    ranked_rows(entries, front.objectives, top=arguments.top), mode_of
+                )
+            )
+        )
     print(
         f"front size {len(front)}, hypervolume {front.hypervolume_text()} "
         f"(rebuilt from the store alone)"
@@ -898,7 +965,35 @@ def _run_dse_front(arguments: argparse.Namespace) -> int:
     return 0 if len(front) > 0 else 1
 
 
+def _store_evaluator_counts(store: ResultStore) -> Dict[str, Dict[str, int]]:
+    """Per problem, how many stored dse-eval records each evaluator produced."""
+    from .campaign import JobResult
+    from .dse import DSE_SCENARIO
+
+    counts: Dict[str, Dict[str, int]] = {}
+    for job_digest in store.digests():
+        record = store.get(job_digest)
+        try:
+            result = JobResult.from_record(record)
+        except CampaignError:
+            continue
+        if result.scenario != DSE_SCENARIO or not result.ok:
+            continue
+        problem = str(result.parameters.get("problem"))
+        mode = result.evaluator or "replay"
+        per_problem = counts.setdefault(problem, {})
+        per_problem[mode] = per_problem.get(mode, 0) + 1
+    return counts
+
+
+def _evaluator_summary(per_mode: Mapping[str, int]) -> str:
+    return ", ".join(f"{mode} {count}" for mode, count in sorted(per_mode.items()))
+
+
 def _run_dse_show(arguments: argparse.Namespace) -> int:
+    counts: Optional[Dict[str, Dict[str, int]]] = None
+    if arguments.store is not None:
+        counts = _store_evaluator_counts(ResultStore(arguments.store))
     if arguments.problem is None:
         rows = [
             {
@@ -908,6 +1003,10 @@ def _run_dse_show(arguments: argparse.Namespace) -> int:
             }
             for _, problem in sorted(problem_registry().items())
         ]
+        if counts is not None:
+            for row in rows:
+                per_mode = counts.get(str(row["problem"]))
+                row["stored records"] = _evaluator_summary(per_mode) if per_mode else "-"
         print(format_rows(rows))
         return 0
     problem = get_problem(arguments.problem)
@@ -945,6 +1044,12 @@ def _run_dse_show(arguments: argparse.Namespace) -> int:
           f"({'orders explored' if space.explore_orders else 'default orders only'})")
     default = space.default_candidate()
     print(f"default candidate: {default.describe()} ({default.digest()[:12]})")
+    if counts is not None:
+        per_mode = counts.get(problem.name)
+        print(
+            f"stored records in {arguments.store}: "
+            + (_evaluator_summary(per_mode) if per_mode else "(none)")
+        )
     return 0
 
 
@@ -1072,6 +1177,43 @@ def _run_obs_runs(arguments: argparse.Namespace) -> int:
     return 0
 
 
+#: Sparkline cell marking the run where the current regression streak began.
+_REGRESSION_MARK = "!"
+
+
+def _metric_statuses(
+    group: Sequence["telemetry.RunManifest"], metric: str, direction: str
+) -> List[str]:
+    """Sentinel status of ``metric`` for every run of one comparable group.
+
+    Each run is judged against its own history prefix (the same windowed
+    median/MAD rule ``obs regressions`` applies to the newest run), so the
+    list shows where along the trend a regression *started*, not only
+    whether the newest run is bad.
+    """
+    statuses = []
+    for index, manifest in enumerate(group):
+        verdict = telemetry.classify_run(
+            manifest, group[: index + 1], metrics={metric: direction}
+        )
+        statuses.append(
+            verdict.verdicts[0].status
+            if verdict.verdicts
+            else telemetry.STATUS_NO_BASELINE
+        )
+    return statuses
+
+
+def _regression_onset(statuses: Sequence[str]) -> Optional[int]:
+    """Index where the trailing regression streak begins, or None."""
+    if not statuses or statuses[-1] != telemetry.STATUS_REGRESSED:
+        return None
+    onset = len(statuses) - 1
+    while onset > 0 and statuses[onset - 1] == telemetry.STATUS_REGRESSED:
+        onset -= 1
+    return onset
+
+
 def _run_obs_trend(arguments: argparse.Namespace) -> int:
     ledger = telemetry.RunLedger(arguments.ledger)
     manifests = ledger.runs(kind=arguments.kind, label=arguments.label)
@@ -1079,6 +1221,8 @@ def _run_obs_trend(arguments: argparse.Namespace) -> int:
         print(f"# run ledger {ledger.path}: no runs recorded", file=sys.stderr)
         return 1
     metric = arguments.metric
+    direction = telemetry.METRIC_DIRECTIONS.get(metric)
+    marked = False
     rows = []
     for key, group in telemetry.group_by_key(manifests).items():
         if arguments.last is not None and arguments.last > 0:
@@ -1089,6 +1233,19 @@ def _run_obs_trend(arguments: argparse.Namespace) -> int:
             continue
         first, last = present[0], present[-1]
         newest = group[-1]
+        trend = _sparkline(values)
+        status = "-"
+        since = "-"
+        if direction is not None:
+            # Sentinel annotation: judge every run against its history prefix
+            # and mark the run where the current regression streak started.
+            statuses = _metric_statuses(group, metric, direction)
+            status = statuses[-1]
+            onset = _regression_onset(statuses)
+            if onset is not None:
+                since = group[onset].run_id[:10]
+                trend = trend[:onset] + _REGRESSION_MARK + trend[onset + 1 :]
+                marked = True
         rows.append(
             {
                 "kind/label": f"{newest.kind}/{newest.label}",
@@ -1099,7 +1256,9 @@ def _run_obs_trend(arguments: argparse.Namespace) -> int:
                 "min": round(min(present), 4),
                 "max": round(max(present), 4),
                 "delta": f"{(last - first) / abs(first):+.1%}" if first else "-",
-                "trend": _sparkline(values),
+                "trend": trend,
+                "status": status,
+                "since": since,
             }
         )
     if not rows:
@@ -1112,6 +1271,11 @@ def _run_obs_trend(arguments: argparse.Namespace) -> int:
         return 1
     print(f"# {metric} across {ledger.path} (one row per comparable run family)")
     print(format_rows(rows))
+    if marked:
+        print(
+            f"# '{_REGRESSION_MARK}' marks the run where the current regression "
+            "streak started ('since' holds its run id)"
+        )
     return 0
 
 
@@ -1173,6 +1337,11 @@ def _run_obs_diff(arguments: argparse.Namespace) -> int:
         ("package version", before.package_version, after.package_version),
         ("python", before.platform.get("python", "-"), after.platform.get("python", "-")),
         ("budget", before.budget, after.budget),
+        (
+            "evaluator",
+            before.config.get("evaluator", "-"),
+            after.config.get("evaluator", "-"),
+        ),
     ]
     print(format_rows([{"field": name, "a": a, "b": b} for name, a, b in fields]))
     metric_names = sorted(set(before.metrics) | set(after.metrics))
@@ -1227,6 +1396,40 @@ def _run_obs_diff(arguments: argparse.Namespace) -> int:
             )
         print("span totals (from the folded histograms -- no Chrome trace needed):")
         print(format_rows(rows))
+    return 0
+
+
+def _run_obs_gc(arguments: argparse.Namespace) -> int:
+    ledger = telemetry.RunLedger(arguments.ledger)
+    if not ledger.exists():
+        print(f"# run ledger {ledger.path}: no runs recorded", file=sys.stderr)
+        return 1
+    report = ledger.compact(arguments.keep, dry_run=arguments.dry_run)
+    verb = "would keep" if report.dry_run else "kept"
+    print(
+        f"# compact {report.path}: keep last {report.keep_last} per run family -- "
+        f"{verb} {report.kept} of {report.total} manifest(s), "
+        f"dropped {report.dropped}"
+    )
+    if report.groups:
+        rows = [
+            {
+                "kind/label": f"{group['kind']}/{group['label']}",
+                "key": str(group["key"])[:12],
+                "runs": group["runs"],
+                "kept": group["kept"],
+                "dropped": group["dropped"],
+            }
+            for group in report.groups
+        ]
+        print(format_rows(rows))
+    if report.corrupt_dropped or report.incompatible_dropped:
+        print(
+            f"# unreadable lines also dropped: {report.corrupt_dropped} corrupt, "
+            f"{report.incompatible_dropped} incompatible schema"
+        )
+    if report.dry_run:
+        print("# dry run: the ledger was not modified")
     return 0
 
 
@@ -1311,6 +1514,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return _run_obs_trend(arguments)
             if arguments.obs_command == "diff":
                 return _run_obs_diff(arguments)
+            if arguments.obs_command == "gc":
+                return _run_obs_gc(arguments)
             if arguments.obs_command == "regressions":
                 return _run_obs_regressions(arguments)
     except (CampaignError, ModelError) as error:

@@ -74,6 +74,7 @@ from ..archmodel.workload import (
 )
 from ..errors import ModelError
 from ..kernel.simtime import Duration
+from ..tdg.arc import DependencyArc
 from ..tdg.graph import TemporalDependencyGraph
 from ..tdg.node import NodeKind
 from .spec import (
@@ -87,7 +88,13 @@ from .spec import (
     TemplateNode,
 )
 
-__all__ = ["build_equivalent_spec", "build_template", "specialize_template"]
+__all__ = [
+    "build_equivalent_spec",
+    "build_template",
+    "specialize_template",
+    "scheduled_resource_entries",
+    "add_resource_schedule_arcs",
+]
 
 
 class _WorkloadWeight:
@@ -552,16 +559,24 @@ def _resolve_abstracted(
     return abstracted
 
 
-def _add_schedule_arcs(
+def scheduled_resource_entries(
     template: EquivalentModelTemplate,
     architecture: ArchitectureModel,
-    graph: TemporalDependencyGraph,
-) -> None:
-    """Add the service-order and server-availability arcs of every execute step."""
+) -> Dict[str, Tuple[int, List[TemplateExecute]]]:
+    """Per scheduled resource: its concurrency and execute slots in service order.
+
+    Resources whose schedule serves functions outside the abstracted group are
+    omitted (isolation guarantees a schedule is never split between inside and
+    outside functions).  This is the mapping-dependent half of the schedule-arc
+    construction, shared by full specialisation and by the compiled evaluator's
+    incremental re-specialisation (which diffs these entries between candidates
+    to find the resources whose arcs must be rebuilt).
+    """
     execute_by_slot: Dict[Tuple[str, int], TemplateExecute] = {
         (slot.function, slot.step_index): slot for slot in template.execute_slots
     }
     schedules = architecture.resource_schedules()
+    result: Dict[str, Tuple[int, List[TemplateExecute]]] = {}
     for resource in architecture.platform.resources:
         concurrency = resource.concurrency
         if concurrency is None:
@@ -569,41 +584,70 @@ def _add_schedule_arcs(
         schedule = schedules.get(resource.name) or []
         entries = [execute_by_slot.get((slot.function, slot.step_index)) for slot in schedule]
         if not schedule or entries[0] is None:
-            # Resource not serving the abstracted group (isolation guarantees
-            # a schedule is never split between inside and outside functions).
             continue
-        slots = len(schedule)
+        result[resource.name] = (concurrency, entries)
+    return result
 
-        def node_at(position: int, offset: int) -> Tuple[TemplateExecute, int]:
-            """Slot ``offset`` positions before ``position`` and its iteration delay."""
-            target = position - offset
-            delay = 0
-            while target < 0:
-                target += slots
-                delay += 1
-            return entries[target], delay
 
-        for position, entry in enumerate(entries):
-            # Service order: an execution cannot start before the previous slot
-            # started.  (With a single slot per iteration this degenerates to
-            # start(k) >= start(k-1), which is redundant but harmless.)
-            previous_entry, previous_delay = node_at(position, 1)
+def add_resource_schedule_arcs(
+    graph: TemporalDependencyGraph,
+    entries: List[TemplateExecute],
+    concurrency: int,
+) -> List[DependencyArc]:
+    """Add the service-order and server-availability arcs of one scheduled resource.
+
+    ``entries`` are the resource's execute slots in static service order.  The
+    created arcs are returned so incremental re-specialisation can later remove
+    exactly this resource's schedule arcs when its schedule changes.
+    """
+    slots = len(entries)
+
+    def node_at(position: int, offset: int) -> Tuple[TemplateExecute, int]:
+        """Slot ``offset`` positions before ``position`` and its iteration delay."""
+        target = position - offset
+        delay = 0
+        while target < 0:
+            target += slots
+            delay += 1
+        return entries[target], delay
+
+    created: List[DependencyArc] = []
+    for position, entry in enumerate(entries):
+        # Service order: an execution cannot start before the previous slot
+        # started.  (With a single slot per iteration this degenerates to
+        # start(k) >= start(k-1), which is redundant but harmless.)
+        previous_entry, previous_delay = node_at(position, 1)
+        created.append(
             graph.add_arc(
                 previous_entry.start_node,
                 entry.start_node,
                 delay=previous_delay,
                 label="service order",
             )
-            # Server availability: at most `concurrency` executions in flight,
-            # so this slot cannot start before the slot `concurrency` positions
-            # earlier has completed.
-            server_entry, server_delay = node_at(position, concurrency)
+        )
+        # Server availability: at most `concurrency` executions in flight,
+        # so this slot cannot start before the slot `concurrency` positions
+        # earlier has completed.
+        server_entry, server_delay = node_at(position, concurrency)
+        created.append(
             graph.add_arc(
                 server_entry.end_node,
                 entry.start_node,
                 delay=server_delay,
                 label="server free",
             )
+        )
+    return created
+
+
+def _add_schedule_arcs(
+    template: EquivalentModelTemplate,
+    architecture: ArchitectureModel,
+    graph: TemporalDependencyGraph,
+) -> None:
+    """Add the service-order and server-availability arcs of every execute step."""
+    for concurrency, entries in scheduled_resource_entries(template, architecture).values():
+        add_resource_schedule_arcs(graph, entries, concurrency)
 
 
 def _check_no_intra_iteration_feedback(

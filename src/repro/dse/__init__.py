@@ -17,7 +17,9 @@ Layout
 * :mod:`repro.dse.problems` -- named application + resource-bank problems;
 * :mod:`repro.dse.evaluate` -- equivalent-model-only candidate scoring;
 * :mod:`repro.dse.compile` -- :class:`CompiledProblem`: one TDG template
-  per problem, specialised cheaply per candidate (the default fast path);
+  per problem, incrementally delta-specialised per candidate, with a
+  certified steady-state evaluator (``evaluator="steady"``) that stops
+  replaying once the periodic regime locks in;
 * :mod:`repro.dse.search` -- exhaustive / random / annealing / nsga2
   strategies over objective *vectors*, with pluggable scalarisation and
   JSON-safe checkpointable state;
@@ -40,7 +42,12 @@ Quickstart
 
 from .checkpoint import CheckpointFile, ExplorationCheckpoint
 from .compile import CompiledProblem, compiled_problem
-from .evaluate import CandidateEvaluation, evaluate_candidate, evaluate_mapping
+from .evaluate import (
+    EVALUATOR_MODES,
+    CandidateEvaluation,
+    evaluate_candidate,
+    evaluate_mapping,
+)
 from .explore import ExplorationReport, MappingExplorer, front_from_store
 from .pareto import (
     DEFAULT_OBJECTIVES,
@@ -80,6 +87,7 @@ __all__ = [
     "CompiledProblem",
     "compiled_problem",
     "CandidateEvaluation",
+    "EVALUATOR_MODES",
     "evaluate_candidate",
     "evaluate_mapping",
     "ExplorationReport",

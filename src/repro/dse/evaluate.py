@@ -39,7 +39,19 @@ from ..observation.usage import busy_profile
 from .problems import DesignProblem
 from .space import MappingCandidate
 
-__all__ = ["CandidateEvaluation", "evaluate_mapping", "evaluate_candidate"]
+__all__ = [
+    "CandidateEvaluation",
+    "evaluate_mapping",
+    "evaluate_candidate",
+    "EVALUATOR_MODES",
+]
+
+#: Accepted ``evaluator`` modes of :func:`evaluate_candidate` (re-exported by
+#: :mod:`repro.dse.compile`, which owns the implementation): ``replay``
+#: computes every iteration, ``steady`` extrapolates the certified periodic
+#: regime (falling back to replay per candidate when the problem does not
+#: admit it), ``auto`` picks steady whenever the problem qualifies.
+EVALUATOR_MODES = ("replay", "steady", "auto")
 
 
 @dataclass(frozen=True)
@@ -68,6 +80,11 @@ class CandidateEvaluation:
     #: declaration order.  ``latency_ps`` is the max last instant across them,
     #: so multi-output designs are not silently scored on one output only.
     per_output_instants: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
+    #: Scoring path that actually produced these objectives: ``"replay"``
+    #: (every iteration computed) or ``"steady"`` (periodic regime certified
+    #: and extrapolated).  Not an objective -- excluded from :meth:`metrics`;
+    #: the campaign layer records it per job for provenance.
+    evaluator: str = "replay"
 
     @property
     def feasible(self) -> bool:
@@ -249,6 +266,7 @@ def evaluate_candidate(
     candidate: MappingCandidate,
     parameters: Optional[Mapping[str, Any]] = None,
     compiled: Optional[bool] = None,
+    evaluator: str = "replay",
 ) -> CandidateEvaluation:
     """Score a candidate of a named problem under resolved problem parameters.
 
@@ -259,13 +277,21 @@ def evaluate_candidate(
     ``compiled=False`` (or set ``REPRO_DSE_COMPILE=0``) to force the original
     from-scratch :func:`evaluate_mapping` build; both paths produce identical
     objectives, instant for instant.
+
+    ``evaluator`` selects the compiled scoring path (see
+    :data:`EVALUATOR_MODES`); the from-scratch path always replays and
+    silently ignores the mode, so campaign workers stay interchangeable.
     """
+    if evaluator not in EVALUATOR_MODES:
+        raise ModelError(
+            f"unknown evaluator mode {evaluator!r}; expected one of {EVALUATOR_MODES}"
+        )
     if compiled is None:
         compiled = compile_enabled_by_default()
     if compiled:
         from .compile import compiled_problem
 
-        return compiled_problem(problem, parameters).evaluate(candidate)
+        return compiled_problem(problem, parameters).evaluate(candidate, evaluator=evaluator)
     resolved = problem.parameters(parameters)
     return evaluate_mapping(
         problem.application_factory(resolved),

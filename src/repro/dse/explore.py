@@ -55,6 +55,7 @@ from ..campaign.spec import ScenarioSpec, canonical_json
 from ..campaign.store import ResultStore
 from ..errors import CampaignError, ModelError
 from .checkpoint import CheckpointFile, ExplorationCheckpoint
+from .evaluate import EVALUATOR_MODES
 from .pareto import (
     DEFAULT_OBJECTIVES,
     Objective,
@@ -161,7 +162,10 @@ class MappingExplorer:
     evaluates via a per-process cached :class:`~repro.dse.compile
     .CompiledProblem` -- the problem's TDG template is compiled once and only
     specialised per candidate, in every worker (set ``REPRO_DSE_COMPILE=0``
-    to force the from-scratch build).  With ``strict`` left on, proposal
+    to force the from-scratch build).  ``evaluator`` selects the scoring
+    path within the compiled evaluator (``replay``/``steady``/``auto``,
+    see :data:`~repro.dse.evaluate.EVALUATOR_MODES`); every mode produces
+    identical objectives.  With ``strict`` left on, proposal
     sampling only draws service orders consistent with the data dependencies,
     so the budget is spent on feasible candidates.
 
@@ -201,11 +205,16 @@ class MappingExplorer:
         convergence: Optional[Union[str, Path, "telemetry.ConvergenceTrace"]] = None,
         progress: Optional[Callable[[Dict[str, Any]], None]] = None,
         ledger: Optional[Union[str, Path, "telemetry.RunLedger"]] = None,
+        evaluator: str = "replay",
     ) -> None:
         if budget < 1:
             raise ModelError("the exploration budget must be at least one candidate")
         if max_rounds is not None and max_rounds < 1:
             raise ModelError("max_rounds must be at least one round")
+        if evaluator not in EVALUATOR_MODES:
+            raise ModelError(
+                f"unknown evaluator mode {evaluator!r}; expected one of {EVALUATOR_MODES}"
+            )
         self.problem = get_problem(problem) if isinstance(problem, str) else problem
         self.strategy_name = strategy
         self.budget = budget
@@ -219,6 +228,11 @@ class MappingExplorer:
         #: Feasibility-aware order sampling (see DesignSpace ``strict``).
         self.strict = strict
         self.record_instants = record_instants
+        #: Candidate scoring path (see :data:`~repro.dse.evaluate
+        #: .EVALUATOR_MODES`).  Deliberately *not* part of :meth:`_config`:
+        #: every mode yields identical objectives, so a checkpointed run may
+        #: be resumed under another mode and stored records stay shareable.
+        self.evaluator = evaluator
         #: None picks the problem's own objective tuple (heterogeneous
         #: problems add per-kind axes to the default latency/resources pair).
         self.objectives = (
@@ -272,6 +286,7 @@ class MappingExplorer:
             scenario=DSE_SCENARIO,
             parameters=parameters,
             record_instants=self.record_instants,
+            evaluator=self.evaluator,
         )
 
     def _config(self, resolved: Mapping[str, Any]) -> Dict[str, Any]:
@@ -488,7 +503,8 @@ class MappingExplorer:
         config.pop("parameters", None)  # digested separately (problem digest)
         config["budget"] = self.budget
         config["jobs"] = self.runner.jobs
-        config["evaluator"] = (
+        config["evaluator"] = self.evaluator
+        config["compile"] = (
             "compiled" if os.environ.get("REPRO_DSE_COMPILE", "1") != "0" else "explicit"
         )
         wall = report.wall_time_s
@@ -647,25 +663,32 @@ def front_from_store(
     store: ResultStore,
     problem: Optional[str] = None,
     objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
-) -> Tuple[ParetoFront, List[Tuple[str, Mapping[str, Any]]], Set[str], Set[str]]:
+) -> Tuple[
+    ParetoFront, List[Tuple[str, Mapping[str, Any]]], Set[str], Set[str], Dict[str, str]
+]:
     """Rebuild a Pareto front from a result store alone (no exploration state).
 
     Scans every stored ``dse-eval`` record, filters to ``problem`` when given,
     and offers each successful evaluation to a fresh front.  Returns ``(front,
-    entries, problems_seen, contexts_seen)`` where ``entries`` are the
-    ``(candidate digest, metrics)`` pairs of every considered record (feasible
-    or not, for ranked tables), ``problems_seen`` names every problem
-    encountered and ``contexts_seen`` holds the canonical JSON of every
-    distinct problem *parameterisation* (``items``, ``seed``, ... -- the
-    record's parameters minus the candidate encoding).  Objectives are only
-    comparable within one ``(problem, parameterisation)``: latency scales with
-    the workload, so callers should refuse to build one front across several
-    problems or contexts.
+    entries, problems_seen, contexts_seen, evaluators)`` where ``entries``
+    are the ``(candidate digest, metrics)`` pairs of every considered record
+    (feasible or not, for ranked tables), ``problems_seen`` names every problem
+    encountered, ``contexts_seen`` holds the canonical JSON of every distinct
+    problem *parameterisation* (``items``, ``seed``, ... -- the record's
+    parameters minus the candidate encoding) and ``evaluators`` maps each
+    candidate digest to the scoring path that produced its record
+    (``replay``/``steady``; records from before the field existed count as
+    ``replay``).  Objectives are only comparable within one ``(problem,
+    parameterisation)``: latency scales with the workload, so callers should
+    refuse to build one front across several problems or contexts.  Mixed
+    evaluators are *sound* (the modes are certified identical) but worth
+    reporting, since wall-time provenance differs.
     """
     front = ParetoFront(tuple(objectives))
     entries: List[Tuple[str, Mapping[str, Any]]] = []
     problems: Set[str] = set()
     contexts: Set[str] = set()
+    evaluators: Dict[str, str] = {}
     for job_digest in store.digests():
         record = store.get(job_digest)
         try:
@@ -691,6 +714,7 @@ def front_from_store(
                 }
             )
         )
+        evaluators[candidate_digest] = result.evaluator or "replay"
         entries.append((candidate_digest, result.metrics))
         front.offer(candidate_digest, result.metrics)
-    return front, entries, problems, contexts
+    return front, entries, problems, contexts, evaluators

@@ -37,7 +37,7 @@ from ..lte.receiver import (
     build_lte_bank,
     heterogeneous_lte_workloads,
 )
-from ..lte.scenario import lte_symbol_stimulus
+from ..lte.scenario import lte_fixed_symbol_stimulus, lte_symbol_stimulus
 from .pareto import DEFAULT_OBJECTIVES, Objective
 from .space import DesignSpace, EligibilitySpec
 
@@ -120,6 +120,21 @@ def _didactic_stimuli(parameters: Mapping[str, Any]) -> Dict[str, Stimulus]:
     }
 
 
+def _didactic_periodic_stimuli(parameters: Mapping[str, Any]) -> Dict[str, Stimulus]:
+    # One fixed data size: every workload duration becomes
+    # iteration-independent, which is what lets the steady-state evaluator
+    # certify the periodic regime and extrapolate.
+    size = int(parameters["size"])
+    return {
+        "M1": didactic_stimulus(
+            count=int(parameters["items"]),
+            min_size=size,
+            max_size=size,
+            seed=int(parameters["seed"]),
+        )
+    }
+
+
 def _fork_application(parameters: Mapping[str, Any]) -> ApplicationModel:
     """One splitter feeding two independent branches with their own outputs.
 
@@ -176,6 +191,19 @@ def _chain_stimuli(parameters: Mapping[str, Any]) -> Dict[str, Stimulus]:
     }
 
 
+def _chain_periodic_stimuli(parameters: Mapping[str, Any]) -> Dict[str, Stimulus]:
+    size = int(parameters["size"])
+    return {
+        "L1": didactic_stimulus(
+            count=int(parameters["items"]),
+            period=microseconds(30),
+            min_size=size,
+            max_size=size,
+            seed=int(parameters["seed"]),
+        )
+    }
+
+
 def _lte_application(parameters: Mapping[str, Any]) -> ApplicationModel:
     return build_grouped_lte_application(
         heterogeneous_lte_workloads(
@@ -198,6 +226,16 @@ def _lte_stimuli(parameters: Mapping[str, Any]) -> Dict[str, Stimulus]:
     return {
         LTE_INPUT_RELATION: lte_symbol_stimulus(
             int(parameters["items"]), seed=int(parameters["seed"])
+        )
+    }
+
+
+def _lte_periodic_stimuli(parameters: Mapping[str, Any]) -> Dict[str, Stimulus]:
+    return {
+        LTE_INPUT_RELATION: lte_fixed_symbol_stimulus(
+            int(parameters["items"]),
+            resource_blocks=int(parameters["resource_blocks"]),
+            modulation=str(parameters["modulation"]),
         )
     }
 
@@ -239,6 +277,19 @@ _register(
 )
 _register(
     DesignProblem(
+        name="didactic-periodic",
+        description=(
+            "Fig. 1 application under a fixed-size periodic stimulus "
+            "(stationary durations: the steady-state evaluator's home turf)"
+        ),
+        application_factory=_didactic_application,
+        platform_factory=_didactic_platform,
+        stimuli_factory=_didactic_periodic_stimuli,
+        defaults={"items": 40, "seed": 2014, "processors": 4, "size": 60},
+    )
+)
+_register(
+    DesignProblem(
         name="fork",
         description="Splitter + two output branches (multi-output latency scoring)",
         application_factory=_fork_application,
@@ -273,12 +324,48 @@ _register(
 )
 _register(
     DesignProblem(
+        name="lte-periodic",
+        description=(
+            "Grouped LTE receiver under a pinned frame configuration "
+            "(varying token attributes, constant per-symbol durations)"
+        ),
+        application_factory=_lte_application,
+        platform_factory=_lte_platform,
+        stimuli_factory=_lte_periodic_stimuli,
+        defaults={
+            "items": 28,
+            "seed": 2014,
+            "processors": 2,
+            "dsps": 2,
+            "hardware": 1,
+            "processor_slowdown": 2.5,
+            "dsp_decoder_slowdown": 20.0,
+            "fifo_capacity": 4,
+            "resource_blocks": 50,
+            "modulation": "16QAM",
+        },
+        eligibility_factory=_lte_eligibility,
+        objectives=_LTE_OBJECTIVES,
+    )
+)
+_register(
+    DesignProblem(
         name="chain",
         description="Table I chained stages on a bank of identical processors",
         application_factory=_chain_application,
         platform_factory=_chain_platform,
         stimuli_factory=_chain_stimuli,
         defaults={"items": 40, "seed": 2014, "stages": 2, "processors": 4},
+    )
+)
+_register(
+    DesignProblem(
+        name="chain-periodic",
+        description="Table I chained stages under a fixed-size periodic stimulus",
+        application_factory=_chain_application,
+        platform_factory=_chain_platform,
+        stimuli_factory=_chain_periodic_stimuli,
+        defaults={"items": 40, "seed": 2014, "stages": 2, "processors": 4, "size": 60},
     )
 )
 

@@ -51,6 +51,7 @@ def evaluation_record(job: JobSpec, evaluation: CandidateEvaluation) -> Dict[str
         instants_digest=instants_digest(evaluation.output_instants) if feasible else None,
         output_instants=evaluation.output_instants if keep_instants else None,
         metrics=evaluation.metrics(),
+        evaluator=evaluation.evaluator,
     )
     return result.to_record()
 
@@ -59,7 +60,9 @@ def execute_dse_job(job: JobSpec, parameters: Mapping[str, Any]) -> Dict[str, An
     """Worker-side job body: rebuild problem + candidate, score, return record."""
     problem = get_problem(str(parameters["problem"]))
     candidate = MappingCandidate.from_parameters(parameters)
-    evaluation = evaluate_candidate(problem, candidate, parameters)
+    evaluation = evaluate_candidate(
+        problem, candidate, parameters, evaluator=job.spec.evaluator
+    )
     return evaluation_record(job, evaluation)
 
 

@@ -49,6 +49,16 @@ class Stimulus(abc.ABC):
     def token(self, k: int) -> DataToken:
         """The token offered as item ``k``."""
 
+    def offer_period_ps(self) -> Optional[int]:
+        """Constant offer period in picoseconds, or ``None`` when aperiodic.
+
+        When a stimulus returns a period ``T`` it promises ``offer_time(k) ==
+        offer_time(0) + k * T`` for every ``k``; the steady-state evaluator
+        relies on that promise to extrapolate the input schedule without
+        enumerating it.  The default is conservative (no promise).
+        """
+        return None
+
     def items(self) -> Iterator[Tuple[Time, DataToken]]:
         """Iterate over ``(offer time, token)`` pairs."""
         for k in range(len(self)):
@@ -89,6 +99,9 @@ class PeriodicStimulus(Stimulus):
         self._check_index(k)
         attributes = self._attributes_fn(k) if self._attributes_fn else {}
         return DataToken(k, attributes)
+
+    def offer_period_ps(self) -> Optional[int]:
+        return self.period.picoseconds
 
     def _check_index(self, k: int) -> None:
         if not 0 <= k < self.count:
@@ -176,6 +189,9 @@ class RandomSizeStimulus(Stimulus):
         if not 0 <= k < self.count:
             raise ModelError(f"stimulus index {k} out of range [0, {self.count})")
         return DataToken(k, {"size": self._sizes[k]})
+
+    def offer_period_ps(self) -> Optional[int]:
+        return self.period.picoseconds
 
     @property
     def sizes(self) -> Tuple[int, ...]:

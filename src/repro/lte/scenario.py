@@ -26,7 +26,13 @@ from ..errors import ModelError
 from ..explicit.model import ExplicitArchitectureModel
 from ..kernel.simtime import Duration, Time, microseconds
 from ..observation.usage import UsageProfile, complexity_profile
-from .parameters import SYMBOL_PERIOD, SYMBOLS_PER_FRAME, FrameSequence
+from .parameters import (
+    MODULATION_SCHEMES,
+    SYMBOL_PERIOD,
+    SYMBOLS_PER_FRAME,
+    FrameConfig,
+    FrameSequence,
+)
 from .receiver import (
     DECODER_NAME,
     DSP_NAME,
@@ -37,6 +43,7 @@ from .receiver import (
 
 __all__ = [
     "lte_symbol_stimulus",
+    "lte_fixed_symbol_stimulus",
     "build_lte_models",
     "Fig6Observation",
     "fig6_observation",
@@ -57,6 +64,44 @@ def lte_symbol_stimulus(
         period=period,
         count=symbol_count,
         attributes_fn=frames.symbol_attributes,
+    )
+
+
+def lte_fixed_symbol_stimulus(
+    symbol_count: int,
+    resource_blocks: int = 50,
+    modulation: str = "16QAM",
+    period: Duration = SYMBOL_PERIOD,
+) -> PeriodicStimulus:
+    """Environment producing symbols of one *pinned* frame configuration.
+
+    Every frame carries the same resource-block allocation and modulation
+    scheme, so each receiver function's execution time is identical for all
+    symbols -- the token attributes still vary per symbol (frame/symbol
+    indices, the control-symbol flag), making this the LTE workload whose
+    durations are constant without its token stream being constant.  This is
+    the stationary regime the steady-state evaluator exploits.
+    """
+    if symbol_count < 1:
+        raise ModelError("the stimulus needs at least one symbol")
+    chosen = next(
+        (scheme for scheme in MODULATION_SCHEMES if scheme.name == modulation), None
+    )
+    if chosen is None:
+        known = ", ".join(scheme.name for scheme in MODULATION_SCHEMES)
+        raise ModelError(f"unknown modulation scheme {modulation!r}; known: {known}")
+    config = FrameConfig(index=0, resource_blocks=resource_blocks, modulation=chosen)
+
+    def attributes(symbol_index: int) -> Dict[str, object]:
+        frame, symbol_in_frame = divmod(symbol_index, SYMBOLS_PER_FRAME)
+        attrs = config.symbol_attributes(symbol_in_frame)
+        attrs["frame"] = frame
+        return attrs
+
+    return PeriodicStimulus(
+        period=period,
+        count=symbol_count,
+        attributes_fn=attributes,
     )
 
 

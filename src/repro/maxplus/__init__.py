@@ -1,13 +1,24 @@
 """(max, +) algebra.
 
 The formal backbone of the dynamic computation method: scalars over
-``Z ∪ {-inf}`` with ⊕ = max and ⊗ = +, vectors, matrices and the linear
-recurrence systems of the paper's equations (7)-(10).
+``Z ∪ {-inf}`` with ⊕ = max and ⊗ = +, vectors, matrices, the linear
+recurrence systems of the paper's equations (7)-(10), and the spectral
+theory (eigenvalue = maximum cycle ratio, eigenvector, critical cycle)
+behind steady-state performance evaluation.
 """
 
 from .linear_system import LinearMaxPlusSystem, LinearSystemSimulator
 from .matrix import MaxPlusMatrix
 from .scalar import E, EPSILON, MaxPlus, as_maxplus, oplus, otimes
+from .spectral import (
+    ComponentSpectrum,
+    CriticalCycle,
+    SpectralAnalysis,
+    SpectralArc,
+    maximum_cycle_ratio,
+    spectral_analysis,
+    strongly_connected_components,
+)
 from .vector import MaxPlusVector
 
 __all__ = [
@@ -21,4 +32,11 @@ __all__ = [
     "as_maxplus",
     "oplus",
     "otimes",
+    "SpectralArc",
+    "SpectralAnalysis",
+    "ComponentSpectrum",
+    "CriticalCycle",
+    "maximum_cycle_ratio",
+    "spectral_analysis",
+    "strongly_connected_components",
 ]

@@ -1,0 +1,603 @@
+"""(max, +) spectral analysis: eigenvalue, eigenvector, critical cycle.
+
+For a (max, +) linear system the asymptotic growth rate of every state
+trajectory -- the steady-state throughput of the modelled architecture --
+is the *maximum cycle ratio* of its temporal dependency graph:
+
+    lambda  =  max over cycles c of  W(c) / D(c)
+
+where ``W(c)`` sums the arc weights (integer picoseconds) and ``D(c)``
+the iteration delays (tokens) around the cycle.  The latency offsets of
+the steady regime follow from the associated eigenvector: ``x(k) = v +
+lambda * k`` is a trajectory of the autonomous system.
+
+This module computes both **exactly**, in integer-picosecond arithmetic
+with :class:`fractions.Fraction` ratios:
+
+* arcs with delay ``d >= 2`` are expanded through ``d - 1`` synthetic
+  memory nodes so every arc carries zero or one token (the state
+  augmentation that rewrites ``x(k-d)`` terms as a chain of ``x(k-1)``
+  terms);
+* the graph is condensed into strongly connected components (iterative
+  Tarjan), so *reducible* systems are handled: the eigenvalue is the
+  maximum over the per-component eigenvalues, and acyclic components
+  contribute nothing;
+* within each component the cycle *ratio* problem is reduced to a cycle
+  *mean* problem on the "token graph" (one edge per token crossing,
+  composed with longest zero-delay paths) and solved with **Karp's
+  algorithm**; the critical cycle is extracted from the tight subgraph
+  of the reduced weights ``w - lambda * d`` (every critical cycle is
+  tight, so a cycle search over tight arcs cannot miss);
+* the eigenvector is the exact longest-path potential from a critical
+  node under the reduced weights.
+
+Nothing here replays iterations: the cost is polynomial in the graph
+size only, independent of the stimulus length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import GraphError
+
+__all__ = [
+    "SpectralArc",
+    "CriticalCycle",
+    "ComponentSpectrum",
+    "SpectralAnalysis",
+    "strongly_connected_components",
+    "maximum_cycle_ratio",
+    "spectral_analysis",
+]
+
+
+@dataclass(frozen=True)
+class SpectralArc:
+    """One dependency ``target(k) >= source(k - delay) + weight_ps``."""
+
+    source: Hashable
+    target: Hashable
+    weight_ps: int
+    delay: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.weight_ps, int) or isinstance(self.weight_ps, bool):
+            raise GraphError(
+                f"spectral arc {self.source!r} -> {self.target!r} needs an integer "
+                f"picosecond weight, got {type(self.weight_ps).__name__}"
+            )
+        if not isinstance(self.delay, int) or isinstance(self.delay, bool) or self.delay < 0:
+            raise GraphError(
+                f"spectral arc {self.source!r} -> {self.target!r} needs a non-negative "
+                f"integer delay, got {self.delay!r}"
+            )
+
+
+@dataclass(frozen=True)
+class CriticalCycle:
+    """A cycle achieving the maximum cycle ratio."""
+
+    nodes: Tuple[Hashable, ...]
+    weight_ps: int
+    delay: int
+
+    @property
+    def ratio(self) -> Fraction:
+        """Picoseconds gained per iteration around the cycle (= the eigenvalue)."""
+        return Fraction(self.weight_ps, self.delay)
+
+    def describe(self) -> str:
+        path = " -> ".join(str(node) for node in self.nodes)
+        return f"{path} [{self.weight_ps} ps / {self.delay} it = {self.ratio} ps/it]"
+
+
+@dataclass(frozen=True)
+class ComponentSpectrum:
+    """Spectral data of one strongly connected component."""
+
+    nodes: Tuple[Hashable, ...]
+    eigenvalue: Optional[Fraction]
+    critical_cycle: Optional[CriticalCycle]
+
+    @property
+    def is_cyclic(self) -> bool:
+        return self.eigenvalue is not None
+
+
+@dataclass(frozen=True)
+class SpectralAnalysis:
+    """Complete spectral picture of a (max, +) system.
+
+    ``eigenvalue`` is ``None`` for globally acyclic systems (throughput
+    is then input-limited only).  ``eigenvector`` maps the nodes of the
+    critical component to exact :class:`~fractions.Fraction` potentials
+    (normalised so the first critical-cycle node sits at 0); ``x(k) =
+    eigenvector + eigenvalue * k`` is a steady trajectory of the
+    autonomous part of the system.
+    """
+
+    eigenvalue: Optional[Fraction]
+    critical_cycle: Optional[CriticalCycle]
+    components: Tuple[ComponentSpectrum, ...] = ()
+    eigenvector: Mapping[Hashable, Fraction] = field(default_factory=dict)
+
+    @property
+    def is_cyclic(self) -> bool:
+        return self.eigenvalue is not None
+
+    def cycle_time_ps(self, input_period_ps: int = 0) -> Fraction:
+        """Steady inter-output time under a periodic input of the given period."""
+        rate = Fraction(input_period_ps)
+        if self.eigenvalue is not None and self.eigenvalue > rate:
+            rate = self.eigenvalue
+        return rate
+
+
+# ----------------------------------------------------------------------
+# strongly connected components (iterative Tarjan)
+# ----------------------------------------------------------------------
+def strongly_connected_components(
+    adjacency: Mapping[Hashable, Iterable[Hashable]],
+) -> List[List[Hashable]]:
+    """Tarjan's algorithm, iteratively (graphs can outgrow the recursion limit).
+
+    ``adjacency`` maps every node to its successors; nodes appearing only
+    as successors are included.  Components come back in reverse
+    topological order of the condensation (Tarjan's natural order).
+    """
+    successors: Dict[Hashable, List[Hashable]] = {}
+    for node, targets in adjacency.items():
+        successors.setdefault(node, []).extend(targets)
+    for targets in list(successors.values()):
+        for target in targets:
+            successors.setdefault(target, [])
+
+    index_of: Dict[Hashable, int] = {}
+    lowlink: Dict[Hashable, int] = {}
+    on_stack: Dict[Hashable, bool] = {}
+    stack: List[Hashable] = []
+    components: List[List[Hashable]] = []
+    counter = 0
+
+    for root in successors:
+        if root in index_of:
+            continue
+        # Each frame is (node, iterator position into its successor list).
+        work: List[Tuple[Hashable, int]] = [(root, 0)]
+        while work:
+            node, position = work[-1]
+            if position == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            targets = successors[node]
+            while position < len(targets):
+                target = targets[position]
+                position += 1
+                if target not in index_of:
+                    work[-1] = (node, position)
+                    work.append((target, 0))
+                    advanced = True
+                    break
+                if on_stack.get(target):
+                    if index_of[target] < lowlink[node]:
+                        lowlink[node] = index_of[target]
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index_of[node]:
+                component: List[Hashable] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent, parent_position = work[-1]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+                work[-1] = (parent, parent_position)
+    return components
+
+
+# ----------------------------------------------------------------------
+# Karp's algorithm on the token graph of one component
+# ----------------------------------------------------------------------
+class _Memory:
+    """Synthetic node splitting a delay-d arc into d unit-delay hops."""
+
+    __slots__ = ("arc_index", "position")
+
+    def __init__(self, arc_index: int, position: int) -> None:
+        self.arc_index = arc_index
+        self.position = position
+
+    def __hash__(self) -> int:
+        return hash((self.arc_index, self.position))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, _Memory)
+            and other.arc_index == self.arc_index
+            and other.position == self.position
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Memory({self.arc_index}, {self.position})"
+
+
+def _expand_delays(arcs: Sequence[SpectralArc]) -> List[Tuple[Hashable, Hashable, int, int]]:
+    """Rewrite every arc to delay 0 or 1 via synthetic memory nodes."""
+    expanded: List[Tuple[Hashable, Hashable, int, int]] = []
+    for arc_index, arc in enumerate(arcs):
+        if arc.delay <= 1:
+            expanded.append((arc.source, arc.target, arc.weight_ps, arc.delay))
+            continue
+        previous: Hashable = arc.source
+        for position in range(arc.delay - 1):
+            memory = _Memory(arc_index, position)
+            expanded.append((previous, memory, arc.weight_ps if position == 0 else 0, 1))
+            previous = memory
+        expanded.append((previous, arc.target, 0, 1))
+    return expanded
+
+
+def _component_eigenvalue(
+    members: List[Hashable],
+    arcs: List[Tuple[Hashable, Hashable, int, int]],
+) -> Optional[Tuple[Fraction, List[Hashable], int, int]]:
+    """Karp on one SCC; returns (eigenvalue, cycle nodes, cycle weight, cycle delay).
+
+    ``arcs`` are the component-internal expanded arcs (delay 0 or 1).
+    Returns ``None`` when the component contains no cycle.
+    """
+    member_set = set(members)
+    token_arcs = [arc for arc in arcs if arc[3] == 1]
+    if not token_arcs:
+        # A multi-node SCC (or a zero-delay self-loop) with no token
+        # crossing is a zero-delay cycle: the system has no causal order.
+        if len(members) > 1 or any(arc[0] == arc[1] for arc in arcs):
+            raise GraphError(
+                "zero-delay cycle inside a strongly connected component; the "
+                "dependency graph should have rejected this structure"
+            )
+        return None  # a lone node without a self-loop carries no cycle
+
+    # Longest zero-delay paths inside the component (the zero-delay
+    # subgraph is acyclic by construction of the dependency graph).
+    zero_from: Dict[Hashable, List[Tuple[Hashable, int]]] = {node: [] for node in members}
+    zero_indegree: Dict[Hashable, int] = {node: 0 for node in members}
+    for source, target, weight, delay in arcs:
+        if delay == 0:
+            zero_from[source].append((target, weight))
+            zero_indegree[target] += 1
+    topo: List[Hashable] = [node for node in members if zero_indegree[node] == 0]
+    cursor = 0
+    while cursor < len(topo):
+        node = topo[cursor]
+        cursor += 1
+        for target, _ in zero_from[node]:
+            zero_indegree[target] -= 1
+            if zero_indegree[target] == 0:
+                topo.append(target)
+    if len(topo) != len(members):
+        raise GraphError(
+            "zero-delay cycle inside a strongly connected component; the dependency "
+            "graph should have rejected this structure"
+        )
+
+    def zero_longest(source: Hashable) -> Tuple[Dict[Hashable, int], Dict[Hashable, Hashable]]:
+        """Longest zero-delay path weights (and predecessors) from ``source``."""
+        dist: Dict[Hashable, int] = {source: 0}
+        pred: Dict[Hashable, Hashable] = {}
+        for node in topo:
+            base = dist.get(node)
+            if base is None:
+                continue
+            for target, weight in zero_from[node]:
+                candidate = base + weight
+                known = dist.get(target)
+                if known is None or candidate > known:
+                    dist[target] = candidate
+                    pred[target] = node
+        return dist, pred
+
+    # Token graph: nodes are the token-arc targets; one edge per
+    # (zero-delay path, token arc) composition, so every edge costs
+    # exactly one iteration and Karp's cycle mean equals the cycle ratio.
+    heads = sorted({arc[1] for arc in token_arcs}, key=lambda node: str(node))
+    head_index = {node: i for i, node in enumerate(heads)}
+    token_from_tail: Dict[Hashable, List[Tuple[Hashable, int]]] = {}
+    for source, target, weight, _ in token_arcs:
+        token_from_tail.setdefault(source, []).append((target, weight))
+
+    # edges[v] = list of (u, weight, tail) meaning token-graph edge u -> v
+    # realised by a zero-delay path u ..> tail plus a token arc tail -> v.
+    edges_into: List[List[Tuple[int, int, Hashable]]] = [[] for _ in heads]
+    for head in heads:
+        dist, _ = zero_longest(head)
+        for tail, reach in dist.items():
+            for target, weight in token_from_tail.get(tail, ()):  # tail -> target is a token
+                if target in head_index:
+                    edges_into[head_index[target]].append(
+                        (head_index[head], reach + weight, tail)
+                    )
+
+    n = len(heads)
+    # Karp table: D[k][v] = max weight of a k-edge walk source ->* v.
+    previous: List[Optional[int]] = [None] * n
+    previous[0] = 0
+    table: List[List[Optional[int]]] = [list(previous)]
+    for _ in range(n):
+        current: List[Optional[int]] = [None] * n
+        for v in range(n):
+            best: Optional[int] = None
+            for u, weight, _tail in edges_into[v]:
+                base = previous[u]
+                if base is None:
+                    continue
+                candidate = base + weight
+                if best is None or candidate > best:
+                    best = candidate
+            current[v] = best
+        table.append(current)
+        previous = current
+
+    eigenvalue: Optional[Fraction] = None
+    last = table[n]
+    for v in range(n):
+        final = last[v]
+        if final is None:
+            continue
+        worst: Optional[Fraction] = None
+        for k in range(n):
+            base = table[k][v]
+            if base is None:
+                continue
+            ratio = Fraction(final - base, n - k)
+            if worst is None or ratio < worst:
+                worst = ratio
+        if worst is not None and (eigenvalue is None or worst > eigenvalue):
+            eigenvalue = worst
+    if eigenvalue is None:
+        return None  # the source reaches no cycle -> unreachable heads carry them
+    # Karp's maximum is over cycles reachable from the source; inside one
+    # SCC every cycle is reachable, so ``eigenvalue`` is the component's.
+
+    # Potentials p(v) = max over walk lengths of (weight - k * eigenvalue);
+    # every critical cycle is tight under the reduced weights, so a cycle
+    # search over tight token-graph edges must find one.
+    potential: List[Optional[Fraction]] = [None] * n
+    for v in range(n):
+        for k in range(n + 1):
+            base = table[k][v]
+            if base is None:
+                continue
+            reduced = base - eigenvalue * k
+            if potential[v] is None or reduced > potential[v]:
+                potential[v] = reduced
+    tight_from: List[List[Tuple[int, Hashable]]] = [[] for _ in heads]
+    for v in range(n):
+        if potential[v] is None:
+            continue
+        for u, weight, tail in edges_into[v]:
+            if potential[u] is None:
+                continue
+            if potential[u] + weight - eigenvalue == potential[v]:
+                tight_from[u].append((v, tail))
+
+    cycle = _tight_cycle(tight_from)
+    if cycle is None:  # pragma: no cover - contradicts the tightness theorem
+        raise GraphError("no tight cycle found for the computed maximum cycle ratio")
+
+    # Expand the token-graph cycle back to the underlying node sequence.
+    nodes: List[Hashable] = []
+    weight_total = 0
+    delay_total = 0
+    for position, (u, v, tail) in enumerate(cycle):
+        head = heads[u]
+        dist, pred = zero_longest(head)
+        # Reconstruct the zero-delay path head ..> tail.
+        path: List[Hashable] = [tail]
+        while path[-1] != head:
+            path.append(pred[path[-1]])
+        path.reverse()
+        if position == 0:
+            nodes.extend(path)
+        else:
+            nodes.extend(path[1:])
+        nodes.append(heads[v])
+        # Parallel token arcs tail -> head share the tight slot only when
+        # their weights tie, so the maximum is the tight one.
+        weight_total += dist[tail] + max(
+            weight for target, weight in token_from_tail[tail] if target == heads[v]
+        )
+        delay_total += 1
+    return eigenvalue, nodes, weight_total, delay_total
+
+
+def _tight_cycle(
+    tight_from: List[List[Tuple[int, Hashable]]],
+) -> Optional[List[Tuple[int, int, Hashable]]]:
+    """A cycle in the tight subgraph, as ``(u, v, tail)`` edges."""
+    n = len(tight_from)
+    color = [0] * n  # 0 unvisited, 1 on stack, 2 done
+    for root in range(n):
+        if color[root]:
+            continue
+        path: List[Tuple[int, int]] = [(root, 0)]
+        color[root] = 1
+        while path:
+            node, position = path[-1]
+            if position < len(tight_from[node]):
+                target, tail = tight_from[node][position]
+                path[-1] = (node, position + 1)
+                if color[target] == 1:
+                    # Found a cycle: slice the stack from ``target`` onwards.
+                    start = next(i for i, (member, _) in enumerate(path) if member == target)
+                    members = [member for member, _ in path[start:]]
+                    edges: List[Tuple[int, int, Hashable]] = []
+                    for i, member in enumerate(members):
+                        successor = members[(i + 1) % len(members)]
+                        for candidate, candidate_tail in tight_from[member]:
+                            if candidate == successor:
+                                edges.append((member, successor, candidate_tail))
+                                break
+                    return edges
+                if color[target] == 0:
+                    color[target] = 1
+                    path.append((target, 0))
+            else:
+                color[node] = 2
+                path.pop()
+    return None
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+def maximum_cycle_ratio(arcs: Iterable[SpectralArc]) -> SpectralAnalysis:
+    """Exact maximum cycle ratio (and critical cycle) of a weighted delay graph.
+
+    Handles reducible graphs: components are analysed independently and
+    the global eigenvalue is the maximum over them.  Raises
+    :class:`~repro.errors.GraphError` on zero-delay cycles (such a system
+    has no causal evaluation order).
+    """
+    arc_list = [
+        arc if isinstance(arc, SpectralArc) else SpectralArc(*arc) for arc in arcs
+    ]
+    expanded = _expand_delays(arc_list)
+    adjacency: Dict[Hashable, List[Hashable]] = {}
+    for source, target, _, _ in expanded:
+        adjacency.setdefault(source, []).append(target)
+        adjacency.setdefault(target, [])
+
+    components = strongly_connected_components(adjacency)
+    member_component: Dict[Hashable, int] = {}
+    for index, component in enumerate(components):
+        for node in component:
+            member_component[node] = index
+    internal: Dict[int, List[Tuple[Hashable, Hashable, int, int]]] = {}
+    for source, target, weight, delay in expanded:
+        index = member_component[source]
+        if member_component[target] == index:
+            internal.setdefault(index, []).append((source, target, weight, delay))
+
+    spectra: List[ComponentSpectrum] = []
+    best: Optional[Tuple[Fraction, List[Hashable], int, int]] = None
+    for index, component in enumerate(components):
+        visible = tuple(node for node in component if not isinstance(node, _Memory))
+        if not visible:
+            continue
+        result = _component_eigenvalue(component, internal.get(index, []))
+        if result is None:
+            spectra.append(ComponentSpectrum(visible, None, None))
+            continue
+        eigenvalue, cycle_nodes, weight_total, delay_total = result
+        cycle = CriticalCycle(
+            nodes=tuple(node for node in cycle_nodes if not isinstance(node, _Memory)),
+            weight_ps=weight_total,
+            delay=delay_total,
+        )
+        spectra.append(ComponentSpectrum(visible, eigenvalue, cycle))
+        if best is None or eigenvalue > best[0]:
+            best = (eigenvalue, cycle_nodes, weight_total, delay_total)
+
+    if best is None:
+        return SpectralAnalysis(None, None, tuple(spectra), {})
+
+    eigenvalue, cycle_nodes, weight_total, delay_total = best
+    critical = CriticalCycle(
+        nodes=tuple(node for node in cycle_nodes if not isinstance(node, _Memory)),
+        weight_ps=weight_total,
+        delay=delay_total,
+    )
+    eigenvector = _eigenvector(expanded, member_component, cycle_nodes, eigenvalue)
+    return SpectralAnalysis(eigenvalue, critical, tuple(spectra), eigenvector)
+
+
+def _eigenvector(
+    expanded: List[Tuple[Hashable, Hashable, int, int]],
+    member_component: Dict[Hashable, int],
+    cycle_nodes: List[Hashable],
+    eigenvalue: Fraction,
+) -> Dict[Hashable, Fraction]:
+    """Longest-path potentials from a critical node under reduced weights.
+
+    Restricted to the critical component, where the reduced weights
+    ``w - eigenvalue * d`` admit no positive cycle, so longest paths are
+    finite and stabilise within ``|component|`` relaxation rounds.
+    """
+    anchor = cycle_nodes[0]
+    component = member_component[anchor]
+    arcs = [
+        (source, target, Fraction(weight) - eigenvalue * delay)
+        for source, target, weight, delay in expanded
+        if member_component[source] == component and member_component[target] == component
+    ]
+    members = {node for node in member_component if member_component[node] == component}
+    potential: Dict[Hashable, Fraction] = {anchor: Fraction(0)}
+    for _ in range(len(members)):
+        changed = False
+        for source, target, reduced in arcs:
+            base = potential.get(source)
+            if base is None:
+                continue
+            candidate = base + reduced
+            known = potential.get(target)
+            if known is None or candidate > known:
+                potential[target] = candidate
+                changed = True
+        if not changed:
+            break
+    return {
+        node: value
+        for node, value in potential.items()
+        if not isinstance(node, _Memory)
+    }
+
+
+def spectral_analysis(
+    graph: Any,
+    weight_of: Optional[Callable[[Any], int]] = None,
+) -> SpectralAnalysis:
+    """Spectral analysis of a :class:`~repro.tdg.graph.TemporalDependencyGraph`.
+
+    Requires constant arc weights unless ``weight_of`` is given, in which
+    case it is called per arc and must return the arc's (constant)
+    integer-picosecond weight -- the hook the steady-state evaluator uses
+    for tabulated duration streams it has proven constant.
+    """
+    arcs: List[SpectralArc] = []
+    for arc in graph.arcs:
+        if weight_of is not None:
+            weight = int(weight_of(arc))
+        elif arc.is_constant:
+            weight = arc.constant_weight.picoseconds
+        else:
+            raise GraphError(
+                f"arc {arc.source.name!r} -> {arc.target.name!r} has a data-dependent "
+                "weight; spectral analysis needs constant weights (pass weight_of "
+                "to resolve tabulated streams)"
+            )
+        arcs.append(SpectralArc(arc.source.name, arc.target.name, weight, arc.delay))
+    return maximum_cycle_ratio(arcs)

@@ -78,6 +78,19 @@ class DependencyArc:
             f"got {type(weight).__name__}"
         )
 
+    def set_weight(self, weight: WeightLike) -> None:
+        """Replace the arc weight in place (both weight kinds are reset first).
+
+        This is the incremental-specialisation hook: a candidate that only
+        moved a function to a different resource swaps the affected duration
+        weights instead of rebuilding the graph.  Never call it while an
+        evaluator built on the graph is still in use -- evaluators pre-compile
+        the weight plan at construction.
+        """
+        self._constant_ps = None
+        self._weight_fn = None
+        self._set_weight(weight)
+
     # -- evaluation ---------------------------------------------------------
     @property
     def is_constant(self) -> bool:

@@ -20,7 +20,7 @@ expression" of equations (7)-(10)).
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..errors import GraphError
 from ..maxplus.matrix import MaxPlusMatrix
@@ -91,6 +91,39 @@ class TemporalDependencyGraph:
         self._arcs_from[arc.source.name].append(arc)
         self._topo_cache = None
         return arc
+
+    def remove_arcs(self, arcs: Iterable[DependencyArc]) -> int:
+        """Remove the given arcs from the graph; returns how many were removed.
+
+        Arcs that do not belong to the graph raise
+        :class:`~repro.errors.GraphError` (removing a foreign arc silently
+        would hide an incremental-specialisation bookkeeping bug).  Used by
+        the compiled DSE evaluator to re-propagate only the schedule arcs of
+        resources whose service order actually changed between candidates.
+        """
+        doomed = set(map(id, arcs))
+        if not doomed:
+            return 0
+        known = set(map(id, self._arcs))
+        foreign = doomed - known
+        if foreign:
+            raise GraphError(
+                f"cannot remove {len(foreign)} arc(s) that do not belong to "
+                f"graph {self.name!r}"
+            )
+        touched_targets = {arc.target.name for arc in self._arcs if id(arc) in doomed}
+        touched_sources = {arc.source.name for arc in self._arcs if id(arc) in doomed}
+        self._arcs = [arc for arc in self._arcs if id(arc) not in doomed]
+        for name in touched_targets:
+            self._arcs_into[name] = [
+                arc for arc in self._arcs_into[name] if id(arc) not in doomed
+            ]
+        for name in touched_sources:
+            self._arcs_from[name] = [
+                arc for arc in self._arcs_from[name] if id(arc) not in doomed
+            ]
+        self._topo_cache = None
+        return len(doomed)
 
     # ------------------------------------------------------------------
     # lookup

@@ -43,7 +43,13 @@ Quickstart
 
 from .convergence import ConvergenceTrace, render_convergence
 from .export import chrome_trace, render_summary, write_chrome_trace
-from .ledger import DEFAULT_LEDGER_PATH, RunLedger, default_ledger_path, group_by_key
+from .ledger import (
+    DEFAULT_LEDGER_PATH,
+    CompactionReport,
+    RunLedger,
+    default_ledger_path,
+    group_by_key,
+)
 from .manifest import MANIFEST_SCHEMA, RunManifest, fold_snapshot, platform_fingerprint
 from .metrics import DurationHistogram
 from .regress import (
@@ -51,6 +57,10 @@ from .regress import (
     DEFAULT_SENSITIVITY,
     DEFAULT_WINDOW,
     METRIC_DIRECTIONS,
+    STATUS_IMPROVED,
+    STATUS_NO_BASELINE,
+    STATUS_OK,
+    STATUS_REGRESSED,
     MetricVerdict,
     RunVerdict,
     classify_run,
@@ -80,6 +90,7 @@ __all__ = [
     "render_summary",
     "write_chrome_trace",
     "DEFAULT_LEDGER_PATH",
+    "CompactionReport",
     "RunLedger",
     "default_ledger_path",
     "group_by_key",
@@ -91,6 +102,10 @@ __all__ = [
     "DEFAULT_SENSITIVITY",
     "DEFAULT_WINDOW",
     "METRIC_DIRECTIONS",
+    "STATUS_IMPROVED",
+    "STATUS_NO_BASELINE",
+    "STATUS_OK",
+    "STATUS_REGRESSED",
     "MetricVerdict",
     "RunVerdict",
     "classify_run",

@@ -22,13 +22,19 @@ from __future__ import annotations
 import json
 import logging
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import ModelError
 from .manifest import RunManifest
 
-__all__ = ["DEFAULT_LEDGER_PATH", "RunLedger", "default_ledger_path"]
+__all__ = [
+    "DEFAULT_LEDGER_PATH",
+    "CompactionReport",
+    "RunLedger",
+    "default_ledger_path",
+]
 
 _LOG = logging.getLogger("repro.telemetry.ledger")
 
@@ -131,11 +137,83 @@ class RunLedger:
             manifests = manifests[-last:]
         return manifests
 
+    def compact(self, keep_last: int, dry_run: bool = False) -> "CompactionReport":
+        """Drop all but the last ``keep_last`` runs of every comparison group.
+
+        Groups are the regression sentinel's comparison keys (problem +
+        configuration family, see :attr:`RunManifest.comparison_key`), so
+        compaction never deletes the recent history any trend or verdict
+        reads -- it only sheds the long tail.  The rewrite is atomic (a
+        sibling temp file replaced over the original); chronological append
+        order is preserved among the kept manifests.  Corrupt JSONL lines
+        and manifests with an unsupported schema version cannot be carried
+        over and are dropped too, counted separately in the report.  With
+        ``dry_run=True`` nothing is written -- the report describes what a
+        real compaction would do.
+        """
+        if keep_last < 1:
+            raise ModelError("compaction must keep at least one run per group")
+        manifests = self.load()
+        keep: List[RunManifest] = []
+        kept_ids = set()
+        group_rows: List[Dict[str, object]] = []
+        for key, group in group_by_key(manifests).items():
+            kept_group = group[-keep_last:]
+            kept_ids.update(id(manifest) for manifest in kept_group)
+            group_rows.append(
+                {
+                    "key": key,
+                    "kind": group[-1].kind,
+                    "label": group[-1].label,
+                    "runs": len(group),
+                    "kept": len(kept_group),
+                    "dropped": len(group) - len(kept_group),
+                }
+            )
+        keep = [manifest for manifest in manifests if id(manifest) in kept_ids]
+        report = CompactionReport(
+            path=self._path,
+            keep_last=keep_last,
+            dry_run=dry_run,
+            total=len(manifests),
+            kept=len(keep),
+            dropped=len(manifests) - len(keep),
+            corrupt_dropped=self.skipped_lines,
+            incompatible_dropped=self.incompatible_lines,
+            groups=tuple(group_rows),
+        )
+        if dry_run or not self._path.exists():
+            return report
+        tmp = self._path.with_name(self._path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for manifest in keep:
+                handle.write(json.dumps(manifest.to_record(), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._path)
+        return report
+
     def __len__(self) -> int:
         return len(self.load())
 
     def __repr__(self) -> str:
         return f"RunLedger({self._path})"
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What :meth:`RunLedger.compact` did (or, under ``dry_run``, would do)."""
+
+    path: Path
+    keep_last: int
+    dry_run: bool
+    total: int
+    kept: int
+    dropped: int
+    corrupt_dropped: int = 0
+    incompatible_dropped: int = 0
+    #: One row per comparison group: key, kind, label, runs, kept, dropped.
+    groups: Tuple[Dict[str, object], ...] = ()
 
 
 def group_by_key(manifests: Iterable[RunManifest]) -> Dict[str, List[RunManifest]]:

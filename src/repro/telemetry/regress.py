@@ -45,6 +45,10 @@ __all__ = [
     "METRIC_DIRECTIONS",
     "MetricVerdict",
     "RunVerdict",
+    "STATUS_IMPROVED",
+    "STATUS_NO_BASELINE",
+    "STATUS_OK",
+    "STATUS_REGRESSED",
     "classify_run",
     "latest_verdicts",
     "median",

@@ -191,8 +191,8 @@ class TestCliResume:
         # The store scan visits digest-sorted, not first-evaluation, order, so
         # objective ties may elect a different representative -- the front's
         # vector set is the well-defined invariant.
-        front, _, problems, contexts = front_from_store(ResultStore(tmp_path / "s.jsonl"))
-        straight_front, _, _, _ = front_from_store(ResultStore(straight_dir / "s.jsonl"))
+        front, _, problems, contexts, _ = front_from_store(ResultStore(tmp_path / "s.jsonl"))
+        straight_front, _, _, _, _ = front_from_store(ResultStore(straight_dir / "s.jsonl"))
         assert problems == {"didactic"}
         assert len(contexts) == 1  # one problem parameterisation in the store
         assert front.vectors() == straight_front.vectors()

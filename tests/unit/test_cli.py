@@ -377,6 +377,46 @@ class TestDseCommands:
         infeasible = int(re.search(r"(\d+) infeasible", output).group(1))
         assert infeasible > 0
 
+    def test_dse_run_steady_front_matches_replay(self, tmp_path, capsys):
+        base = ["dse", "run", "--problem", "didactic-periodic", "--budget", "16",
+                "--items", "8", "--seed", "3"]
+        summaries = {}
+        for mode in ("replay", "steady"):
+            store = str(tmp_path / f"{mode}.jsonl")
+            assert main(base + ["--store", store, "--evaluator", mode]) == 0
+            run_out = capsys.readouterr().out
+            assert f"evaluator {mode!r}" in run_out
+            assert main(["dse", "front", "--store", store]) == 0
+            front_out = capsys.readouterr().out
+            assert f"evaluator mode(s): {mode}" in front_out
+            summaries[mode] = re.search(
+                r"front size \d+, hypervolume [\d.]+", front_out
+            ).group(0)
+        assert summaries["steady"] == summaries["replay"]
+
+    def test_dse_front_warns_on_mixed_evaluator_modes(self, tmp_path, capsys):
+        store = str(tmp_path / "mixed.jsonl")
+        for seed, mode in (("3", "replay"), ("4", "steady")):
+            assert main(["dse", "run", "--problem", "didactic-periodic",
+                         "--budget", "12", "--items", "6", "--seed", seed,
+                         "--store", store, "--evaluator", mode]) == 0
+        capsys.readouterr()
+        assert main(["dse", "front", "--store", store]) == 0
+        captured = capsys.readouterr()
+        assert "evaluator mode(s): replay+steady" in captured.out
+        assert "mixes evaluator modes" in captured.err
+
+    def test_dse_show_reports_stored_evaluator_counts(self, tmp_path, capsys):
+        store = str(tmp_path / "dse.jsonl")
+        assert main(["dse", "run", "--problem", "didactic-periodic",
+                     "--budget", "10", "--items", "6", "--seed", "3",
+                     "--store", store, "--evaluator", "steady"]) == 0
+        capsys.readouterr()
+        assert main(["dse", "show", "didactic-periodic", "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert f"stored records in {store}:" in output
+        assert "steady" in output
+
 
 class TestObsLedgerCommands:
     """The run ledger and the ``obs runs/trend/diff/regressions`` family."""
@@ -520,3 +560,66 @@ class TestObsLedgerCommands:
         assert manifest.metric("wall_time_s") > 0
         assert manifest.telemetry["counters"]["campaign.jobs"] == 1
         assert not telemetry.enabled()
+
+    def _seed_family(self, ledger, values, label="didactic"):
+        from repro import telemetry
+
+        store = telemetry.RunLedger(ledger)
+        for value in values:
+            store.append(
+                telemetry.RunManifest.build(
+                    kind="dse",
+                    label=label,
+                    parameters={"items": 6},
+                    config={"strategy": "random"},
+                    metrics={"candidates_per_s": value},
+                    wall_time_s=1.0,
+                )
+            )
+        return store
+
+    def test_obs_trend_marks_the_regression_onset(self, tmp_path, capsys):
+        from repro import telemetry
+
+        ledger = str(tmp_path / "ledger.jsonl")
+        store = self._seed_family(ledger, [100.0] * 6 + [50.0, 52.0])
+        onset = store.load()[6]
+        assert main(["obs", "trend", "candidates_per_s", "--ledger", ledger]) == 0
+        output = capsys.readouterr().out
+        row = [line for line in output.splitlines() if "dse/didactic" in line][0]
+        assert "regressed" in row
+        assert "!" in row
+        assert onset.run_id[:10] in row  # the 'since' column names the onset run
+        assert "regression streak started" in output
+        # A healthy family renders without any sentinel mark.
+        healthy = str(tmp_path / "healthy.jsonl")
+        self._seed_family(healthy, [100.0, 101.0, 100.0], label="chain")
+        capsys.readouterr()
+        assert main(["obs", "trend", "candidates_per_s", "--ledger", healthy]) == 0
+        output = capsys.readouterr().out
+        row = [line for line in output.splitlines() if "dse/chain" in line][0]
+        assert "ok" in row and "!" not in row
+        assert "regression streak started" not in output
+
+    def test_obs_gc_dry_run_then_compacts(self, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        ledger = str(ledger_path)
+        self._seed_family(ledger, [100.0] * 5, label="didactic")
+        self._seed_family(ledger, [50.0] * 2, label="chain")
+        assert main(["obs", "gc", "--ledger", ledger, "--keep", "2", "--dry-run"]) == 0
+        output = capsys.readouterr().out
+        assert "would keep 4 of 7" in output
+        assert "dry run: the ledger was not modified" in output
+        assert len(ledger_path.read_text().strip().splitlines()) == 7
+        assert main(["obs", "gc", "--ledger", ledger, "--keep", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "kept 4 of 7" in output
+        assert "dse/didactic" in output and "dse/chain" in output
+        assert len(ledger_path.read_text().strip().splitlines()) == 4
+        # The compacted ledger still reads normally.
+        assert main(["obs", "runs", "--ledger", ledger]) == 0
+        assert "4 run(s)" in capsys.readouterr().out
+
+    def test_obs_gc_empty_ledger_is_nonzero(self, tmp_path, capsys):
+        assert main(["obs", "gc", "--ledger", str(tmp_path / "none.jsonl")]) == 1
+        assert "no runs recorded" in capsys.readouterr().err

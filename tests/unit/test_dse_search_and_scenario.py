@@ -48,7 +48,15 @@ def observed(candidate, latency_us: float, resources: float, feasible: bool = Tr
 
 class TestProblems:
     def test_registry_contents(self):
-        assert problem_names() == ["chain", "didactic", "fork", "lte"]
+        assert problem_names() == [
+            "chain",
+            "chain-periodic",
+            "didactic",
+            "didactic-periodic",
+            "fork",
+            "lte",
+            "lte-periodic",
+        ]
         with pytest.raises(ModelError, match="unknown design problem"):
             get_problem("nope")
 

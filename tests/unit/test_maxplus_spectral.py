@@ -1,0 +1,201 @@
+"""Unit tests for (max, +) spectral analysis (``repro.maxplus.spectral``).
+
+Karp's maximum cycle ratio on known graphs, delay expansion, SCC
+condensation of reducible systems, critical-cycle extraction, the
+eigenvector inequality, and the :func:`spectral_analysis` bridge from a
+temporal dependency graph (including the data-dependent-weight refusal
+and the ``weight_of`` escape hatch).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GraphError
+from repro.kernel.simtime import Duration
+from repro.maxplus import (
+    SpectralArc,
+    maximum_cycle_ratio,
+    spectral_analysis,
+    strongly_connected_components,
+)
+from repro.tdg import TemporalDependencyGraph
+
+
+class TestStronglyConnectedComponents:
+    def test_two_cycles_and_a_bridge(self):
+        adjacency = {
+            "a": ["b"],
+            "b": ["a", "c"],
+            "c": ["d"],
+            "d": ["c"],
+        }
+        components = {
+            frozenset(component)
+            for component in strongly_connected_components(adjacency)
+        }
+        assert components == {frozenset({"a", "b"}), frozenset({"c", "d"})}
+
+    def test_nodes_appearing_only_as_successors_are_included(self):
+        components = strongly_connected_components({"a": ["b"]})
+        assert {frozenset(c) for c in components} == {
+            frozenset({"a"}),
+            frozenset({"b"}),
+        }
+
+    def test_reverse_topological_order_of_the_condensation(self):
+        # a -> b -> c: Tarjan emits sinks first.
+        order = strongly_connected_components({"a": ["b"], "b": ["c"], "c": []})
+        assert order == [["c"], ["b"], ["a"]]
+
+
+class TestMaximumCycleRatio:
+    def test_self_loop(self):
+        analysis = maximum_cycle_ratio([SpectralArc("a", "a", 5, 1)])
+        assert analysis.eigenvalue == Fraction(5)
+        assert analysis.critical_cycle.ratio == Fraction(5)
+        assert set(analysis.critical_cycle.nodes) == {"a"}
+
+    def test_two_node_cycle_mixing_delays(self):
+        # a -(3, delay 0)-> b -(4, delay 1)-> a: 7 ps per iteration.
+        analysis = maximum_cycle_ratio(
+            [SpectralArc("a", "b", 3, 0), SpectralArc("b", "a", 4, 1)]
+        )
+        assert analysis.eigenvalue == Fraction(7)
+        assert analysis.critical_cycle.weight_ps == 7
+        assert analysis.critical_cycle.delay == 1
+
+    def test_karp_known_graph(self):
+        # Cycle 1->2->3->1 has mean 6/3; the chord 2->1 makes 1->2->1
+        # the critical cycle with mean 11/2.
+        arcs = [
+            SpectralArc(1, 2, 1, 1),
+            SpectralArc(2, 3, 3, 1),
+            SpectralArc(3, 1, 2, 1),
+            SpectralArc(2, 1, 10, 1),
+        ]
+        analysis = maximum_cycle_ratio(arcs)
+        assert analysis.eigenvalue == Fraction(11, 2)
+        assert set(analysis.critical_cycle.nodes) >= {1, 2}
+        assert 3 not in set(analysis.critical_cycle.nodes)
+        assert analysis.critical_cycle.weight_ps == 11
+        assert analysis.critical_cycle.delay == 2
+
+    def test_multi_token_delay_expansion(self):
+        # One cycle, 5 ps of work, 3 tokens: lambda = 5/3, and the
+        # synthetic memory nodes stay invisible in the reported cycle.
+        analysis = maximum_cycle_ratio(
+            [SpectralArc("a", "b", 2, 0), SpectralArc("b", "a", 3, 3)]
+        )
+        assert analysis.eigenvalue == Fraction(5, 3)
+        assert set(analysis.critical_cycle.nodes) <= {"a", "b"}
+        assert analysis.critical_cycle.delay == 3
+
+    def test_reducible_system_takes_the_component_maximum(self):
+        # Two cyclic SCCs joined by an acyclic bridge node.
+        arcs = [
+            SpectralArc("a", "a", 2, 1),
+            SpectralArc("a", "bridge", 100, 0),
+            SpectralArc("bridge", "b", 100, 0),
+            SpectralArc("b", "b", 7, 2),
+        ]
+        analysis = maximum_cycle_ratio(arcs)
+        # max(2/1, 7/2) = 7/2; the heavy acyclic path does not count.
+        assert analysis.eigenvalue == Fraction(7, 2)
+        assert set(analysis.critical_cycle.nodes) == {"b"}
+        by_nodes = {component.nodes: component for component in analysis.components}
+        assert by_nodes[("bridge",)].is_cyclic is False
+        eigenvalues = {
+            component.eigenvalue
+            for component in analysis.components
+            if component.is_cyclic
+        }
+        assert eigenvalues == {Fraction(2), Fraction(7, 2)}
+
+    def test_acyclic_graph_has_no_eigenvalue(self):
+        analysis = maximum_cycle_ratio(
+            [SpectralArc("a", "b", 5, 0), SpectralArc("b", "c", 5, 1)]
+        )
+        assert analysis.eigenvalue is None
+        assert analysis.critical_cycle is None
+        assert not analysis.is_cyclic
+        # Input-limited only: the cycle time is the input period.
+        assert analysis.cycle_time_ps(250) == Fraction(250)
+
+    def test_cycle_time_is_max_of_eigenvalue_and_period(self):
+        analysis = maximum_cycle_ratio([SpectralArc("a", "a", 10, 1)])
+        assert analysis.cycle_time_ps(4) == Fraction(10)
+        assert analysis.cycle_time_ps(25) == Fraction(25)
+
+    def test_eigenvector_satisfies_the_reduced_inequality(self):
+        arcs = [
+            SpectralArc("a", "b", 3, 0),
+            SpectralArc("b", "c", 2, 1),
+            SpectralArc("c", "a", 4, 1),
+            SpectralArc("b", "a", 1, 1),
+        ]
+        analysis = maximum_cycle_ratio(arcs)
+        lam = analysis.eigenvalue
+        assert lam == Fraction(9, 2)
+        vector = analysis.eigenvector
+        assert set(vector) == {"a", "b", "c"}
+        # Longest-path potentials: v[t] >= v[s] + w - lambda * d, tight
+        # along the critical cycle -- so x(k) = v + lambda*k is steady.
+        for arc in arcs:
+            assert (
+                vector[arc.target]
+                >= vector[arc.source] + arc.weight_ps - lam * arc.delay
+            )
+        critical = set(analysis.critical_cycle.nodes)
+        for arc in arcs:
+            if arc.source in critical and arc.target in critical:
+                pass  # tightness holds cycle-wise, checked via the ratio below
+        assert analysis.critical_cycle.ratio == lam
+
+    def test_zero_delay_cycle_is_rejected(self):
+        with pytest.raises(GraphError, match="zero-delay cycle"):
+            maximum_cycle_ratio(
+                [SpectralArc("a", "b", 1, 0), SpectralArc("b", "a", 1, 0)]
+            )
+
+    def test_arc_validation(self):
+        with pytest.raises(GraphError, match="integer picosecond weight"):
+            SpectralArc("a", "b", 1.5, 0)
+        with pytest.raises(GraphError, match="non-negative"):
+            SpectralArc("a", "b", 1, -1)
+
+    def test_bare_tuples_are_accepted(self):
+        analysis = maximum_cycle_ratio([("a", "a", 6, 2)])
+        assert analysis.eigenvalue == Fraction(3)
+
+
+class TestSpectralAnalysisOfGraphs:
+    def build(self, feedback_weight=Duration(4)):
+        graph = TemporalDependencyGraph("spectral")
+        graph.add_input("u")
+        graph.add_internal("x")
+        graph.add_output("y")
+        graph.add_arc("u", "x", Duration(2))
+        graph.add_arc("x", "y", Duration(3))
+        graph.add_arc("y", "x", feedback_weight, delay=1)
+        return graph
+
+    def test_matches_the_arc_level_analysis(self):
+        analysis = spectral_analysis(self.build())
+        assert analysis.eigenvalue == Fraction(7)
+        assert set(analysis.critical_cycle.nodes) <= {"x", "y"}
+
+    def test_data_dependent_weight_is_refused(self):
+        graph = self.build(feedback_weight=lambda k, context: Duration(4))
+        with pytest.raises(GraphError, match="data-dependent"):
+            spectral_analysis(graph)
+
+    def test_weight_of_resolves_tabulated_streams(self):
+        graph = self.build(feedback_weight=lambda k, context: Duration(4))
+        analysis = spectral_analysis(
+            graph,
+            weight_of=lambda arc: (
+                4 if not arc.is_constant else arc.constant_weight.picoseconds
+            ),
+        )
+        assert analysis.eigenvalue == Fraction(7)
