@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Regenerate ``docs/cli.md`` from the live argparse tree.
+
+The CLI reference is *generated*, never hand-edited: every section is the
+``--help`` output of one (sub)command of :func:`repro.cli.build_parser`,
+so the document can never drift from the parser.  ``tests/unit
+/test_docs_cli.py`` closes the loop by validating every fenced command in
+the generated document against the same parser tree.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/gen_cli_docs.py
+
+The help text is rendered at a fixed 80-column width so regeneration is
+deterministic across terminals.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+os.environ["COLUMNS"] = "80"  # before argparse consults the terminal size
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import build_parser  # noqa: E402
+
+HEADER = """\
+# CLI reference
+
+Every command below is the ``--help`` output of the corresponding
+`repro` subcommand.  **This file is generated** by
+`scripts/gen_cli_docs.py` from the live argparse tree -- regenerate it
+after changing `src/repro/cli.py`; do not edit it by hand
+(`tests/unit/test_docs_cli.py` validates every fenced command against
+the parser).
+
+Without `pip install -e .`, spell `repro` as
+`PYTHONPATH=src python -m repro.cli`.
+"""
+
+
+def subcommands(parser: argparse.ArgumentParser):
+    """Yield ``(path, parser)`` for the parser and every nested subcommand."""
+    yield (), parser
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            seen = set()
+            for name, child in action.choices.items():
+                if id(child) in seen:  # aliases share one parser
+                    continue
+                seen.add(id(child))
+                for path, grandchild in subcommands(child):
+                    yield (name, *path), grandchild
+
+
+def render() -> str:
+    sections = [HEADER]
+    for path, parser in subcommands(build_parser()):
+        title = " ".join(("repro", *path))
+        level = "##" if len(path) <= 1 else "###"
+        sections.append(f"{level} `{title}`\n")
+        sections.append("```console")
+        sections.append(f"$ {title} --help")
+        sections.append(parser.format_help().rstrip())
+        sections.append("```\n")
+    return "\n".join(sections)
+
+
+def main() -> int:
+    target = Path(__file__).resolve().parent.parent / "docs" / "cli.md"
+    target.parent.mkdir(exist_ok=True)
+    target.write_text(render(), encoding="utf-8")
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

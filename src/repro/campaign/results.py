@@ -64,6 +64,11 @@ class JobResult:
     #: records written before the field existed.  Provenance only -- never
     #: part of any digest.
     evaluator: Optional[str] = None
+    #: Array backend that swept a DSE job's instants (``"python"`` or
+    #: ``"numpy"``); ``None`` for speed-up jobs and for records written
+    #: before the field existed.  Provenance only -- never part of any
+    #: digest.
+    backend: Optional[str] = None
     #: Per-job telemetry snapshot recorded in the worker's collect() scope
     #: (see :mod:`repro.telemetry`); ``None`` unless the coordinating run had
     #: telemetry enabled.  Run provenance -- stripped before a record enters
@@ -155,6 +160,8 @@ class JobResult:
             record["metrics"] = dict(self.metrics)
         if self.evaluator is not None:
             record["evaluator"] = self.evaluator
+        if self.backend is not None:
+            record["backend"] = self.backend
         if self.telemetry:
             record["telemetry"] = dict(self.telemetry)
         return record
@@ -184,6 +191,7 @@ class JobResult:
                 output_instants=tuple(instants) if instants is not None else None,
                 metrics=dict(record.get("metrics") or {}),
                 evaluator=record.get("evaluator"),
+                backend=record.get("backend"),
                 telemetry=record.get("telemetry"),
             )
         except KeyError as missing:

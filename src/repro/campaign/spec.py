@@ -30,7 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..errors import CampaignError
 
@@ -100,6 +100,11 @@ class ScenarioSpec:
     #: runs requesting another -- like ``record_instants``, it is execution
     #: strategy, not experiment identity.
     evaluator: str = "replay"
+    #: Array backend request for DSE scenarios (``None``/``"auto"`` to
+    #: auto-detect, or ``"python"``/``"numpy"``).  Excluded from the digest
+    #: for the same reason as ``evaluator``: both backends are certified
+    #: bit-identical, so the backend is execution strategy, not identity.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.scenario:
@@ -110,6 +115,11 @@ class ScenarioSpec:
             raise CampaignError(
                 f"unknown evaluator mode {self.evaluator!r}; "
                 "expected 'replay', 'steady' or 'auto'"
+            )
+        if self.backend not in (None, "auto", "python", "numpy"):
+            raise CampaignError(
+                f"unknown backend {self.backend!r}; "
+                "expected 'auto', 'python' or 'numpy'"
             )
         object.__setattr__(self, "parameters", _normalise(dict(self.parameters)))
 
@@ -168,6 +178,7 @@ class JobSpec:
             "replications": self.spec.replications,
             "record_instants": self.spec.record_instants,
             "evaluator": self.spec.evaluator,
+            "backend": self.spec.backend,
         }
 
     @classmethod
@@ -180,6 +191,7 @@ class JobSpec:
                 replications=payload.get("replications", 1),
                 record_instants=payload.get("record_instants", False),
                 evaluator=payload.get("evaluator", "replay"),
+                backend=payload.get("backend"),
             )
             return cls(spec=spec, replication=payload["replication"])
         except KeyError as missing:

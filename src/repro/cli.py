@@ -193,6 +193,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(identical objectives, per-candidate fallback to replay when the "
         "problem does not qualify), 'auto' is steady-whenever-possible",
     )
+    dse_run.add_argument(
+        "--backend",
+        default=None,
+        choices=["auto", "python", "numpy"],
+        help="array backend for the batched replay sweep: 'python' is the "
+        "zero-dependency reference, 'numpy' vectorises across the candidates "
+        "of a generation (bit-identical results), 'auto' picks numpy when "
+        "importable; default: auto-detect per worker",
+    )
     dse_run.add_argument("--items", type=int, default=None, help="data items per evaluation")
     dse_run.add_argument(
         "--max-resources", type=int, default=None, help="resource-count constraint"
@@ -804,6 +813,7 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
         progress=_dse_progress if _want_progress(arguments) else None,
         ledger=None if arguments.no_ledger else telemetry.RunLedger(arguments.ledger),
         evaluator=arguments.evaluator,
+        backend=arguments.backend,
     )
     problem = explorer.problem
     space = explorer.build_space()
@@ -812,7 +822,8 @@ def _run_dse_run(arguments: argparse.Namespace) -> int:
         f"bank of {space.platform.composition()} "
         f"(max {space.max_resources} of {len(space.resources)} usable), "
         f"strategy {arguments.strategy!r}, budget {arguments.budget}, "
-        f"evaluator {arguments.evaluator!r}"
+        f"evaluator {arguments.evaluator!r}, "
+        f"backend {arguments.backend or 'auto'!r}"
     )
     report = explorer.run()
     if report.resumed:
@@ -930,19 +941,27 @@ def _run_dse_front(arguments: argparse.Namespace) -> int:
             rebuilt.offer(digest, metrics)
         front = rebuilt
     modes = sorted(set(evaluators.values()))
+    backends = _store_backend_counts(store, label)
     print(
         f"# store {arguments.store}: {len(entries)} dse-eval record(s) for "
         f"problem {label!r}"
         + (f", bank of {next(iter(compositions))}" if compositions else "")
         + (f", evaluator mode(s): {'+'.join(modes)}" if modes else "")
+        + (f", backend(s): {'+'.join(sorted(backends))}" if backends else "")
     )
-    if len(modes) > 1:
-        # Sound (the modes are certified to produce identical objectives) but
-        # worth knowing: wall-time provenance differs between the records.
+    if len(modes) > 1 or len(backends) > 1:
+        # Sound (modes and backends are certified to produce identical
+        # objectives) but worth knowing: wall-time provenance differs
+        # between the records.
+        mixed = []
+        if len(modes) > 1:
+            mixed.append(f"evaluator modes ({', '.join(modes)})")
+        if len(backends) > 1:
+            mixed.append(f"array backends ({', '.join(sorted(backends))})")
         print(
-            f"# warning: store {arguments.store} mixes evaluator modes "
-            f"({', '.join(modes)}); objectives are certified identical across "
-            "modes, but per-record wall times are not comparable",
+            f"# warning: store {arguments.store} mixes {' and '.join(mixed)}; "
+            "objectives are certified identical across modes and backends, "
+            "but per-record wall times are not comparable",
             file=sys.stderr,
         )
     # Per-record provenance: rows identify candidates by digest prefix.
@@ -963,6 +982,33 @@ def _run_dse_front(arguments: argparse.Namespace) -> int:
         f"(rebuilt from the store alone)"
     )
     return 0 if len(front) > 0 else 1
+
+
+def _store_backend_counts(store: ResultStore, problem: str) -> Dict[str, int]:
+    """Per array backend, how many dse-eval records of ``problem`` it swept.
+
+    A separate scan (rather than widening :func:`front_from_store`'s
+    return shape) so existing unpack sites stay valid; records written
+    before the ``backend`` field existed count as ``"python"``, the only
+    path that existed then.
+    """
+    from .campaign import JobResult
+    from .dse import DSE_SCENARIO
+
+    counts: Dict[str, int] = {}
+    for job_digest in store.digests():
+        record = store.get(job_digest)
+        try:
+            result = JobResult.from_record(record)
+        except CampaignError:
+            continue
+        if result.scenario != DSE_SCENARIO or not result.ok:
+            continue
+        if str(result.parameters.get("problem")) != problem:
+            continue
+        backend = result.backend or "python"
+        counts[backend] = counts.get(backend, 0) + 1
+    return counts
 
 
 def _store_evaluator_counts(store: ResultStore) -> Dict[str, Dict[str, int]]:
@@ -1341,6 +1387,13 @@ def _run_obs_diff(arguments: argparse.Namespace) -> int:
             "evaluator",
             before.config.get("evaluator", "-"),
             after.config.get("evaluator", "-"),
+        ),
+        (
+            # Manifests written before the array engine existed have no
+            # backend key; "-" (rather than a guess) keeps the diff honest.
+            "backend",
+            before.config.get("backend", "-"),
+            after.config.get("backend", "-"),
         ),
     ]
     print(format_rows([{"field": name, "a": a, "b": b} for name, a, b in fields]))

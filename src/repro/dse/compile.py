@@ -67,7 +67,6 @@ from ..archmodel.architecture import ArchitectureModel
 from ..archmodel.token import DataToken
 from ..archmodel.workload import (
     ConstantExecutionTime,
-    ExecutionTimeModel,
     ResourceDependentExecutionTime,
 )
 from ..campaign.spec import canonical_json
@@ -82,8 +81,15 @@ from ..core.compute import InstantComputer
 from ..core.spec import EquivalentModelSpec, ExecuteNodes
 from ..tdg.arc import DependencyArc
 from ..environment.stimulus import Stimulus
-from ..errors import GraphError, ModelError, ReproError
-from ..kernel.simtime import Duration
+from ..errors import ModelError, ReproError
+from .engine import (
+    _TabulatedWeight,
+    _TokenTable,
+    LoweringUnsupported,
+    lower_spec,
+    replay_batch,
+    resolve_backend,
+)
 from .evaluate import (
     EVALUATOR_MODES,
     CandidateEvaluation,
@@ -95,86 +101,6 @@ from .problems import DesignProblem, get_problem
 from .space import MappingCandidate
 
 __all__ = ["CompiledProblem", "compiled_problem", "EVALUATOR_MODES"]
-
-
-class _TabulatedWeight:
-    """Per-iteration workload durations, evaluated once and shared across candidates.
-
-    The arc-weight protocol is ``weight(k, context) -> Duration``; the table
-    ignores the per-candidate context and uses the problem's own (identical)
-    token sequence, growing lazily with the iteration index.
-    """
-
-    __slots__ = ("workload", "_tokens", "_cache_ps", "_constant_checked", "_divergence")
-
-    def __init__(self, workload: ExecutionTimeModel, tokens: "_TokenTable") -> None:
-        self.workload = workload
-        self._tokens = tokens
-        self._cache_ps: List[int] = []
-        #: iterations already verified to share the first duration.
-        self._constant_checked = 0
-        #: first iteration whose duration differs from iteration 0 (if found).
-        self._divergence: Optional[int] = None
-
-    def weight_ps(self, k: int, context: Mapping[str, object]) -> int:
-        """Integer fast path used by the evaluator (see DependencyArc.weight_callable)."""
-        cache = self._cache_ps
-        while len(cache) <= k:
-            index = len(cache)
-            duration = self.workload.duration(index, self._tokens[index])
-            # Same validation the arc's weight_ps applies to untrusted
-            # callables, so a misbehaving workload stays an infeasibility
-            # report instead of a silently wrong instant.
-            if not isinstance(duration, Duration) or duration.is_negative():
-                raise GraphError(
-                    f"workload {type(self.workload).__name__} returned an invalid "
-                    f"duration for iteration {index}: {duration!r}"
-                )
-            cache.append(duration.picoseconds)
-        return cache[k]
-
-    def __call__(self, k: int, context: Mapping[str, object]) -> Duration:
-        return Duration(self.weight_ps(k, context))
-
-    def constant_stream_ps(self, horizon: int) -> Optional[int]:
-        """The single duration all iterations ``< horizon`` share, or ``None``.
-
-        This is the steady-state evaluator's exact decision procedure for
-        "data-dependent durations": tokens may vary freely as long as the
-        workload maps them all to the same duration.  The scan is memoised,
-        so the per-problem cost is one pass over the table -- the same work
-        the replay loop would spend evaluating the weights anyway.
-        """
-        if horizon <= 0:
-            return None
-        if self._divergence is not None and self._divergence < horizon:
-            return None
-        first = self.weight_ps(0, {})
-        for k in range(max(self._constant_checked, 1), horizon):
-            if self.weight_ps(k, {}) != first:
-                self._divergence = k
-                self._constant_checked = k + 1
-                return None
-        if horizon > self._constant_checked:
-            self._constant_checked = horizon
-        return first
-
-
-class _TokenTable:
-    """Lazy, memoised token sequence of the primary stimulus (or all-``None``)."""
-
-    __slots__ = ("stimulus", "_tokens")
-
-    def __init__(self, stimulus: Optional[Stimulus]) -> None:
-        self.stimulus = stimulus
-        self._tokens: List[Optional[DataToken]] = []
-
-    def __getitem__(self, k: int) -> Optional[DataToken]:
-        tokens = self._tokens
-        while len(tokens) <= k:
-            index = len(tokens)
-            tokens.append(None if self.stimulus is None else self.stimulus.token(index))
-        return tokens[k]
 
 
 class _DeltaCache:
@@ -544,25 +470,220 @@ class CompiledProblem:
             # feedback): replay through the exact event-driven harness
             # (which records its own evaluation telemetry).
             telemetry.count("dse.compile.explicit_fallbacks")
-            return evaluate_mapping(
-                self.application,
-                self.platform,
-                candidate,
-                self.problem.stimuli_factory(self.parameters),
-                name=self._name,
-            )
+            return self._explicit_fallback(candidate)
         offers, actual, iterations = run
         return _record_evaluation(
             self._assemble(
                 candidate,
                 spec,
-                computer,
+                computer.usage_instants(),
                 offers,
                 actual,
                 iterations,
                 start,
                 evaluator="steady" if steady else "replay",
             )
+        )
+
+    # ------------------------------------------------------------------
+    # batched array evaluation
+    # ------------------------------------------------------------------
+    def evaluate_batch(
+        self,
+        candidates: Sequence[MappingCandidate],
+        evaluator: str = "replay",
+        backend: Optional[str] = None,
+    ) -> List[CandidateEvaluation]:
+        """Score a whole generation of candidates with one batched array sweep.
+
+        Per candidate, the template is delta-specialised exactly as in
+        :meth:`evaluate`, then *lowered* onto flat integer tables
+        (:func:`repro.dse.engine.lower_spec`); the pending programs are
+        replayed together on the selected backend -- pure-Python list
+        arithmetic or one numpy sweep vectorised across candidates.
+        Results are bit-identical, instant for instant and field for field
+        (wall-clock aside), to mapping :meth:`evaluate` over the list:
+
+        * infeasible candidates produce the same infeasibility reports;
+        * ``"steady"``/``"auto"`` candidates whose certificate holds take
+          the (already certified, per-candidate) steady path;
+        * candidates whose spec refuses to lower (context-dependent
+          weights) replay on the object graph; candidates whose outputs
+          need boundary feedback fall back to explicit simulation --
+          exactly the cases :meth:`evaluate` falls back on.
+
+        ``backend`` is ``"python"``/``"numpy"``/``"auto"``/``None``
+        (see :func:`repro.dse.engine.resolve_backend`).  Reported
+        ``wall_seconds`` of batch-swept candidates spans from their
+        specialisation through the shared sweep; it is provenance, not an
+        objective.
+        """
+        if evaluator not in EVALUATOR_MODES:
+            raise ModelError(
+                f"unknown evaluator mode {evaluator!r}; expected one of {EVALUATOR_MODES}"
+            )
+        backend = resolve_backend(backend)
+        candidates = list(candidates)
+        results: List[Optional[CandidateEvaluation]] = [None] * len(candidates)
+        pending: List[Tuple[int, MappingCandidate, EquivalentModelSpec, float]] = []
+        programs: List[Any] = []
+        stream_cache: Dict[Any, List[int]] = {}
+
+        def infeasible(candidate: MappingCandidate, error: ReproError, start: float):
+            # Infeasibility is decided during specialisation, before any
+            # sweep, but the record still carries the batch's backend: it
+            # was scored under that backend request, and a mixed-backend
+            # store should only be reported when sweeps actually mixed.
+            return _record_evaluation(
+                CandidateEvaluation(
+                    candidate=candidate,
+                    infeasible=f"{type(error).__name__}: {error}",
+                    wall_seconds=time.perf_counter() - start,
+                    backend=backend,
+                )
+            )
+
+        for position, candidate in enumerate(candidates):
+            start = time.perf_counter()
+            try:
+                spec = self._specialize_for_evaluation(candidate)
+                missing = {b.relation for b in spec.boundary_inputs} - set(self.stimuli)
+                if missing:
+                    raise ModelError(
+                        f"missing stimuli for external inputs: {sorted(missing)}"
+                    )
+            except ReproError as error:
+                results[position] = infeasible(candidate, error, start)
+                continue
+
+            if evaluator != "replay":
+                reason = self._steady_gate(spec)
+                if reason is None:
+                    # The steady certificate holds: extrapolate per candidate
+                    # (already certified bit-identical to full replay).
+                    try:
+                        computer = InstantComputer(spec, record_usage=True)
+                        with telemetry.span("dse.compile.steady", category="dse"):
+                            run = self._run_steady(spec, computer)
+                    except ReproError as error:
+                        results[position] = infeasible(candidate, error, start)
+                        continue
+                    if run is None:
+                        telemetry.count("dse.compile.explicit_fallbacks")
+                        results[position] = self._explicit_fallback(candidate)
+                        continue
+                    offers, actual, iterations = run
+                    results[position] = _record_evaluation(
+                        self._assemble(
+                            candidate,
+                            spec,
+                            computer.usage_instants(),
+                            offers,
+                            actual,
+                            iterations,
+                            start,
+                            evaluator="steady",
+                            backend=backend,
+                        )
+                    )
+                    continue
+                telemetry.count("dse.steady.fallbacks")
+                telemetry.count(f"dse.steady.fallback.{reason}")
+
+            iterations = min(
+                len(self.stimuli[b.relation]) for b in spec.boundary_inputs
+            )
+            try:
+                program = lower_spec(
+                    spec, self.stimuli, iterations, stream_cache=stream_cache
+                )
+            except LoweringUnsupported as gate:
+                # Context-dependent weights the tables cannot hold: replay
+                # this candidate on the object graph (same instants).
+                telemetry.count("dse.engine.lower_fallbacks")
+                telemetry.count(f"dse.engine.lower_fallback.{gate.reason}")
+                try:
+                    computer = InstantComputer(spec, record_usage=True)
+                    with telemetry.span("dse.compile.replay", category="dse"):
+                        run = self._run(spec, computer)
+                        if run is not None:
+                            telemetry.count("dse.compile.replay_steps", run[2])
+                except ReproError as error:
+                    results[position] = infeasible(candidate, error, start)
+                    continue
+                if run is None:
+                    telemetry.count("dse.compile.explicit_fallbacks")
+                    results[position] = self._explicit_fallback(candidate)
+                    continue
+                offers, actual, run_iterations = run
+                results[position] = _record_evaluation(
+                    self._assemble(
+                        candidate,
+                        spec,
+                        computer.usage_instants(),
+                        offers,
+                        actual,
+                        run_iterations,
+                        start,
+                        evaluator="replay",
+                        backend=backend,
+                    )
+                )
+                continue
+            except ReproError as error:
+                # Lowering surfaces the same failures the replay would
+                # (invalid workload durations, delay-0 ready arcs).
+                results[position] = infeasible(candidate, error, start)
+                continue
+            pending.append((position, candidate, spec, start))
+            programs.append(program)
+
+        if programs:
+            with telemetry.span(
+                "dse.engine.batch",
+                category="dse",
+                args={"backend": backend, "size": len(programs)},
+            ):
+                runs = replay_batch(programs, backend)
+            telemetry.count(
+                "dse.compile.replay_steps",
+                sum(program.iterations for program in programs),
+            )
+            for (position, candidate, spec, start), program, run in zip(
+                pending, programs, runs
+            ):
+                if run is None:
+                    # An output would be accepted later than computed
+                    # (boundary feedback): same explicit fallback as
+                    # :meth:`evaluate`.
+                    telemetry.count("dse.compile.explicit_fallbacks")
+                    telemetry.count("dse.engine.replay_fallbacks")
+                    results[position] = self._explicit_fallback(candidate)
+                    continue
+                offers, actual, usage = run
+                results[position] = _record_evaluation(
+                    self._assemble(
+                        candidate,
+                        spec,
+                        usage,
+                        offers,
+                        actual,
+                        program.iterations,
+                        start,
+                        evaluator="replay",
+                        backend=backend,
+                    )
+                )
+        return list(results)
+
+    def _explicit_fallback(self, candidate: MappingCandidate) -> CandidateEvaluation:
+        """Exact event-driven scoring (records its own evaluation telemetry)."""
+        return evaluate_mapping(
+            self.application,
+            self.platform,
+            candidate,
+            self.problem.stimuli_factory(self.parameters),
+            name=self._name,
         )
 
     # ------------------------------------------------------------------
@@ -773,14 +894,20 @@ class CompiledProblem:
         self,
         candidate: MappingCandidate,
         spec: EquivalentModelSpec,
-        computer: InstantComputer,
+        usage: Mapping[str, List[Optional[int]]],
         offers: Mapping[str, List[int]],
         actual: Mapping[str, List[int]],
         iterations: int,
         start: float,
         evaluator: str = "replay",
+        backend: str = "python",
     ) -> CandidateEvaluation:
-        """Extract the objectives (mirror of ``evaluate_mapping``'s epilogue)."""
+        """Extract the objectives (mirror of ``evaluate_mapping``'s epilogue).
+
+        ``usage`` maps observation-node names to per-iteration instants
+        (ε as ``None``) -- ``InstantComputer.usage_instants()`` on the
+        object-graph paths, the lowered history on the array paths.
+        """
         outputs = self.application.external_outputs()
         if not outputs:
             raise ModelError("design-space evaluation needs an external output relation")
@@ -807,7 +934,6 @@ class CompiledProblem:
         # Resource utilisation straight from the computed start/end instants
         # (equivalent to reconstructing the activity trace and running
         # busy_profile over one whole-window bin, without the trace objects).
-        usage = computer.usage_instants()
         intervals: Dict[str, List[Tuple[int, int]]] = {}
         window_lo: Optional[int] = None
         window_hi: Optional[int] = None
@@ -867,6 +993,7 @@ class CompiledProblem:
             output_instants=instants,
             per_output_instants=per_output,
             evaluator=evaluator,
+            backend=backend,
         )
 
     def __repr__(self) -> str:

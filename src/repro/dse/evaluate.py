@@ -25,7 +25,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .. import telemetry
 from ..archmodel.application import ApplicationModel
@@ -43,6 +43,7 @@ __all__ = [
     "CandidateEvaluation",
     "evaluate_mapping",
     "evaluate_candidate",
+    "evaluate_candidates",
     "EVALUATOR_MODES",
 ]
 
@@ -85,6 +86,11 @@ class CandidateEvaluation:
     #: and extrapolated).  Not an objective -- excluded from :meth:`metrics`;
     #: the campaign layer records it per job for provenance.
     evaluator: str = "replay"
+    #: Array backend that actually swept these instants: ``"python"`` (the
+    #: zero-dependency reference, also reported by the object-graph and
+    #: explicit paths) or ``"numpy"`` (vectorised across a candidate batch).
+    #: Like ``evaluator``, pure provenance -- excluded from :meth:`metrics`.
+    backend: str = "python"
 
     @property
     def feasible(self) -> bool:
@@ -267,6 +273,7 @@ def evaluate_candidate(
     parameters: Optional[Mapping[str, Any]] = None,
     compiled: Optional[bool] = None,
     evaluator: str = "replay",
+    backend: Optional[str] = None,
 ) -> CandidateEvaluation:
     """Score a candidate of a named problem under resolved problem parameters.
 
@@ -281,6 +288,14 @@ def evaluate_candidate(
     ``evaluator`` selects the compiled scoring path (see
     :data:`EVALUATOR_MODES`); the from-scratch path always replays and
     silently ignores the mode, so campaign workers stay interchangeable.
+
+    ``backend`` selects the array engine (``"python"``/``"numpy"``/
+    ``"auto"``, see :func:`repro.dse.engine.resolve_backend`): when given,
+    the compiled path scores through the lowered array sweep of
+    :meth:`~repro.dse.compile.CompiledProblem.evaluate_batch` (a batch of
+    one); ``None`` keeps the object-graph reference loop.  The
+    from-scratch path ignores it.  All combinations produce bit-identical
+    objectives.
     """
     if evaluator not in EVALUATOR_MODES:
         raise ModelError(
@@ -291,7 +306,12 @@ def evaluate_candidate(
     if compiled:
         from .compile import compiled_problem
 
-        return compiled_problem(problem, parameters).evaluate(candidate, evaluator=evaluator)
+        compiled_prob = compiled_problem(problem, parameters)
+        if backend is not None:
+            return compiled_prob.evaluate_batch(
+                [candidate], evaluator=evaluator, backend=backend
+            )[0]
+        return compiled_prob.evaluate(candidate, evaluator=evaluator)
     resolved = problem.parameters(parameters)
     return evaluate_mapping(
         problem.application_factory(resolved),
@@ -300,3 +320,48 @@ def evaluate_candidate(
         problem.stimuli_factory(resolved),
         name=f"dse-{problem.name}",
     )
+
+
+def evaluate_candidates(
+    problem: DesignProblem,
+    candidates: Sequence[MappingCandidate],
+    parameters: Optional[Mapping[str, Any]] = None,
+    compiled: Optional[bool] = None,
+    evaluator: str = "replay",
+    backend: Optional[str] = None,
+) -> List[CandidateEvaluation]:
+    """Score a whole candidate batch; the batched form of :func:`evaluate_candidate`.
+
+    On the compiled path (the default) the batch is swept in one go by
+    :meth:`~repro.dse.compile.CompiledProblem.evaluate_batch` on the
+    resolved array backend.  With ``compiled=False`` (or
+    ``REPRO_DSE_COMPILE=0``) every candidate is scored by the from-scratch
+    :func:`evaluate_mapping`, exactly as :func:`evaluate_candidate` would
+    -- ``backend`` is then ignored.  Either way the returned list aligns
+    with ``candidates`` and is bit-identical, instant for instant, to
+    mapping :func:`evaluate_candidate` over the same list.
+    """
+    if evaluator not in EVALUATOR_MODES:
+        raise ModelError(
+            f"unknown evaluator mode {evaluator!r}; expected one of {EVALUATOR_MODES}"
+        )
+    candidates = list(candidates)
+    if compiled is None:
+        compiled = compile_enabled_by_default()
+    if compiled:
+        from .compile import compiled_problem
+
+        return compiled_problem(problem, parameters).evaluate_batch(
+            candidates, evaluator=evaluator, backend=backend
+        )
+    resolved = problem.parameters(parameters)
+    return [
+        evaluate_mapping(
+            problem.application_factory(resolved),
+            problem.platform_factory(resolved),
+            candidate,
+            problem.stimuli_factory(resolved),
+            name=f"dse-{problem.name}",
+        )
+        for candidate in candidates
+    ]

@@ -55,6 +55,7 @@ from ..campaign.spec import ScenarioSpec, canonical_json
 from ..campaign.store import ResultStore
 from ..errors import CampaignError, ModelError
 from .checkpoint import CheckpointFile, ExplorationCheckpoint
+from .engine import resolve_backend
 from .evaluate import EVALUATOR_MODES
 from .pareto import (
     DEFAULT_OBJECTIVES,
@@ -206,6 +207,7 @@ class MappingExplorer:
         progress: Optional[Callable[[Dict[str, Any]], None]] = None,
         ledger: Optional[Union[str, Path, "telemetry.RunLedger"]] = None,
         evaluator: str = "replay",
+        backend: Optional[str] = None,
     ) -> None:
         if budget < 1:
             raise ModelError("the exploration budget must be at least one candidate")
@@ -215,6 +217,10 @@ class MappingExplorer:
             raise ModelError(
                 f"unknown evaluator mode {evaluator!r}; expected one of {EVALUATOR_MODES}"
             )
+        if backend is not None:
+            # Fail fast (before any round runs) on a typo or on requesting
+            # numpy in an interpreter that does not have it.
+            resolve_backend(backend)
         self.problem = get_problem(problem) if isinstance(problem, str) else problem
         self.strategy_name = strategy
         self.budget = budget
@@ -233,6 +239,12 @@ class MappingExplorer:
         #: every mode yields identical objectives, so a checkpointed run may
         #: be resumed under another mode and stored records stay shareable.
         self.evaluator = evaluator
+        #: Array backend request threaded to the batch engine (``None`` to
+        #: let each worker auto-detect, or ``"auto"``/``"python"``/
+        #: ``"numpy"``).  Like ``evaluator`` it is excluded from
+        #: :meth:`_config`: both backends are certified bit-identical, so a
+        #: checkpoint resumes and stored records stay shareable either way.
+        self.backend = backend
         #: None picks the problem's own objective tuple (heterogeneous
         #: problems add per-kind axes to the default latency/resources pair).
         self.objectives = (
@@ -278,6 +290,20 @@ class MappingExplorer:
             strict=self.strict,
         )
 
+    def evaluate_batch(self, candidates: Sequence[MappingCandidate]) -> List[JobResult]:
+        """Score ``candidates`` as one batch, outside the search loop.
+
+        The list goes through the explorer's own runner, so results are
+        served from (and persisted to) the configured store exactly as the
+        exploration rounds do, and fresh candidates ride the scenario's
+        batch executor -- one compiled sweep per shared problem
+        parameterisation instead of one replay per candidate.  Results come
+        back in candidate order.
+        """
+        resolved = self.problem.parameters(self.parameters)
+        specs = [self._spec(candidate, resolved) for candidate in candidates]
+        return list(self.runner.run(specs).results)
+
     def _spec(self, candidate: MappingCandidate, resolved: Mapping[str, Any]) -> ScenarioSpec:
         parameters: Dict[str, Any] = {"problem": self.problem.name}
         parameters.update(resolved)
@@ -287,6 +313,7 @@ class MappingExplorer:
             parameters=parameters,
             record_instants=self.record_instants,
             evaluator=self.evaluator,
+            backend=self.backend,
         )
 
     def _config(self, resolved: Mapping[str, Any]) -> Dict[str, Any]:
@@ -504,6 +531,7 @@ class MappingExplorer:
         config["budget"] = self.budget
         config["jobs"] = self.runner.jobs
         config["evaluator"] = self.evaluator
+        config["backend"] = self.backend or "auto"
         config["compile"] = (
             "compiled" if os.environ.get("REPRO_DSE_COMPILE", "1") != "0" else "explicit"
         )

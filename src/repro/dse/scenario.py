@@ -16,16 +16,22 @@ and packs the objectives into the result's ``metrics`` dict.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..campaign.registry import Scenario, ScenarioRegistry
 from ..campaign.results import JobResult, instants_digest
-from ..campaign.spec import JobSpec
-from .evaluate import CandidateEvaluation, evaluate_candidate
+from ..campaign.spec import JobSpec, canonical_json
+from .evaluate import CandidateEvaluation, evaluate_candidate, evaluate_candidates
 from .problems import get_problem
 from .space import MappingCandidate
 
-__all__ = ["DSE_SCENARIO", "execute_dse_job", "evaluation_record", "register_dse_scenario"]
+__all__ = [
+    "DSE_SCENARIO",
+    "execute_dse_job",
+    "execute_dse_batch",
+    "evaluation_record",
+    "register_dse_scenario",
+]
 
 #: Name under which DSE evaluations are registered in the campaign registry.
 DSE_SCENARIO = "dse-eval"
@@ -52,6 +58,7 @@ def evaluation_record(job: JobSpec, evaluation: CandidateEvaluation) -> Dict[str
         output_instants=evaluation.output_instants if keep_instants else None,
         metrics=evaluation.metrics(),
         evaluator=evaluation.evaluator,
+        backend=evaluation.backend,
     )
     return result.to_record()
 
@@ -61,9 +68,51 @@ def execute_dse_job(job: JobSpec, parameters: Mapping[str, Any]) -> Dict[str, An
     problem = get_problem(str(parameters["problem"]))
     candidate = MappingCandidate.from_parameters(parameters)
     evaluation = evaluate_candidate(
-        problem, candidate, parameters, evaluator=job.spec.evaluator
+        problem, candidate, parameters,
+        evaluator=job.spec.evaluator,
+        backend=job.spec.backend,
     )
     return evaluation_record(job, evaluation)
+
+
+def execute_dse_batch(
+    jobs: Sequence[JobSpec], parameters_list: Sequence[Mapping[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Batch job body: score many candidate jobs through batched sweeps.
+
+    Jobs sharing a problem, non-candidate parameters, evaluator mode and
+    backend are scored with one :func:`evaluate_candidates` call (one
+    compiled template, one array sweep); results align with ``jobs`` and
+    are record-for-record identical to mapping :func:`execute_dse_job`.
+    """
+    results: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
+    groups: Dict[Any, List[int]] = {}
+    for index, (job, parameters) in enumerate(zip(jobs, parameters_list)):
+        shared = {
+            key: value
+            for key, value in parameters.items()
+            if key not in ("allocation", "orders")
+        }
+        groups.setdefault(
+            (canonical_json(shared), job.spec.evaluator, job.spec.backend), []
+        ).append(index)
+    for indices in groups.values():
+        lead = jobs[indices[0]]
+        lead_parameters = parameters_list[indices[0]]
+        problem = get_problem(str(lead_parameters["problem"]))
+        candidates = [
+            MappingCandidate.from_parameters(parameters_list[i]) for i in indices
+        ]
+        evaluations = evaluate_candidates(
+            problem,
+            candidates,
+            lead_parameters,
+            evaluator=lead.spec.evaluator,
+            backend=lead.spec.backend,
+        )
+        for index, evaluation in zip(indices, evaluations):
+            results[index] = evaluation_record(jobs[index], evaluation)
+    return results  # type: ignore[return-value]
 
 
 def register_dse_scenario(registry: ScenarioRegistry) -> Scenario:
@@ -73,6 +122,7 @@ def register_dse_scenario(registry: ScenarioRegistry) -> Scenario:
             name=DSE_SCENARIO,
             description="DSE candidate evaluation (equivalent model only, no explicit run)",
             executor=execute_dse_job,
+            batch_executor=execute_dse_batch,
             defaults={"problem": "didactic", "items": 40, "seed": 2014},
         )
     )

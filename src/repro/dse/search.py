@@ -2,8 +2,11 @@
 
 Strategies are *batch* proposers: each round they propose a list of
 candidates, the explorer evaluates the batch (possibly across worker
-processes, possibly served from the result store) and feeds the scored
-**objective vectors** back through :meth:`SearchStrategy.observe`.  This
+processes, possibly served from the result store, possibly as one
+compiled array sweep over the whole generation -- see
+:mod:`repro.dse.engine`) and feeds the scored **objective vectors**
+back through :meth:`SearchStrategy.observe` in a single
+generation-batched call.  This
 shape keeps every strategy trivially parallelisable and -- because
 proposals depend only on the seeded RNG and on previously observed
 vectors, never on wall-clock time -- deterministic under a fixed seed.
@@ -273,7 +276,18 @@ class SearchStrategy:
         raise NotImplementedError
 
     def observe(self, observations: Sequence[Observation]) -> None:
-        """Feed back the objective vectors of the batch just proposed."""
+        """Feed back the objective vectors of the batch just proposed.
+
+        Observations arrive *generation-batched*: the explorer scores one
+        whole proposal batch (one compiled array sweep when the batch
+        engine applies, see :mod:`repro.dse.engine`) and feeds the vectors
+        back in a single call.  The base implementation records that batch
+        shape -- ``dse.search.<name>.observed`` and the
+        ``dse.search.generation_size`` gauge -- so overriding strategies
+        must call ``super().observe(observations)`` first.
+        """
+        telemetry.count(f"dse.search.{self.name}.observed", len(observations))
+        telemetry.gauge("dse.search.generation_size", len(observations))
 
     def _count_proposals(self, batch: Sequence[MappingCandidate]) -> None:
         """Per-strategy proposal telemetry (called by each ``propose``)."""
@@ -470,6 +484,7 @@ class AnnealingSearch(SearchStrategy):
         return batch
 
     def observe(self, observations: Sequence[Observation]) -> None:
+        super().observe(observations)
         best: Optional[Tuple[MappingCandidate, float]] = None
         for observation in observations:
             value = self.scalarize(observation)
@@ -628,6 +643,7 @@ class NsgaSearch(SearchStrategy):
         return self.space.mutate(self._population[first][0], self._rng)
 
     def observe(self, observations: Sequence[Observation]) -> None:
+        super().observe(observations)
         merged: Dict[str, Tuple[MappingCandidate, Tuple[float, ...]]] = {}
         for candidate, vector in self._population:
             merged[candidate.digest()] = (candidate, vector)

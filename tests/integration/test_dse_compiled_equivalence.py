@@ -3,14 +3,22 @@
 ``CompiledProblem`` specialisation must produce output instants exactly
 equal to the from-scratch ``build_equivalent_spec`` path for *every*
 enumerated candidate of the ``didactic`` problem -- feasible candidates
-objective for objective, infeasible candidates reason for reason.
+objective for objective, infeasible candidates reason for reason.  The
+batched array engine inherits the obligation: one ``evaluate_batch``
+sweep over the whole space, on either backend, must reproduce the same
+evaluations bit for bit.
 """
 
 import dataclasses
 
+import pytest
+
 from repro.dse import CompiledProblem, evaluate_candidate, get_problem
+from repro.dse.engine import numpy_available
 
 ITEMS = 4
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
 
 
 class TestCompiledEquivalence:
@@ -44,3 +52,27 @@ class TestCompiledEquivalence:
             )
             assert fast.tdg_nodes == slow.tdg_nodes
             assert fast.output_instants == slow.output_instants
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_whole_space_batch_matches_uncompiled_exactly(self, backend):
+        """One batched sweep over the entire didactic space equals the
+        from-scratch path, field for field, on every backend."""
+        problem = get_problem("didactic")
+        compiled = CompiledProblem(problem, {"items": ITEMS})
+        candidates = list(problem.space({"items": ITEMS}).enumerate_candidates())
+        batched = compiled.evaluate_batch(candidates, backend=backend)
+        assert len(batched) == 315
+        feasible = 0
+        for candidate, fast in zip(candidates, batched):
+            slow = evaluate_candidate(problem, candidate, {"items": ITEMS}, compiled=False)
+            for field in dataclasses.fields(fast):
+                if field.name in ("wall_seconds", "backend"):
+                    continue
+                assert getattr(fast, field.name) == getattr(slow, field.name), (
+                    f"{field.name} differs for {candidate.describe()}"
+                )
+            assert fast.backend == backend
+            feasible += fast.feasible
+        assert 0 < feasible < len(batched)

@@ -19,6 +19,7 @@ from repro import telemetry
 from repro.campaign import ResultStore
 from repro.dse import CompiledProblem, MappingExplorer, front_from_store, get_problem
 from repro.dse.compile import _CACHE, _TabulatedWeight
+from repro.dse.engine import numpy_available
 from repro.maxplus import spectral_analysis
 
 PROBLEM = "didactic-periodic"
@@ -66,7 +67,7 @@ class TestSpectralPredictsReplay:
 
 
 class TestSteadyFrontIdentity:
-    def run(self, evaluator, store=None):
+    def run(self, evaluator, store=None, backend=None):
         return MappingExplorer(
             problem=PROBLEM,
             strategy="nsga2",
@@ -75,6 +76,7 @@ class TestSteadyFrontIdentity:
             parameters={"items": ITEMS},
             evaluator=evaluator,
             store=store,
+            backend=backend,
         ).run()
 
     def test_steady_front_is_bit_identical_to_replay(self):
@@ -86,6 +88,24 @@ class TestSteadyFrontIdentity:
         assert steady.front.digests() == replay.front.digests()
         assert steady.front.vectors() == replay.front.vectors()
         assert [d for d, _ in steady.entries()] == [d for d, _ in replay.entries()]
+        for (_, steady_metrics), (_, replay_metrics) in zip(
+            steady.entries(), replay.entries()
+        ):
+            assert steady_metrics == replay_metrics
+
+    @pytest.mark.parametrize(
+        "backend",
+        ["python"] + (["numpy"] if numpy_available() else []),
+    )
+    def test_steady_interop_with_the_array_backends(self, backend):
+        """Steady certificates and the array sweep cooperate: a steady
+        exploration pinned to either backend (steady extrapolation where
+        the certificate holds, batched array replay where it does not)
+        reproduces the replay-mode front bit for bit."""
+        replay = self.run("replay")
+        steady = self.run("steady", backend=backend)
+        assert steady.front.digests() == replay.front.digests()
+        assert steady.front.vectors() == replay.front.vectors()
         for (_, steady_metrics), (_, replay_metrics) in zip(
             steady.entries(), replay.entries()
         ):

@@ -1,0 +1,179 @@
+"""The docs-check gate: documentation that cannot drift from the code.
+
+Three obligations, all cheap enough for every CI run:
+
+* every fenced ``console`` command in ``docs/cli.md`` parses against the
+  *live* argparse tree -- each subcommand path must exist and each
+  ``--flag`` must be an option of the subparser it is used with;
+* ``docs/cli.md`` is exactly what ``scripts/gen_cli_docs.py`` generates
+  (the file is generated, never hand-edited);
+* every intra-repository markdown link in ``README.md`` and ``docs/``
+  resolves to an existing file;
+* every public module in ``repro.dse`` and ``repro.telemetry`` has a
+  real module docstring and renders under ``pydoc``.
+"""
+
+import argparse
+import ast
+import importlib
+import pathlib
+import pydoc
+import re
+import shlex
+import sys
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+CLI_DOC = REPO / "docs" / "cli.md"
+
+FENCE = re.compile(r"```(console|bash)\n(.*?)```", re.DOTALL)
+
+
+def fenced_commands(text):
+    """Every command line inside ``console``/``bash`` fences.
+
+    ``console`` fences mix commands (``$ ``-prefixed) with output;
+    ``bash`` fences are all commands.  Backslash continuations are
+    joined, comment lines dropped.
+    """
+    commands = []
+    for kind, body in FENCE.findall(text):
+        lines = body.splitlines()
+        if kind == "console":
+            lines = [line[2:] for line in lines if line.startswith("$ ")]
+        merged = []
+        for line in lines:
+            line = line.rstrip()
+            if not line or line.lstrip().startswith("#"):
+                continue
+            if merged and merged[-1].endswith("\\"):
+                merged[-1] = merged[-1][:-1] + " " + line.lstrip()
+            else:
+                merged.append(line)
+        commands.extend(merged)
+    return commands
+
+
+def normalise(command):
+    """Strip env assignments and the interpreter spelling down to argv."""
+    tokens = shlex.split(command)
+    while tokens and re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*=.*", tokens[0]):
+        tokens = tokens[1:]
+    if tokens[:3] == ["python", "-m", "repro.cli"]:
+        tokens = ["repro"] + tokens[3:]
+    return tokens
+
+
+def assert_parses(tokens):
+    """Walk the argparse tree along ``tokens``; fail on unknown flags."""
+    assert tokens and tokens[0] == "repro", tokens
+    parser = build_parser()
+    position = 1
+    while position < len(tokens):
+        token = tokens[position]
+        if token.startswith("-"):
+            name = token.split("=", 1)[0]
+            action = parser._option_string_actions.get(name)
+            assert action is not None, f"{name!r} is not an option of {parser.prog!r}"
+            if "=" not in token and action.nargs != 0:
+                consumed = 1 if action.nargs in (None, 1, "?") else len(tokens)
+                position += consumed
+            position += 1
+            continue
+        subparsers = next(
+            (
+                action
+                for action in parser._actions
+                if isinstance(action, argparse._SubParsersAction)
+            ),
+            None,
+        )
+        if subparsers is not None and token in subparsers.choices:
+            parser = subparsers.choices[token]
+        # else: a positional value (problem name, metric, path) -- fine.
+        position += 1
+
+
+class TestCliDoc:
+    def test_the_reference_exists(self):
+        assert CLI_DOC.is_file(), "docs/cli.md is missing; run scripts/gen_cli_docs.py"
+
+    def test_every_fenced_command_parses_against_the_argparse_tree(self):
+        commands = fenced_commands(CLI_DOC.read_text(encoding="utf-8"))
+        assert len(commands) >= 15  # one --help per subcommand at minimum
+        for command in commands:
+            assert_parses(normalise(command))
+
+    def test_every_subcommand_is_documented(self):
+        text = CLI_DOC.read_text(encoding="utf-8")
+        parser = build_parser()
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                for name in action.choices:
+                    assert f"`repro {name}`" in text, f"{name} missing from docs/cli.md"
+
+    @pytest.mark.skipif(
+        sys.version_info < (3, 10),
+        reason="argparse help phrasing changed in 3.10; the doc is generated on >= 3.10",
+    )
+    def test_the_doc_is_exactly_what_the_generator_emits(self, monkeypatch):
+        monkeypatch.setenv("COLUMNS", "80")
+        sys.path.insert(0, str(REPO / "scripts"))
+        try:
+            gen = importlib.import_module("gen_cli_docs")
+        finally:
+            sys.path.pop(0)
+        assert CLI_DOC.read_text(encoding="utf-8") == gen.render(), (
+            "docs/cli.md is stale; regenerate with "
+            "`PYTHONPATH=src python scripts/gen_cli_docs.py`"
+        )
+
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+class TestMarkdownLinks:
+    def documents(self):
+        return [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+    def test_intra_repo_links_resolve(self):
+        broken = []
+        for document in self.documents():
+            for target in LINK.findall(document.read_text(encoding="utf-8")):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                path = (document.parent / target.split("#", 1)[0]).resolve()
+                if not path.exists():
+                    broken.append(f"{document.relative_to(REPO)} -> {target}")
+        assert not broken, f"broken markdown links: {broken}"
+
+    def test_the_readme_links_into_the_docs_tree(self):
+        text = (REPO / "README.md").read_text(encoding="utf-8")
+        for name in ("architecture", "evaluators", "cli", "file-formats"):
+            assert f"docs/{name}.md" in text
+
+
+class TestModuleDocstrings:
+    def modules(self):
+        for package in ("dse", "telemetry"):
+            directory = REPO / "src" / "repro" / package
+            for path in sorted(directory.glob("*.py")):
+                name = f"repro.{package}" if path.stem == "__init__" else (
+                    f"repro.{package}.{path.stem}"
+                )
+                yield name, path
+
+    def test_every_module_states_its_role(self):
+        for name, path in self.modules():
+            docstring = ast.get_docstring(ast.parse(path.read_text(encoding="utf-8")))
+            assert docstring and len(docstring.strip()) > 60, (
+                f"{name} needs a module docstring stating its role and invariants"
+            )
+
+    def test_pydoc_renders_cleanly(self):
+        for name, _ in self.modules():
+            rendered = pydoc.render_doc(importlib.import_module(name))
+            assert name.rsplit(".", 1)[-1] in rendered
